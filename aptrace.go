@@ -1,0 +1,270 @@
+// Package aptrace is the public API of APTrace, a responsive backtracking
+// (attack-provenance) analysis system reproducing "APTrace: A Responsive
+// System for Agile Enterprise Level Causality Analysis" (ICDE 2020).
+//
+// # Overview
+//
+// Backtracking analysis takes an anomaly alert (a system event) and searches
+// the audit-event history backwards along data-flow dependencies to recover
+// the attack's root cause. APTrace adds two things to the classic algorithm:
+//
+//   - BDL, a domain-specific language for the pruning and prioritization
+//     heuristics analysts otherwise hard-code (time/host ranges, node
+//     chains, where-filters, hop/time budgets, quantity-based rules);
+//   - execution-window partitioning, which turns each node's monolithic
+//     history scan into a priority queue of geometrically sized windows so
+//     the dependency graph updates at a steady, interactive cadence.
+//
+// # Quick start
+//
+//	ds, _ := aptrace.Generate(aptrace.WorkloadConfig{Seed: 1, Hosts: 4, Days: 3, Density: 0.5}, nil)
+//	sess := aptrace.NewSession(ds.Store, aptrace.ExecOptions{})
+//	err := sess.Start(`
+//	    backward ip a[dst_ip = "203.0.113.66"] -> *
+//	    where file.path != "*.dll"`, nil)
+//	res, err := sess.Wait()
+//	aptrace.WriteDOT(os.Stdout, res.Graph, ds.Store.Object)
+//
+// The executable entry points live in cmd/aptrace (run a BDL script against
+// a store), cmd/apgen (build a synthetic enterprise dataset), and
+// cmd/apbench (regenerate every table and figure of the paper's evaluation).
+package aptrace
+
+import (
+	"io"
+	"time"
+
+	"aptrace/internal/alerts"
+	"aptrace/internal/audit"
+	"aptrace/internal/baseline"
+	"aptrace/internal/bdl"
+	"aptrace/internal/core"
+	"aptrace/internal/event"
+	"aptrace/internal/graph"
+	"aptrace/internal/refiner"
+	"aptrace/internal/session"
+	"aptrace/internal/simclock"
+	"aptrace/internal/store"
+	"aptrace/internal/suggest"
+	"aptrace/internal/workload"
+)
+
+// Core model types.
+type (
+	// Event is one normalized system event (subject process, object,
+	// data-flow direction, timestamp, byte amount).
+	Event = event.Event
+	// EventID identifies an event within one store.
+	EventID = event.EventID
+	// Object is a system object: process instance, file, or socket.
+	Object = event.Object
+	// ObjID is a compact object reference within one store.
+	ObjID = event.ObjID
+	// ObjectKey is the comparable canonical identity of an Object.
+	ObjectKey = event.ObjectKey
+	// Action is the interaction kind (read, write, start, send, ...).
+	Action = event.Action
+	// Direction is the data-flow direction of an event.
+	Direction = event.Direction
+)
+
+// Storage layer.
+type (
+	// Store is the embedded audit-event database.
+	Store = store.Store
+	// LiveStore is the continuously collecting store: WAL-backed appends,
+	// consistent snapshots for analysis, checkpointing into segments.
+	LiveStore = store.Live
+	// StoreStats are the store's work counters.
+	StoreStats = store.Stats
+	// Clock is the time source queries charge their modeled cost to.
+	Clock = simclock.Clock
+	// SimulatedClock is a virtual clock driven by the query cost model.
+	SimulatedClock = simclock.Simulated
+	// CostModel converts query work (rows, partitions) into time.
+	CostModel = simclock.CostModel
+)
+
+// Language and planning layer.
+type (
+	// Script is a parsed BDL script.
+	Script = bdl.Script
+	// Plan is a compiled, executable BDL script.
+	Plan = refiner.Plan
+	// ResumeAction says how much of a paused analysis survives a script
+	// change (resume / repropagate / restart).
+	ResumeAction = refiner.ResumeAction
+)
+
+// Analysis layer.
+type (
+	// Graph is the dependency (tracking) graph backtracking produces.
+	Graph = graph.Graph
+	// Update is one responsive progress report (an edge landed).
+	Update = graph.Update
+	// Executor runs responsive backtracking with execution-window
+	// partitioning.
+	Executor = core.Executor
+	// ExecOptions configure an Executor (window count k, update callback,
+	// ablation toggles).
+	ExecOptions = core.Options
+	// ExecResult summarizes a finished analysis.
+	ExecResult = core.Result
+	// Session is the interactive pause/edit/resume analysis loop.
+	Session = session.Session
+	// BaselineOptions configure the King-Chen execute-to-complete
+	// comparison engine.
+	BaselineOptions = baseline.Options
+	// BaselineResult is its outcome.
+	BaselineResult = baseline.Result
+)
+
+// Dataset and detection layer.
+type (
+	// WorkloadConfig controls synthetic enterprise dataset generation.
+	WorkloadConfig = workload.Config
+	// Dataset is a generated history plus attack ground truth.
+	Dataset = workload.Dataset
+	// Attack is one injected scenario's ground truth.
+	Attack = workload.Attack
+	// Alert is an anomaly-detector hit: a backtracking starting point.
+	Alert = alerts.Alert
+	// Detector is the rule-based anomaly detector.
+	Detector = alerts.Detector
+	// AuditRecord is a normalized collection-side record.
+	AuditRecord = audit.Record
+	// AuditFormat selects the ETW-style or auditd-style wire format.
+	AuditFormat = audit.Format
+	// Suggestion is a proposed BDL exclusion heuristic derived from an
+	// explored graph's hot spots.
+	Suggestion = suggest.Suggestion
+	// RareChildRule is the learned unusual-parentage detector rule.
+	RareChildRule = alerts.RareChildRule
+)
+
+// Re-exported constants.
+const (
+	// DefaultWindows is the default execution-window count k (the paper's
+	// empirical value).
+	DefaultWindows = core.DefaultWindows
+
+	// Resume actions returned by Session.UpdateScript.
+	ActionRestart     = refiner.Restart
+	ActionRepropagate = refiner.Repropagate
+	ActionResume      = refiner.Resume
+
+	// Audit wire formats.
+	FormatETW    = audit.FormatETW
+	FormatAuditd = audit.FormatAuditd
+)
+
+// NewStore creates an empty, unsealed store charging query costs to clk
+// (nil = real clock: no simulated charges).
+func NewStore(clk Clock) *Store { return store.New(clk) }
+
+// OpenStore loads a persisted store directory and returns it sealed and
+// query-ready.
+func OpenStore(dir string, clk Clock) (*Store, error) { return store.Open(dir, clk) }
+
+// NewSimulatedClock returns a virtual clock for cost-modeled analysis runs.
+// The zero time starts the clock at a fixed epoch.
+func NewSimulatedClock() *SimulatedClock { return simclock.NewSimulated(time.Time{}) }
+
+// RealClock returns the wall-clock time source (query charges are no-ops).
+func RealClock() Clock { return simclock.Real{} }
+
+// Generate builds a synthetic enterprise dataset with the paper's five
+// attack scenarios injected (see WorkloadConfig.Attacks to select a subset).
+func Generate(cfg WorkloadConfig, clk Clock) (*Dataset, error) {
+	return workload.Generate(cfg, clk)
+}
+
+// ParseScript parses BDL source into a Script.
+func ParseScript(src string) (*Script, error) { return bdl.Parse(src) }
+
+// FormatScript renders a Script back to canonical BDL source.
+func FormatScript(s *Script) string { return bdl.Format(s) }
+
+// CompileScript parses and compiles BDL source into an executable Plan.
+func CompileScript(src string) (*Plan, error) { return refiner.ParseAndCompile(src) }
+
+// NewExecutor prepares a responsive backtracking executor over a sealed
+// store.
+func NewExecutor(st *Store, plan *Plan, opts ExecOptions) (*Executor, error) {
+	return core.New(st, plan, opts)
+}
+
+// NewSession creates an interactive analysis session over a sealed store.
+func NewSession(st *Store, opts ExecOptions) *Session {
+	return session.New(st, opts)
+}
+
+// RunBaseline performs classic King-Chen execute-to-complete backtracking,
+// the comparison engine of the paper's evaluation.
+func RunBaseline(st *Store, alert Event, opts BaselineOptions) (*BaselineResult, error) {
+	return baseline.Run(st, alert, opts)
+}
+
+// DetectorRule is one anomaly-detection rule; implement it to extend the
+// detector.
+type DetectorRule = alerts.Rule
+
+// NewDetector builds the rule-based anomaly detector (default rule set when
+// called without rules).
+func NewDetector(rules ...DetectorRule) *Detector { return alerts.NewDetector(rules...) }
+
+// DefaultRules returns the built-in detector rule set (abnormal children of
+// server daemons, large external uploads, protected-file writes).
+func DefaultRules() []DetectorRule { return alerts.DefaultRules() }
+
+// WriteDOT renders a dependency graph in Graphviz DOT format; resolve is
+// normally (*Store).Object.
+func WriteDOT(w io.Writer, g *Graph, resolve func(ObjID) Object) error {
+	return graph.WriteDOT(w, g, resolve)
+}
+
+// IngestAudit reads newline-delimited audit records (ETW-style or
+// auditd-style, auto-detected per line) into an unsealed store.
+func IngestAudit(st *Store, r io.Reader) (audit.IngestStats, error) {
+	return audit.Ingest(st, r)
+}
+
+// OpenLiveStore opens (or initializes) a continuously collecting store in
+// dir: appends are WAL-durable, Snapshot yields sealed analysis views, and
+// Checkpoint folds the tail into segment files.
+func OpenLiveStore(dir string, clk Clock) (*LiveStore, error) {
+	return store.OpenLive(dir, clk)
+}
+
+// IngestAuditLive streams audit records into a live store as they arrive.
+func IngestAuditLive(l *LiveStore, r io.Reader) (audit.IngestStats, error) {
+	return audit.IngestLive(l, r)
+}
+
+// SuggestHeuristics proposes BDL exclusion clauses from the hot spots of an
+// explored dependency graph, ranked by how much of the graph they account
+// for. The analyst verifies and applies; see RenderSuggestions.
+func SuggestHeuristics(g *Graph, st *Store, limit int) []Suggestion {
+	return suggest.ForGraph(g, st, suggest.Options{Limit: limit})
+}
+
+// RenderSuggestions formats suggestions as a pasteable BDL where clause.
+func RenderSuggestions(sugs []Suggestion) string { return suggest.Render(sugs) }
+
+// PathFromStart returns a shortest edge path from the analysis starting
+// point to target within an explored graph (forward=true for impact
+// graphs), for displaying the causal chain.
+func PathFromStart(g *Graph, target ObjID, forward bool) ([]Event, bool) {
+	return graph.PathFromStart(g, target, forward)
+}
+
+// TrainRareChildRule learns (parent, child) process-start frequencies over
+// [from, to) and returns a detector rule flagging rare parentage.
+func TrainRareChildRule(st *Store, from, to int64, maxSeen int) (*RareChildRule, error) {
+	return alerts.TrainRareChildRule(st, from, to, maxSeen)
+}
+
+// ExportAudit writes a sealed store's events to w in the given wire format.
+func ExportAudit(st *Store, w io.Writer, f AuditFormat) (int, error) {
+	return audit.Export(st, w, f)
+}

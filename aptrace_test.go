@@ -1,0 +1,247 @@
+package aptrace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"aptrace"
+)
+
+// TestPublicAPIEndToEnd walks the whole public surface the way a downstream
+// user would: generate -> detect -> script -> session -> graph -> DOT,
+// plus store persistence and audit round trips.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	clk := aptrace.NewSimulatedClock()
+	ds, err := aptrace.Generate(aptrace.WorkloadConfig{
+		Seed: 2, Hosts: 4, Days: 3, Density: 0.4,
+	}, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Detection.
+	det := aptrace.NewDetector()
+	alerts, err := det.Scan(ds.Store, 0, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) < len(ds.Attacks) {
+		t.Fatalf("detector found %d alerts for %d attacks", len(alerts), len(ds.Attacks))
+	}
+
+	// Script round trip.
+	src := ds.Attacks[0].Scripts[len(ds.Attacks[0].Scripts)-1]
+	script, err := aptrace.ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, err := aptrace.ParseScript(aptrace.FormatScript(script)); err != nil || again == nil {
+		t.Fatalf("canonical form must reparse: %v", err)
+	}
+
+	// Session analysis.
+	alert, _ := ds.Store.EventByID(ds.Attacks[0].AlertID)
+	sess := aptrace.NewSession(ds.Store, aptrace.ExecOptions{})
+	if err := sess.Start(src, &alert); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumEdges() == 0 {
+		t.Fatal("empty graph")
+	}
+
+	// DOT output.
+	var dot bytes.Buffer
+	if err := aptrace.WriteDOT(&dot, res.Graph, ds.Store.Object); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "digraph aptrace") {
+		t.Fatal("bad DOT")
+	}
+
+	// Persistence.
+	dir := t.TempDir()
+	if err := ds.Store.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := aptrace.OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.NumEvents() != ds.Store.NumEvents() {
+		t.Fatal("persistence lost events")
+	}
+
+	// Audit export/ingest.
+	var raw bytes.Buffer
+	n, err := aptrace.ExportAudit(ds.Store, &raw, aptrace.FormatAuditd)
+	if err != nil || n != ds.Store.NumEvents() {
+		t.Fatalf("export: %d %v", n, err)
+	}
+	st2 := aptrace.NewStore(nil)
+	ingested, err := aptrace.IngestAudit(st2, &raw)
+	if err != nil || ingested.Ingested != n || ingested.Rejected != 0 {
+		t.Fatalf("ingest: %+v %v", ingested, err)
+	}
+}
+
+// TestBaselineVsExecutorPublicAPI confirms the comparison path works through
+// the facade and that the responsiveness advantage shows up.
+func TestBaselineVsExecutorPublicAPI(t *testing.T) {
+	ds, err := aptrace.Generate(aptrace.WorkloadConfig{
+		Seed: 4, Hosts: 5, Days: 3, Density: 0.6,
+	}, aptrace.NewSimulatedClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alert aptrace.Event
+	for _, atk := range ds.Attacks {
+		if atk.Name == "shellshock" {
+			alert, _ = ds.Store.EventByID(atk.AlertID)
+		}
+	}
+
+	maxGap := func(times []time.Time) time.Duration {
+		var max time.Duration
+		for i := 1; i < len(times); i++ {
+			if d := times[i].Sub(times[i-1]); d > max {
+				max = d
+			}
+		}
+		return max
+	}
+
+	var bTimes []time.Time
+	if _, err := aptrace.RunBaseline(ds.Store, alert, aptrace.BaselineOptions{
+		OnUpdate: func(u aptrace.Update) { bTimes = append(bTimes, u.At) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var aTimes []time.Time
+	plan, err := aptrace.CompileScript(`backward ip a[dst_ip = "203.0.113.66"] -> *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := aptrace.NewExecutor(ds.Store, plan, aptrace.ExecOptions{
+		OnUpdate: func(u aptrace.Update) { aTimes = append(aTimes, u.At) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.RunUnchecked(alert); err != nil {
+		t.Fatal(err)
+	}
+
+	if ga, gb := maxGap(aTimes), maxGap(bTimes); ga*2 >= gb {
+		t.Fatalf("responsiveness advantage missing: aptrace max gap %v vs baseline %v", ga, gb)
+	}
+}
+
+// TestExtensionsPublicAPI exercises the beyond-the-paper surface: live
+// store, forward tracking, suggestions, learned detection, path display.
+func TestExtensionsPublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	live, err := aptrace.OpenLiveStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+
+	// Stream a tiny exfil scenario through the audit pipeline.
+	ds, err := aptrace.Generate(aptrace.WorkloadConfig{Seed: 6, Hosts: 3, Days: 2, Density: 0.3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if _, err := aptrace.ExportAudit(ds.Store, &wire, aptrace.FormatETW); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := aptrace.IngestAuditLive(live, &wire)
+	if err != nil || stats.Rejected != 0 {
+		t.Fatalf("live ingest: %+v %v", stats, err)
+	}
+	snap, err := live.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumEvents() != ds.Store.NumEvents() {
+		t.Fatalf("snapshot %d != source %d", snap.NumEvents(), ds.Store.NumEvents())
+	}
+
+	// Learned detection over the snapshot.
+	min, max, _ := snap.TimeRange()
+	rare, err := aptrace.TrainRareChildRule(snap, min, min+(max-min)/2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := aptrace.NewDetector(append(aptrace.DefaultRules(), rare)...)
+	alerts, err := det.Scan(snap, 0, 1<<62)
+	if err != nil || len(alerts) == 0 {
+		t.Fatalf("detector: %d alerts, %v", len(alerts), err)
+	}
+
+	// Backward run, then suggestions, then the path display.
+	atk := ds.Attacks[0]
+	// The snapshot re-assigned IDs; find the alert by time+shape instead.
+	orig, _ := ds.Store.EventByID(atk.AlertID)
+	var alert aptrace.Event
+	snap.Scan(orig.Time, orig.Time+1, func(e aptrace.Event) bool {
+		if e.Action == orig.Action && e.Amount == orig.Amount {
+			alert = e
+			return false
+		}
+		return true
+	})
+	if alert.ID == 0 {
+		t.Fatal("alert not found in snapshot")
+	}
+	plan, err := aptrace.CompileScript(`backward ip a[dst_ip = "203.0.113.66"] -> *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := aptrace.NewExecutor(snap, plan, aptrace.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := x.RunUnchecked(alert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugs := aptrace.SuggestHeuristics(res.Graph, snap, 5)
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if aptrace.RenderSuggestions(sugs) == "" {
+		t.Fatal("empty rendering")
+	}
+	// Path to some node two hops out must be reconstructible.
+	var target aptrace.ObjID
+	for _, n := range res.Graph.Nodes() {
+		if n.Hop == 2 {
+			target = n.ID
+			break
+		}
+	}
+	if path, ok := aptrace.PathFromStart(res.Graph, target, false); !ok || len(path) != 2 {
+		t.Fatalf("path = %v, %v", path, ok)
+	}
+
+	// Forward tracking through the facade.
+	fplan, err := aptrace.CompileScript(`forward ip a[dst_ip = "203.0.113.66"] -> * where hop <= 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := aptrace.NewExecutor(snap, fplan, aptrace.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.RunUnchecked(alert); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package aptrace_test
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation, each running the corresponding experiment end-to-end over a
+// shared benchmark-scale dataset. `go test -bench=. -benchmem` regenerates
+// every result at reduced scale; `cmd/apbench` runs the full-scale versions.
+//
+//	BenchmarkSeverity          – Section IV-B1 (dependency explosion rate)
+//	BenchmarkFig4              – Figure 4 (graph size vs time limit)
+//	BenchmarkTable1            – Table I  (five attack cases)
+//	BenchmarkTable2            – Table II (inter-update waiting time)
+//	BenchmarkFig6              – Figure 6 (CPU/memory during analysis)
+//	BenchmarkAblationK         – window-count ablation
+//	BenchmarkAblationPolicy    – partitioning/queue-policy ablation
+//	BenchmarkBacktrackEngines  – raw engine comparison on one heavy alert
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"aptrace"
+	"aptrace/internal/experiments"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+// benchSetup builds the shared benchmark dataset once.
+func benchSetup(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv, benchErr = experiments.NewEnv(aptrace.WorkloadConfig{
+			Seed: 11, Hosts: 6, Days: 4, Density: 0.8,
+		})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+func benchCfg() experiments.Config {
+	return experiments.Config{Samples: 15, Cap: 20 * time.Minute, Windows: 8, Seed: 42}
+}
+
+func BenchmarkSeverity(b *testing.B) {
+	env := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSeverity(env, benchCfg(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	env := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig4(env, benchCfg(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	env := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(env, benchCfg(), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if !row.RootFound {
+				b.Fatalf("%s: root cause not found", row.Attack)
+			}
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	env := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable2(env, benchCfg(), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.ReductionP99, "p99-reduction-x")
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	env := benchSetup(b)
+	cfg := benchCfg()
+	cfg.Cap = 5 * time.Minute
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig6(env, cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationK(b *testing.B) {
+	env := benchSetup(b)
+	cfg := benchCfg()
+	cfg.Samples = 8
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationK(env, cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPolicy(b *testing.B) {
+	env := benchSetup(b)
+	cfg := benchCfg()
+	cfg.Samples = 8
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationPolicy(env, cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBacktrackEngines compares the two engines head to head on one
+// heavy starting point (the ShellShock alert, whose backward path crosses
+// the web server's full request history).
+func BenchmarkBacktrackEngines(b *testing.B) {
+	env := benchSetup(b)
+	var alert aptrace.Event
+	for _, atk := range env.Dataset.Attacks {
+		if atk.Name == "shellshock" {
+			alert, _ = env.Dataset.Store.EventByID(atk.AlertID)
+		}
+	}
+	if alert.ID == 0 {
+		b.Fatal("shellshock alert missing")
+	}
+
+	b.Run("baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := aptrace.RunBaseline(env.Dataset.Store, alert, aptrace.BaselineOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("aptrace", func(b *testing.B) {
+		plan, err := aptrace.CompileScript(`backward ip a[dst_ip = "203.0.113.66"] -> *`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			x, err := aptrace.NewExecutor(env.Dataset.Store, plan, aptrace.ExecOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := x.RunUnchecked(alert); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,116 @@
+// Command apbench regenerates the paper's evaluation (Section IV): every
+// table and figure, over a freshly generated synthetic enterprise dataset
+// bound to the simulated query-latency clock.
+//
+// Usage:
+//
+//	apbench [-exp all|severity|fig4|table1|table2|fig6|ablation-k|ablation-policy]
+//	        [-hosts 12] [-days 10] [-density 1.5] [-samples 200] [-cap 2h] [-k 8]
+//
+// Paper mapping:
+//
+//	severity        -> Section IV-B1 (how common dependency explosion is)
+//	fig4            -> Figure 4      (graph size vs execution time limit)
+//	table1          -> Table I       (five attack cases, No Opt vs Opt)
+//	table2          -> Table II      (inter-update waiting time)
+//	fig6            -> Figure 6      (CPU/memory during a long analysis)
+//	ablation-*      -> design-choice ablations from DESIGN.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aptrace"
+	"aptrace/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment(s) to run, comma separated")
+		hosts   = flag.Int("hosts", 12, "workstations in the dataset")
+		days    = flag.Int("days", 10, "days of history")
+		density = flag.Float64("density", 1.5, "background activity scale")
+		seed    = flag.Int64("seed", 1, "dataset seed")
+		samples = flag.Int("samples", 200, "random starting events (the paper uses 200)")
+		cap_    = flag.Duration("cap", 2*time.Hour, "execution cap for unoptimized runs")
+		k       = flag.Int("k", aptrace.DefaultWindows, "execution-window count")
+	)
+	flag.Parse()
+
+	fmt.Printf("generating dataset: %d hosts, %d days, density %.1f, seed %d ...\n",
+		*hosts, *days, *density, *seed)
+	wall := time.Now()
+	env, err := experiments.NewEnv(aptrace.WorkloadConfig{
+		Seed: *seed, Hosts: *hosts, Days: *days, Density: *density,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset ready: %d events, %d objects, %d attacks (%.1fs wall)\n",
+		env.Dataset.Store.NumEvents(), env.Dataset.Store.NumObjects(),
+		len(env.Dataset.Attacks), time.Since(wall).Seconds())
+
+	cfg := experiments.Config{Samples: *samples, Cap: *cap_, Windows: *k, Seed: 42}
+
+	runners := map[string]func() error{
+		"severity": func() error {
+			_, err := experiments.RunSeverity(env, cfg, os.Stdout)
+			return err
+		},
+		"fig4": func() error {
+			_, err := experiments.RunFig4(env, cfg, os.Stdout)
+			return err
+		},
+		"table1": func() error {
+			_, err := experiments.RunTable1(env, cfg, os.Stdout)
+			return err
+		},
+		"table2": func() error {
+			_, err := experiments.RunTable2(env, cfg, os.Stdout)
+			return err
+		},
+		"fig6": func() error {
+			_, err := experiments.RunFig6(env, cfg, os.Stdout)
+			return err
+		},
+		"refiner": func() error {
+			_, err := experiments.RunRefiner(env, cfg, os.Stdout)
+			return err
+		},
+		"ablation-k": func() error {
+			_, err := experiments.RunAblationK(env, cfg, os.Stdout)
+			return err
+		},
+		"ablation-policy": func() error {
+			_, err := experiments.RunAblationPolicy(env, cfg, os.Stdout)
+			return err
+		},
+	}
+	order := []string{"severity", "fig4", "table1", "table2", "fig6", "refiner", "ablation-k", "ablation-policy"}
+
+	selected := strings.Split(*exp, ",")
+	if *exp == "all" {
+		selected = order
+	}
+	for _, name := range selected {
+		name = strings.TrimSpace(name)
+		run, ok := runners[name]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (want one of %s)", name, strings.Join(order, ", ")))
+		}
+		wall := time.Now()
+		if err := run(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("[%s done in %.1fs wall]\n", name, time.Since(wall).Seconds())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,154 @@
+// Command aptrace runs responsive backtracking analysis over a persisted
+// store, driven by a BDL script.
+//
+// Usage:
+//
+//	aptrace -store ./data -script investigate.bdl [-simulate] [-k 8]
+//	aptrace -store ./data -alerts
+//
+// With -alerts, the built-in anomaly detector scans the store and lists the
+// events that would start an investigation. With -script, the script's
+// starting point locates the alert, exploration streams progress to stderr,
+// and the final dependency graph goes to the script's "output" path (or
+// stdout as DOT if the script has none).
+//
+// -simulate attaches the query cost model to a virtual clock, reporting
+// analysis time in modeled database-latency terms; without it, timings are
+// wall clock (the store is in memory, so they are near zero).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aptrace"
+	"aptrace/internal/repl"
+	"aptrace/internal/stats"
+)
+
+func main() {
+	var (
+		storeDir = flag.String("store", "", "store directory (required)")
+		script   = flag.String("script", "", "BDL script file")
+		alerts   = flag.Bool("alerts", false, "scan the store with the anomaly detector and list alerts")
+		simulate = flag.Bool("simulate", false, "charge the query cost model to a virtual clock")
+		k        = flag.Int("k", aptrace.DefaultWindows, "execution-window count")
+		quiet    = flag.Bool("quiet", false, "suppress the per-update progress stream")
+		doSug    = flag.Bool("suggest", false, "after the run, propose exclusion heuristics for the next script version")
+		inter    = flag.Bool("interactive", false, "start the interactive analyst console")
+	)
+	flag.Parse()
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "aptrace: -store is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var clk aptrace.Clock
+	if *simulate {
+		clk = aptrace.NewSimulatedClock()
+	}
+	st, err := aptrace.OpenStore(*storeDir, clk)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "opened store: %d events, %d objects\n", st.NumEvents(), st.NumObjects())
+
+	if *alerts {
+		listAlerts(st)
+		return
+	}
+	if *inter {
+		console := repl.New(st, aptrace.ExecOptions{Windows: *k}, os.Stdout)
+		if _, err := console.Run(os.Stdin); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *script == "" {
+		fmt.Fprintln(os.Stderr, "aptrace: one of -script, -alerts, or -interactive is required")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*script)
+	if err != nil {
+		fatal(err)
+	}
+	runScript(st, string(raw), *k, *quiet, *doSug)
+}
+
+func listAlerts(st *aptrace.Store) {
+	det := aptrace.NewDetector()
+	found, err := det.Scan(st, 0, 1<<62)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-22s %-16s %-9s %s\n", "time (UTC)", "rule", "event id", "detail")
+	for _, a := range found {
+		fmt.Printf("%-22s %-16s %-9d %s\n",
+			a.Event.When().Format("2006-01-02 15:04:05"), a.Rule, a.Event.ID, a.Message)
+	}
+	fmt.Fprintf(os.Stderr, "%d alerts\n", len(found))
+}
+
+func runScript(st *aptrace.Store, src string, k int, quiet, doSuggest bool) {
+	var times []time.Time
+	sess := aptrace.NewSession(st, aptrace.ExecOptions{
+		Windows: k,
+		OnUpdate: func(u aptrace.Update) {
+			times = append(times, u.At)
+			if quiet {
+				return
+			}
+			o := st.Object(u.Event.Src())
+			fmt.Fprintf(os.Stderr, "[%s] + %s --%s--> graph now %d events\n",
+				u.At.Format("15:04:05"), o.Label(), u.Event.Action, u.Edges)
+		},
+	})
+	if err := sess.Start(src, nil); err != nil {
+		fatal(err)
+	}
+	res, err := sess.Wait()
+	if err != nil {
+		fatal(err)
+	}
+	pruned, err := sess.Finalize()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "\nanalysis %s: %d events, %d nodes (pruned %d), %d windows, elapsed %s\n",
+		res.Reason, res.Graph.NumEdges(), res.Graph.NumNodes(), pruned, res.Windows, res.Elapsed.Round(time.Millisecond))
+	if ds := stats.Deltas(stats.DistinctTimes(times)); len(ds) > 0 {
+		xs := stats.Durations(ds)
+		ps := stats.Percentiles(xs, 0.5, 0.9, 0.99)
+		fmt.Fprintf(os.Stderr, "update gaps: median %.2fs, p90 %.2fs, p99 %.2fs\n", ps[0], ps[1], ps[2])
+	}
+
+	if doSuggest {
+		sugs := aptrace.SuggestHeuristics(res.Graph, st, 6)
+		if len(sugs) > 0 {
+			fmt.Fprintln(os.Stderr, "\nsuggested heuristics for the next version (verify before applying):")
+			for _, s := range sugs {
+				fmt.Fprintf(os.Stderr, "  %-40s -- %s\n", s.Clause, s.Reason)
+			}
+		}
+	}
+
+	// The script's output clause was honored by Finalize; if there was
+	// none, emit DOT on stdout so the tool is still composable.
+	plan, err := aptrace.CompileScript(src)
+	if err == nil && plan.Output == "" {
+		if err := aptrace.WriteDOT(os.Stdout, res.Graph, st.Object); err != nil {
+			fatal(err)
+		}
+	} else if plan != nil {
+		fmt.Fprintf(os.Stderr, "graph written to %s\n", plan.Output)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aptrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module aptrace
+
+go 1.22

@@ -1,0 +1,200 @@
+// Package alerts implements the rule-based anomaly detector that supplies
+// backtracking analysis with its starting points. The paper treats the
+// detector as an existing component of the security stack ("the input of
+// backtracking analysis is a system anomaly alert"); this implementation
+// covers the alert classes its five attack cases rely on: abnormal child
+// processes of server daemons, large uploads to external addresses, and
+// integrity violations on protected files.
+package alerts
+
+import (
+	"fmt"
+	"strings"
+
+	"aptrace/internal/event"
+	"aptrace/internal/store"
+)
+
+// Severity grades an alert.
+type Severity uint8
+
+const (
+	Low Severity = iota
+	Medium
+	High
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Low:
+		return "low"
+	case Medium:
+		return "medium"
+	default:
+		return "high"
+	}
+}
+
+// Alert is one detector hit: the event to hand to backtracking analysis.
+type Alert struct {
+	Event    event.Event
+	Rule     string
+	Severity Severity
+	Message  string
+}
+
+// Rule inspects one event and reports whether it is anomalous.
+type Rule interface {
+	// Name identifies the rule in alerts.
+	Name() string
+	// Check returns a non-empty message and severity if the event trips
+	// the rule.
+	Check(e event.Event, st *store.Store) (string, Severity, bool)
+}
+
+// Detector runs a rule set over a store.
+type Detector struct {
+	rules []Rule
+}
+
+// NewDetector builds a detector; with no arguments it uses DefaultRules.
+func NewDetector(rules ...Rule) *Detector {
+	if len(rules) == 0 {
+		rules = DefaultRules()
+	}
+	return &Detector{rules: rules}
+}
+
+// DefaultRules returns the standard rule set.
+func DefaultRules() []Rule {
+	return []Rule{
+		AbnormalChildRule{
+			Daemons: []string{"sqlservr", "httpd", "smbd", "nginx", "postgres"},
+			Shells:  []string{"cmd", "bash", "sh", "powershell", "cscript"},
+		},
+		LargeUploadRule{MinBytes: 10 << 20},
+		ProtectedFileRule{Paths: []string{"grades.db", "/etc/shadow", "/etc/sudoers", `\config\SAM`}},
+	}
+}
+
+// Scan runs every rule over every event in [from, to) and returns the alerts
+// in time order. Pass (0, 1<<62) to scan everything.
+func (d *Detector) Scan(st *store.Store, from, to int64) ([]Alert, error) {
+	var out []Alert
+	err := st.Scan(from, to, func(e event.Event) bool {
+		for _, r := range d.rules {
+			if msg, sev, hit := r.Check(e, st); hit {
+				out = append(out, Alert{Event: e, Rule: r.Name(), Severity: sev, Message: msg})
+			}
+		}
+		return true
+	})
+	return out, err
+}
+
+// AbnormalChildRule flags server daemons spawning interactive shells —
+// the alert that opens attack case A2 ("the anomaly detector raised an alert
+// when the SQL server started the cmd.exe").
+type AbnormalChildRule struct {
+	Daemons []string // substrings of daemon executable names
+	Shells  []string // substrings of shell executable names
+}
+
+// Name implements Rule.
+func (AbnormalChildRule) Name() string { return "abnormal-child" }
+
+// Check implements Rule.
+func (r AbnormalChildRule) Check(e event.Event, st *store.Store) (string, Severity, bool) {
+	if e.Action != event.ActStart {
+		return "", 0, false
+	}
+	parent := st.Object(e.Subject)
+	child := st.Object(e.Object)
+	if !matchAny(parent.Exe, r.Daemons) || !matchAny(child.Exe, r.Shells) {
+		return "", 0, false
+	}
+	return fmt.Sprintf("daemon %s spawned shell %s on %s", parent.Exe, child.Exe, parent.Host), High, true
+}
+
+// LargeUploadRule flags big transfers to non-private addresses — the
+// beaconing/exfiltration alerts of cases A1, A3, and A5.
+type LargeUploadRule struct {
+	MinBytes int64
+}
+
+// Name implements Rule.
+func (LargeUploadRule) Name() string { return "large-upload" }
+
+// Check implements Rule.
+func (r LargeUploadRule) Check(e event.Event, st *store.Store) (string, Severity, bool) {
+	if e.Action != event.ActSend || e.Amount < r.MinBytes {
+		return "", 0, false
+	}
+	sockObj := st.Object(e.Object)
+	if sockObj.Type != event.ObjSocket || isPrivate(sockObj.DstIP) {
+		return "", 0, false
+	}
+	sub := st.Object(e.Subject)
+	return fmt.Sprintf("%s sent %d MB to external %s", sub.Exe, e.Amount>>20, sockObj.DstIP), High, true
+}
+
+// ProtectedFileRule flags writes to integrity-protected files — the alert
+// of case A4 (the grade database).
+type ProtectedFileRule struct {
+	Paths []string // substrings of protected paths
+}
+
+// Name implements Rule.
+func (ProtectedFileRule) Name() string { return "protected-file" }
+
+// Check implements Rule.
+func (r ProtectedFileRule) Check(e event.Event, st *store.Store) (string, Severity, bool) {
+	switch e.Action {
+	case event.ActWrite, event.ActDelete, event.ActRename, event.ActChmod:
+	default:
+		return "", 0, false
+	}
+	obj := st.Object(e.Object)
+	if obj.Type != event.ObjFile || !matchAny(obj.Path, r.Paths) {
+		return "", 0, false
+	}
+	sub := st.Object(e.Subject)
+	return fmt.Sprintf("%s modified protected file %s on %s", sub.Exe, obj.Path, obj.Host), High, true
+}
+
+func matchAny(v string, subs []string) bool {
+	lv := strings.ToLower(v)
+	for _, s := range subs {
+		if strings.Contains(lv, strings.ToLower(s)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isPrivate reports whether an IPv4 address is in RFC1918 space or loopback;
+// everything else counts as external for alerting purposes.
+func isPrivate(ip string) bool {
+	return strings.HasPrefix(ip, "10.") ||
+		strings.HasPrefix(ip, "192.168.") ||
+		strings.HasPrefix(ip, "127.") ||
+		isPrivate172(ip)
+}
+
+func isPrivate172(ip string) bool {
+	if !strings.HasPrefix(ip, "172.") {
+		return false
+	}
+	rest := strings.TrimPrefix(ip, "172.")
+	dot := strings.IndexByte(rest, '.')
+	if dot <= 0 {
+		return false
+	}
+	switch rest[:dot] {
+	case "16", "17", "18", "19", "20", "21", "22", "23", "24", "25",
+		"26", "27", "28", "29", "30", "31":
+		return true
+	}
+	return false
+}

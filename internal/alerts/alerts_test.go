@@ -1,0 +1,123 @@
+package alerts
+
+import (
+	"testing"
+
+	"aptrace/internal/event"
+	"aptrace/internal/store"
+	"aptrace/internal/workload"
+)
+
+func TestDetectorFindsInjectedAttackAlerts(t *testing.T) {
+	ds, err := workload.Generate(workload.Config{Seed: 3, Hosts: 5, Days: 3, Density: 0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDetector()
+	alerts, err := d.Scan(ds.Store, 0, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[event.EventID]bool{}
+	for _, a := range alerts {
+		found[a.Event.ID] = true
+	}
+	for _, atk := range ds.Attacks {
+		if !found[atk.AlertID] {
+			t.Errorf("attack %s: injected alert event %d not detected", atk.Name, atk.AlertID)
+		}
+	}
+	// Alerts are in time order.
+	for i := 1; i < len(alerts); i++ {
+		if alerts[i-1].Event.Time > alerts[i].Event.Time {
+			t.Fatal("alerts not time ordered")
+		}
+	}
+}
+
+func buildStore(t *testing.T) *store.Store {
+	t.Helper()
+	s := store.New(nil)
+	sql := event.Process("srv", "sqlservr.exe", 9, 0)
+	cmd := event.Process("srv", "cmd.exe", 10, 100)
+	chrome := event.Process("desk", "chrome.exe", 11, 0)
+	svc := event.Process("desk", "svchost.exe", 12, 0)
+
+	s.AddEvent(100, sql, cmd, event.ActStart, event.FlowOut, 0)
+	s.AddEvent(150, chrome, cmd, event.ActStart, event.FlowOut, 0) // benign parent
+	s.AddEvent(200, chrome, event.Socket("", "10.0.0.1", 1, "8.8.8.8", 443), event.ActSend, event.FlowOut, 50<<20)
+	s.AddEvent(250, chrome, event.Socket("", "10.0.0.1", 2, "10.0.0.9", 443), event.ActSend, event.FlowOut, 50<<20)   // internal
+	s.AddEvent(260, chrome, event.Socket("", "10.0.0.1", 3, "172.20.1.1", 443), event.ActSend, event.FlowOut, 50<<20) // rfc1918
+	s.AddEvent(270, chrome, event.Socket("", "10.0.0.1", 4, "8.8.4.4", 443), event.ActSend, event.FlowOut, 1<<10)     // small
+	s.AddEvent(300, svc, event.File("desk", "/etc/shadow"), event.ActWrite, event.FlowOut, 10)
+	s.AddEvent(310, svc, event.File("desk", "/etc/shadow"), event.ActRead, event.FlowIn, 10) // reads are fine
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRules(t *testing.T) {
+	s := buildStore(t)
+	alerts, err := NewDetector().Scan(s, 0, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRule := map[string][]Alert{}
+	for _, a := range alerts {
+		byRule[a.Rule] = append(byRule[a.Rule], a)
+	}
+	if got := byRule["abnormal-child"]; len(got) != 1 || got[0].Event.Time != 100 {
+		t.Errorf("abnormal-child = %+v", got)
+	}
+	if got := byRule["large-upload"]; len(got) != 1 || got[0].Event.Time != 200 {
+		t.Errorf("large-upload = %+v", got)
+	}
+	if got := byRule["protected-file"]; len(got) != 1 || got[0].Event.Time != 300 {
+		t.Errorf("protected-file = %+v", got)
+	}
+	for _, a := range alerts {
+		if a.Severity != High || a.Message == "" {
+			t.Errorf("alert lacks severity/message: %+v", a)
+		}
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	s := buildStore(t)
+	alerts, err := NewDetector().Scan(s, 150, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 || alerts[0].Rule != "large-upload" {
+		t.Fatalf("ranged scan = %+v", alerts)
+	}
+}
+
+func TestIsPrivate(t *testing.T) {
+	cases := map[string]bool{
+		"10.1.2.3":     true,
+		"192.168.0.1":  true,
+		"127.0.0.1":    true,
+		"172.16.0.1":   true,
+		"172.31.255.1": true,
+		"172.32.0.1":   false,
+		"172.15.0.1":   false,
+		"172.":         false,
+		"8.8.8.8":      false,
+		"203.0.113.66": false,
+		"198.51.100.9": false,
+		"1720.1.1.1":   false,
+	}
+	for ip, want := range cases {
+		if got := isPrivate(ip); got != want {
+			t.Errorf("isPrivate(%q) = %v, want %v", ip, got, want)
+		}
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Low.String() != "low" || Medium.String() != "medium" || High.String() != "high" {
+		t.Fatal("severity names")
+	}
+}

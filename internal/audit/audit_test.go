@@ -1,0 +1,211 @@
+package audit
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"aptrace/internal/event"
+	"aptrace/internal/store"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{
+			Time: 1_555_395_314, Action: event.ActWrite, Dir: event.FlowOut, Amount: 512,
+			Subject: event.Process("desktop1", "excel.exe", 412, 1_555_000_000),
+			Object:  event.File("desktop1", `C:\Users\u\Documents\java.exe`),
+		},
+		{
+			Time: 1_555_395_320, Action: event.ActStart, Dir: event.FlowOut,
+			Subject: event.Process("desktop1", "excel.exe", 412, 1_555_000_000),
+			Object:  event.Process("desktop1", "java.exe", 500, 1_555_395_320),
+		},
+		{
+			Time: 1_555_395_400, Action: event.ActSend, Dir: event.FlowOut, Amount: 40 << 20,
+			Subject: event.Process("desktop1", "java.exe", 500, 1_555_395_320),
+			Object:  event.Socket("", "10.1.0.7", 49900, "203.0.113.66", 443),
+		},
+		{
+			Time: 1_555_395_200, Action: event.ActRead, Dir: event.FlowIn, Amount: 4096,
+			Subject: event.Process("web1", "bash", 901, 1_555_390_000),
+			Object:  event.File("web1", "/etc/passwd with spaces"),
+		},
+	}
+}
+
+func TestRoundTripBothFormats(t *testing.T) {
+	for _, f := range []Format{FormatETW, FormatAuditd} {
+		for i, r := range sampleRecords() {
+			var buf bytes.Buffer
+			if err := Encode(&buf, r, f); err != nil {
+				t.Fatalf("format %d record %d: %v", f, i, err)
+			}
+			got, err := ParseLine(buf.String())
+			if err != nil {
+				t.Fatalf("format %d record %d parse: %v\n%s", f, i, err, buf.String())
+			}
+			if got != r {
+				t.Fatalf("format %d record %d round trip:\n got %+v\nwant %+v", f, i, got, r)
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := sampleRecords()[0]
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	cases := []func(*Record){
+		func(r *Record) { r.Time = 0 },
+		func(r *Record) { r.Subject = event.File("h", "/x") },
+		func(r *Record) { r.Subject.Exe = "" },
+		func(r *Record) { r.Action = event.ActUnknown },
+		func(r *Record) { r.Object = event.File("h", "") },
+		func(r *Record) { r.Object = event.Process("h", "", 0, 0) },
+		func(r *Record) { r.Object = event.Socket("h", "1.2.3.4", 1, "", 2) },
+	}
+	for i, mutate := range cases {
+		r := good
+		mutate(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("mutation %d must be rejected", i)
+		}
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage line",
+		"<Event notxml",
+		`<Event Time="bogus" Action="read" Dir="in" ObjType="file" Path="/x"/>`,
+		`<Event Time="2019-04-16T06:15:14Z" Action="frob" Dir="in" ObjType="file" Path="/x"/>`,
+		`<Event Time="2019-04-16T06:15:14Z" Action="read" Dir="sideways" ObjType="file" Path="/x"/>`,
+		`<Event Time="2019-04-16T06:15:14Z" Action="read" Dir="in" ObjType="widget"/>`,
+		`type=APTRACE action=read dir=in obj=file path="/x"`, // missing msg
+		`type=APTRACE msg=audit(notanumber:0): action=read dir=in obj=file path="/x"`,
+		`type=APTRACE msg=audit(5.000:0): action=read dir=in obj=file path="/x" pid=xyz`,
+		`type=APTRACE msg=audit(5.000:0): action=read dir=in obj=blob`,
+		`type=APTRACE msg=audit(5.000:0): action=read dir=in obj=file path="unterminated`,
+	}
+	for _, line := range bad {
+		if _, err := ParseLine(line); err == nil {
+			t.Errorf("ParseLine(%q) must fail", line)
+		}
+	}
+}
+
+func TestIngestMixedFormats(t *testing.T) {
+	var buf bytes.Buffer
+	recs := sampleRecords()
+	for i, r := range recs {
+		f := FormatETW
+		if i%2 == 1 {
+			f = FormatAuditd
+		}
+		if err := Encode(&buf, r, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf.WriteString("\n??? this line is garbage ???\n")
+	buf.WriteString(`type=APTRACE msg=audit(0.000:0): action=read dir=in obj=file path="/x" exe="a" host="h"` + "\n") // Time=0: fails validation
+
+	st := store.New(nil)
+	stats, err := Ingest(st, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ingested != len(recs) {
+		t.Fatalf("ingested %d, want %d (stats %+v)", stats.Ingested, len(recs), stats)
+	}
+	if stats.Rejected != 2 {
+		t.Fatalf("rejected %d, want 2", stats.Rejected)
+	}
+	if err := st.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if st.NumEvents() != len(recs) {
+		t.Fatalf("store has %d events", st.NumEvents())
+	}
+	// Events are queryable: the java.exe write target exists.
+	if _, ok := st.Lookup(event.File("desktop1", `C:\Users\u\Documents\java.exe`)); !ok {
+		t.Fatal("ingested object missing")
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src := store.New(nil)
+	for _, r := range sampleRecords() {
+		if _, err := src.AddEvent(r.Time, r.Subject, r.Object, r.Action, r.Dir, r.Amount); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []Format{FormatETW, FormatAuditd} {
+		var buf bytes.Buffer
+		n, err := Export(src, &buf, f)
+		if err != nil || n != src.NumEvents() {
+			t.Fatalf("export: n=%d err=%v", n, err)
+		}
+		dst := store.New(nil)
+		stats, err := Ingest(dst, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Ingested != n || stats.Rejected != 0 {
+			t.Fatalf("reimport stats %+v", stats)
+		}
+		dst.Seal()
+		// Same objects, same event count.
+		if dst.NumObjects() != src.NumObjects() || dst.NumEvents() != src.NumEvents() {
+			t.Fatalf("round trip mismatch: %d/%d vs %d/%d",
+				dst.NumEvents(), dst.NumObjects(), src.NumEvents(), src.NumObjects())
+		}
+	}
+}
+
+func TestExportEmptyStore(t *testing.T) {
+	st := store.New(nil)
+	st.Seal()
+	var buf bytes.Buffer
+	n, err := Export(st, &buf, FormatETW)
+	if err != nil || n != 0 || buf.Len() != 0 {
+		t.Fatalf("empty export: n=%d err=%v len=%d", n, err, buf.Len())
+	}
+}
+
+// Fuzz-ish: random mutations of valid lines must never panic the parsers.
+func TestParserRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var lines []string
+	for _, r := range sampleRecords() {
+		for _, f := range []Format{FormatETW, FormatAuditd} {
+			var buf bytes.Buffer
+			Encode(&buf, r, f)
+			lines = append(lines, strings.TrimSpace(buf.String()))
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		line := []byte(lines[rng.Intn(len(lines))])
+		for m := 0; m < 1+rng.Intn(4); m++ {
+			switch rng.Intn(3) {
+			case 0: // flip a byte
+				line[rng.Intn(len(line))] = byte(rng.Intn(256))
+			case 1: // truncate
+				line = line[:rng.Intn(len(line))+1]
+			case 2: // duplicate a chunk
+				p := rng.Intn(len(line))
+				line = append(line[:p:p], line[p/2:]...)
+			}
+			if len(line) == 0 {
+				line = []byte("x")
+			}
+		}
+		ParseLine(string(line)) // must not panic
+	}
+}

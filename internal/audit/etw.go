@@ -1,0 +1,114 @@
+package audit
+
+import (
+	"encoding/xml"
+	"fmt"
+	"time"
+
+	"aptrace/internal/event"
+)
+
+// ETW-style format: one self-closing XML element per line, attribute names
+// modeled on the rendered form of ETW kernel provider events.
+//
+//	<Event Time="2019-04-16T06:15:14Z" Action="write" Dir="out" Amount="512"
+//	       SubjectHost="desktop1" SubjectExe="excel.exe" SubjectPid="412" SubjectStart="1555000000"
+//	       ObjType="file" ObjHost="desktop1" Path="C:\x\y.doc"/>
+
+type etwEvent struct {
+	XMLName      xml.Name `xml:"Event"`
+	Time         string   `xml:"Time,attr"`
+	Action       string   `xml:"Action,attr"`
+	Dir          string   `xml:"Dir,attr"`
+	Amount       int64    `xml:"Amount,attr"`
+	SubjectHost  string   `xml:"SubjectHost,attr"`
+	SubjectExe   string   `xml:"SubjectExe,attr"`
+	SubjectPid   int32    `xml:"SubjectPid,attr"`
+	SubjectStart int64    `xml:"SubjectStart,attr"`
+	ObjType      string   `xml:"ObjType,attr"`
+	ObjHost      string   `xml:"ObjHost,attr"`
+	// Process object.
+	Exe   string `xml:"Exe,attr,omitempty"`
+	Pid   int32  `xml:"Pid,attr,omitempty"`
+	Start int64  `xml:"Start,attr,omitempty"`
+	// File object.
+	Path string `xml:"Path,attr,omitempty"`
+	// Socket object.
+	SrcIP   string `xml:"SrcIP,attr,omitempty"`
+	SrcPort uint16 `xml:"SrcPort,attr,omitempty"`
+	DstIP   string `xml:"DstIP,attr,omitempty"`
+	DstPort uint16 `xml:"DstPort,attr,omitempty"`
+}
+
+func encodeETW(r Record) (string, error) {
+	ev := etwEvent{
+		Time:         time.Unix(r.Time, 0).UTC().Format(time.RFC3339),
+		Action:       r.Action.String(),
+		Dir:          r.Dir.String(),
+		Amount:       r.Amount,
+		SubjectHost:  r.Subject.Host,
+		SubjectExe:   r.Subject.Exe,
+		SubjectPid:   r.Subject.PID,
+		SubjectStart: r.Subject.Start,
+		ObjType:      r.Object.Type.String(),
+		ObjHost:      r.Object.Host,
+	}
+	switch r.Object.Type {
+	case event.ObjProcess:
+		ev.Exe, ev.Pid, ev.Start = r.Object.Exe, r.Object.PID, r.Object.Start
+	case event.ObjFile:
+		ev.Path = r.Object.Path
+	case event.ObjSocket:
+		ev.SrcIP, ev.SrcPort = r.Object.SrcIP, r.Object.SrcPort
+		ev.DstIP, ev.DstPort = r.Object.DstIP, r.Object.DstPort
+	default:
+		return "", fmt.Errorf("audit: etw: invalid object type %d", r.Object.Type)
+	}
+	raw, err := xml.Marshal(ev)
+	if err != nil {
+		return "", fmt.Errorf("audit: etw encode: %w", err)
+	}
+	return string(raw), nil
+}
+
+func parseETW(line string) (Record, error) {
+	var ev etwEvent
+	if err := xml.Unmarshal([]byte(line), &ev); err != nil {
+		return Record{}, fmt.Errorf("audit: etw parse: %w", err)
+	}
+	t, err := time.Parse(time.RFC3339, ev.Time)
+	if err != nil {
+		return Record{}, fmt.Errorf("audit: etw time: %w", err)
+	}
+	act, ok := event.ParseAction(ev.Action)
+	if !ok {
+		return Record{}, fmt.Errorf("audit: etw: unknown action %q", ev.Action)
+	}
+	var dir event.Direction
+	switch ev.Dir {
+	case "out":
+		dir = event.FlowOut
+	case "in":
+		dir = event.FlowIn
+	default:
+		return Record{}, fmt.Errorf("audit: etw: bad direction %q", ev.Dir)
+	}
+	r := Record{
+		Time:    t.Unix(),
+		Action:  act,
+		Dir:     dir,
+		Amount:  ev.Amount,
+		Subject: event.Process(ev.SubjectHost, ev.SubjectExe, ev.SubjectPid, ev.SubjectStart),
+	}
+	switch ev.ObjType {
+	case "proc":
+		r.Object = event.Process(ev.ObjHost, ev.Exe, ev.Pid, ev.Start)
+	case "file":
+		r.Object = event.File(ev.ObjHost, ev.Path)
+	case "ip":
+		r.Object = event.Socket(ev.ObjHost, ev.SrcIP, ev.SrcPort, ev.DstIP, ev.DstPort)
+	default:
+		return Record{}, fmt.Errorf("audit: etw: unknown object type %q", ev.ObjType)
+	}
+	return r, nil
+}

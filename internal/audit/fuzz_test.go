@@ -1,0 +1,50 @@
+package audit
+
+import "testing"
+
+// FuzzParseLine fuzzes both wire-format parsers through the auto-detecting
+// entry point. Records that parse must survive an encode/parse round trip.
+func FuzzParseLine(f *testing.F) {
+	for _, r := range sampleRecords() {
+		for _, format := range []Format{FormatETW, FormatAuditd} {
+			line, err := func() (string, error) {
+				if format == FormatETW {
+					return encodeETW(r)
+				}
+				return encodeAuditd(r)
+			}()
+			if err == nil {
+				f.Add(line)
+			}
+		}
+	}
+	f.Add("type=APTRACE msg=audit(1.000:0): action=read dir=in")
+	f.Add("<Event/>")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseLine(line)
+		if err != nil {
+			return
+		}
+		if rec.Validate() != nil {
+			return
+		}
+		for _, format := range []Format{FormatETW, FormatAuditd} {
+			enc, err := func() (string, error) {
+				if format == FormatETW {
+					return encodeETW(rec)
+				}
+				return encodeAuditd(rec)
+			}()
+			if err != nil {
+				t.Fatalf("valid record failed to encode (format %d): %v", format, err)
+			}
+			again, err := ParseLine(enc)
+			if err != nil {
+				t.Fatalf("re-encoded record failed to parse: %v\n%s", err, enc)
+			}
+			if again != rec {
+				t.Fatalf("round trip changed record:\n%+v\n%+v", rec, again)
+			}
+		}
+	})
+}

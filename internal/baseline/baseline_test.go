@@ -1,0 +1,179 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"aptrace/internal/event"
+	"aptrace/internal/graph"
+	"aptrace/internal/refiner"
+	"aptrace/internal/simclock"
+	"aptrace/internal/store"
+)
+
+// buildChain creates a store with a simple backward chain and a noisy hub:
+//
+//	t=5000: mal sends to evil sock      <- alert
+//	t=4000: drop starts mal
+//	t=3000: drop reads payload
+//	t=2000: web writes payload
+//	noise: 500 writes to /var/log/big by loggers before t=1500,
+//	       big read by mal at t=4500.
+func buildChain(t testing.TB, clk simclock.Clock) (*store.Store, event.Event) {
+	t.Helper()
+	s := store.New(clk)
+	mal := event.Process("h", "mal", 1, 3900)
+	drop := event.Process("h", "drop", 2, 1900)
+	web := event.Process("h", "web", 3, 100)
+	payload := event.File("h", "/tmp/p")
+	big := event.File("h", "/var/log/big")
+	sockE := event.Socket("", "10.0.0.1", 1, "6.6.6.6", 443)
+
+	add := func(tm int64, sub, obj event.Object, a event.Action, d event.Direction) event.EventID {
+		id, err := s.AddEvent(tm, sub, obj, a, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	add(2000, web, payload, event.ActWrite, event.FlowOut)
+	add(3000, drop, payload, event.ActRead, event.FlowIn)
+	add(4000, drop, mal, event.ActStart, event.FlowOut)
+	add(4500, mal, big, event.ActRead, event.FlowIn)
+	alertID := add(5000, mal, sockE, event.ActSend, event.FlowOut)
+	for i := 0; i < 500; i++ {
+		logger := event.Process("h", "logger", int32(10+i%5), 50)
+		add(int64(100+i*2), logger, big, event.ActWrite, event.FlowOut)
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	alert, _ := s.EventByID(alertID)
+	return s, alert
+}
+
+func TestRunCompletes(t *testing.T) {
+	s, alert := buildChain(t, nil)
+	res, err := Run(s, alert, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("uncapped run must complete")
+	}
+	// 5 chain events + 500 log writes + alert: everything backward
+	// reachable. web/full closure: all 505 + alert edge.
+	if res.Graph.NumEdges() < 500 {
+		t.Fatalf("graph too small: %d", res.Graph.NumEdges())
+	}
+	if res.Queries == 0 || res.Updates == 0 {
+		t.Fatalf("counters: %+v", res)
+	}
+	// One query per explored node.
+	if res.Queries > res.Graph.NumNodes() {
+		t.Fatalf("queries %d > nodes %d", res.Queries, res.Graph.NumNodes())
+	}
+}
+
+func TestTimeBudgetStopsRun(t *testing.T) {
+	clk := simclock.NewSimulated(time.Time{})
+	s, alert := buildChain(t, clk)
+	res, err := Run(s, alert, Options{TimeBudget: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("tiny budget must not complete")
+	}
+	if res.Elapsed < time.Millisecond {
+		t.Fatalf("elapsed %v below budget", res.Elapsed)
+	}
+}
+
+func TestUpdatesBurstAfterMonolithicQuery(t *testing.T) {
+	clk := simclock.NewSimulated(time.Time{})
+	s, alert := buildChain(t, clk)
+	var times []time.Time
+	if _, err := Run(s, alert, Options{
+		OnUpdate: func(u graph.Update) { times = append(times, u.At) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The defining baseline behaviour: most gaps are zero (whole batches
+	// share the post-query timestamp), with a few large blocking gaps.
+	zero, nonzero := 0, 0
+	var max time.Duration
+	for i := 1; i < len(times); i++ {
+		d := times[i].Sub(times[i-1])
+		if d == 0 {
+			zero++
+		} else {
+			nonzero++
+			if d > max {
+				max = d
+			}
+		}
+	}
+	if zero == 0 || nonzero == 0 {
+		t.Fatalf("expected bursty pattern, got zero=%d nonzero=%d", zero, nonzero)
+	}
+	// The big hub scan (500 postings) must show up as a long gap.
+	if max < 100*time.Millisecond {
+		t.Fatalf("expected a blocking gap, max %v", max)
+	}
+}
+
+func TestPlanFiltersApply(t *testing.T) {
+	s, alert := buildChain(t, nil)
+	plan, err := refiner.ParseAndCompile(`
+backward ip a[dst_ip = "6.6.6.6"] -> *
+where file.path != "/var/log/*" and hop <= 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(s, alert, Options{Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigID, _ := s.Lookup(event.File("h", "/var/log/big"))
+	if _, ok := res.Graph.Node(bigID); ok {
+		t.Error("filtered hub still in graph")
+	}
+	if res.Graph.MaxHop() > 3 {
+		t.Errorf("hop budget violated: %d", res.Graph.MaxHop())
+	}
+	// The chain within 3 hops survives.
+	dropID, _ := s.Lookup(event.Process("h", "drop", 2, 1900))
+	if _, ok := res.Graph.Node(dropID); !ok {
+		t.Error("chain node missing")
+	}
+}
+
+func TestHostConstraint(t *testing.T) {
+	s, alert := buildChain(t, nil)
+	plan, err := refiner.ParseAndCompile(`
+in "otherhost"
+backward ip a[dst_ip = "6.6.6.6"] -> *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(s, alert, Options{Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing on host "h" may be explored beyond the seeded alert.
+	if res.Graph.NumEdges() != 1 {
+		t.Fatalf("host constraint ignored: %d edges", res.Graph.NumEdges())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Run(store.New(nil), event.Event{}, Options{}); err == nil {
+		t.Error("unsealed store must fail")
+	}
+	empty := store.New(nil)
+	empty.Seal()
+	if _, err := Run(empty, event.Event{}, Options{}); err == nil {
+		t.Error("empty store must fail")
+	}
+}

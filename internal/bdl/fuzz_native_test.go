@@ -1,0 +1,32 @@
+package bdl
+
+import "testing"
+
+// FuzzParse is the native fuzzing entry point for the BDL front end:
+// go test -fuzz=FuzzParse ./internal/bdl
+// The seed corpus runs on every plain `go test`.
+func FuzzParse(f *testing.F) {
+	f.Add(program1)
+	f.Add(`backward file f[path = "/x"] -> *`)
+	f.Add(`forward ip a[dst_ip = "1.2.3.4"] -> proc p[(a = "1" or b = "2") and c = "3"] -> *
+where time <= 10mins and hop <= 25 and proc.dst.isReadonly = false
+prioritize [type = file] <- [type = network and amount >= size]
+output = "./r.dot"`)
+	f.Add("backward * -> *")
+	f.Add(`from "bad" to "worse" backward`)
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil || s == nil {
+			return
+		}
+		// Anything that parses must format and reparse to a fixpoint.
+		canon := Format(s)
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\nsrc: %q\ncanon: %q", err, src, canon)
+		}
+		if again := Format(s2); again != canon {
+			t.Fatalf("format not fixpoint:\n%q\n%q", canon, again)
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package bdl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseRandomTokenSoup throws random token sequences at the parser:
+// it must return an error or a script, never panic or hang.
+func TestParseRandomTokenSoup(t *testing.T) {
+	words := []string{
+		"backward", "forward", "from", "to", "in", "where", "output",
+		"prioritize", "and", "or", "true", "false",
+		"proc", "file", "ip", "f", "p", "exename", "path", "dst_ip",
+		"->", "<-", "[", "]", "(", ")", "*", ",", ".", "=", "!=", "<", "<=",
+		`"x"`, `"04/02/2019"`, `"*.dll"`, "12", "10mins", "2h",
+	}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(25)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		Parse(sb.String()) // must not panic
+	}
+}
+
+// TestParseRandomBytes: arbitrary bytes never panic the lexer/parser.
+func TestParseRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < 3000; i++ {
+		buf := make([]byte, rng.Intn(120))
+		rng.Read(buf)
+		Parse(string(buf))
+	}
+}
+
+// genScript produces a random valid script from the grammar.
+func genScript(rng *rand.Rand) string {
+	var sb strings.Builder
+	types := []string{"proc", "file", "ip"}
+	fieldsFor := map[string][]string{
+		"proc": {"exename", "pid", "host", "subject_name", "action_type", "event_id"},
+		"file": {"path", "filename", "host", "subject_name", "action_type"},
+		"ip":   {"dst_ip", "src_ip", "dst_port", "host", "subject_name"},
+	}
+	numeric := map[string]bool{"pid": true, "dst_port": true, "event_id": true}
+	ops := []string{"=", "!="}
+
+	cond := func(typ string) string {
+		f := fieldsFor[typ][rng.Intn(len(fieldsFor[typ]))]
+		if numeric[f] {
+			return f + " " + []string{"<", "<=", ">", ">=", "=", "!="}[rng.Intn(6)] +
+				" " + []string{"1", "42", "8080"}[rng.Intn(3)]
+		}
+		return f + " " + ops[rng.Intn(2)] + " " + `"v` + string(rune('a'+rng.Intn(26))) + `"`
+	}
+	condList := func(typ string) string {
+		n := 1 + rng.Intn(3)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = cond(typ)
+		}
+		return strings.Join(parts, []string{" and ", " or "}[rng.Intn(2)])
+	}
+
+	if rng.Intn(2) == 0 {
+		sb.WriteString(`from "03/01/2019" to "04/01/2019"` + "\n")
+	}
+	if rng.Intn(2) == 0 {
+		sb.WriteString(`in "h1", "h2"` + "\n")
+	}
+	if rng.Intn(4) == 0 {
+		sb.WriteString("forward ")
+	} else {
+		sb.WriteString("backward ")
+	}
+	nNodes := 1 + rng.Intn(3)
+	for i := 0; i < nNodes; i++ {
+		typ := types[rng.Intn(3)]
+		if i > 0 {
+			sb.WriteString(" -> ")
+		}
+		sb.WriteString(typ + " n" + string(rune('a'+i)) + "[" + condList(typ) + "]")
+	}
+	sb.WriteString(" -> *\n")
+	if rng.Intn(2) == 0 {
+		parts := []string{}
+		if rng.Intn(2) == 0 {
+			parts = append(parts, "time <= "+[]string{"5mins", "2h", "30s"}[rng.Intn(3)])
+		}
+		if rng.Intn(2) == 0 {
+			parts = append(parts, "hop <= "+[]string{"5", "25"}[rng.Intn(2)])
+		}
+		parts = append(parts, "proc."+cond("proc"))
+		sb.WriteString("where " + strings.Join(parts, " and ") + "\n")
+	}
+	if rng.Intn(2) == 0 {
+		sb.WriteString(`output = "./r.dot"` + "\n")
+	}
+	return sb.String()
+}
+
+// TestRandomScriptsFormatFixpoint: every random grammar-valid script parses,
+// and Format is a fixpoint after one round trip.
+func TestRandomScriptsFormatFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 1000; i++ {
+		src := genScript(rng)
+		s1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generated script rejected: %v\n%s", err, src)
+		}
+		canon := Format(s1)
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, canon)
+		}
+		if again := Format(s2); again != canon {
+			t.Fatalf("not a fixpoint:\n%s\nvs\n%s", canon, again)
+		}
+		if !SameStart(s1, s2) || !SameIntermediates(s1, s2) {
+			t.Fatalf("round trip changed identity:\n%s", src)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package bdl
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// lexer turns BDL source into tokens. It is written as a plain scanner over
+// the input string; positions are tracked per rune so errors point at the
+// exact offending column.
+type lexer struct {
+	src  string
+	off  int // byte offset of next rune
+	line int
+	col  int // column of next rune, 1-based
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+// peek returns the next rune without consuming it, or -1 at EOF.
+func (l *lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *lexer) next() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, sz := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += sz
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for {
+		r := l.peek()
+		switch {
+		case r == -1:
+			return nil
+		case unicode.IsSpace(r):
+			l.next()
+		case r == '/' && strings.HasPrefix(l.src[l.off:], "//"):
+			for l.peek() != '\n' && l.peek() != -1 {
+				l.next()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// durationUnits are the accepted suffixes for DURATION literals, in the
+// loose spelling analysts use ("10mins", "2h", "30secs").
+var durationUnits = map[string]bool{
+	"s": true, "sec": true, "secs": true, "second": true, "seconds": true,
+	"m": true, "min": true, "mins": true, "minute": true, "minutes": true,
+	"h": true, "hr": true, "hrs": true, "hour": true, "hours": true,
+	"d": true, "day": true, "days": true,
+}
+
+// scan returns the next token.
+func (l *lexer) scan() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	r := l.peek()
+	switch {
+	case r == -1:
+		return Token{Kind: EOF, Pos: pos}, nil
+
+	case r == '"':
+		l.next()
+		var sb strings.Builder
+		for {
+			c := l.next()
+			switch c {
+			case -1, '\n':
+				return Token{}, errf(pos, "unterminated string literal")
+			case '\\':
+				esc := l.next()
+				switch esc {
+				case '"', '\\':
+					sb.WriteRune(esc)
+				case -1:
+					return Token{}, errf(pos, "unterminated string literal")
+				default:
+					// Keep unknown escapes verbatim: Windows paths like
+					// "C:\Users" are common in scripts.
+					sb.WriteRune('\\')
+					sb.WriteRune(esc)
+				}
+			case '"':
+				return Token{Kind: STRING, Pos: pos, Text: sb.String()}, nil
+			default:
+				sb.WriteRune(c)
+			}
+		}
+
+	case unicode.IsDigit(r):
+		start := l.off
+		for unicode.IsDigit(l.peek()) {
+			l.next()
+		}
+		num := l.src[start:l.off]
+		// A letter suffix makes it a duration: 10mins, 2h.
+		if isIdentStart(l.peek()) {
+			unitStart := l.off
+			for isIdentRune(l.peek()) {
+				l.next()
+			}
+			unit := l.src[unitStart:l.off]
+			if !durationUnits[strings.ToLower(unit)] {
+				return Token{}, errf(pos, "unknown duration unit %q (want s/m/h/d or a spelled-out form)", unit)
+			}
+			return Token{Kind: DURATION, Pos: pos, Text: num + strings.ToLower(unit)}, nil
+		}
+		return Token{Kind: NUMBER, Pos: pos, Text: num}, nil
+
+	case isIdentStart(r):
+		start := l.off
+		for isIdentRune(l.peek()) {
+			l.next()
+		}
+		word := l.src[start:l.off]
+		if k, ok := keywords[strings.ToLower(word)]; ok {
+			return Token{Kind: k, Pos: pos, Text: word}, nil
+		}
+		return Token{Kind: IDENT, Pos: pos, Text: word}, nil
+	}
+
+	l.next()
+	switch r {
+	case '[':
+		return Token{Kind: LBRACKET, Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBRACKET, Pos: pos}, nil
+	case '(':
+		return Token{Kind: LPAREN, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RPAREN, Pos: pos}, nil
+	case ',':
+		return Token{Kind: COMMA, Pos: pos}, nil
+	case '.':
+		return Token{Kind: DOT, Pos: pos}, nil
+	case '*':
+		return Token{Kind: STAR, Pos: pos}, nil
+	case '-':
+		if l.peek() == '>' {
+			l.next()
+			return Token{Kind: ARROW, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected '-' (did you mean '->'?)")
+	case '<':
+		switch l.peek() {
+		case '=':
+			l.next()
+			return Token{Kind: LE, Pos: pos}, nil
+		case '-':
+			l.next()
+			return Token{Kind: BACKARR, Pos: pos}, nil
+		}
+		return Token{Kind: LT, Pos: pos}, nil
+	case '>':
+		if l.peek() == '=' {
+			l.next()
+			return Token{Kind: GE, Pos: pos}, nil
+		}
+		return Token{Kind: GT, Pos: pos}, nil
+	case '=':
+		if l.peek() == '=' { // tolerate C-style ==
+			l.next()
+		}
+		return Token{Kind: EQ, Pos: pos}, nil
+	case '!':
+		if l.peek() == '=' {
+			l.next()
+			return Token{Kind: NE, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected '!' (did you mean '!='?)")
+	}
+	return Token{}, errf(pos, "unexpected character %q", r)
+}
+
+// Lex tokenizes an entire script, primarily for tests and tooling; the
+// parser pulls tokens one at a time.
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		tok, err := l.scan()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == EOF {
+			return out, nil
+		}
+	}
+}

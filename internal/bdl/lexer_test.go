@@ -1,0 +1,133 @@
+package bdl
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`backward file f[path = "C://x" and hop <= 25] -> * output = "./r.dot"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{
+		BACKWARD, IDENT, IDENT, LBRACKET, IDENT, EQ, STRING, AND,
+		IDENT, LE, NUMBER, RBRACKET, ARROW, STAR, OUTPUT, EQ, STRING, EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex(`< <= > >= = != -> <- == . , [ ] *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{LT, LE, GT, GE, EQ, NE, ARROW, BACKARR, EQ, DOT, COMMA, LBRACKET, RBRACKET, STAR, EOF}
+	for i, k := range kinds(toks) {
+		if k != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, k, want[i])
+		}
+	}
+}
+
+func TestLexDurations(t *testing.T) {
+	for _, src := range []string{"10mins", "10m", "2h", "30secs", "1d", "5minutes"} {
+		toks, err := Lex(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if toks[0].Kind != DURATION {
+			t.Fatalf("%q lexed as %v", src, toks[0].Kind)
+		}
+	}
+	if _, err := Lex("10parsecs"); err == nil {
+		t.Fatal("unknown duration unit must fail")
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Lex(`"simple" "with \"escape\"" "back\\slash" "C:\Users\x"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{`simple`, `with "escape"`, `back\slash`, `C:\Users\x`}
+	for i, w := range want {
+		if toks[i].Kind != STRING || toks[i].Text != w {
+			t.Fatalf("string %d = %v %q, want %q", i, toks[i].Kind, toks[i].Text, w)
+		}
+	}
+	if _, err := Lex(`"unterminated`); err == nil {
+		t.Fatal("unterminated string must fail")
+	}
+	if _, err := Lex("\"newline\nin string\""); err == nil {
+		t.Fatal("newline in string must fail")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("backward // a comment -> [ ] \"x\n* // trailing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{BACKWARD, STAR, EOF}
+	for i, k := range kinds(toks) {
+		if k != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, k, want[i])
+		}
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Lex("BACKWARD Where AND")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{BACKWARD, WHERE, AND, EOF}
+	for i, k := range kinds(toks) {
+		if k != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, k, want[i])
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("backward\n  file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("backward at %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("file at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"!", "-", "@", "#"} {
+		_, err := Lex(src)
+		if err == nil {
+			t.Errorf("Lex(%q) must fail", src)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), "bdl:1:1") {
+			t.Errorf("Lex(%q) error lacks position: %v", src, err)
+		}
+	}
+}

@@ -1,0 +1,406 @@
+package bdl
+
+import (
+	"strconv"
+)
+
+// Parse parses a complete BDL script.
+//
+// Clause order follows the paper: optional general constraints ("from"/"to",
+// "in"), a required tracking statement ("backward ..."), then any mix of
+// "where", "prioritize", and "output" clauses, each at most once except
+// "prioritize" which may repeat.
+func Parse(src string) (*Script, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseScript()
+}
+
+type parser struct {
+	lex *lexer
+	tok Token // current token
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.scan()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(k Kind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, errf(p.tok.Pos, "expected %v, found %v", k, p.describe())
+	}
+	tok := p.tok
+	if err := p.advance(); err != nil {
+		return Token{}, err
+	}
+	return tok, nil
+}
+
+func (p *parser) describe() string {
+	switch p.tok.Kind {
+	case IDENT, NUMBER, DURATION:
+		return "'" + p.tok.Text + "'"
+	case STRING:
+		return strconv.Quote(p.tok.Text)
+	default:
+		return p.tok.Kind.String()
+	}
+}
+
+func (p *parser) parseScript() (*Script, error) {
+	s := &Script{}
+
+	// General constraints.
+	if p.tok.Kind == FROM {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		lit, err := p.parseTimeLit()
+		if err != nil {
+			return nil, err
+		}
+		s.From = lit
+		if _, err := p.expect(TO); err != nil {
+			return nil, err
+		}
+		if s.To, err = p.parseTimeLit(); err != nil {
+			return nil, err
+		}
+		if s.To.Unix < s.From.Unix {
+			return nil, errf(s.To.Pos, "'to' time %q is before 'from' time %q", s.To.Raw, s.From.Raw)
+		}
+	}
+	if p.tok.Kind == IN {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			host, err := p.expect(STRING)
+			if err != nil {
+				return nil, err
+			}
+			s.Hosts = append(s.Hosts, host.Text)
+			if p.tok.Kind != COMMA {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Tracking statement.
+	switch p.tok.Kind {
+	case BACKWARD:
+	case FORWARD:
+		s.Forward = true
+	default:
+		return nil, errf(p.tok.Pos, "expected 'backward' or 'forward' tracking statement, found %v", p.describe())
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	for {
+		node, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		s.Track = append(s.Track, node)
+		if p.tok.Kind != ARROW {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if s.Track[0].Wildcard {
+		return nil, errf(s.Track[0].Pos, "the starting point cannot be '*'")
+	}
+	for _, n := range s.Intermediates() {
+		if n.Wildcard {
+			return nil, errf(n.Pos, "intermediate points cannot be '*'")
+		}
+	}
+
+	// Trailing clauses.
+	for {
+		switch p.tok.Kind {
+		case WHERE:
+			if s.Where != nil {
+				return nil, errf(p.tok.Pos, "duplicate 'where' clause")
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			expr, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Where = expr
+
+		case PRIORITIZE:
+			pr, err := p.parsePrioritize()
+			if err != nil {
+				return nil, err
+			}
+			s.Prioritize = append(s.Prioritize, pr)
+
+		case OUTPUT:
+			if s.Output != "" {
+				return nil, errf(p.tok.Pos, "duplicate 'output' clause")
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(EQ); err != nil {
+				return nil, err
+			}
+			path, err := p.expect(STRING)
+			if err != nil {
+				return nil, err
+			}
+			if path.Text == "" {
+				return nil, errf(path.Pos, "output path cannot be empty")
+			}
+			s.Output = path.Text
+
+		case EOF:
+			return s, nil
+
+		default:
+			return nil, errf(p.tok.Pos, "expected 'where', 'prioritize', 'output', or end of script, found %v", p.describe())
+		}
+	}
+}
+
+func (p *parser) parseTimeLit() (*TimeLit, error) {
+	tok, err := p.expect(STRING)
+	if err != nil {
+		return nil, err
+	}
+	unix, err := ParseTime(tok.Text)
+	if err != nil {
+		return nil, errf(tok.Pos, "%v", err)
+	}
+	return &TimeLit{Pos: tok.Pos, Raw: tok.Text, Unix: unix}, nil
+}
+
+// parseNode parses "type var[conditions]", "type [conditions]" (anonymous),
+// or "*".
+func (p *parser) parseNode() (*Node, error) {
+	pos := p.tok.Pos
+	if p.tok.Kind == STAR {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Node{Pos: pos, Wildcard: true}, nil
+	}
+	typ, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	switch typ.Text {
+	case "proc", "file", "ip":
+	default:
+		return nil, errf(typ.Pos, "unknown node type %q (want proc, file, or ip)", typ.Text)
+	}
+	n := &Node{Pos: pos, Type: typ.Text}
+	if p.tok.Kind == IDENT {
+		n.Var = p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(LBRACKET); err != nil {
+		return nil, err
+	}
+	if n.Cond, err = p.parseExpr(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RBRACKET); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (p *parser) parsePrioritize() (*Prioritize, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBRACKET); err != nil {
+		return nil, err
+	}
+	target, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RBRACKET); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(BACKARR); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBRACKET); err != nil {
+		return nil, err
+	}
+	source, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RBRACKET); err != nil {
+		return nil, err
+	}
+	return &Prioritize{Pos: pos, Target: target, Source: source}, nil
+}
+
+// parseExpr parses an or-expression; "and" binds tighter than "or".
+func (p *parser) parseExpr() (Expr, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == OR {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: OpOr, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	x, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == AND {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		y, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: OpAnd, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	// Parenthesized sub-expression: "(a or b) and c".
+	if p.tok.Kind == LPAREN {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return &Paren{X: inner}, nil
+	}
+	field, err := p.parseFieldRef()
+	if err != nil {
+		return nil, err
+	}
+	var op CmpOp
+	switch p.tok.Kind {
+	case LT:
+		op = CmpLT
+	case LE:
+		op = CmpLE
+	case GT:
+		op = CmpGT
+	case GE:
+		op = CmpGE
+	case EQ:
+		op = CmpEQ
+	case NE:
+		op = CmpNE
+	default:
+		return nil, errf(p.tok.Pos, "expected comparison operator after %q, found %v", field, p.describe())
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	val, err := p.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	return &Cmp{Field: field, Op: op, Val: val}, nil
+}
+
+func (p *parser) parseFieldRef() (FieldRef, error) {
+	first, err := p.expect(IDENT)
+	if err != nil {
+		return FieldRef{}, err
+	}
+	ref := FieldRef{Pos: first.Pos, Parts: []string{first.Text}}
+	for p.tok.Kind == DOT {
+		if err := p.advance(); err != nil {
+			return FieldRef{}, err
+		}
+		part, err := p.expect(IDENT)
+		if err != nil {
+			return FieldRef{}, err
+		}
+		ref.Parts = append(ref.Parts, part.Text)
+	}
+	return ref, nil
+}
+
+func (p *parser) parseValue() (Value, error) {
+	tok := p.tok
+	switch tok.Kind {
+	case STRING:
+		if err := p.advance(); err != nil {
+			return Value{}, err
+		}
+		return Value{Pos: tok.Pos, Kind: ValString, Str: tok.Text}, nil
+	case NUMBER:
+		n, err := strconv.ParseInt(tok.Text, 10, 64)
+		if err != nil {
+			return Value{}, errf(tok.Pos, "number %q out of range", tok.Text)
+		}
+		if err := p.advance(); err != nil {
+			return Value{}, err
+		}
+		return Value{Pos: tok.Pos, Kind: ValNumber, Num: n}, nil
+	case DURATION:
+		d, err := parseDurationLit(tok.Text)
+		if err != nil {
+			return Value{}, errf(tok.Pos, "%v", err)
+		}
+		if err := p.advance(); err != nil {
+			return Value{}, err
+		}
+		return Value{Pos: tok.Pos, Kind: ValDuration, Dur: d}, nil
+	case TRUE, FALSE:
+		if err := p.advance(); err != nil {
+			return Value{}, err
+		}
+		return Value{Pos: tok.Pos, Kind: ValBool, Bool: tok.Kind == TRUE}, nil
+	case IDENT:
+		if err := p.advance(); err != nil {
+			return Value{}, err
+		}
+		return Value{Pos: tok.Pos, Kind: ValIdent, Str: tok.Text}, nil
+	default:
+		return Value{}, errf(tok.Pos, "expected a value, found %v", p.describe())
+	}
+}

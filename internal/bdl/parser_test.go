@@ -1,0 +1,269 @@
+package bdl
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// program1 is Program 1 from the paper (typos in the original fixed:
+// "destop2" kept verbatim to prove arbitrary host strings parse).
+const program1 = `
+from "04/02/2019" to "05/01/2019"
+in "desktop1", "destop2"
+backward file f[path = "C://Sensitive/important.doc" and event_time = "04/16/2019:06:15:14" and type = "write" ]
+ -> proc p[exename = "malware1" or exename = "malware2" and event_id = 12] // added in v2
+ -> ip i[dstip = "168.120.11.118"]
+where time < 10mins and hop < 25
+ and proc.exename != "explorer" // added in v3
+output = "./result.dot"
+`
+
+func TestParseProgram1(t *testing.T) {
+	s, err := Parse(program1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.From == nil || s.From.Raw != "04/02/2019" || s.To.Raw != "05/01/2019" {
+		t.Fatalf("general time range: %+v %+v", s.From, s.To)
+	}
+	wantFrom, _ := time.Parse("01/02/2006", "04/02/2019")
+	if s.From.Unix != wantFrom.Unix() {
+		t.Errorf("From.Unix = %d, want %d", s.From.Unix, wantFrom.Unix())
+	}
+	if len(s.Hosts) != 2 || s.Hosts[0] != "desktop1" || s.Hosts[1] != "destop2" {
+		t.Fatalf("hosts = %v", s.Hosts)
+	}
+	if len(s.Track) != 3 {
+		t.Fatalf("track has %d nodes", len(s.Track))
+	}
+	start := s.Start()
+	if start.Type != "file" || start.Var != "f" {
+		t.Fatalf("start = %+v", start)
+	}
+	mid := s.Intermediates()
+	if len(mid) != 1 || mid[0].Type != "proc" || mid[0].Var != "p" {
+		t.Fatalf("intermediates = %+v", mid)
+	}
+	end := s.End()
+	if end.Type != "ip" || end.Wildcard {
+		t.Fatalf("end = %+v", end)
+	}
+	if s.Where == nil {
+		t.Fatal("where clause missing")
+	}
+	if s.Output != "./result.dot" {
+		t.Fatalf("output = %q", s.Output)
+	}
+
+	// "and" must bind tighter than "or" in the proc node condition.
+	b, ok := mid[0].Cond.(*Binary)
+	if !ok || b.Op != OpOr {
+		t.Fatalf("proc condition root = %#v, want or-node", mid[0].Cond)
+	}
+	if _, ok := b.X.(*Cmp); !ok {
+		t.Fatal("or-left must be the single exename cmp")
+	}
+	right, ok := b.Y.(*Binary)
+	if !ok || right.Op != OpAnd {
+		t.Fatalf("or-right = %#v, want and-node", b.Y)
+	}
+}
+
+func TestParseProgram4(t *testing.T) {
+	// Program 4: the basic backtracking script for attack A1.
+	src := `
+from "03/26/2019" to "04/26/2019"
+backward ip alert[dst_ip = "an external IP" and subject_name = "java.exe" and event_time = "04/26/2019:16:31:16" and action_type = "write"] -> *
+output = "./result.dot"
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Track) != 2 || !s.End().Wildcard {
+		t.Fatalf("track = %+v", s.Track)
+	}
+	if s.Start().Type != "ip" || s.Start().Var != "alert" {
+		t.Fatalf("start = %+v", s.Start())
+	}
+}
+
+func TestParseProgram2Prioritize(t *testing.T) {
+	src := `
+backward file f[path = "/x"] -> *
+prioritize [type = file and src.path = "sensitivefile"] <- [type = network and dst.ip = "unkownIP" and amount >= size]
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Prioritize) != 1 {
+		t.Fatalf("prioritize count = %d", len(s.Prioritize))
+	}
+	pr := s.Prioritize[0]
+	// "amount >= size" parses with a bare-identifier value.
+	var sawAmount bool
+	Walk(pr.Source, func(e Expr) bool {
+		if c, ok := e.(*Cmp); ok && c.Field.String() == "amount" {
+			sawAmount = true
+			if c.Op != CmpGE || c.Val.Kind != ValIdent || c.Val.Str != "size" {
+				t.Errorf("amount cmp = %+v", c)
+			}
+		}
+		return true
+	})
+	if !sawAmount {
+		t.Fatal("amount >= size condition not found")
+	}
+}
+
+func TestParseProgram3ComputedAttrs(t *testing.T) {
+	src := `
+backward proc p[exename = "x"] -> *
+where proc.dst.isReadonly = true or proc.dst.isWriteThrough = true
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := s.Where.(*Binary)
+	if !ok || b.Op != OpOr {
+		t.Fatalf("where root = %#v", s.Where)
+	}
+	left := b.X.(*Cmp)
+	if left.Field.String() != "proc.dst.isReadonly" || left.Val.Kind != ValBool || !left.Val.Bool {
+		t.Fatalf("left cmp = %+v", left)
+	}
+}
+
+func TestParseAnonymousNode(t *testing.T) {
+	s, err := Parse(`backward file [path = "/x"] -> *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start().Var != "" || s.Start().Type != "file" {
+		t.Fatalf("start = %+v", s.Start())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{``, "expected 'backward'"},
+		{`from "04/02/2019"`, "expected 'to'"},
+		{`from "bogus" to "04/02/2019" backward file f[path="/x"] -> *`, "unrecognized time"},
+		{`from "05/02/2019" to "04/02/2019" backward file f[path="/x"] -> *`, "before 'from'"},
+		{`backward * -> file f[path="/x"]`, "starting point cannot be '*'"},
+		{`backward file f[path="/x"] -> * -> ip i[dstip="1.2.3.4"]`, "intermediate points cannot be '*'"},
+		{`backward widget w[x="y"] -> *`, "unknown node type"},
+		{`backward file f[path="/x" and] -> *`, "expected identifier"},
+		{`backward file f[path="/x"] -> * where hop < 5 where hop < 6`, "duplicate 'where'"},
+		{`backward file f[path="/x"] -> * output = "a" output = "b"`, "duplicate 'output'"},
+		{`backward file f[path="/x"] -> * output = ""`, "output path cannot be empty"},
+		{`backward file f[path="/x"] -> * bogus`, "expected 'where'"},
+		{`backward file f[path > ] -> *`, "expected a value"},
+		{`backward file f[path "/x"] -> *`, "expected comparison operator"},
+		{`backward file f[path = "/x"`, "expected ']'"},
+		{`backward file f[path = "/x"] -> * where hop < 99999999999999999999`, "out of range"},
+		{`in "h1" backward file f[path="/x"] -> * prioritize [a=1] [b=2]`, "expected '<-'"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q): no error, want %q", tc.src, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q) error = %v, want substring %q", tc.src, err, tc.wantSub)
+		}
+		if !strings.HasPrefix(err.Error(), "bdl:") {
+			t.Errorf("error lacks position prefix: %v", err)
+		}
+	}
+}
+
+func TestParseTimeFormats(t *testing.T) {
+	cases := map[string]string{
+		"04/16/2019:06:15:14": "2019-04-16T06:15:14Z",
+		"04/16/2019 06:15:14": "2019-04-16T06:15:14Z",
+		"2019-04-16T06:15:14": "2019-04-16T06:15:14Z",
+		"2019-04-16 06:15:14": "2019-04-16T06:15:14Z",
+		"04/16/2019":          "2019-04-16T00:00:00Z",
+		"2019-04-16":          "2019-04-16T00:00:00Z",
+	}
+	for in, want := range cases {
+		unix, err := ParseTime(in)
+		if err != nil {
+			t.Errorf("ParseTime(%q): %v", in, err)
+			continue
+		}
+		wantT, _ := time.Parse(time.RFC3339, want)
+		if unix != wantT.Unix() {
+			t.Errorf("ParseTime(%q) = %d, want %d", in, unix, wantT.Unix())
+		}
+	}
+	if _, err := ParseTime("16/04/2019"); err == nil {
+		t.Error("invalid month must fail")
+	}
+}
+
+func TestDurationValues(t *testing.T) {
+	s, err := Parse(`backward file f[path="/x"] -> * where time <= 10mins and hop <= 25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d time.Duration
+	Walk(s.Where, func(e Expr) bool {
+		if c, ok := e.(*Cmp); ok && c.Field.String() == "time" {
+			d = c.Val.Dur
+		}
+		return true
+	})
+	if d != 10*time.Minute {
+		t.Fatalf("time budget = %v", d)
+	}
+}
+
+func TestParseParentheses(t *testing.T) {
+	s, err := Parse(`backward proc p[(a = "1" or b = "2") and c = "3"] -> *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, ok := s.Start().Cond.(*Binary)
+	if !ok || root.Op != OpAnd {
+		t.Fatalf("root = %#v, want and-node (parens must regroup precedence)", s.Start().Cond)
+	}
+	par, ok := root.X.(*Paren)
+	if !ok {
+		t.Fatalf("left of and = %#v, want paren", root.X)
+	}
+	inner, ok := par.X.(*Binary)
+	if !ok || inner.Op != OpOr {
+		t.Fatalf("inside parens = %#v, want or-node", par.X)
+	}
+	// Canonical printing keeps the grouping and round trips.
+	out := FormatExpr(s.Start().Cond)
+	if out != `(a = "1" or b = "2") and c = "3"` {
+		t.Fatalf("FormatExpr = %q", out)
+	}
+	s2, err := Parse(`backward proc p[` + out + `] -> *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualExpr(s.Start().Cond, s2.Start().Cond) {
+		t.Fatal("parenthesized expression must round trip")
+	}
+	// Errors.
+	if _, err := Parse(`backward proc p[(a = "1"] -> *`); err == nil {
+		t.Fatal("unbalanced paren must fail")
+	}
+	// Walk visits through parens.
+	n := 0
+	Walk(s.Start().Cond, func(e Expr) bool { n++; return true })
+	if n != 6 { // and, paren, or, 3 cmps
+		t.Fatalf("walk visited %d nodes, want 6", n)
+	}
+}

@@ -1,0 +1,141 @@
+package bdl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a script back to canonical BDL source. Parsing the result
+// yields a structurally identical script, which makes Format the basis of
+// structural comparison (EqualExpr, EqualNode) used by the Refiner to decide
+// how much of a previous execution can be reused.
+func Format(s *Script) string {
+	var sb strings.Builder
+	if s.From != nil {
+		fmt.Fprintf(&sb, "from %s to %s\n", Quote(s.From.Raw), Quote(s.To.Raw))
+	}
+	if len(s.Hosts) > 0 {
+		sb.WriteString("in ")
+		for i, h := range s.Hosts {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(Quote(h))
+		}
+		sb.WriteByte('\n')
+	}
+	if s.Forward {
+		sb.WriteString("forward ")
+	} else {
+		sb.WriteString("backward ")
+	}
+	for i, n := range s.Track {
+		if i > 0 {
+			sb.WriteString("\n  -> ")
+		}
+		sb.WriteString(formatNode(n))
+	}
+	sb.WriteByte('\n')
+	if s.Where != nil {
+		fmt.Fprintf(&sb, "where %s\n", FormatExpr(s.Where))
+	}
+	for _, pr := range s.Prioritize {
+		fmt.Fprintf(&sb, "prioritize [%s] <- [%s]\n", FormatExpr(pr.Target), FormatExpr(pr.Source))
+	}
+	if s.Output != "" {
+		fmt.Fprintf(&sb, "output = %s\n", Quote(s.Output))
+	}
+	return sb.String()
+}
+
+func formatNode(n *Node) string {
+	if n.Wildcard {
+		return "*"
+	}
+	if n.Var == "" {
+		return fmt.Sprintf("%s [%s]", n.Type, FormatExpr(n.Cond))
+	}
+	return fmt.Sprintf("%s %s[%s]", n.Type, n.Var, FormatExpr(n.Cond))
+}
+
+// FormatExpr renders a condition tree in canonical source form, with
+// parentheses-free precedence preserved by emission order (the grammar has
+// no parentheses; "and" binds tighter than "or", so an "or" nested under an
+// "and" cannot be represented — the parser never produces one).
+func FormatExpr(e Expr) string {
+	switch x := e.(type) {
+	case *Cmp:
+		return fmt.Sprintf("%s %s %s", x.Field, x.Op, x.Val)
+	case *Binary:
+		return fmt.Sprintf("%s %s %s", FormatExpr(x.X), x.Op, FormatExpr(x.Y))
+	case *Paren:
+		return fmt.Sprintf("(%s)", FormatExpr(x.X))
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// EqualExpr reports whether two condition trees are structurally identical
+// (same shape, fields, operators, and values). Variable names inside field
+// references are part of identity; source positions are not.
+func EqualExpr(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case *Cmp:
+		y, ok := b.(*Cmp)
+		if !ok {
+			return false
+		}
+		return x.Field.String() == y.Field.String() &&
+			x.Op == y.Op &&
+			x.Val.Kind == y.Val.Kind &&
+			x.Val.String() == y.Val.String()
+	case *Binary:
+		y, ok := b.(*Binary)
+		return ok && x.Op == y.Op && EqualExpr(x.X, y.X) && EqualExpr(x.Y, y.Y)
+	case *Paren:
+		y, ok := b.(*Paren)
+		return ok && EqualExpr(x.X, y.X)
+	default:
+		return false
+	}
+}
+
+// EqualNode reports whether two tracking nodes are structurally identical.
+// The variable name is ignored: renaming "proc p[...]" to "proc q[...]"
+// does not change which events the node matches.
+func EqualNode(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if a.Wildcard || b.Wildcard {
+		return a.Wildcard == b.Wildcard
+	}
+	return a.Type == b.Type && EqualExpr(a.Cond, b.Cond)
+}
+
+// SameStart reports whether two scripts declare the same starting point in
+// the same tracking direction. This is the Refiner's first compatibility
+// check: a changed starting point (or a flipped direction) abandons the
+// current analysis entirely (paper Section III-B3).
+func SameStart(a, b *Script) bool {
+	return a.Forward == b.Forward && EqualNode(a.Start(), b.Start())
+}
+
+// SameIntermediates reports whether two scripts declare the same sequence of
+// intermediate points and the same end point. When the starting point is
+// unchanged but intermediates differ, the Refiner keeps the explored graph
+// and re-runs state propagation.
+func SameIntermediates(a, b *Script) bool {
+	if len(a.Track) != len(b.Track) {
+		return false
+	}
+	for i := 1; i < len(a.Track); i++ {
+		if !EqualNode(a.Track[i], b.Track[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,172 @@
+package bdl
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFormatRoundTrip: parsing the canonical form must reproduce a script
+// that formats identically (fixed point after one round).
+func TestFormatRoundTrip(t *testing.T) {
+	srcs := []string{
+		program1,
+		`backward proc p[exename = "cmd" and subject_name = "sqlserver.exe"] -> *`,
+		`in "h1" backward file f[path = "/x"] -> proc q[pid >= 100] -> * where hop <= 3`,
+		`backward file f[path = "/x"] -> *
+prioritize [type = file] <- [type = network and amount >= size]
+output = "/tmp/out.dot"`,
+	}
+	for _, src := range srcs {
+		s1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse original: %v\n%s", err, src)
+		}
+		canon := Format(s1)
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("parse canonical form: %v\n%s", err, canon)
+		}
+		if got := Format(s2); got != canon {
+			t.Fatalf("format not a fixed point:\nfirst:\n%s\nsecond:\n%s", canon, got)
+		}
+		if !SameStart(s1, s2) || !SameIntermediates(s1, s2) {
+			t.Fatalf("round trip changed structure:\n%s", canon)
+		}
+	}
+}
+
+func TestEqualExpr(t *testing.T) {
+	parse := func(cond string) Expr {
+		t.Helper()
+		s, err := Parse(`backward file f[` + cond + `] -> *`)
+		if err != nil {
+			t.Fatalf("parse %q: %v", cond, err)
+		}
+		return s.Start().Cond
+	}
+	a := parse(`path = "/x" and pid > 5`)
+	b := parse(`path = "/x" and pid > 5`)
+	if !EqualExpr(a, b) {
+		t.Error("identical conditions must be equal")
+	}
+	for _, other := range []string{
+		`path = "/x" or pid > 5`,  // different connective
+		`path = "/y" and pid > 5`, // different value
+		`path = "/x" and pid < 5`, // different op
+		`path = "/x"`,             // different shape
+		`path != "/x" and pid > 5`,
+	} {
+		if EqualExpr(a, parse(other)) {
+			t.Errorf("conditions must differ: %q", other)
+		}
+	}
+	if !EqualExpr(nil, nil) {
+		t.Error("nil == nil")
+	}
+	if EqualExpr(a, nil) || EqualExpr(nil, a) {
+		t.Error("nil != non-nil")
+	}
+}
+
+func TestEqualNodeIgnoresVarName(t *testing.T) {
+	p := func(src string) *Script {
+		t.Helper()
+		s, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a := p(`backward file f[path = "/x"] -> *`)
+	b := p(`backward file g[path = "/x"] -> *`)
+	if !EqualNode(a.Start(), b.Start()) {
+		t.Error("variable rename must not change node identity")
+	}
+	c := p(`backward proc f[exename = "/x"] -> *`)
+	if EqualNode(a.Start(), c.Start()) {
+		t.Error("different node types must differ")
+	}
+	if !EqualNode(a.End(), b.End()) {
+		t.Error("wildcards must be equal")
+	}
+	if EqualNode(a.Start(), a.End()) {
+		t.Error("wildcard != concrete node")
+	}
+}
+
+func TestSameStartSameIntermediates(t *testing.T) {
+	v1, _ := Parse(`backward ip a[dst_ip = "1.2.3.4"] -> *`)
+	v2, _ := Parse(`backward ip a[dst_ip = "1.2.3.4"] -> *
+where file.path != "*.dll"`)
+	v3, _ := Parse(`backward ip a[dst_ip = "1.2.3.4"] -> ip i[dst_ip = "host2"] -> *`)
+	v4, _ := Parse(`backward ip a[dst_ip = "9.9.9.9"] -> *`)
+
+	if !SameStart(v1, v2) {
+		t.Error("adding a where clause must not change the start")
+	}
+	if !SameIntermediates(v1, v2) {
+		t.Error("adding a where clause must not change intermediates")
+	}
+	if !SameStart(v1, v3) {
+		t.Error("adding an intermediate must keep the same start")
+	}
+	if SameIntermediates(v1, v3) {
+		t.Error("v3 adds an intermediate point")
+	}
+	if SameStart(v1, v4) {
+		t.Error("changed start condition must be detected")
+	}
+}
+
+func TestFormatExprPrecedence(t *testing.T) {
+	s, err := Parse(`backward proc p[a = "1" or b = "2" and c = "3"] -> *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FormatExpr(s.Start().Cond)
+	want := `a = "1" or b = "2" and c = "3"`
+	if got != want {
+		t.Fatalf("FormatExpr = %q, want %q", got, want)
+	}
+}
+
+func TestFormatDurations(t *testing.T) {
+	s, _ := Parse(`backward file f[p="x"] -> * where time <= 90mins`)
+	if !strings.Contains(Format(s), "90mins") {
+		t.Errorf("Format lost duration: %s", Format(s))
+	}
+	s2, _ := Parse(`backward file f[p="x"] -> * where time <= 2h`)
+	if !strings.Contains(Format(s2), "2h") {
+		t.Errorf("Format hours: %s", Format(s2))
+	}
+	s3, _ := Parse(`backward file f[p="x"] -> * where time <= 45s`)
+	if !strings.Contains(Format(s3), "45s") {
+		t.Errorf("Format seconds: %s", Format(s3))
+	}
+	s4, _ := Parse(`backward file f[p="x"] -> * where time <= 3d`)
+	if !strings.Contains(Format(s4), "3d") {
+		t.Errorf("Format days: %s", Format(s4))
+	}
+}
+
+func TestFormatForward(t *testing.T) {
+	s, err := Parse(`forward file f[path = "/x"] -> *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Forward {
+		t.Fatal("Forward not parsed")
+	}
+	out := Format(s)
+	if !strings.Contains(out, "forward file") {
+		t.Fatalf("Format lost direction:\n%s", out)
+	}
+	again, err := Parse(out)
+	if err != nil || !again.Forward {
+		t.Fatalf("round trip: %v forward=%v", err, again.Forward)
+	}
+	back, _ := Parse(`backward file f[path = "/x"] -> *`)
+	if SameStart(s, back) {
+		t.Fatal("direction change must break SameStart")
+	}
+}

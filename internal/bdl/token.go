@@ -1,0 +1,120 @@
+// Package bdl implements the Backtracking Descriptive Language front end:
+// lexer, parser, AST, canonical printer, and structural comparison.
+//
+// BDL (paper Section III-A) is the unified abstraction through which security
+// analysts express backtracking heuristics. A script has three parts:
+//
+//	from "04/02/2019" to "05/01/2019"          // general constraints
+//	in "desktop1", "desktop2"
+//	backward file f[path = "C://S/i.doc" and    // tracking declaration
+//	                event_time = "04/16/2019:06:15:14" and type = "write"]
+//	  -> proc p[exename = "malware1" or exename = "malware2"]
+//	  -> ip i[dstip = "168.120.11.118"]
+//	where time < 10mins and hop < 25            // where statement
+//	  and proc.exename != "explorer"
+//	prioritize [type = file and src.path = "s"] <- [type = network and amount >= size]
+//	output = "./result.dot"                     // output specification
+//
+// This package is purely syntactic; semantic validation and compilation to
+// executable metadata live in internal/refiner.
+package bdl
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind uint8
+
+const (
+	EOF Kind = iota
+	IDENT
+	STRING   // "quoted"
+	NUMBER   // 123
+	DURATION // 10mins, 2h, 30s
+
+	// Punctuation and operators.
+	LBRACKET // [
+	RBRACKET // ]
+	LPAREN   // (
+	RPAREN   // )
+	COMMA    // ,
+	DOT      // .
+	STAR     // *
+	ARROW    // ->
+	BACKARR  // <-
+	LT       // <
+	LE       // <=
+	GT       // >
+	GE       // >=
+	EQ       // =
+	NE       // !=
+
+	// Keywords.
+	FROM
+	TO
+	IN
+	BACKWARD
+	FORWARD
+	WHERE
+	OUTPUT
+	PRIORITIZE
+	AND
+	OR
+	TRUE
+	FALSE
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of script", IDENT: "identifier", STRING: "string",
+	NUMBER: "number", DURATION: "duration",
+	LBRACKET: "'['", RBRACKET: "']'", LPAREN: "'('", RPAREN: "')'",
+	COMMA: "','", DOT: "'.'", STAR: "'*'",
+	ARROW: "'->'", BACKARR: "'<-'",
+	LT: "'<'", LE: "'<='", GT: "'>'", GE: "'>='", EQ: "'='", NE: "'!='",
+	FROM: "'from'", TO: "'to'", IN: "'in'", BACKWARD: "'backward'",
+	FORWARD: "'forward'", WHERE: "'where'", OUTPUT: "'output'",
+	PRIORITIZE: "'prioritize'",
+	AND:        "'and'", OR: "'or'", TRUE: "'true'", FALSE: "'false'",
+}
+
+// String returns a human-readable name for the kind, used in error messages.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"from": FROM, "to": TO, "in": IN, "backward": BACKWARD,
+	"forward": FORWARD, "where": WHERE, "output": OUTPUT,
+	"prioritize": PRIORITIZE,
+	"and":        AND, "or": OR, "true": TRUE, "false": FALSE,
+}
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string // raw text for IDENT, STRING (unquoted), NUMBER, DURATION
+}
+
+// Error is a positioned syntax or semantic error in a BDL script.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("bdl:%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,525 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"aptrace/internal/event"
+	"aptrace/internal/graph"
+	"aptrace/internal/maintainer"
+	"aptrace/internal/refiner"
+	"aptrace/internal/simclock"
+	"aptrace/internal/store"
+)
+
+// DefaultWindows is the default window count k; the paper's blue team used
+// the empirical value eight.
+const DefaultWindows = 8
+
+// StopReason says why a run ended.
+type StopReason uint8
+
+const (
+	// Completed: the priority queue drained; the dependency graph is full.
+	Completed StopReason = iota
+	// TimeBudgetExceeded: the BDL "time <= d" budget expired.
+	TimeBudgetExceeded
+	// Stopped: the analyst stopped the run (found what they needed).
+	Stopped
+)
+
+// String names the stop reason.
+func (r StopReason) String() string {
+	switch r {
+	case Completed:
+		return "completed"
+	case TimeBudgetExceeded:
+		return "time budget exceeded"
+	default:
+		return "stopped by analyst"
+	}
+}
+
+// Update is one responsive progress report: an edge just landed in the
+// dependency graph. It is an alias of graph.Update, shared with the
+// King-Chen baseline so harnesses can treat both engines uniformly.
+type Update = graph.Update
+
+// Result summarizes a finished (or stopped) run.
+type Result struct {
+	Graph   *graph.Graph
+	Reason  StopReason
+	Updates int
+	Elapsed time.Duration
+	Windows int // execution windows processed
+}
+
+// Options configure an Executor.
+type Options struct {
+	// Windows is the window count k (DefaultWindows if zero).
+	Windows int
+	// OnUpdate, if set, is invoked synchronously for every graph update.
+	OnUpdate func(Update)
+	// UniformWindows disables the geometric length sequence and cuts each
+	// search range into k equal windows instead (ablation A2).
+	UniformWindows bool
+	// FIFOQueue disables the priority ordering and explores windows in
+	// insertion order (ablation A2).
+	FIFOQueue bool
+	// MaxWindowRows caps how many index rows a single window query may
+	// retrieve: a window whose cardinality estimate exceeds the cap is
+	// re-split (ratio 2, nearest-first) before being queried, so no single
+	// retrieval can block the update stream — the engineering realization
+	// of the paper's "retrieve the dependents in many smaller batches".
+	// Zero means DefaultMaxWindowRows; NoSplit disables re-splitting
+	// entirely (ablation A2).
+	MaxWindowRows int
+	NoSplit       bool
+}
+
+// DefaultMaxWindowRows is the default per-window retrieval cap. At the
+// calibrated cost model (~0.4 s per retrieved row) eight rows keep every
+// single retrieval — and therefore every inter-update gap — in the
+// seconds range the paper reports for APTrace.
+const DefaultMaxWindowRows = 8
+
+// Executor runs responsive backtracking analysis over a sealed store.
+// One Executor handles one analysis; create a new one to restart.
+type Executor struct {
+	st   *store.Store
+	clk  simclock.Clock
+	opts Options
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	paused bool
+	stop   bool
+
+	plan  *refiner.Plan
+	maint *maintainer.Maintainer
+	g     *graph.Graph
+
+	from, to int64 // resolved analysis range
+	started  time.Time
+	budget   time.Duration
+
+	fwd     bool // forward (impact) tracking, from the plan
+	pq      windowHeap
+	covered map[event.ObjID]int64 // per object: latest (earliest, forward) time scheduled
+	dropped map[event.ObjID]bool  // objects rejected by the where filter
+
+	updates  int
+	windows  int
+	prepared bool
+	alert    event.Event
+}
+
+// New prepares an executor for the given plan over st. The store must be
+// sealed.
+func New(st *store.Store, plan *refiner.Plan, opts Options) (*Executor, error) {
+	if !st.Sealed() {
+		return nil, store.ErrNotSealed
+	}
+	if opts.Windows <= 0 {
+		opts.Windows = DefaultWindows
+	}
+	if opts.MaxWindowRows <= 0 {
+		opts.MaxWindowRows = DefaultMaxWindowRows
+	}
+	x := &Executor{st: st, clk: st.Clock(), opts: opts, plan: plan}
+	x.cond = sync.NewCond(&x.mu)
+	return x, nil
+}
+
+// Graph returns the dependency graph built so far (nil before Run).
+func (x *Executor) Graph() *graph.Graph { return x.g }
+
+// Plan returns the currently active plan.
+func (x *Executor) Plan() *refiner.Plan {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.plan
+}
+
+// Pause suspends the run at the next window boundary. It returns once the
+// executor acknowledges the pause (or the run already ended).
+func (x *Executor) Pause() {
+	x.mu.Lock()
+	x.paused = true
+	x.mu.Unlock()
+}
+
+// Resume lets a paused run continue.
+func (x *Executor) Resume() {
+	x.mu.Lock()
+	x.paused = false
+	x.mu.Unlock()
+	x.cond.Broadcast()
+}
+
+// Stop terminates the run at the next window boundary.
+func (x *Executor) Stop() {
+	x.mu.Lock()
+	x.stop = true
+	x.paused = false
+	x.mu.Unlock()
+	x.cond.Broadcast()
+}
+
+// UpdatePlan swaps in a new compiled plan while the executor is paused,
+// applying the given resume action. Restart is rejected: a changed starting
+// point needs a fresh Executor (the session layer handles that case).
+func (x *Executor) UpdatePlan(plan *refiner.Plan, action refiner.ResumeAction) error {
+	if action == refiner.Restart {
+		return errors.New("core: restart requires a new executor")
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.plan = plan
+	min, max, _ := x.st.TimeRange()
+	x.from, x.to = plan.Range(min, max)
+	x.budget = plan.TimeBudget
+	x.maint = maintainer.New(plan, x.st, x.from, x.to)
+	// New filters may admit objects dropped under the old plan.
+	x.dropped = make(map[event.ObjID]bool)
+	if action == refiner.Repropagate && x.g != nil {
+		return x.maint.Recalculate(x.g)
+	}
+	return nil
+}
+
+// Run executes backtracking analysis from the given alert event, blocking
+// until the queue drains, the time budget expires, or Stop is called.
+// The alert must satisfy the plan's starting point (callers that already
+// verified this can pass verifyStart=false via RunUnchecked).
+func (x *Executor) Run(alert event.Event) (*Result, error) {
+	ok, err := x.plan.MatchStart(alert, x.st)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: alert event %d does not satisfy the plan's starting point", alert.ID)
+	}
+	return x.RunUnchecked(alert)
+}
+
+// Prepare initializes the analysis state for the given alert — the
+// dependency graph seeded with the alert edge, the maintainer, and the
+// initial execution windows (Algorithm 1 line 1) — without starting the
+// exploration loop. Run/RunUnchecked call it implicitly; callers that need
+// the graph inspectable before (or while) the loop runs, such as the
+// interactive console, may call it explicitly first.
+func (x *Executor) Prepare(alert event.Event) error {
+	min, max, ok := x.st.TimeRange()
+	if !ok {
+		return errors.New("core: store is empty")
+	}
+	x.mu.Lock()
+	if x.prepared {
+		x.mu.Unlock()
+		if alert.ID != x.alert.ID {
+			return fmt.Errorf("core: executor already prepared for event %d", x.alert.ID)
+		}
+		return nil
+	}
+	x.prepared = true
+	x.alert = alert
+	x.from, x.to = x.plan.Range(min, max)
+	x.budget = x.plan.TimeBudget
+	x.fwd = x.plan.Forward
+	x.g = graph.New(alert)
+	x.maint = maintainer.New(x.plan, x.st, x.from, x.to)
+	x.maint.Seed(x.g)
+	x.covered = make(map[event.ObjID]int64)
+	x.dropped = make(map[event.ObjID]bool)
+	x.started = x.clk.Now()
+	x.pq = windowHeap{fifo: x.opts.FIFOQueue, forward: x.fwd}
+	x.mu.Unlock()
+
+	// Line 1 of Algorithm 1: seed the queue with the alert's windows.
+	x.enqueue(alert, 0)
+	return nil
+}
+
+// RunUnchecked is Run without validating the alert against the starting
+// point. Experiment harnesses use it to backtrack from arbitrary events.
+func (x *Executor) RunUnchecked(alert event.Event) (*Result, error) {
+	if err := x.Prepare(alert); err != nil {
+		return nil, err
+	}
+
+	reason := Completed
+loop:
+	for {
+		// Honor pause/stop between window queries.
+		x.mu.Lock()
+		for x.paused && !x.stop {
+			x.cond.Wait()
+		}
+		if x.stop {
+			x.mu.Unlock()
+			reason = Stopped
+			break loop
+		}
+		budget := x.budget
+		x.mu.Unlock()
+
+		if budget > 0 && x.clk.Now().Sub(x.started) >= budget {
+			reason = TimeBudgetExceeded
+			break loop
+		}
+		w, ok := x.pq.pop()
+		if !ok {
+			break loop
+		}
+		if err := x.processWindow(w); err != nil {
+			return nil, err
+		}
+	}
+
+	return &Result{
+		Graph:   x.g,
+		Reason:  reason,
+		Updates: x.updates,
+		Elapsed: x.clk.Now().Sub(x.started),
+		Windows: x.windows,
+	}, nil
+}
+
+// enqueue generates and schedules the execution windows of event e, whose
+// flow-source object (flow destination in forward mode) is about to be
+// explored. boost carries prioritize-rule priority. Ranges already scheduled
+// for the same object are skipped, so every (object, time point) pair is
+// queried at most once per run.
+func (x *Executor) enqueue(e event.Event, boost int) {
+	if x.fwd {
+		x.enqueueForward(e, boost)
+		return
+	}
+	obj := e.Src()
+	ts := x.from
+	te := e.Time
+	if te > x.to {
+		te = x.to
+	}
+	extension := false
+	if prev, ok := x.covered[obj]; ok {
+		if te <= prev {
+			return
+		}
+		ts = prev // only the uncovered suffix needs new windows
+		extension = true
+	}
+	x.covered[obj] = te
+	clipped := e
+	clipped.Time = te
+	var ws []ExecWindow
+	switch {
+	case extension:
+		// Coverage extensions are slivers between two events of the same
+		// object; one window suffices (re-splitting bounds its size).
+		ws = []ExecWindow{{Begin: ts, Finish: te, Obj: obj, E: clipped}}
+	case x.opts.UniformWindows:
+		ws = genUniformWindows(clipped, ts, x.opts.Windows)
+	default:
+		ws = GenExeWindows(clipped, ts, x.opts.Windows)
+	}
+	state := -1
+	if n, ok := x.g.Node(obj); ok {
+		state = n.State
+	}
+	for _, w := range ws {
+		// Index statistics make empty ranges detectable without touching
+		// the table (CountBackward models an index-only cardinality
+		// estimate); provably empty windows are never queried.
+		if n, err := x.st.CountBackward(w.Obj, w.Begin, w.Finish); err == nil && n == 0 {
+			continue
+		}
+		w.State = state
+		w.Boost = boost
+		x.pq.push(w)
+	}
+}
+
+// enqueueForward mirrors enqueue for impact tracking: windows extend from
+// the event's time towards the end of the analysis range, and the explored
+// object is the event's flow destination.
+func (x *Executor) enqueueForward(e event.Event, boost int) {
+	obj := e.Dst()
+	te := e.Time
+	if te < x.from {
+		te = x.from
+	}
+	hi := x.to
+	extension := false
+	if prev, ok := x.covered[obj]; ok {
+		if te+1 >= prev {
+			return // already covered from an earlier event
+		}
+		hi = prev // only the uncovered prefix needs new windows
+		extension = true
+	}
+	x.covered[obj] = te + 1
+	clipped := e
+	clipped.Time = te
+	var ws []ExecWindow
+	if extension {
+		ws = []ExecWindow{{Begin: te + 1, Finish: hi, Obj: obj, E: clipped}}
+	} else {
+		ws = GenExeWindowsForward(clipped, hi, x.opts.Windows)
+	}
+	state := -1
+	if n, ok := x.g.Node(obj); ok {
+		state = n.State
+	}
+	for _, w := range ws {
+		if n, err := x.st.CountForward(w.Obj, w.Begin, w.Finish); err == nil && n == 0 {
+			continue
+		}
+		w.State = state
+		w.Boost = boost
+		x.pq.push(w)
+	}
+}
+
+// processWindow runs one bounded query (Algorithm 1 lines 3-7): fetch the
+// events inside the window that flow into the window's object, add them as
+// edges, and schedule their own windows. Windows that would retrieve more
+// than MaxWindowRows rows are split in half (re-queued nearest-half first)
+// instead of being queried, keeping every retrieval — and therefore every
+// inter-update gap — bounded.
+func (x *Executor) processWindow(w ExecWindow) error {
+	count := x.st.CountBackward
+	query := x.st.QueryBackward
+	if x.fwd {
+		count = x.st.CountForward
+		query = x.st.QueryForward
+	}
+	if !x.opts.NoSplit && w.Finish-w.Begin >= 2 {
+		n, err := count(w.Obj, w.Begin, w.Finish)
+		if err != nil {
+			return err
+		}
+		if n > x.opts.MaxWindowRows {
+			mid := w.Begin + (w.Finish-w.Begin)/2
+			far, near := w, w
+			if x.fwd {
+				near.Finish = mid
+				far.Begin = mid
+			} else {
+				near.Begin = mid
+				far.Finish = mid
+			}
+			x.pq.push(near)
+			x.pq.push(far)
+			return nil
+		}
+	}
+	x.windows++
+	deps, err := query(w.Obj, w.Begin, w.Finish)
+	if err != nil {
+		return err
+	}
+	hopLimit := x.plan.HopBudget
+	for _, dep := range deps {
+		if dep.ID == w.E.ID || x.g.HasEdge(dep.ID) {
+			continue
+		}
+		src := dep.Src()
+		if x.fwd {
+			src = dep.Dst() // the newly discovered side
+		}
+		if x.dropped[src] {
+			continue
+		}
+		// General host constraint.
+		if !x.plan.HostAllowed(x.st.Object(dep.Subject).Host) ||
+			!x.plan.HostAllowed(x.st.Object(dep.Object).Host) {
+			continue
+		}
+		// Where statement: objects failing it are deleted from the
+		// analysis without further exploration.
+		if x.plan.Where != nil {
+			keep, err := x.plan.Where.Keep(dep, src, x.st, x.from, x.to)
+			if err != nil {
+				return err
+			}
+			if !keep {
+				x.dropped[src] = true
+				continue
+			}
+		}
+		// Hop budget: stop extending paths longer than the limit.
+		known := dep.Dst()
+		if x.fwd {
+			known = dep.Src()
+		}
+		if hopLimit > 0 {
+			if kn, ok := x.g.Node(known); ok && kn.Hop+1 > hopLimit {
+				continue
+			}
+		}
+		addEdge := x.g.AddEdge
+		if x.fwd {
+			addEdge = x.g.AddForwardEdge
+		}
+		newEdge, newNode, err := addEdge(dep)
+		if err != nil {
+			return err
+		}
+		if !newEdge {
+			continue
+		}
+		if _, err := x.maint.OnEdge(x.g, dep); err != nil {
+			return err
+		}
+		x.updates++
+		if x.opts.OnUpdate != nil {
+			x.opts.OnUpdate(Update{Event: dep, NewNode: newNode, At: x.clk.Now(), Edges: x.g.NumEdges()})
+		}
+		x.enqueue(dep, x.boostFor(dep, w))
+	}
+	return nil
+}
+
+// boostFor decides whether the newly discovered edge earns prioritize-rule
+// priority: either the edge itself matches a rule's downstream pattern, or
+// the window it arrived through was already boosted and the edge matches the
+// upstream pattern with the byte-conservation check against the window's
+// generating event.
+func (x *Executor) boostFor(dep event.Event, w ExecWindow) int {
+	for _, rule := range x.plan.Prioritize {
+		if rule.Down.Match(dep, x.st) {
+			return 1
+		}
+		if w.Boost > 0 && rule.BoostEdge(dep, w.E, x.st) {
+			return 1
+		}
+	}
+	return 0
+}
+
+// genUniformWindows is the ablation variant: k equal-width windows.
+func genUniformWindows(e event.Event, ts int64, k int) []ExecWindow {
+	te := e.Time
+	if te <= ts || k < 1 {
+		return nil
+	}
+	width := (te - ts) / int64(k)
+	if width < 1 {
+		width = 1
+	}
+	out := make([]ExecWindow, 0, k)
+	hi := te
+	for i := 0; i < k && hi > ts; i++ {
+		lo := hi - width
+		if i == k-1 || lo < ts {
+			lo = ts
+		}
+		out = append(out, ExecWindow{Begin: lo, Finish: hi, Obj: e.Src(), E: e})
+		hi = lo
+	}
+	return out
+}

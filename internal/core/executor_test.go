@@ -1,0 +1,448 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"aptrace/internal/baseline"
+	"aptrace/internal/event"
+	"aptrace/internal/refiner"
+	"aptrace/internal/simclock"
+	"aptrace/internal/store"
+)
+
+// fixture builds a sealed store with an attack chain plus background noise:
+//
+//	chain (on host "h1"):
+//	  t=9000: mal.exe sends to 6.6.6.6:443       <- alert
+//	  t=8000: dropper.exe starts mal.exe
+//	  t=7000: dropper.exe reads payload.bin
+//	  t=6000: browser.exe writes payload.bin
+//	noise: nProcs writer processes each write hot.log many times before
+//	t=5000, and hot.log is read by mal.exe at t=8500 (dragging the heavy
+//	hitter into the analysis), plus dll loads by dropper.exe.
+func fixture(t testing.TB, clk simclock.Clock, noiseWrites int) (*store.Store, event.Event) {
+	t.Helper()
+	s := store.New(clk)
+	h := "h1"
+	mal := event.Process(h, "mal.exe", 100, 7900)
+	dropper := event.Process(h, "dropper.exe", 101, 6500)
+	browser := event.Process(h, "browser.exe", 102, 1000)
+	payload := event.File(h, `C:\tmp\payload.bin`)
+	hot := event.File(h, `C:\logs\hot.log`)
+	sock := event.Socket(h, "10.0.0.5", 50001, "6.6.6.6", 443)
+
+	add := func(tm int64, sub, obj event.Object, a event.Action, d event.Direction, amt int64) event.EventID {
+		t.Helper()
+		id, err := s.AddEvent(tm, sub, obj, a, d, amt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	add(6000, browser, payload, event.ActWrite, event.FlowOut, 4096)
+	add(7000, dropper, payload, event.ActRead, event.FlowIn, 4096)
+	add(8000, dropper, mal, event.ActStart, event.FlowOut, 0)
+	add(8500, mal, hot, event.ActRead, event.FlowIn, 10)
+	alertID := add(9000, mal, sock, event.ActSend, event.FlowOut, 5000)
+
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < noiseWrites; i++ {
+		w := event.Process(h, "svc.exe", int32(200+i%17), 500)
+		add(rng.Int63n(4500)+1, w, hot, event.ActWrite, event.FlowOut, 64)
+	}
+	for i := 0; i < 10; i++ {
+		dll := event.File(h, `C:\Windows\System32\lib`+string(rune('a'+i))+".dll")
+		add(6600+int64(i), dropper, dll, event.ActLoad, event.FlowIn, 0)
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	alert, ok := s.EventByID(alertID)
+	if !ok {
+		t.Fatal("alert lost")
+	}
+	return s, alert
+}
+
+func wildcardPlan(t testing.TB, extra string) *refiner.Plan {
+	t.Helper()
+	p, err := refiner.ParseAndCompile(`backward ip a[dst_ip = "6.6.6.6"] -> *` + "\n" + extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// naiveClosure computes the reference backward closure by fixpoint:
+// an event e belongs iff some member E (or the alert) has E.Src() == e.Dst()
+// and e.Time < E.Time.
+func naiveClosure(s *store.Store, alert event.Event) map[event.EventID]bool {
+	in := map[event.EventID]bool{alert.ID: true}
+	bound := map[event.ObjID]int64{alert.Src(): alert.Time}
+	for changed := true; changed; {
+		changed = false
+		var all []event.Event
+		s.Scan(0, 1<<62, func(e event.Event) bool { all = append(all, e); return true })
+		for _, e := range all {
+			b, ok := bound[e.Dst()]
+			if !ok || e.Time >= b || in[e.ID] {
+				continue
+			}
+			in[e.ID] = true
+			changed = true
+			if e.Time > bound[e.Src()] {
+				bound[e.Src()] = e.Time
+			}
+		}
+	}
+	return in
+}
+
+func TestExecutorMatchesNaiveClosure(t *testing.T) {
+	s, alert := fixture(t, nil, 200)
+	x, err := New(s, wildcardPlan(t, ""), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := x.RunUnchecked(alert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != Completed {
+		t.Fatalf("reason = %v", res.Reason)
+	}
+	want := naiveClosure(s, alert)
+	got := map[event.EventID]bool{}
+	for _, e := range res.Graph.Edges() {
+		got[e.ID] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("executor found %d edges, closure has %d", len(got), len(want))
+	}
+	for id := range want {
+		if !got[id] {
+			t.Errorf("edge %d missing from executor graph", id)
+		}
+	}
+}
+
+func TestBaselineSubsetOfClosure(t *testing.T) {
+	s, alert := fixture(t, nil, 200)
+	res, err := baseline.Run(s, alert, baseline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("baseline should complete")
+	}
+	want := naiveClosure(s, alert)
+	for _, e := range res.Graph.Edges() {
+		if !want[e.ID] {
+			t.Errorf("baseline found edge %d outside the closure", e.ID)
+		}
+	}
+	// On this fixture every object is discovered at its latest relevance
+	// time first (BFS from the alert), so the baseline matches exactly.
+	if res.Graph.NumEdges() != len(want) {
+		t.Fatalf("baseline edges %d, closure %d", res.Graph.NumEdges(), len(want))
+	}
+}
+
+func TestRunValidatesStart(t *testing.T) {
+	s, alert := fixture(t, nil, 10)
+	x, _ := New(s, wildcardPlan(t, ""), Options{})
+	if _, err := x.Run(alert); err != nil {
+		t.Fatalf("alert matches plan: %v", err)
+	}
+	bad, _ := refiner.ParseAndCompile(`backward ip a[dst_ip = "9.9.9.9"] -> *`)
+	x2, _ := New(s, bad, Options{})
+	if _, err := x2.Run(alert); err == nil {
+		t.Fatal("mismatched alert must be rejected")
+	}
+}
+
+func TestWhereFilterPrunesExploration(t *testing.T) {
+	s, alert := fixture(t, nil, 300)
+	full, err := New(s, wildcardPlan(t, ""), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRes, err := full.RunUnchecked(alert)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	filtered, _ := New(s, wildcardPlan(t, `where file.path != "hot.log"`), Options{})
+	filtRes, err := filtered.RunUnchecked(alert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtRes.Graph.NumEdges() >= fullRes.Graph.NumEdges() {
+		t.Fatalf("filter did not prune: %d vs %d", filtRes.Graph.NumEdges(), fullRes.Graph.NumEdges())
+	}
+	// hot.log and its writers must be gone; the attack chain must remain.
+	hotID, _ := s.Lookup(event.File("h1", `C:\logs\hot.log`))
+	if _, ok := filtRes.Graph.Node(hotID); ok {
+		t.Error("hot.log must be excluded")
+	}
+	browserID, _ := s.Lookup(event.Process("h1", "browser.exe", 102, 1000))
+	if _, ok := filtRes.Graph.Node(browserID); !ok {
+		t.Error("attack chain must survive the filter")
+	}
+}
+
+func TestHopBudget(t *testing.T) {
+	s, alert := fixture(t, nil, 100)
+	x, _ := New(s, wildcardPlan(t, `where hop <= 2`), Options{})
+	res, err := x.RunUnchecked(alert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Graph.MaxHop(); got > 2 {
+		t.Fatalf("MaxHop = %d, budget 2", got)
+	}
+	// Without the budget the graph is deeper.
+	x2, _ := New(s, wildcardPlan(t, ""), Options{})
+	res2, _ := x2.RunUnchecked(alert)
+	if res2.Graph.MaxHop() <= 2 {
+		t.Fatal("fixture too shallow for this test")
+	}
+}
+
+func TestTimeBudgetWithSimulatedClock(t *testing.T) {
+	clk := simclock.NewSimulated(time.Time{})
+	s, alert := fixture(t, clk, 3000)
+	x, _ := New(s, wildcardPlan(t, `where time <= 1s`), Options{})
+	res, err := x.RunUnchecked(alert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != TimeBudgetExceeded {
+		t.Fatalf("reason = %v, want time budget", res.Reason)
+	}
+	// A second run with a huge budget completes.
+	clk2 := simclock.NewSimulated(time.Time{})
+	s2, alert2 := fixture(t, clk2, 3000)
+	x2, _ := New(s2, wildcardPlan(t, `where time <= 10h`), Options{})
+	res2, err := x2.RunUnchecked(alert2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reason != Completed {
+		t.Fatalf("reason = %v, want completed", res2.Reason)
+	}
+}
+
+func TestUpdatesMonotonicTimestamps(t *testing.T) {
+	clk := simclock.NewSimulated(time.Time{})
+	s, alert := fixture(t, clk, 500)
+	var times []time.Time
+	x, _ := New(s, wildcardPlan(t, ""), Options{OnUpdate: func(u Update) {
+		times = append(times, u.At)
+	}})
+	res, err := x.RunUnchecked(alert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != res.Updates || res.Updates == 0 {
+		t.Fatalf("updates %d, callbacks %d", res.Updates, len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i].Before(times[i-1]) {
+			t.Fatal("update timestamps must be monotone")
+		}
+	}
+}
+
+func TestResponsivenessBeatsBaselineTail(t *testing.T) {
+	// The defining experiment in miniature: with a heavy hitter in the
+	// graph, APTrace's largest inter-update gap must be well below the
+	// baseline's (which blocks on the monolithic hot.log query).
+	maxGap := func(times []time.Time) time.Duration {
+		var max time.Duration
+		for i := 1; i < len(times); i++ {
+			if d := times[i].Sub(times[i-1]); d > max {
+				max = d
+			}
+		}
+		return max
+	}
+
+	clkA := simclock.NewSimulated(time.Time{})
+	sA, alertA := fixture(t, clkA, 5000)
+	var aTimes []time.Time
+	xa, _ := New(sA, wildcardPlan(t, ""), Options{OnUpdate: func(u Update) { aTimes = append(aTimes, u.At) }})
+	if _, err := xa.RunUnchecked(alertA); err != nil {
+		t.Fatal(err)
+	}
+
+	clkB := simclock.NewSimulated(time.Time{})
+	sB, alertB := fixture(t, clkB, 5000)
+	var bTimes []time.Time
+	if _, err := baseline.Run(sB, alertB, baseline.Options{OnUpdate: func(u Update) { bTimes = append(bTimes, u.At) }}); err != nil {
+		t.Fatal(err)
+	}
+
+	ga, gb := maxGap(aTimes), maxGap(bTimes)
+	if ga*2 >= gb {
+		t.Fatalf("APTrace max gap %v not clearly below baseline %v", ga, gb)
+	}
+}
+
+func TestPauseResumeStop(t *testing.T) {
+	clk := simclock.NewSimulated(time.Time{})
+	s, alert := fixture(t, clk, 5000)
+	updates := make(chan Update, 100000)
+	var x *Executor
+	first := true
+	x, err := New(s, wildcardPlan(t, ""), Options{OnUpdate: func(u Update) {
+		if first {
+			// Pause synchronously on the very first update, before the
+			// run can finish: the executor honors it at the next window.
+			first = false
+			x.Pause()
+		}
+		updates <- u
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan *Result, 1)
+	go func() {
+		res, err := x.RunUnchecked(alert)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+
+	// Wait for the first update (which triggers the pause).
+	select {
+	case <-updates:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no first update")
+	}
+	// Drain in-flight updates, then verify silence while paused.
+	time.Sleep(50 * time.Millisecond)
+	for len(updates) > 0 {
+		<-updates
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := len(updates); n != 0 {
+		t.Fatalf("%d updates while paused", n)
+	}
+	x.Resume()
+	select {
+	case <-updates:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no update after resume")
+	}
+	x.Stop()
+	select {
+	case res := <-done:
+		if res.Reason != Stopped && res.Reason != Completed {
+			t.Fatalf("reason = %v", res.Reason)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not stop")
+	}
+}
+
+func TestUpdatePlanWhileRunning(t *testing.T) {
+	s, alert := fixture(t, nil, 500)
+	x, _ := New(s, wildcardPlan(t, ""), Options{})
+	if err := x.UpdatePlan(wildcardPlan(t, `where file.path != "*.dll"`), refiner.Restart); err == nil {
+		t.Fatal("Restart must be rejected by UpdatePlan")
+	}
+	// Resume-style update before run: allowed.
+	if err := x.UpdatePlan(wildcardPlan(t, `where file.path != "*.dll"`), refiner.Resume); err != nil {
+		t.Fatal(err)
+	}
+	res, err := x.RunUnchecked(alert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Graph.Nodes() {
+		o := s.Object(n.ID)
+		if o.Type == event.ObjFile && len(o.Path) > 4 && o.Path[len(o.Path)-4:] == ".dll" {
+			t.Fatalf("dll %s survived the updated plan", o.Path)
+		}
+	}
+}
+
+func TestRepropagateViaUpdatePlan(t *testing.T) {
+	s, alert := fixture(t, nil, 50)
+	x, _ := New(s, wildcardPlan(t, ""), Options{})
+	if _, err := x.RunUnchecked(alert); err != nil {
+		t.Fatal(err)
+	}
+	withMid, err := refiner.ParseAndCompile(`
+backward ip a[dst_ip = "6.6.6.6"] -> proc m[exename = "mal.exe"] -> *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.UpdatePlan(withMid, refiner.Repropagate); err != nil {
+		t.Fatal(err)
+	}
+	malID, _ := s.Lookup(event.Process("h1", "mal.exe", 100, 7900))
+	n, ok := x.Graph().Node(malID)
+	if !ok || n.State != 1 {
+		t.Fatalf("mal.exe state = %d,%v want 1 after repropagation", n.State, ok)
+	}
+}
+
+func TestAblationVariantsReachSameGraph(t *testing.T) {
+	s, alert := fixture(t, nil, 400)
+	want := naiveClosure(s, alert)
+	for name, opt := range map[string]Options{
+		"uniform": {UniformWindows: true},
+		"fifo":    {FIFOQueue: true},
+		"k1":      {Windows: 1},
+		"k16":     {Windows: 16},
+	} {
+		x, err := New(s, wildcardPlan(t, ""), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := x.RunUnchecked(alert)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Graph.NumEdges() != len(want) {
+			t.Errorf("%s: %d edges, want %d", name, res.Graph.NumEdges(), len(want))
+		}
+	}
+}
+
+func TestNoDuplicateScanning(t *testing.T) {
+	// Row accounting: total rows examined must stay within a small factor
+	// of the events actually in the closure (each object's history is
+	// windowed once, not re-scanned per discovering event).
+	clk := simclock.NewSimulated(time.Time{})
+	s, alert := fixture(t, clk, 2000)
+	x, _ := New(s, wildcardPlan(t, ""), Options{})
+	res, err := x.RunUnchecked(alert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := s.Stats()
+	if stats.RowsExamined > int64(3*res.Graph.NumEdges()+100) {
+		t.Fatalf("rows examined %d for %d edges: duplicate scanning suspected",
+			stats.RowsExamined, res.Graph.NumEdges())
+	}
+}
+
+func TestStopReasonStrings(t *testing.T) {
+	if Completed.String() == "" || TimeBudgetExceeded.String() == "" || Stopped.String() == "" {
+		t.Fatal("empty stop reason strings")
+	}
+}
+
+func TestNewRequiresSealedStore(t *testing.T) {
+	if _, err := New(store.New(nil), wildcardPlan(t, ""), Options{}); err == nil {
+		t.Fatal("unsealed store must be rejected")
+	}
+}

@@ -1,0 +1,170 @@
+// Package core implements the Executor (paper Section III-B1): responsive
+// backtracking analysis built on the execution-window partitioning
+// algorithm.
+//
+// Instead of searching the whole log history for the dependencies of each
+// event — which blocks the analysis for minutes on heavy-hitter objects —
+// the executor cuts each event's backward search range into k windows whose
+// lengths form a geometric sequence with common ratio 2, smallest window
+// nearest the event. Windows go onto a priority queue that explores
+// (a) nodes matching a longer prefix of the tracking statement first
+// (maintainer states), (b) prioritize-rule boosted paths next, and
+// (c) temporally closer windows first, exploiting the temporal locality of
+// system events. Each window is one bounded database query, so dependency-
+// graph updates stream out at a steady cadence (Table II in the paper).
+package core
+
+import (
+	"container/heap"
+
+	"aptrace/internal/event"
+)
+
+// ExecWindow is the unit of search: look for backward dependencies of Obj
+// (the source object of the generating event E) in the half-open time range
+// [Begin, Finish).
+type ExecWindow struct {
+	Begin  int64
+	Finish int64
+	Obj    event.ObjID // object whose dependencies this window searches
+	E      event.Event // the event that generated this window
+
+	// Scheduling attributes.
+	State int   // maintainer state of Obj at enqueue time (-1 if none)
+	Boost int   // prioritize-rule boost (0 or 1)
+	seq   int64 // FIFO tiebreaker
+}
+
+// GenExeWindows implements genExeWindow from Algorithm 1: it cuts the
+// monolithic window [ts, te) for event e (te = e.Time) into k pieces whose
+// lengths are sigma, 2*sigma, 4*sigma, ... from te backwards, where
+// sigma = (te-ts)/(2^k - 1). The returned windows are ordered nearest-first.
+//
+// Degenerate spans (te-ts < 2^k - 1 seconds) produce fewer, second-sized
+// windows; an empty span produces none. Integer remainders are absorbed by
+// the farthest window so the union exactly covers [ts, te).
+func GenExeWindows(e event.Event, ts int64, k int) []ExecWindow {
+	te := e.Time
+	if te <= ts || k < 1 {
+		return nil
+	}
+	span := te - ts
+	// sigma = span / (2^k - 1), clamped so the nearest window is at least
+	// one second wide.
+	denom := int64(1)<<uint(k) - 1
+	sigma := span / denom
+	if sigma < 1 {
+		sigma = 1
+	}
+	out := make([]ExecWindow, 0, k)
+	hi := te
+	width := sigma
+	for i := 0; i < k && hi > ts; i++ {
+		lo := hi - width
+		if i == k-1 || lo < ts {
+			lo = ts
+		}
+		out = append(out, ExecWindow{Begin: lo, Finish: hi, Obj: e.Src(), E: e})
+		hi = lo
+		width *= 2
+	}
+	return out
+}
+
+// GenExeWindowsForward mirrors GenExeWindows for impact tracking: it cuts
+// the forward range (te, tEnd) for event e into k geometric pieces, the
+// smallest window immediately after the event. The explored object is the
+// event's flow destination. The first window begins at te+1: forward
+// dependencies must be strictly later.
+func GenExeWindowsForward(e event.Event, tEnd int64, k int) []ExecWindow {
+	ts := e.Time + 1
+	if tEnd <= ts || k < 1 {
+		return nil
+	}
+	span := tEnd - ts
+	denom := int64(1)<<uint(k) - 1
+	sigma := span / denom
+	if sigma < 1 {
+		sigma = 1
+	}
+	out := make([]ExecWindow, 0, k)
+	lo := ts
+	width := sigma
+	for i := 0; i < k && lo < tEnd; i++ {
+		hi := lo + width
+		if i == k-1 || hi > tEnd {
+			hi = tEnd
+		}
+		out = append(out, ExecWindow{Begin: lo, Finish: hi, Obj: e.Dst(), E: e})
+		lo = hi
+		width *= 2
+	}
+	return out
+}
+
+// windowHeap is a priority queue over execution windows. Ordering:
+//
+//  1. higher maintainer state first (explore the declared chain),
+//  2. higher boost first (prioritize rules),
+//  3. later Finish first (temporal locality: windows closest to the
+//     starting point's time, per Algorithm 1's queue discipline),
+//  4. FIFO among equals.
+type windowHeap struct {
+	items []ExecWindow
+	next  int64
+	// fifo degrades the ordering to pure insertion order (ablation A2).
+	fifo bool
+	// forward flips the temporal preference: windows with the earliest
+	// Begin first (closest after the starting point).
+	forward bool
+}
+
+func (h *windowHeap) Len() int { return len(h.items) }
+
+func (h *windowHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if h.fifo {
+		return a.seq < b.seq
+	}
+	if a.State != b.State {
+		return a.State > b.State
+	}
+	if a.Boost != b.Boost {
+		return a.Boost > b.Boost
+	}
+	if h.forward {
+		if a.Begin != b.Begin {
+			return a.Begin < b.Begin
+		}
+	} else if a.Finish != b.Finish {
+		return a.Finish > b.Finish
+	}
+	return a.seq < b.seq
+}
+
+func (h *windowHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *windowHeap) Push(x any) {
+	h.items = append(h.items, x.(ExecWindow))
+}
+
+func (h *windowHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+func (h *windowHeap) push(w ExecWindow) {
+	w.seq = h.next
+	h.next++
+	heap.Push(h, w)
+}
+
+func (h *windowHeap) pop() (ExecWindow, bool) {
+	if h.Len() == 0 {
+		return ExecWindow{}, false
+	}
+	return heap.Pop(h).(ExecWindow), true
+}

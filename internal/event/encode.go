@@ -1,0 +1,149 @@
+package event
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary wire format for events and objects, used by the store's segment
+// files. All integers are little-endian. Strings are length-prefixed with a
+// uvarint. An Event encodes to a fixed 38-byte record, which keeps segment
+// scans branch-free; objects are variable length.
+
+// EventEncodedSize is the fixed size of one encoded event record.
+const EventEncodedSize = 8 + 8 + 4 + 4 + 1 + 1 + 8 + 4 // ID,Time,Subject,Object,Action,Dir,Amount,CRC-less pad
+
+// AppendEvent appends the fixed-size encoding of e to buf and returns the
+// extended slice.
+func AppendEvent(buf []byte, e Event) []byte {
+	var rec [EventEncodedSize]byte
+	binary.LittleEndian.PutUint64(rec[0:], uint64(e.ID))
+	binary.LittleEndian.PutUint64(rec[8:], uint64(e.Time))
+	binary.LittleEndian.PutUint32(rec[16:], uint32(e.Subject))
+	binary.LittleEndian.PutUint32(rec[20:], uint32(e.Object))
+	rec[24] = byte(e.Action)
+	rec[25] = byte(e.Dir)
+	binary.LittleEndian.PutUint64(rec[26:], uint64(e.Amount))
+	// rec[34:38] is reserved padding, kept zero.
+	return append(buf, rec[:]...)
+}
+
+// DecodeEvent decodes one fixed-size event record from buf.
+func DecodeEvent(buf []byte) (Event, error) {
+	if len(buf) < EventEncodedSize {
+		return Event{}, fmt.Errorf("event record truncated: %d bytes, want %d", len(buf), EventEncodedSize)
+	}
+	e := Event{
+		ID:      EventID(binary.LittleEndian.Uint64(buf[0:])),
+		Time:    int64(binary.LittleEndian.Uint64(buf[8:])),
+		Subject: ObjID(binary.LittleEndian.Uint32(buf[16:])),
+		Object:  ObjID(binary.LittleEndian.Uint32(buf[20:])),
+		Action:  Action(buf[24]),
+		Dir:     Direction(buf[25]),
+		Amount:  int64(binary.LittleEndian.Uint64(buf[26:])),
+	}
+	if e.Action >= numActions {
+		return Event{}, fmt.Errorf("event %d: invalid action %d", e.ID, buf[24])
+	}
+	if e.Dir != FlowOut && e.Dir != FlowIn {
+		return Event{}, fmt.Errorf("event %d: invalid direction %d", e.ID, buf[25])
+	}
+	return e, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return "", nil, errors.New("bad string length prefix")
+	}
+	buf = buf[sz:]
+	if uint64(len(buf)) < n {
+		return "", nil, fmt.Errorf("string truncated: need %d bytes, have %d", n, len(buf))
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+// AppendObject appends the variable-length encoding of o to buf.
+func AppendObject(buf []byte, o Object) []byte {
+	buf = append(buf, byte(o.Type))
+	buf = appendString(buf, o.Host)
+	switch o.Type {
+	case ObjProcess:
+		buf = appendString(buf, o.Exe)
+		buf = binary.AppendVarint(buf, int64(o.PID))
+		buf = binary.AppendVarint(buf, o.Start)
+	case ObjFile:
+		buf = appendString(buf, o.Path)
+	case ObjSocket:
+		buf = appendString(buf, o.SrcIP)
+		buf = appendString(buf, o.DstIP)
+		buf = binary.AppendUvarint(buf, uint64(o.SrcPort))
+		buf = binary.AppendUvarint(buf, uint64(o.DstPort))
+	}
+	return buf
+}
+
+// DecodeObject decodes one object from the front of buf, returning the object
+// and the remaining bytes.
+func DecodeObject(buf []byte) (Object, []byte, error) {
+	if len(buf) == 0 {
+		return Object{}, nil, io.ErrUnexpectedEOF
+	}
+	o := Object{Type: ObjectType(buf[0])}
+	buf = buf[1:]
+	var err error
+	if o.Host, buf, err = readString(buf); err != nil {
+		return Object{}, nil, fmt.Errorf("object host: %w", err)
+	}
+	switch o.Type {
+	case ObjProcess:
+		if o.Exe, buf, err = readString(buf); err != nil {
+			return Object{}, nil, fmt.Errorf("process exe: %w", err)
+		}
+		pid, sz := binary.Varint(buf)
+		if sz <= 0 {
+			return Object{}, nil, errors.New("bad process pid")
+		}
+		buf = buf[sz:]
+		o.PID = int32(pid)
+		start, sz := binary.Varint(buf)
+		if sz <= 0 {
+			return Object{}, nil, errors.New("bad process start time")
+		}
+		buf = buf[sz:]
+		o.Start = start
+	case ObjFile:
+		if o.Path, buf, err = readString(buf); err != nil {
+			return Object{}, nil, fmt.Errorf("file path: %w", err)
+		}
+	case ObjSocket:
+		if o.SrcIP, buf, err = readString(buf); err != nil {
+			return Object{}, nil, fmt.Errorf("socket src ip: %w", err)
+		}
+		if o.DstIP, buf, err = readString(buf); err != nil {
+			return Object{}, nil, fmt.Errorf("socket dst ip: %w", err)
+		}
+		sp, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return Object{}, nil, errors.New("bad socket src port")
+		}
+		buf = buf[sz:]
+		dp, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return Object{}, nil, errors.New("bad socket dst port")
+		}
+		buf = buf[sz:]
+		o.SrcPort = uint16(sp)
+		o.DstPort = uint16(dp)
+	default:
+		return Object{}, nil, fmt.Errorf("invalid object type %d", uint8(o.Type))
+	}
+	return o, buf, nil
+}

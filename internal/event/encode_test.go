@@ -1,0 +1,159 @@
+package event
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventEncodeRoundTrip(t *testing.T) {
+	e := Event{
+		ID: 123456789, Time: 1_555_123_456,
+		Subject: 42, Object: 99,
+		Action: ActWrite, Dir: FlowOut, Amount: 4096,
+	}
+	buf := AppendEvent(nil, e)
+	if len(buf) != EventEncodedSize {
+		t.Fatalf("encoded size = %d, want %d", len(buf), EventEncodedSize)
+	}
+	got, err := DecodeEvent(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatalf("round trip: got %+v, want %+v", got, e)
+	}
+}
+
+func TestEventEncodeRoundTripProperty(t *testing.T) {
+	f := func(id uint64, tm int64, sub, obj uint32, amount int64, actRaw, dirRaw uint8) bool {
+		e := Event{
+			ID:      EventID(id),
+			Time:    tm,
+			Subject: ObjID(sub),
+			Object:  ObjID(obj),
+			Action:  ActStart + Action(actRaw)%(numActions-1),
+			Dir:     Direction(dirRaw % 2),
+			Amount:  amount,
+		}
+		got, err := DecodeEvent(AppendEvent(nil, e))
+		return err == nil && got == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeEventErrors(t *testing.T) {
+	if _, err := DecodeEvent(make([]byte, EventEncodedSize-1)); err == nil {
+		t.Error("truncated record must fail")
+	}
+	buf := AppendEvent(nil, Event{Action: ActRead, Dir: FlowIn})
+	buf[24] = byte(numActions) // invalid action
+	if _, err := DecodeEvent(buf); err == nil {
+		t.Error("invalid action must fail")
+	}
+	buf = AppendEvent(nil, Event{Action: ActRead, Dir: FlowIn})
+	buf[25] = 7 // invalid direction
+	if _, err := DecodeEvent(buf); err == nil {
+		t.Error("invalid direction must fail")
+	}
+}
+
+func TestObjectEncodeRoundTrip(t *testing.T) {
+	objs := []Object{
+		Process("host-1", "java.exe", 4242, 1_555_000_000),
+		Process("", "", -1, 0),
+		File("host-2", `C:\Program Files\App\a b c.txt`),
+		File("linux-9", "/var/log/audit/audit.log"),
+		Socket("h", "10.0.0.1", 65535, "8.8.8.8", 0),
+	}
+	var buf []byte
+	for _, o := range objs {
+		buf = AppendObject(buf, o)
+	}
+	rest := buf
+	for i, want := range objs {
+		var got Object
+		var err error
+		got, rest, err = DecodeObject(rest)
+		if err != nil {
+			t.Fatalf("object %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("object %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after decoding all objects", len(rest))
+	}
+}
+
+func TestObjectEncodeRoundTripProperty(t *testing.T) {
+	f := func(host, a, b string, n1 int32, n2 int64, p1, p2 uint16, kind uint8) bool {
+		var o Object
+		switch kind % 3 {
+		case 0:
+			o = Process(host, a, n1, n2)
+		case 1:
+			o = File(host, a)
+		case 2:
+			o = Socket(host, a, p1, b, p2)
+		}
+		got, rest, err := DecodeObject(AppendObject(nil, o))
+		return err == nil && len(rest) == 0 && got == o
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeObjectErrors(t *testing.T) {
+	if _, _, err := DecodeObject(nil); err == nil {
+		t.Error("empty buffer must fail")
+	}
+	if _, _, err := DecodeObject([]byte{9, 0}); err == nil {
+		t.Error("invalid type must fail")
+	}
+	// Truncate a valid encoding at every prefix length: must never panic
+	// and must always return an error (except the full length).
+	full := AppendObject(nil, Socket("host", "10.0.0.1", 1234, "10.0.0.2", 80))
+	for n := 0; n < len(full); n++ {
+		if _, _, err := DecodeObject(full[:n]); err == nil {
+			t.Errorf("truncation at %d bytes must fail", n)
+		}
+	}
+}
+
+// Fuzz-ish robustness: random bytes must never panic the decoder.
+func TestDecodeObjectRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		buf := make([]byte, rng.Intn(64))
+		rng.Read(buf)
+		DecodeObject(buf) // must not panic
+	}
+}
+
+func BenchmarkAppendEvent(b *testing.B) {
+	e := Event{ID: 1, Time: 2, Subject: 3, Object: 4, Action: ActWrite, Dir: FlowOut, Amount: 5}
+	buf := make([]byte, 0, EventEncodedSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEvent(buf[:0], e)
+	}
+	if !bytes.Equal(buf[:8], []byte{1, 0, 0, 0, 0, 0, 0, 0}) {
+		b.Fatal("bad encoding")
+	}
+}
+
+func BenchmarkDecodeEvent(b *testing.B) {
+	buf := AppendEvent(nil, Event{ID: 1, Time: 2, Subject: 3, Object: 4, Action: ActWrite, Dir: FlowOut, Amount: 5})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeEvent(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package event defines the system-object and system-event model used by
+// every other component of APTrace.
+//
+// Terminology follows the paper (Section II):
+//
+//   - A system object is a process instance, a file, or a network socket.
+//   - A system event is an interaction between two system objects. It has a
+//     subject (the process initiating the interaction), an object (the thing
+//     interacted with), a data-flow direction, a timestamp, and an optional
+//     byte amount.
+//   - Event B backward-depends on event A iff A happened before B and the
+//     destination of A's data flow equals the source of B's data flow.
+//
+// Events are stored in a normalized form: the subject and object are
+// referenced by compact object IDs (ObjID) into an object table owned by the
+// store. This keeps an event at a fixed, small size, which is what makes
+// multi-million event datasets tractable in memory.
+package event
+
+import (
+	"fmt"
+	"time"
+)
+
+// ObjID is a compact reference to a system object in an object table.
+// IDs are dense, starting at 0, and are assigned by the store at ingest time.
+type ObjID uint32
+
+// NoObj is the zero-value "no object" sentinel. Valid events never reference
+// it; it is used by graph code for optional fields.
+const NoObj ObjID = 0xFFFFFFFF
+
+// EventID uniquely identifies an event within one store.
+type EventID uint64
+
+// Direction is the direction of an event's data flow relative to its subject.
+type Direction uint8
+
+const (
+	// FlowOut means data flows from the subject process to the object,
+	// e.g. a process writing a file or sending to a socket.
+	FlowOut Direction = iota
+	// FlowIn means data flows from the object to the subject process,
+	// e.g. a process reading a file or receiving from a socket.
+	FlowIn
+)
+
+// String returns a short human-readable name for the direction.
+func (d Direction) String() string {
+	switch d {
+	case FlowOut:
+		return "out"
+	case FlowIn:
+		return "in"
+	default:
+		return fmt.Sprintf("Direction(%d)", uint8(d))
+	}
+}
+
+// Action describes what kind of interaction an event records. The set covers
+// what ETW and the Linux Audit framework report for processes, files, and
+// sockets, which is also the vocabulary BDL's "action_type" field accepts.
+type Action uint8
+
+const (
+	ActUnknown Action = iota
+	// Process actions.
+	ActStart  // subject starts (forks/execs) the object process
+	ActExit   // object process exits, reported to the subject
+	ActInject // subject injects code into the object process's memory
+	// File actions.
+	ActRead   // subject reads the object file
+	ActWrite  // subject writes the object file
+	ActCreate // subject creates the object file
+	ActDelete // subject deletes the object file
+	ActRename // subject renames the object file
+	ActChmod  // subject changes permissions of the object file
+	ActLoad   // subject loads the object file as a library/image
+	// Socket actions.
+	ActConnect // subject connects the object socket
+	ActAccept  // subject accepts the object socket
+	ActSend    // subject sends data to the object socket
+	ActRecv    // subject receives data from the object socket
+
+	numActions // number of defined actions; keep last
+)
+
+var actionNames = [...]string{
+	ActUnknown: "unknown",
+	ActStart:   "start",
+	ActExit:    "exit",
+	ActInject:  "inject",
+	ActRead:    "read",
+	ActWrite:   "write",
+	ActCreate:  "create",
+	ActDelete:  "delete",
+	ActRename:  "rename",
+	ActChmod:   "chmod",
+	ActLoad:    "load",
+	ActConnect: "connect",
+	ActAccept:  "accept",
+	ActSend:    "send",
+	ActRecv:    "recv",
+}
+
+// String returns the canonical lower-case action name, which is also the
+// spelling BDL scripts use for the "action_type" field.
+func (a Action) String() string {
+	if int(a) < len(actionNames) {
+		return actionNames[a]
+	}
+	return fmt.Sprintf("Action(%d)", uint8(a))
+}
+
+// ParseAction converts a canonical action name back to an Action.
+// It returns ActUnknown and false for unrecognized names.
+func ParseAction(s string) (Action, bool) {
+	for a, name := range actionNames {
+		if name == s && Action(a) != ActUnknown {
+			return Action(a), true
+		}
+	}
+	return ActUnknown, false
+}
+
+// DefaultDirection returns the data-flow direction conventionally implied by
+// an action: reads/receives/accepts flow into the subject, everything else
+// flows out of it. Ingest code uses this when the raw record does not carry
+// an explicit direction.
+func (a Action) DefaultDirection() Direction {
+	switch a {
+	case ActRead, ActRecv, ActAccept, ActLoad, ActExit:
+		return FlowIn
+	default:
+		return FlowOut
+	}
+}
+
+// Event is one normalized system event. Timestamps are Unix seconds; the
+// sub-second part of audit records is irrelevant to window partitioning and
+// dropping it keeps the struct small.
+type Event struct {
+	ID      EventID
+	Time    int64 // Unix seconds
+	Subject ObjID // always a process object
+	Object  ObjID // process, file, or socket object
+	Action  Action
+	Dir     Direction
+	Amount  int64 // bytes transferred, 0 if not applicable
+}
+
+// Src returns the object ID at the source of the event's data flow.
+func (e Event) Src() ObjID {
+	if e.Dir == FlowOut {
+		return e.Subject
+	}
+	return e.Object
+}
+
+// Dst returns the object ID at the destination of the event's data flow.
+func (e Event) Dst() ObjID {
+	if e.Dir == FlowOut {
+		return e.Object
+	}
+	return e.Subject
+}
+
+// When returns the event timestamp as a time.Time in UTC.
+func (e Event) When() time.Time {
+	return time.Unix(e.Time, 0).UTC()
+}
+
+// BackwardDependsOn reports whether event b backward-depends on event a:
+// a happened strictly before b and the destination of a's data flow is the
+// source of b's data flow.
+func BackwardDependsOn(b, a Event) bool {
+	return a.Time < b.Time && a.Dst() == b.Src()
+}

@@ -1,0 +1,100 @@
+package event
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDirectionString(t *testing.T) {
+	if FlowOut.String() != "out" || FlowIn.String() != "in" {
+		t.Fatalf("direction names: %q %q", FlowOut, FlowIn)
+	}
+	if got := Direction(9).String(); got != "Direction(9)" {
+		t.Errorf("invalid direction string = %q", got)
+	}
+}
+
+func TestActionRoundTrip(t *testing.T) {
+	for a := ActStart; a < numActions; a++ {
+		name := a.String()
+		got, ok := ParseAction(name)
+		if !ok {
+			t.Fatalf("ParseAction(%q) not ok", name)
+		}
+		if got != a {
+			t.Fatalf("ParseAction(%q) = %v, want %v", name, got, a)
+		}
+	}
+}
+
+func TestParseActionRejectsUnknown(t *testing.T) {
+	for _, s := range []string{"", "unknown", "frobnicate", "READ"} {
+		if a, ok := ParseAction(s); ok {
+			t.Errorf("ParseAction(%q) = %v, ok; want not ok", s, a)
+		}
+	}
+}
+
+func TestDefaultDirection(t *testing.T) {
+	tests := []struct {
+		a    Action
+		want Direction
+	}{
+		{ActRead, FlowIn},
+		{ActRecv, FlowIn},
+		{ActAccept, FlowIn},
+		{ActLoad, FlowIn},
+		{ActWrite, FlowOut},
+		{ActSend, FlowOut},
+		{ActStart, FlowOut},
+		{ActConnect, FlowOut},
+		{ActInject, FlowOut},
+	}
+	for _, tt := range tests {
+		if got := tt.a.DefaultDirection(); got != tt.want {
+			t.Errorf("%v.DefaultDirection() = %v, want %v", tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestSrcDst(t *testing.T) {
+	out := Event{Subject: 1, Object: 2, Dir: FlowOut}
+	if out.Src() != 1 || out.Dst() != 2 {
+		t.Errorf("FlowOut: src=%d dst=%d, want 1,2", out.Src(), out.Dst())
+	}
+	in := Event{Subject: 1, Object: 2, Dir: FlowIn}
+	if in.Src() != 2 || in.Dst() != 1 {
+		t.Errorf("FlowIn: src=%d dst=%d, want 2,1", in.Src(), in.Dst())
+	}
+}
+
+func TestWhen(t *testing.T) {
+	e := Event{Time: 1_555_000_000}
+	want := time.Unix(1_555_000_000, 0).UTC()
+	if !e.When().Equal(want) {
+		t.Errorf("When() = %v, want %v", e.When(), want)
+	}
+}
+
+func TestBackwardDependsOn(t *testing.T) {
+	// a: proc 5 writes file 9 (flow 5->9). b: proc 7 reads file 9... that
+	// would make 9 the source of b, and 9 the dst of a => b depends on a.
+	a := Event{Time: 100, Subject: 5, Object: 9, Dir: FlowOut}
+	b := Event{Time: 200, Subject: 7, Object: 9, Dir: FlowIn}
+	if !BackwardDependsOn(b, a) {
+		t.Error("b should backward-depend on a")
+	}
+	if BackwardDependsOn(a, b) {
+		t.Error("a must not backward-depend on later b")
+	}
+	// Same timestamp: strictly-before is required.
+	c := Event{Time: 200, Subject: 5, Object: 9, Dir: FlowOut}
+	if BackwardDependsOn(b, c) {
+		t.Error("equal timestamps must not create a dependency")
+	}
+	// Mismatched objects.
+	d := Event{Time: 100, Subject: 5, Object: 8, Dir: FlowOut}
+	if BackwardDependsOn(b, d) {
+		t.Error("dst(d)=8 != src(b)=9: no dependency")
+	}
+}

@@ -1,0 +1,26 @@
+package event
+
+import "testing"
+
+// FuzzDecodeObject hardens the segment/WAL object decoder against arbitrary
+// bytes: it must never panic, and whatever decodes must re-encode to bytes
+// that decode back to the same object.
+func FuzzDecodeObject(f *testing.F) {
+	f.Add(AppendObject(nil, Process("h", "java.exe", 42, 1000)))
+	f.Add(AppendObject(nil, File("h", `C:\x\y.doc`)))
+	f.Add(AppendObject(nil, Socket("", "10.0.0.1", 1, "9.9.9.9", 443)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o, rest, err := DecodeObject(data)
+		if err != nil {
+			return
+		}
+		consumed := len(data) - len(rest)
+		again, rest2, err := DecodeObject(AppendObject(nil, o))
+		if err != nil || len(rest2) != 0 || again != o {
+			t.Fatalf("round trip broke: %+v -> %+v (err %v)", o, again, err)
+		}
+		if consumed <= 0 {
+			t.Fatal("decoder consumed nothing without error")
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestObjectKeyIdentity(t *testing.T) {
+	p1 := Process("h1", "java.exe", 42, 1000)
+	p2 := Process("h1", "java.exe", 42, 1000)
+	if p1.Key() != p2.Key() {
+		t.Error("identical processes must have equal keys")
+	}
+	// PID reuse: same pid, different start time => different object.
+	p3 := Process("h1", "java.exe", 42, 2000)
+	if p1.Key() == p3.Key() {
+		t.Error("PID reuse must yield distinct keys")
+	}
+	// Different hosts are different objects.
+	p4 := Process("h2", "java.exe", 42, 1000)
+	if p1.Key() == p4.Key() {
+		t.Error("same process identity on different hosts must differ")
+	}
+
+	f1 := File("h1", `C:\Users\a.doc`)
+	f2 := File("h1", `C:\Users\a.doc`)
+	if f1.Key() != f2.Key() {
+		t.Error("identical files must have equal keys")
+	}
+	if f1.Key() == File("h1", `C:\Users\b.doc`).Key() {
+		t.Error("different paths must differ")
+	}
+
+	s1 := Socket("h1", "10.0.0.1", 5000, "8.8.8.8", 443)
+	s2 := Socket("h1", "10.0.0.1", 5000, "8.8.8.8", 443)
+	if s1.Key() != s2.Key() {
+		t.Error("identical sockets must have equal keys")
+	}
+	if s1.Key() == Socket("h1", "10.0.0.1", 5001, "8.8.8.8", 443).Key() {
+		t.Error("different src ports must differ")
+	}
+	// Socket key must not be ambiguous under string concatenation.
+	a := Socket("h1", "10.0.0.1", 50, "8.8.8.8", 443)
+	b := Socket("h1", "10.0.0.15", 0, "8.8.8.8", 443)
+	if a.Key() == b.Key() {
+		t.Error("socket keys collide across ip/port boundary")
+	}
+}
+
+func TestObjectKeyCrossType(t *testing.T) {
+	// A file whose path equals a process exe name must not collide.
+	f := File("h1", "java.exe")
+	p := Process("h1", "java.exe", 0, 0)
+	if f.Key() == p.Key() {
+		t.Error("file and process with same name must have distinct keys")
+	}
+}
+
+func TestObjectName(t *testing.T) {
+	if got := Process("h", "cmd.exe", 1, 2).Name(); got != "cmd.exe" {
+		t.Errorf("process name = %q", got)
+	}
+	if got := File("h", "/etc/passwd").Name(); got != "/etc/passwd" {
+		t.Errorf("file name = %q", got)
+	}
+	if got := Socket("h", "1.2.3.4", 80, "5.6.7.8", 443).Name(); got != "1.2.3.4:80->5.6.7.8:443" {
+		t.Errorf("socket name = %q", got)
+	}
+}
+
+func TestFileName(t *testing.T) {
+	tests := []struct{ path, want string }{
+		{`C:\Windows\System32\kernel32.dll`, "kernel32.dll"},
+		{"/usr/bin/gcc", "gcc"},
+		{"plain.txt", "plain.txt"},
+		{"", ""},
+	}
+	for _, tt := range tests {
+		if got := File("h", tt.path).FileName(); got != tt.want {
+			t.Errorf("FileName(%q) = %q, want %q", tt.path, got, tt.want)
+		}
+	}
+	if got := Process("h", "x", 0, 0).FileName(); got != "" {
+		t.Errorf("FileName on process = %q, want empty", got)
+	}
+}
+
+func TestFieldAccess(t *testing.T) {
+	p := Process("desktop1", "explorer.exe", 77, 900)
+	for name, want := range map[string]string{
+		"host":    "desktop1",
+		"exename": "explorer.exe",
+		"pid":     "77",
+	} {
+		got, ok := p.Field(name)
+		if !ok || got != want {
+			t.Errorf("proc.Field(%q) = %q,%v want %q", name, got, ok, want)
+		}
+	}
+	if _, ok := p.Field("path"); ok {
+		t.Error("proc must not expose file field 'path'")
+	}
+
+	f := File("h1", `C:\Sensitive\important.doc`)
+	if got, _ := f.Field("filename"); got != "important.doc" {
+		t.Errorf("file.Field(filename) = %q", got)
+	}
+	if got, _ := f.Field("path"); got != `C:\Sensitive\important.doc` {
+		t.Errorf("file.Field(path) = %q", got)
+	}
+
+	s := Socket("h1", "10.1.1.1", 4000, "168.120.11.118", 443)
+	if got, _ := s.Field("dst_ip"); got != "168.120.11.118" {
+		t.Errorf("ip.Field(dst_ip) = %q", got)
+	}
+	if got, _ := s.Field("dstip"); got != "168.120.11.118" {
+		t.Errorf("ip.Field(dstip alias) = %q", got)
+	}
+
+	if v, ok := p.FieldInt("pid"); !ok || v != 77 {
+		t.Errorf("FieldInt(pid) = %d,%v", v, ok)
+	}
+	if v, ok := s.FieldInt("dst_port"); !ok || v != 443 {
+		t.Errorf("FieldInt(dst_port) = %d,%v", v, ok)
+	}
+	if _, ok := f.FieldInt("path"); ok {
+		t.Error("path is not numeric")
+	}
+}
+
+// Property: key equality must exactly match field-wise identity for processes.
+func TestProcessKeyProperty(t *testing.T) {
+	f := func(h1, e1 string, pid1 int32, s1 int64, h2, e2 string, pid2 int32, s2 int64) bool {
+		a := Process(h1, e1, pid1, s1)
+		b := Process(h2, e2, pid2, s2)
+		same := h1 == h2 && e1 == e2 && pid1 == pid2 && s1 == s2
+		return (a.Key() == b.Key()) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

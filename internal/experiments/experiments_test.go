@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"aptrace/internal/workload"
+)
+
+// testEnv builds a small but explosion-capable dataset shared by the tests.
+func testEnv(t testing.TB) *Env {
+	t.Helper()
+	env, err := NewEnv(workload.Config{Seed: 21, Hosts: 6, Days: 4, Density: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// testCfg shrinks the sample count so tests stay fast; the shape assertions
+// hold regardless of scale.
+func testCfg() Config {
+	return Config{Samples: 30, Cap: 30 * time.Minute, Windows: 8, Seed: 42}
+}
+
+func TestRunSeverity(t *testing.T) {
+	env := testEnv(t)
+	var buf bytes.Buffer
+	res, err := RunSeverity(env, testCfg(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 30 {
+		t.Fatalf("samples = %d", res.Samples)
+	}
+	if len(res.Elapsed) != res.Samples || len(res.GraphSizes) != res.Samples {
+		t.Fatal("per-sample series incomplete")
+	}
+	// Dependency explosion must be visible: some graphs grow large while
+	// others stay tiny.
+	if res.MaxGraph < 100 {
+		t.Errorf("no explosion: max graph %d", res.MaxGraph)
+	}
+	small := 0
+	for _, s := range res.GraphSizes {
+		if s < 10 {
+			small++
+		}
+	}
+	if small == 0 {
+		t.Error("no small graphs at all — sampling is suspicious")
+	}
+	out := buf.String()
+	for _, want := range []string{"Severity", "> 20 minutes", "largest dependency graph"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	env := testEnv(t)
+	var buf bytes.Buffer
+	cfg := testCfg()
+	res, err := RunFig4(env, cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Minutes) != 30 || len(res.Summaries) != 30 {
+		t.Fatalf("expected 30 thresholds, got %d", len(res.Minutes))
+	}
+	// Medians must be non-decreasing in the time limit (longer budget
+	// cannot shrink the graph).
+	for i := 1; i < len(res.Summaries); i++ {
+		if res.Summaries[i].Median < res.Summaries[i-1].Median {
+			t.Fatalf("median decreased at %d minutes", i+1)
+		}
+		if res.Summaries[i].Max < res.Summaries[i-1].Max {
+			t.Fatalf("max decreased at %d minutes", i+1)
+		}
+	}
+	// The spread that makes time limits useless: orders of magnitude
+	// between the largest and smallest graph at every threshold.
+	if res.MeanMaxMin < 50 {
+		t.Errorf("max/min spread too small: %.0f", res.MeanMaxMin)
+	}
+	if !strings.Contains(buf.String(), "median") {
+		t.Error("report missing box columns")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	env := testEnv(t)
+	var buf bytes.Buffer
+	res, err := RunTable1(env, testCfg(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if !r.RootFound {
+			t.Errorf("%s: root cause not found", r.Attack)
+		}
+		if r.Opt == 0 || r.NoOpt == 0 {
+			t.Errorf("%s: zero-size graphs (opt=%d noOpt=%d)", r.Attack, r.Opt, r.NoOpt)
+		}
+		// The heuristics must pay off substantially. The paper reports
+		// >99.5%; at test scale we demand at least 60% reduction.
+		if float64(r.Opt) > 0.4*float64(r.NoOpt) {
+			t.Errorf("%s: weak reduction: opt=%d noOpt=%d", r.Attack, r.Opt, r.NoOpt)
+		}
+		if r.Heuristics < 2 || r.Heuristics > 3 {
+			t.Errorf("%s: heuristics = %d", r.Attack, r.Heuristics)
+		}
+	}
+	if !strings.Contains(buf.String(), "No Opt") {
+		t.Error("report missing table header")
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	env := testEnv(t)
+	var buf bytes.Buffer
+	res, err := RunTable2(env, testCfg(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline.Updates == 0 || res.APTrace.Updates == 0 {
+		t.Fatal("no updates recorded")
+	}
+	// The paper's central claim: the tail shrinks dramatically.
+	if res.APTrace.P99 >= res.Baseline.P99 {
+		t.Errorf("p99 not reduced: baseline %v vs aptrace %v", res.Baseline.P99, res.APTrace.P99)
+	}
+	if res.ReductionP99 < 2 {
+		t.Errorf("p99 reduction only %.1fx", res.ReductionP99)
+	}
+	if res.APTrace.MaxGap >= res.Baseline.MaxGap {
+		t.Errorf("max gap not reduced: %v vs %v", res.Baseline.MaxGap, res.APTrace.MaxGap)
+	}
+	if !strings.Contains(buf.String(), "reduction") {
+		t.Error("report missing reduction line")
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	env := testEnv(t)
+	var buf bytes.Buffer
+	cfg := testCfg()
+	cfg.Cap = 10 * time.Minute
+	res, err := RunFig6(env, cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) < 2 {
+		t.Fatalf("only %d samples", len(res.Samples))
+	}
+	for _, s := range res.Samples {
+		if s.MemPct < 0 || s.MemPct > 100 {
+			t.Errorf("mem%% out of range: %v", s.MemPct)
+		}
+		if s.HeapMB <= 0 {
+			t.Errorf("heap reading missing")
+		}
+	}
+	if !strings.Contains(buf.String(), "cpu%") {
+		t.Error("report missing columns")
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	env := testEnv(t)
+	cfg := testCfg()
+	cfg.Samples = 10
+	var buf bytes.Buffer
+	k, err := RunAblationK(env, cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Rows) != 5 {
+		t.Fatalf("k rows = %d", len(k.Rows))
+	}
+	p, err := RunAblationPolicy(env, cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != 4 {
+		t.Fatalf("policy rows = %d", len(p.Rows))
+	}
+	// The full design's tail should be competitive with every single-
+	// mechanism-disabled variant. At this tiny test scale dense windows
+	// are rare, so allow mild noise; the real separation shows up in the
+	// full-scale apbench runs.
+	full := p.Rows[0]
+	noSplit := p.Rows[3]
+	if float64(full.P99Gap) > 1.5*float64(noSplit.P99Gap) {
+		t.Errorf("re-splitting clearly worsened the tail: %v vs %v", full.P99Gap, noSplit.P99Gap)
+	}
+	if !strings.Contains(buf.String(), "variant") {
+		t.Error("report missing")
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if fmtDur(3*time.Minute) != "3.0m" {
+		t.Errorf("fmtDur(3m) = %s", fmtDur(3*time.Minute))
+	}
+	if fmtDur(30*time.Second) != "30s" {
+		t.Errorf("fmtDur(30s) = %s", fmtDur(30*time.Second))
+	}
+	if fmtDur(1500*time.Millisecond) != "1.50s" {
+		t.Errorf("fmtDur(1.5s) = %s", fmtDur(1500*time.Millisecond))
+	}
+	if pct(1, 4) != "25%" || pct(0, 0) != "n/a" {
+		t.Error("pct helper broken")
+	}
+}
+
+func TestCPUAndMemProbes(t *testing.T) {
+	// On Linux these must return sane values; elsewhere they return zero.
+	c1 := cpuTime()
+	for i := 0; i < 1_000_000; i++ {
+		_ = i * i
+	}
+	c2 := cpuTime()
+	if c2 < c1 {
+		t.Error("cpu time went backwards")
+	}
+	if tm := totalMemBytes(); tm < 0 {
+		t.Error("negative total memory")
+	}
+}
+
+func TestRunRefiner(t *testing.T) {
+	env := testEnv(t)
+	var buf bytes.Buffer
+	res, err := RunRefiner(env, testCfg(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GraphEdges == 0 {
+		t.Fatal("no cached graph")
+	}
+	if res.RerunSimulated <= 0 {
+		t.Fatal("re-run charged no database time")
+	}
+	// The whole point: repropagation is orders of magnitude cheaper than
+	// the database time a re-run spends.
+	if res.RepropagateWall > res.RerunSimulated/10 {
+		t.Errorf("repropagation %v not clearly cheaper than re-run %v",
+			res.RepropagateWall, res.RerunSimulated)
+	}
+	if !strings.Contains(buf.String(), "Refiner Reuse") {
+		t.Error("report missing")
+	}
+}

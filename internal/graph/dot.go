@@ -1,0 +1,52 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"aptrace/internal/event"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, the output format the
+// paper's BDL "output" clause produces (result.dot). resolve maps object IDs
+// to full objects (normally store.Object).
+//
+// Node shapes follow provenance-graph convention: processes are boxes, files
+// are ellipses, sockets are diamonds. The starting-point (alert) edge is
+// drawn bold red.
+func WriteDOT(w io.Writer, g *Graph, resolve func(event.ObjID) event.Object) error {
+	var sb strings.Builder
+	sb.WriteString("digraph aptrace {\n")
+	sb.WriteString("  rankdir=LR;\n")
+	sb.WriteString("  node [fontsize=10];\n")
+
+	nodes := g.Nodes()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for _, n := range nodes {
+		o := resolve(n.ID)
+		shape := "ellipse"
+		switch o.Type {
+		case event.ObjProcess:
+			shape = "box"
+		case event.ObjSocket:
+			shape = "diamond"
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q shape=%s];\n", n.ID, o.Label(), shape)
+	}
+
+	start := g.Start()
+	for _, e := range g.Edges() {
+		attrs := fmt.Sprintf("label=%q", fmt.Sprintf("%s @%s",
+			e.Action, time.Unix(e.Time, 0).UTC().Format("01/02 15:04:05")))
+		if e.ID == start.ID {
+			attrs += ` color=red penwidth=2.5`
+		}
+		fmt.Fprintf(&sb, "  n%d -> n%d [%s];\n", e.Src(), e.Dst(), attrs)
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

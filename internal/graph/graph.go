@@ -1,0 +1,296 @@
+// Package graph implements the dependency (tracking) graph that backtracking
+// analysis produces: nodes are system objects, edges are system events, and
+// edge direction follows data flow (paper Section II).
+//
+// The graph is built incrementally by the executor as it discovers backward
+// dependencies, and is consulted by the Dependency Graph Maintainer for
+// state propagation and final path pruning. It is safe for one writer and
+// concurrent readers.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"aptrace/internal/event"
+)
+
+// Update is one responsive progress report: an edge just landed in the
+// dependency graph. At carries the clock timestamp (simulated or real) that
+// the responsiveness experiments measure. Both APTrace's executor and the
+// King-Chen baseline emit this type, so harnesses can treat them uniformly.
+type Update struct {
+	Event   event.Event
+	NewNode bool
+	At      time.Time
+	Edges   int // graph size after this update
+}
+
+// NodeInfo is the per-object bookkeeping attached to a graph node.
+type NodeInfo struct {
+	ID event.ObjID
+	// Hop is the minimum number of edges from the starting point's source
+	// object to this node, used to enforce the BDL "hop" budget. The
+	// alert's destination object has hop 0.
+	Hop int
+	// State is the maintainer's state index: the node is known to lie on
+	// a path matching the tracking statement prefix n1..n_{State+1}.
+	// -1 means no state assigned.
+	State int
+}
+
+// Graph is an incrementally built dependency graph.
+type Graph struct {
+	mu    sync.RWMutex
+	nodes map[event.ObjID]*NodeInfo
+	edges map[event.EventID]event.Event
+	// byDst[o] lists edges whose data-flow destination is o: the backward
+	// dependencies discovered for o. bySrc is the reverse.
+	byDst map[event.ObjID][]event.EventID
+	bySrc map[event.ObjID][]event.EventID
+
+	start event.Event // the starting-point event (the anomaly alert)
+}
+
+// New creates a graph seeded with the starting-point event e0 (paper
+// Algorithm 1 line 1: G <- e0). The destination object of e0 gets hop 0 and
+// its source hop 1.
+func New(e0 event.Event) *Graph {
+	g := &Graph{
+		nodes: make(map[event.ObjID]*NodeInfo),
+		edges: make(map[event.EventID]event.Event),
+		byDst: make(map[event.ObjID][]event.EventID),
+		bySrc: make(map[event.ObjID][]event.EventID),
+		start: e0,
+	}
+	g.nodes[e0.Dst()] = &NodeInfo{ID: e0.Dst(), Hop: 0, State: -1}
+	g.addEdgeLocked(e0, 1)
+	return g
+}
+
+// Start returns the starting-point event.
+func (g *Graph) Start() event.Event { return g.start }
+
+// AddEdge records a newly discovered backward dependency: ev's destination
+// must already be a node in the graph (it is the object whose dependencies
+// were being searched). It returns whether the edge was new, and whether its
+// source object was seen for the first time.
+//
+// The source node's hop is min-updated to hop(dst)+1.
+func (g *Graph) AddEdge(ev event.Event) (newEdge, newNode bool, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	dst, ok := g.nodes[ev.Dst()]
+	if !ok {
+		return false, false, fmt.Errorf("graph: edge %d arrives at unknown node %d", ev.ID, ev.Dst())
+	}
+	if _, dup := g.edges[ev.ID]; dup {
+		return false, false, nil
+	}
+	_, existed := g.nodes[ev.Src()]
+	g.addEdgeLocked(ev, dst.Hop+1)
+	return true, !existed, nil
+}
+
+// AddForwardEdge records a newly discovered forward dependency (impact
+// tracking): ev's source must already be a node in the graph. The
+// destination node's hop is min-updated to hop(src)+1. It mirrors AddEdge.
+func (g *Graph) AddForwardEdge(ev event.Event) (newEdge, newNode bool, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	src, ok := g.nodes[ev.Src()]
+	if !ok {
+		return false, false, fmt.Errorf("graph: edge %d departs from unknown node %d", ev.ID, ev.Src())
+	}
+	if _, dup := g.edges[ev.ID]; dup {
+		return false, false, nil
+	}
+	_, existed := g.nodes[ev.Dst()]
+	g.addForwardEdgeLocked(ev, src.Hop+1)
+	return true, !existed, nil
+}
+
+func (g *Graph) addForwardEdgeLocked(ev event.Event, dstHop int) {
+	g.edges[ev.ID] = ev
+	g.byDst[ev.Dst()] = append(g.byDst[ev.Dst()], ev.ID)
+	g.bySrc[ev.Src()] = append(g.bySrc[ev.Src()], ev.ID)
+	if n, ok := g.nodes[ev.Dst()]; ok {
+		if dstHop < n.Hop {
+			n.Hop = dstHop
+		}
+	} else {
+		g.nodes[ev.Dst()] = &NodeInfo{ID: ev.Dst(), Hop: dstHop, State: -1}
+	}
+}
+
+func (g *Graph) addEdgeLocked(ev event.Event, srcHop int) {
+	g.edges[ev.ID] = ev
+	g.byDst[ev.Dst()] = append(g.byDst[ev.Dst()], ev.ID)
+	g.bySrc[ev.Src()] = append(g.bySrc[ev.Src()], ev.ID)
+	if n, ok := g.nodes[ev.Src()]; ok {
+		if srcHop < n.Hop {
+			n.Hop = srcHop
+		}
+	} else {
+		g.nodes[ev.Src()] = &NodeInfo{ID: ev.Src(), Hop: srcHop, State: -1}
+	}
+}
+
+// HasEdge reports whether the event is already an edge of the graph.
+func (g *Graph) HasEdge(id event.EventID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.edges[id]
+	return ok
+}
+
+// Node returns a copy of the bookkeeping for an object, if present.
+func (g *Graph) Node(id event.ObjID) (NodeInfo, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return NodeInfo{}, false
+	}
+	return *n, true
+}
+
+// SetState assigns the maintainer state of a node. Unknown nodes are ignored.
+func (g *Graph) SetState(id event.ObjID, state int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n, ok := g.nodes[id]; ok {
+		n.State = state
+	}
+}
+
+// ResetStates clears every node's maintainer state to -1. The Refiner calls
+// this before re-propagating states after the intermediate points changed.
+func (g *Graph) ResetStates() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, n := range g.nodes {
+		n.State = -1
+	}
+}
+
+// NumEdges returns the number of edges; the paper reports dependency-graph
+// size as the number of events.
+func (g *Graph) NumEdges() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.edges)
+}
+
+// NumNodes returns the number of object nodes.
+func (g *Graph) NumNodes() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
+
+// MaxHop returns the largest hop among nodes: the graph "diameter" that the
+// BDL hop budget bounds.
+func (g *Graph) MaxHop() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	max := 0
+	for _, n := range g.nodes {
+		if n.Hop > max {
+			max = n.Hop
+		}
+	}
+	return max
+}
+
+// InEdges returns the events flowing into obj (its discovered backward
+// dependencies), in insertion order.
+func (g *Graph) InEdges(obj event.ObjID) []event.Event {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.eventsLocked(g.byDst[obj])
+}
+
+// OutEdges returns the events flowing out of obj, in insertion order.
+func (g *Graph) OutEdges(obj event.ObjID) []event.Event {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.eventsLocked(g.bySrc[obj])
+}
+
+func (g *Graph) eventsLocked(ids []event.EventID) []event.Event {
+	out := make([]event.Event, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, g.edges[id])
+	}
+	return out
+}
+
+// Edges returns all edges sorted by event ID (deterministic order for
+// output and tests).
+func (g *Graph) Edges() []event.Event {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]event.Event, 0, len(g.edges))
+	for _, e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Nodes returns all node infos sorted by object ID.
+func (g *Graph) Nodes() []NodeInfo {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]NodeInfo, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, *n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Retain removes every node not accepted by keep, along with all edges
+// touching removed nodes. The starting event's destination node is always
+// retained. It returns the number of edges removed. The maintainer uses this
+// for final path pruning (paper Section III-A: "APTrace removes the paths
+// that do not meet the constraints of the intermediate points").
+func (g *Graph) Retain(keep func(event.ObjID) bool) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	removedNodes := make(map[event.ObjID]bool)
+	for id := range g.nodes {
+		if id != g.start.Dst() && !keep(id) {
+			removedNodes[id] = true
+		}
+	}
+	if len(removedNodes) == 0 {
+		return 0
+	}
+	removed := 0
+	for id, ev := range g.edges {
+		if removedNodes[ev.Src()] || removedNodes[ev.Dst()] {
+			delete(g.edges, id)
+			removed++
+		}
+	}
+	for id := range removedNodes {
+		delete(g.nodes, id)
+	}
+	// Rebuild adjacency from the surviving edges.
+	g.byDst = make(map[event.ObjID][]event.EventID, len(g.nodes))
+	g.bySrc = make(map[event.ObjID][]event.EventID, len(g.nodes))
+	for id, ev := range g.edges {
+		g.byDst[ev.Dst()] = append(g.byDst[ev.Dst()], id)
+		g.bySrc[ev.Src()] = append(g.bySrc[ev.Src()], id)
+	}
+	for _, lists := range []map[event.ObjID][]event.EventID{g.byDst, g.bySrc} {
+		for _, l := range lists {
+			sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+		}
+	}
+	return removed
+}

@@ -1,0 +1,294 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"aptrace/internal/event"
+)
+
+// chainGraph builds:
+//
+//	e0 (alert): 10 -> 20   (start)
+//	e1: 11 -> 10
+//	e2: 12 -> 11
+//	e3: 13 -> 11  (branch)
+func chainGraph(t *testing.T) *Graph {
+	t.Helper()
+	e0 := event.Event{ID: 100, Time: 1000, Subject: 10, Object: 20, Dir: event.FlowOut, Action: event.ActSend}
+	g := New(e0)
+	add := func(id event.EventID, tm int64, src, dst event.ObjID) {
+		t.Helper()
+		// FlowOut with Subject=src, Object=dst.
+		ev := event.Event{ID: id, Time: tm, Subject: src, Object: dst, Dir: event.FlowOut, Action: event.ActWrite}
+		if _, _, err := g.AddEdge(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(101, 900, 11, 10)
+	add(102, 800, 12, 11)
+	add(103, 700, 13, 11)
+	return g
+}
+
+func TestNewSeedsStart(t *testing.T) {
+	e0 := event.Event{ID: 1, Time: 10, Subject: 5, Object: 6, Dir: event.FlowOut}
+	g := New(e0)
+	if g.NumEdges() != 1 || g.NumNodes() != 2 {
+		t.Fatalf("seeded graph: %d edges, %d nodes", g.NumEdges(), g.NumNodes())
+	}
+	dst, _ := g.Node(6)
+	src, _ := g.Node(5)
+	if dst.Hop != 0 || src.Hop != 1 {
+		t.Fatalf("hops: dst=%d src=%d, want 0,1", dst.Hop, src.Hop)
+	}
+	if g.Start() != e0 {
+		t.Fatal("Start() changed")
+	}
+}
+
+func TestAddEdgeSemantics(t *testing.T) {
+	g := chainGraph(t)
+	if g.NumEdges() != 4 || g.NumNodes() != 5 {
+		t.Fatalf("graph: %d edges %d nodes", g.NumEdges(), g.NumNodes())
+	}
+	// Duplicate edge is ignored.
+	dup := event.Event{ID: 101, Time: 900, Subject: 11, Object: 10, Dir: event.FlowOut}
+	newEdge, newNode, err := g.AddEdge(dup)
+	if err != nil || newEdge || newNode {
+		t.Fatalf("duplicate add: %v %v %v", newEdge, newNode, err)
+	}
+	// Edge into an unknown node fails.
+	bad := event.Event{ID: 999, Time: 1, Subject: 50, Object: 60, Dir: event.FlowOut}
+	if _, _, err := g.AddEdge(bad); err == nil {
+		t.Fatal("edge into unknown node must fail")
+	}
+	// New edge into a known node from a known node: newEdge, not newNode.
+	cross := event.Event{ID: 104, Time: 600, Subject: 13, Object: 12, Dir: event.FlowOut}
+	newEdge, newNode, err = g.AddEdge(cross)
+	if err != nil || !newEdge || newNode {
+		t.Fatalf("cross edge: %v %v %v", newEdge, newNode, err)
+	}
+}
+
+func TestHops(t *testing.T) {
+	g := chainGraph(t)
+	wantHops := map[event.ObjID]int{20: 0, 10: 1, 11: 2, 12: 3, 13: 3}
+	for id, want := range wantHops {
+		n, ok := g.Node(id)
+		if !ok || n.Hop != want {
+			t.Errorf("hop(%d) = %d,%v want %d", id, n.Hop, ok, want)
+		}
+	}
+	if g.MaxHop() != 3 {
+		t.Errorf("MaxHop = %d", g.MaxHop())
+	}
+	// A shorter path found later must min-update the hop.
+	short := event.Event{ID: 105, Time: 950, Subject: 12, Object: 10, Dir: event.FlowOut}
+	if _, _, err := g.AddEdge(short); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := g.Node(12)
+	if n.Hop != 2 {
+		t.Errorf("hop(12) after shortcut = %d, want 2", n.Hop)
+	}
+}
+
+func TestInOutEdges(t *testing.T) {
+	g := chainGraph(t)
+	in := g.InEdges(11)
+	if len(in) != 2 {
+		t.Fatalf("InEdges(11) = %d", len(in))
+	}
+	out := g.OutEdges(11)
+	if len(out) != 1 || out[0].ID != 101 {
+		t.Fatalf("OutEdges(11) = %+v", out)
+	}
+	if len(g.InEdges(999)) != 0 {
+		t.Error("unknown node must have no edges")
+	}
+}
+
+func TestStates(t *testing.T) {
+	g := chainGraph(t)
+	if n, _ := g.Node(11); n.State != -1 {
+		t.Fatalf("initial state = %d", n.State)
+	}
+	g.SetState(11, 2)
+	if n, _ := g.Node(11); n.State != 2 {
+		t.Fatalf("state = %d", n.State)
+	}
+	g.SetState(999, 1) // unknown: ignored, no panic
+	g.ResetStates()
+	for _, n := range g.Nodes() {
+		if n.State != -1 {
+			t.Fatalf("node %d state %d after reset", n.ID, n.State)
+		}
+	}
+}
+
+func TestRetain(t *testing.T) {
+	g := chainGraph(t)
+	// Keep only the spine 20,10,11,12 (drop 13).
+	removed := g.Retain(func(id event.ObjID) bool { return id != 13 })
+	if removed != 1 {
+		t.Fatalf("removed %d edges, want 1", removed)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("after retain: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if _, ok := g.Node(13); ok {
+		t.Fatal("node 13 still present")
+	}
+	if len(g.InEdges(11)) != 1 {
+		t.Fatalf("InEdges(11) = %d after retain", len(g.InEdges(11)))
+	}
+	// The alert's destination node survives even if keep rejects it.
+	removed = g.Retain(func(id event.ObjID) bool { return false })
+	if _, ok := g.Node(20); !ok {
+		t.Fatal("alert destination node must always survive")
+	}
+	_ = removed
+}
+
+func TestRetainNoop(t *testing.T) {
+	g := chainGraph(t)
+	if removed := g.Retain(func(event.ObjID) bool { return true }); removed != 0 {
+		t.Fatalf("noop retain removed %d", removed)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatal("noop retain changed the graph")
+	}
+}
+
+func TestEdgesSortedDeterministic(t *testing.T) {
+	g := chainGraph(t)
+	edges := g.Edges()
+	for i := 1; i < len(edges); i++ {
+		if edges[i-1].ID >= edges[i].ID {
+			t.Fatal("edges not sorted by ID")
+		}
+	}
+	nodes := g.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].ID >= nodes[i].ID {
+			t.Fatal("nodes not sorted by ID")
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := chainGraph(t)
+	objs := map[event.ObjID]event.Object{
+		10: event.Process("h", "java.exe", 1, 0),
+		11: event.Process("h", "excel.exe", 2, 0),
+		12: event.File("h", `C:\mail\msg.xls`),
+		13: event.Socket("h", "10.0.0.1", 1, "2.2.2.2", 443),
+		20: event.Socket("h", "10.0.0.1", 2, "9.9.9.9", 443),
+	}
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, func(id event.ObjID) event.Object { return objs[id] }); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	for _, want := range []string{
+		"digraph aptrace",
+		"shape=box",     // process
+		"shape=ellipse", // file
+		"shape=diamond", // socket
+		"color=red",     // alert edge
+		"n10 -> n20",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := chainGraph(t)
+	if !g.HasEdge(101) {
+		t.Error("edge 101 should exist")
+	}
+	if g.HasEdge(998) {
+		t.Error("edge 998 should not exist")
+	}
+}
+
+func TestPathFromStart(t *testing.T) {
+	g := chainGraph(t)
+	// Backward path from the alert's node (20) to node 12: 20<-10<-11<-12.
+	path, ok := PathFromStart(g, 12, false)
+	if !ok || len(path) != 3 {
+		t.Fatalf("path = %v, ok=%v", path, ok)
+	}
+	if path[0].ID != 100 || path[1].ID != 101 || path[2].ID != 102 {
+		t.Fatalf("path edges = %d,%d,%d", path[0].ID, path[1].ID, path[2].ID)
+	}
+	// Path to self is empty-but-ok.
+	if p, ok := PathFromStart(g, 20, false); !ok || len(p) != 0 {
+		t.Fatalf("self path = %v, %v", p, ok)
+	}
+	// Unreachable target.
+	if _, ok := PathFromStart(g, 999, false); ok {
+		t.Fatal("unreachable target must report !ok")
+	}
+}
+
+func TestPathFromStartForward(t *testing.T) {
+	// Forward graph: e0 10->20 (origin 20), then 20->30, 30->40.
+	e0 := event.Event{ID: 1, Time: 10, Subject: 10, Object: 20, Dir: event.FlowOut}
+	g := New(e0)
+	for i, pair := range [][2]event.ObjID{{20, 30}, {30, 40}} {
+		ev := event.Event{ID: event.EventID(2 + i), Time: int64(20 + i*10),
+			Subject: pair[0], Object: pair[1], Dir: event.FlowOut}
+		if _, _, err := g.AddForwardEdge(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, ok := PathFromStart(g, 40, true)
+	if !ok || len(path) != 2 {
+		t.Fatalf("forward path = %v, %v", path, ok)
+	}
+	if path[0].ID != 2 || path[1].ID != 3 {
+		t.Fatalf("forward path order: %d,%d", path[0].ID, path[1].ID)
+	}
+}
+
+func TestAddForwardEdge(t *testing.T) {
+	e0 := event.Event{ID: 1, Time: 10, Subject: 10, Object: 20, Dir: event.FlowOut}
+	g := New(e0)
+	// src must be known.
+	bad := event.Event{ID: 9, Time: 20, Subject: 77, Object: 88, Dir: event.FlowOut}
+	if _, _, err := g.AddForwardEdge(bad); err == nil {
+		t.Fatal("unknown src must fail")
+	}
+	ev := event.Event{ID: 2, Time: 20, Subject: 20, Object: 30, Dir: event.FlowOut}
+	newEdge, newNode, err := g.AddForwardEdge(ev)
+	if err != nil || !newEdge || !newNode {
+		t.Fatalf("forward add: %v %v %v", newEdge, newNode, err)
+	}
+	n, _ := g.Node(30)
+	if n.Hop != 1 {
+		t.Fatalf("hop(30) = %d, want 1 (origin 20 is hop 0)", n.Hop)
+	}
+	// Duplicate is ignored.
+	if ne, _, _ := g.AddForwardEdge(ev); ne {
+		t.Fatal("duplicate forward edge")
+	}
+}
+
+func TestTopFanIn(t *testing.T) {
+	g := chainGraph(t)
+	top := TopFanIn(g, 2)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	// Node 11 has two in-edges (from 12 and 13); everything else has one.
+	if top[0].ID != 11 || top[0].In != 2 {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	if all := TopFanIn(g, 100); len(all) == 0 {
+		t.Fatal("unbounded TopFanIn empty")
+	}
+}

@@ -1,0 +1,51 @@
+package refiner
+
+import "aptrace/internal/bdl"
+
+// ResumeAction says how much of a paused analysis survives a script change
+// (paper Section III-B3).
+type ResumeAction uint8
+
+const (
+	// Restart: the starting point changed; the current analysis is
+	// abandoned, the dependency graph cleared, and a fresh backtracking
+	// analysis begins.
+	Restart ResumeAction = iota
+	// Repropagate: the starting point is unchanged but the intermediate
+	// (or end) points changed; the cached graph is kept and the
+	// Dependency Graph Maintainer recomputes node states before the
+	// executor resumes.
+	Repropagate
+	// Resume: only where constraints, budgets, prioritize rules, general
+	// constraints, or the output path changed; the executor resumes with
+	// the new filters applied to future exploration.
+	Resume
+)
+
+// String names the action.
+func (a ResumeAction) String() string {
+	switch a {
+	case Restart:
+		return "restart"
+	case Repropagate:
+		return "repropagate"
+	default:
+		return "resume"
+	}
+}
+
+// Delta compares the previous and the updated script and decides the resume
+// action. It implements the Refiner's compatibility check: first the
+// starting point, then the intermediate points, then everything else.
+func Delta(old, new *bdl.Script) ResumeAction {
+	if old == nil {
+		return Restart
+	}
+	if !bdl.SameStart(old, new) {
+		return Restart
+	}
+	if !bdl.SameIntermediates(old, new) {
+		return Repropagate
+	}
+	return Resume
+}

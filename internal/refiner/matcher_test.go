@@ -1,0 +1,228 @@
+package refiner
+
+import (
+	"testing"
+
+	"aptrace/internal/event"
+	"aptrace/internal/store"
+)
+
+// fileTimesEnv builds a store where a file has distinct creation, last
+// modification, and last access times:
+//
+//	t=100: editor creates /doc (creation)
+//	t=200: editor writes /doc
+//	t=300: editor writes /doc  (last modification)
+//	t=400: reader reads /doc   (last access)
+//	t=500: reader sends to a socket (the event we match against)
+func fileTimesEnv(t *testing.T) (*store.Store, event.Event, event.ObjID) {
+	t.Helper()
+	s := store.New(nil)
+	editor := event.Process("h", "editor", 1, 50)
+	reader := event.Process("h", "reader", 2, 350)
+	doc := event.File("h", "/doc")
+	sock := event.Socket("", "10.0.0.1", 1, "9.9.9.9", 443)
+	add := func(tm int64, sub, obj event.Object, a event.Action, d event.Direction) event.EventID {
+		id, err := s.AddEvent(tm, sub, obj, a, d, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	add(100, editor, doc, event.ActCreate, event.FlowOut)
+	add(200, editor, doc, event.ActWrite, event.FlowOut)
+	add(300, editor, doc, event.ActWrite, event.FlowOut)
+	readID := add(400, reader, doc, event.ActRead, event.FlowIn)
+	add(500, reader, sock, event.ActSend, event.FlowOut)
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	readEv, _ := s.EventByID(readID)
+	docID, _ := s.Lookup(doc)
+	return s, readEv, docID
+}
+
+func TestFileTimeFieldsInNodeConditions(t *testing.T) {
+	s, readEv, docID := fileTimesEnv(t)
+	// The doc node (the read event's flow source) is matched against file
+	// nodes constrained by the computed time fields. Times are Unix
+	// seconds; BDL time literals parse to Unix, so use numeric forms via
+	// a matcher built from a numeric comparison instead.
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{`creation_time = 100`, true},
+		{`creation_time > 100`, false},
+		{`last_modification_time = 300`, true},
+		{`last_modification_time < 300`, false},
+		{`last_access_time = 400`, true},
+		{`last_access_time >= 500`, false},
+	}
+	for _, tc := range cases {
+		plan, err := ParseAndCompile(`backward ip a[dst_ip = "x"] -> file f[` + tc.cond + `] -> *`)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.cond, err)
+		}
+		got, err := plan.Chain[0].Match(readEv, docID, s, 0, 1000)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.cond, err)
+		}
+		if got != tc.want {
+			t.Errorf("match(%s) = %v, want %v", tc.cond, got, tc.want)
+		}
+	}
+}
+
+func TestFileTimeFieldsWithTimeLiterals(t *testing.T) {
+	// A store whose events use real Unix timestamps so BDL date literals
+	// are meaningful.
+	s := store.New(nil)
+	ed := event.Process("h", "ed", 1, 0)
+	doc := event.File("h", "/d")
+	base := int64(1_554_163_200) // 2019-04-02T00:00:00Z
+	if _, err := s.AddEvent(base+3600, ed, doc, event.ActCreate, event.FlowOut, 1); err != nil {
+		t.Fatal(err)
+	}
+	readID, err := s.AddEvent(base+7200, ed, doc, event.ActRead, event.FlowIn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	readEv, _ := s.EventByID(readID)
+	docID, _ := s.Lookup(doc)
+
+	plan, err := ParseAndCompile(`backward ip a[dst_ip = "x"] -> file f[creation_time >= "04/02/2019" and creation_time < "04/03/2019"] -> *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := plan.Chain[0].Match(readEv, docID, s, 0, base+100_000)
+	if err != nil || !got {
+		t.Fatalf("date-literal creation_time match = %v, %v", got, err)
+	}
+}
+
+func TestOrderedStringComparisons(t *testing.T) {
+	s, readEv, docID := fileTimesEnv(t)
+	// Lexicographic ordering on string fields: path "/doc".
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{`path >= "/doc"`, true},
+		{`path > "/doc"`, false},
+		{`path < "/zzz"`, true},
+		{`path <= "/a"`, false},
+	}
+	for _, tc := range cases {
+		plan, err := ParseAndCompile(`backward ip a[dst_ip = "x"] -> file f[` + tc.cond + `] -> *`)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.cond, err)
+		}
+		got, err := plan.Chain[0].Match(readEv, docID, s, 0, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("match(%s) = %v, want %v", tc.cond, got, tc.want)
+		}
+	}
+}
+
+func TestNodeEventFields(t *testing.T) {
+	s, readEv, docID := fileTimesEnv(t)
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{`event_id = 4`, true},
+		{`event_id != 4`, false},
+		{`event_time = 400`, true},
+		{`event_time < 400`, false},
+		{`amount >= 10`, true},
+		{`amount > 10`, false},
+		{`subject_pid = 2`, true},
+		{`subject_pid >= 5`, false},
+		{`subject_name = "reader"`, true},
+		{`subject_name != "reader"`, false},
+		{`action_type = "read"`, true},
+		{`type = "write"`, false},
+	}
+	for _, tc := range cases {
+		plan, err := ParseAndCompile(`backward ip a[dst_ip = "x"] -> file f[` + tc.cond + `] -> *`)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.cond, err)
+		}
+		got, err := plan.Chain[0].Match(readEv, docID, s, 0, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("match(%s) = %v, want %v", tc.cond, got, tc.want)
+		}
+	}
+}
+
+func TestTypeMismatchNeverMatches(t *testing.T) {
+	s, readEv, docID := fileTimesEnv(t)
+	// The doc is a file; a proc matcher must reject it regardless of
+	// conditions.
+	plan, err := ParseAndCompile(`backward ip a[dst_ip = "x"] -> proc p[exename = "*"] -> *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := plan.Chain[0].Match(readEv, docID, s, 0, 1000)
+	if err != nil || got {
+		t.Fatalf("type-mismatched node matched: %v %v", got, err)
+	}
+}
+
+func TestWhereAmountCondition(t *testing.T) {
+	s, readEv, docID := fileTimesEnv(t)
+	plan, err := ParseAndCompile(`backward ip a[dst_ip = "x"] -> * where amount >= 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := plan.Where.Keep(readEv, docID, s, 0, 1000)
+	if err != nil || !keep {
+		t.Fatalf("amount>=5 should keep the 10-byte read: %v %v", keep, err)
+	}
+	plan2, _ := ParseAndCompile(`backward ip a[dst_ip = "x"] -> * where amount >= 50`)
+	if keep, _ := plan2.Where.Keep(readEv, docID, s, 0, 1000); keep {
+		t.Fatal("amount>=50 should drop the 10-byte read")
+	}
+}
+
+func TestWhereComputedNotEqual(t *testing.T) {
+	s, _, _ := fileTimesEnv(t)
+	// "proc.dst.isWriteThrough != true" is the negated spelling.
+	plan, err := ParseAndCompile(`backward ip a[dst_ip = "x"] -> * where proc.dst.isWriteThrough != true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The editor write at t=200 flows into /doc, which is not a process,
+	// so isWriteThrough=false, != true => keep.
+	var wr event.Event
+	s.Scan(200, 201, func(e event.Event) bool { wr = e; return false })
+	keep, err := plan.Where.Keep(wr, wr.Src(), s, 0, 1000)
+	if err != nil || !keep {
+		t.Fatalf("negated computed attribute: %v %v", keep, err)
+	}
+}
+
+func TestHostFieldInNodeCondition(t *testing.T) {
+	s, readEv, docID := fileTimesEnv(t)
+	plan, err := ParseAndCompile(`backward ip a[dst_ip = "x"] -> file f[host = "h"] -> *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := plan.Chain[0].Match(readEv, docID, s, 0, 1000); !got {
+		t.Fatal("host condition should match")
+	}
+	plan2, _ := ParseAndCompile(`backward ip a[dst_ip = "x"] -> file f[host = "other"] -> *`)
+	if got, _ := plan2.Chain[0].Match(readEv, docID, s, 0, 1000); got {
+		t.Fatal("wrong host matched")
+	}
+}

@@ -1,0 +1,311 @@
+// Package repl implements the interactive analyst console that cmd/aptrace
+// exposes with -interactive: the concrete realization of the paper's
+// Figure 3 loop. The analyst types a BDL script, watches updates stream,
+// pauses, asks for suggestions, refines the script, resumes — all against
+// one session. The console reads commands from an io.Reader and writes to an
+// io.Writer, so the whole loop is unit-testable without a terminal.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"aptrace/internal/alerts"
+	"aptrace/internal/core"
+	"aptrace/internal/graph"
+	"aptrace/internal/session"
+	"aptrace/internal/stats"
+	"aptrace/internal/store"
+	"aptrace/internal/suggest"
+)
+
+// Console is one interactive investigation.
+type Console struct {
+	st   *store.Store
+	opts core.Options
+	out  io.Writer
+
+	sess    *session.Session
+	started bool
+	paused  bool
+}
+
+// New creates a console over a sealed store. opts configures the executors
+// the console creates (window count etc.).
+func New(st *store.Store, opts core.Options, out io.Writer) *Console {
+	return &Console{st: st, opts: opts, out: out}
+}
+
+// Run reads commands from in until EOF or "quit". It always returns the
+// number of commands executed; the error reports I/O failures only —
+// command-level problems are printed to the console like any shell does.
+func (c *Console) Run(in io.Reader) (int, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	n := 0
+	fmt.Fprintln(c.out, `aptrace interactive console — "help" lists commands`)
+	for {
+		fmt.Fprint(c.out, "> ")
+		if !sc.Scan() {
+			fmt.Fprintln(c.out)
+			return n, sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		n++
+		cmd, arg, _ := strings.Cut(line, " ")
+		arg = strings.TrimSpace(arg)
+		switch strings.ToLower(cmd) {
+		case "quit", "exit":
+			c.cmdStop()
+			return n, nil
+		case "help":
+			c.cmdHelp()
+		case "script":
+			c.cmdScript(sc)
+		case "load":
+			c.cmdLoad(arg)
+		case "pause":
+			c.cmdPause()
+		case "resume":
+			c.cmdResume()
+		case "stop":
+			c.cmdStop()
+		case "status":
+			c.cmdStatus()
+		case "suggest":
+			c.cmdSuggest(arg)
+		case "alerts":
+			c.cmdAlerts(arg)
+		case "top":
+			c.cmdTop(arg)
+		case "dot":
+			c.cmdDot(arg)
+		default:
+			fmt.Fprintf(c.out, "unknown command %q; try help\n", cmd)
+		}
+	}
+}
+
+func (c *Console) cmdHelp() {
+	fmt.Fprint(c.out, `commands:
+  script          enter a BDL script inline, terminated by a line with "."
+                  (starts the analysis, or refines it if one is running)
+  load FILE       read the script from a file instead
+  pause | resume  suspend / continue exploration
+  status          graph size, update cadence, analysis state
+  suggest [N]     propose up to N exclusion heuristics from the hot spots
+  top [N]         show the N highest fan-in nodes of the current graph
+  alerts [N]      run the anomaly detector over the store
+  dot FILE        write the current graph as Graphviz DOT
+  stop            terminate the analysis
+  quit            stop and leave
+`)
+}
+
+func (c *Console) cmdScript(sc *bufio.Scanner) {
+	var lines []string
+	for sc.Scan() {
+		l := sc.Text()
+		if strings.TrimSpace(l) == "." {
+			break
+		}
+		lines = append(lines, l)
+	}
+	c.applyScript(strings.Join(lines, "\n"))
+}
+
+func (c *Console) cmdLoad(path string) {
+	if path == "" {
+		fmt.Fprintln(c.out, "usage: load FILE")
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(c.out, "error: %v\n", err)
+		return
+	}
+	c.applyScript(string(raw))
+}
+
+func (c *Console) applyScript(src string) {
+	if c.started {
+		action, err := c.sess.UpdateScript(src)
+		if err != nil {
+			fmt.Fprintf(c.out, "error: %v\n", err)
+			return
+		}
+		fmt.Fprintf(c.out, "refiner decision: %s\n", action)
+		if c.paused {
+			fmt.Fprintln(c.out, `(still paused; "resume" to continue)`)
+		}
+		return
+	}
+	c.sess = session.New(c.st, c.opts)
+	if err := c.sess.Start(src, nil); err != nil {
+		fmt.Fprintf(c.out, "error: %v\n", err)
+		c.sess = nil
+		return
+	}
+	c.started = true
+	fmt.Fprintln(c.out, "analysis started; updates are streaming into the graph")
+}
+
+func (c *Console) cmdPause() {
+	if !c.require() {
+		return
+	}
+	c.sess.Pause()
+	c.paused = true
+	fmt.Fprintln(c.out, "paused")
+}
+
+func (c *Console) cmdResume() {
+	if !c.require() {
+		return
+	}
+	c.sess.Resume()
+	c.paused = false
+	fmt.Fprintln(c.out, "resumed")
+}
+
+func (c *Console) cmdStop() {
+	if c.sess == nil {
+		return
+	}
+	c.sess.Stop()
+	if res, err := c.sess.Wait(); err != nil {
+		fmt.Fprintf(c.out, "analysis error: %v\n", err)
+	} else if res != nil {
+		fmt.Fprintf(c.out, "analysis %s: %d events, %d nodes\n",
+			res.Reason, res.Graph.NumEdges(), res.Graph.NumNodes())
+	}
+}
+
+func (c *Console) cmdStatus() {
+	g := c.graph()
+	if g == nil {
+		return
+	}
+	times := c.sess.UpdateTimes()
+	state := "running"
+	if c.paused {
+		state = "paused"
+	}
+	fmt.Fprintf(c.out, "%s: %d events, %d nodes, %d updates\n",
+		state, g.NumEdges(), g.NumNodes(), len(times))
+	if ds := stats.Deltas(stats.DistinctTimes(times)); len(ds) > 0 {
+		xs := stats.Durations(ds)
+		ps := stats.Percentiles(xs, 0.5, 0.99)
+		fmt.Fprintf(c.out, "update gaps: median %.2fs, p99 %.2fs\n", ps[0], ps[1])
+	}
+}
+
+func (c *Console) cmdSuggest(arg string) {
+	g := c.graph()
+	if g == nil {
+		return
+	}
+	n := parseN(arg, 5)
+	sugs := suggest.ForGraph(g, c.st, suggest.Options{Limit: n})
+	if len(sugs) == 0 {
+		fmt.Fprintln(c.out, "no suggestions yet — let the analysis explore further")
+		return
+	}
+	fmt.Fprintln(c.out, "verify, then add to the where clause:")
+	for _, s := range sugs {
+		fmt.Fprintf(c.out, "  %-40s -- %s\n", s.Clause, s.Reason)
+		fmt.Fprintf(c.out, "  %40s    caution: %s\n", "", s.Caution)
+	}
+}
+
+func (c *Console) cmdTop(arg string) {
+	g := c.graph()
+	if g == nil {
+		return
+	}
+	n := parseN(arg, 8)
+	for _, d := range graph.TopFanIn(g, n) {
+		fmt.Fprintf(c.out, "  %4d edges  %s\n", d.In, c.st.Object(d.ID).Label())
+	}
+}
+
+func (c *Console) cmdAlerts(arg string) {
+	n := parseN(arg, 10)
+	found, err := alerts.NewDetector().Scan(c.st, 0, 1<<62)
+	if err != nil {
+		fmt.Fprintf(c.out, "error: %v\n", err)
+		return
+	}
+	fmt.Fprintf(c.out, "%d alerts; showing up to %d:\n", len(found), n)
+	for i, a := range found {
+		if i == n {
+			break
+		}
+		fmt.Fprintf(c.out, "  %s  [%s] %s\n",
+			a.Event.When().Format(time.DateTime), a.Rule, a.Message)
+	}
+}
+
+func (c *Console) cmdDot(path string) {
+	if !c.require() {
+		return
+	}
+	if path == "" {
+		fmt.Fprintln(c.out, "usage: dot FILE")
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(c.out, "error: %v\n", err)
+		return
+	}
+	defer f.Close()
+	g := c.graph()
+	if g == nil {
+		return
+	}
+	if err := graph.WriteDOT(f, g, c.st.Object); err != nil {
+		fmt.Fprintf(c.out, "error: %v\n", err)
+		return
+	}
+	fmt.Fprintf(c.out, "graph written to %s\n", path)
+}
+
+// graph returns the current dependency graph, or nil (with a message) when
+// no analysis is running or it has not produced a graph yet.
+func (c *Console) graph() *graph.Graph {
+	if !c.require() {
+		return nil
+	}
+	g := c.sess.Graph()
+	if g == nil {
+		fmt.Fprintln(c.out, "the analysis is still starting; try again in a moment")
+	}
+	return g
+}
+
+func (c *Console) require() bool {
+	if !c.started {
+		fmt.Fprintln(c.out, `no analysis running; enter one with "script" or "load"`)
+		return false
+	}
+	return true
+}
+
+func parseN(arg string, def int) int {
+	if arg == "" {
+		return def
+	}
+	if n, err := strconv.Atoi(arg); err == nil && n > 0 {
+		return n
+	}
+	return def
+}

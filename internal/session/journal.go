@@ -1,0 +1,103 @@
+package session
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Journal records the analyst's actions during an investigation as JSON
+// lines: which script versions ran, when the analysis paused and resumed,
+// what the Refiner decided, and how the graph grew. Security teams keep this
+// as the investigation's own provenance — who concluded what from which
+// evidence — and it doubles as a replayable transcript of the narrative the
+// paper walks through in Section IV-D.
+type Journal struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+	n   int
+}
+
+// JournalEntry is one recorded action.
+type JournalEntry struct {
+	// At is the wall-clock time the entry was recorded; AnalysisAt the
+	// analysis clock (simulated time under the cost model).
+	At         time.Time `json:"at"`
+	AnalysisAt time.Time `json:"analysis_at,omitempty"`
+	// Action is one of: start, pause, resume, update-script, stop,
+	// finished, finalize.
+	Action string `json:"action"`
+	// Script holds the BDL source for start/update-script entries.
+	Script string `json:"script,omitempty"`
+	// Decision is the Refiner's resume action for update-script entries.
+	Decision string `json:"decision,omitempty"`
+	// Edges/Nodes snapshot the graph size where meaningful.
+	Edges int `json:"edges,omitempty"`
+	Nodes int `json:"nodes,omitempty"`
+	// Detail carries free-form context (stop reason, prune count, error).
+	Detail string `json:"detail,omitempty"`
+}
+
+// NewJournal wraps w as a journal sink. Entries are written as they happen;
+// the first write error sticks and is reported by Err.
+func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+
+func (j *Journal) record(e JournalEntry) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	e.At = time.Now()
+	raw, err := json.Marshal(e)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(append(raw, '\n')); err != nil {
+		j.err = fmt.Errorf("session: journal write: %w", err)
+		return
+	}
+	j.n++
+}
+
+// Err returns the first write error, if any.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Entries returns how many entries were recorded.
+func (j *Journal) Entries() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// ReadJournal parses journal lines back into entries (for tooling/tests).
+func ReadJournal(r io.Reader) ([]JournalEntry, error) {
+	var out []JournalEntry
+	dec := json.NewDecoder(r)
+	for {
+		var e JournalEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("session: journal parse: %w", err)
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,355 @@
+// Package session implements the interactive analysis loop of Figure 3:
+// an analyst starts backtracking from a BDL script, watches the dependency
+// graph grow through responsive updates, pauses, edits the script, and
+// resumes. The session routes script changes through the Refiner's
+// compatibility check, reusing as much of the paused analysis as the change
+// allows (resume / re-propagate / restart), and records the timestamp of
+// every update for the responsiveness metrics of Table II.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"aptrace/internal/bdl"
+	"aptrace/internal/core"
+	"aptrace/internal/event"
+	"aptrace/internal/graph"
+	"aptrace/internal/maintainer"
+	"aptrace/internal/refiner"
+	"aptrace/internal/store"
+)
+
+// Session drives one investigation over a sealed store.
+type Session struct {
+	st   *store.Store
+	opts core.Options
+
+	mu      sync.Mutex
+	script  *bdl.Script
+	plan    *refiner.Plan
+	x       *core.Executor
+	alert   event.Event
+	restart *refiner.Plan // pending restart plan, consumed by the run loop
+	running bool
+
+	updates  []graph.Update
+	onUpdate func(graph.Update)
+	journal  *Journal
+
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// New creates a session over the store. opts.OnUpdate, if set, receives
+// every update in addition to the session's own recording.
+func New(st *store.Store, opts core.Options) *Session {
+	s := &Session{st: st, opts: opts, onUpdate: opts.OnUpdate}
+	s.opts.OnUpdate = s.record
+	return s
+}
+
+// SetJournal attaches an investigation journal; every analyst action is
+// recorded to it as a JSON line. Call before Start.
+func (s *Session) SetJournal(j *Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
+}
+
+func (s *Session) log(e JournalEntry) {
+	s.mu.Lock()
+	j := s.journal
+	g := (*graph.Graph)(nil)
+	if s.x != nil {
+		g = s.x.Graph()
+	}
+	s.mu.Unlock()
+	if j == nil {
+		return
+	}
+	e.AnalysisAt = s.st.Clock().Now()
+	if g != nil {
+		e.Edges, e.Nodes = g.NumEdges(), g.NumNodes()
+	}
+	j.record(e)
+}
+
+func (s *Session) record(u graph.Update) {
+	s.mu.Lock()
+	s.updates = append(s.updates, u)
+	s.mu.Unlock()
+	if s.onUpdate != nil {
+		s.onUpdate(u)
+	}
+}
+
+// Start parses and compiles the script, resolves the starting point, and
+// launches backtracking in the background. If alert is nil the starting
+// event is located by scanning the store for a match of the script's
+// starting point (how the CLI operates); experiment harnesses pass the
+// alert event directly.
+func (s *Session) Start(scriptSrc string, alert *event.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		return errors.New("session: already running")
+	}
+	script, err := bdl.Parse(scriptSrc)
+	if err != nil {
+		return err
+	}
+	plan, err := refiner.Compile(script)
+	if err != nil {
+		return err
+	}
+	var a event.Event
+	if alert != nil {
+		a = *alert
+		ok, err := plan.MatchStart(a, s.st)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("session: the given alert does not satisfy the script's starting point")
+		}
+	} else {
+		if a, err = plan.FindStart(s.st, s.st); err != nil {
+			return err
+		}
+	}
+	x, err := core.New(s.st, plan, s.opts)
+	if err != nil {
+		return err
+	}
+	// Prepare synchronously so Graph() is valid the moment Start returns.
+	if err := x.Prepare(a); err != nil {
+		return err
+	}
+	s.script, s.plan, s.x, s.alert = script, plan, x, a
+	s.running = true
+	s.done = make(chan struct{})
+	// Record the start before the run loop can emit its own entries.
+	if s.journal != nil {
+		s.journal.record(JournalEntry{Action: "start", Script: scriptSrc, AnalysisAt: s.st.Clock().Now()})
+	}
+	go s.runLoop()
+	return nil
+}
+
+// runLoop owns the executor lifecycle, honoring restarts requested by
+// UpdateScript (a changed starting point abandons the current analysis).
+func (s *Session) runLoop() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		x, alert := s.x, s.alert
+		s.mu.Unlock()
+
+		res, err := x.RunUnchecked(alert)
+
+		s.mu.Lock()
+		if err == nil && s.restart != nil {
+			// A restart was requested: clear the recorded graph state
+			// and begin again with the new plan and starting point.
+			plan := s.restart
+			s.restart = nil
+			a, ferr := plan.FindStart(s.st, s.st)
+			if ferr != nil {
+				s.res, s.err = nil, ferr
+				s.running = false
+				s.mu.Unlock()
+				return
+			}
+			nx, nerr := core.New(s.st, plan, s.opts)
+			if nerr == nil {
+				nerr = nx.Prepare(a)
+			}
+			if nerr != nil {
+				s.res, s.err = nil, nerr
+				s.running = false
+				s.mu.Unlock()
+				return
+			}
+			s.plan, s.x, s.alert = plan, nx, a
+			s.mu.Unlock()
+			continue
+		}
+		s.res, s.err = res, err
+		s.running = false
+		s.mu.Unlock()
+		detail := ""
+		if err != nil {
+			detail = err.Error()
+		} else if res != nil {
+			detail = res.Reason.String()
+		}
+		s.log(JournalEntry{Action: "finished", Detail: detail})
+		return
+	}
+}
+
+// Pause suspends exploration; the dependency graph stays inspectable.
+func (s *Session) Pause() {
+	s.mu.Lock()
+	x := s.x
+	s.mu.Unlock()
+	if x != nil {
+		x.Pause()
+		s.log(JournalEntry{Action: "pause"})
+	}
+}
+
+// Resume continues a paused exploration.
+func (s *Session) Resume() {
+	s.mu.Lock()
+	x := s.x
+	s.mu.Unlock()
+	if x != nil {
+		x.Resume()
+		s.log(JournalEntry{Action: "resume"})
+	}
+}
+
+// Stop terminates the analysis; Wait returns the final result.
+func (s *Session) Stop() {
+	s.mu.Lock()
+	x := s.x
+	s.mu.Unlock()
+	if x != nil {
+		x.Stop()
+		s.log(JournalEntry{Action: "stop"})
+	}
+}
+
+// UpdateScript applies a new version of the BDL script, typically while
+// paused. It returns the Refiner's decision:
+//
+//   - Resume: filters/budgets changed; exploration continues, keeping the
+//     graph and the queue.
+//   - Repropagate: intermediate points changed; the cached graph is kept and
+//     node states recomputed before continuing.
+//   - Restart: the starting point changed; the current analysis is
+//     abandoned and a fresh one begins from the new starting point.
+//
+// The session stays paused or running exactly as it was; call Resume to
+// continue a paused session.
+func (s *Session) UpdateScript(scriptSrc string) (refiner.ResumeAction, error) {
+	script, err := bdl.Parse(scriptSrc)
+	if err != nil {
+		return 0, err
+	}
+	plan, err := refiner.Compile(script)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.x == nil {
+		return 0, errors.New("session: not started")
+	}
+	action := refiner.Delta(s.script, script)
+	s.script = script
+	switch action {
+	case refiner.Restart:
+		if !s.running {
+			return 0, errors.New("session: analysis already finished; start a new session")
+		}
+		s.restart = plan
+		s.x.Stop() // run loop picks up the restart
+	default:
+		if err := s.x.UpdatePlan(plan, action); err != nil {
+			return 0, err
+		}
+		s.plan = plan
+	}
+	if s.journal != nil {
+		e := JournalEntry{Action: "update-script", Script: scriptSrc, Decision: action.String(), AnalysisAt: s.st.Clock().Now()}
+		if g := s.x.Graph(); g != nil {
+			e.Edges, e.Nodes = g.NumEdges(), g.NumNodes()
+		}
+		s.journal.record(e)
+	}
+	return action, nil
+}
+
+// Wait blocks until the analysis finishes (completed, budget expired, or
+// stopped) and returns the executor's result.
+func (s *Session) Wait() (*core.Result, error) {
+	s.mu.Lock()
+	done := s.done
+	s.mu.Unlock()
+	if done == nil {
+		return nil, errors.New("session: not started")
+	}
+	<-done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.res, s.err
+}
+
+// Graph returns the current dependency graph (nil before Start).
+func (s *Session) Graph() *graph.Graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.x == nil {
+		return nil
+	}
+	return s.x.Graph()
+}
+
+// Updates returns a copy of all recorded updates so far.
+func (s *Session) Updates() []graph.Update {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]graph.Update(nil), s.updates...)
+}
+
+// UpdateTimes returns just the timestamps of recorded updates — the series
+// whose consecutive deltas are the paper's "waiting time between updates".
+func (s *Session) UpdateTimes() []time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]time.Time, len(s.updates))
+	for i, u := range s.updates {
+		out[i] = u.At
+	}
+	return out
+}
+
+// Finalize applies the tracking statement's path pruning to the finished
+// graph (removing paths that bypass the declared intermediate points) and,
+// if the script has an output clause, writes the DOT rendering there.
+// It returns the number of pruned edges.
+func (s *Session) Finalize() (int, error) {
+	s.mu.Lock()
+	plan, x := s.plan, s.x
+	s.mu.Unlock()
+	if x == nil || x.Graph() == nil {
+		return 0, errors.New("session: nothing to finalize")
+	}
+	min, max, _ := s.st.TimeRange()
+	from, to := plan.Range(min, max)
+	m := maintainer.New(plan, s.st, from, to)
+	g := x.Graph()
+	if err := m.Recalculate(g); err != nil {
+		return 0, err
+	}
+	removed := m.Prune(g)
+	s.log(JournalEntry{Action: "finalize", Detail: fmt.Sprintf("pruned %d edges", removed)})
+	if plan.Output != "" {
+		f, err := os.Create(plan.Output)
+		if err != nil {
+			return removed, fmt.Errorf("session: write output: %w", err)
+		}
+		defer f.Close()
+		if err := graph.WriteDOT(f, g, s.st.Object); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}

@@ -1,0 +1,119 @@
+// Package simclock provides the clock abstraction used throughout APTrace.
+//
+// The paper evaluates APTrace against a PostgreSQL database holding 13 TB of
+// audit events, where the dominant latency is query execution: a monolithic
+// history scan for a hot object can block the analysis for minutes. This
+// repository substitutes an embedded in-memory store, so real queries finish
+// in microseconds; to preserve the paper's responsiveness dynamics, the store
+// charges a *cost model* to a Clock for every query it executes:
+//
+//	elapsed = SeekCost + RowCost·rowsExamined + BucketCost·bucketsTouched
+//
+// The Simulated clock advances virtual time by that amount; the Real clock
+// ignores charges and reports wall-clock time (for live deployments, where
+// the underlying database itself provides the latency). Both the APTrace
+// executor and the King–Chen baseline run against the same clock and the
+// same cost model, so comparisons between them are apples-to-apples.
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source injected into the store, the executor, and the
+// baseline. Advance is called by the store to charge query cost.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Advance moves the clock forward by d. On the real clock this is a
+	// no-op (real operations take real time); on the simulated clock it
+	// advances virtual time.
+	Advance(d time.Duration)
+}
+
+// Real is a Clock backed by wall-clock time. Advance is a no-op.
+type Real struct{}
+
+// Now returns the current wall-clock time.
+func (Real) Now() time.Time { return time.Now() }
+
+// Advance is a no-op on the real clock.
+func (Real) Advance(time.Duration) {}
+
+// Simulated is a virtual Clock. It starts at an arbitrary fixed epoch and
+// moves only when Advance is called. It is safe for concurrent use.
+type Simulated struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewSimulated returns a simulated clock positioned at start.
+// A zero start is replaced by a fixed arbitrary epoch so that durations
+// between Now calls are always meaningful.
+func NewSimulated(start time.Time) *Simulated {
+	if start.IsZero() {
+		start = time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return &Simulated{now: start}
+}
+
+// Now returns the current virtual time.
+func (s *Simulated) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Advance moves virtual time forward by d. Negative durations are ignored:
+// time never moves backward.
+func (s *Simulated) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.now = s.now.Add(d)
+	s.mu.Unlock()
+}
+
+// CostModel converts query work into time charged to a Clock. The default
+// values are calibrated against the paper's own measurements: generating the
+// motivating example's 30.75K-event dependency graph took the authors' 16-core
+// server more than four hours against their 13 TB PostgreSQL deployment, an
+// effective latency of roughly 0.5 seconds per retrieved dependency row.
+// With RowCost at 400 ms, a monolithic scan of a heavy-hitter object costs
+// simulated minutes-to-hours while a bounded execution window costs a couple
+// of seconds — the regime in which the paper's Table II numbers live.
+type CostModel struct {
+	// SeekCost is the fixed per-query overhead (planning, index descent,
+	// round trip).
+	SeekCost time.Duration
+	// RowCost is charged per index entry examined by the query.
+	RowCost time.Duration
+	// BucketCost is charged per time bucket (storage page) touched by the
+	// query's range, whether or not it contained matches. This is what
+	// makes scanning long, sparse history ranges expensive, as it is on a
+	// real disk-resident store.
+	BucketCost time.Duration
+}
+
+// DefaultCostModel returns the calibrated cost model used by the experiment
+// harness.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SeekCost:   50 * time.Millisecond,
+		RowCost:    400 * time.Millisecond,
+		BucketCost: 5 * time.Millisecond,
+	}
+}
+
+// QueryCost returns the modeled elapsed time for a query that examined
+// rows index entries across buckets time buckets.
+func (m CostModel) QueryCost(rows, buckets int) time.Duration {
+	return m.SeekCost + time.Duration(rows)*m.RowCost + time.Duration(buckets)*m.BucketCost
+}
+
+// Charge advances clk by the modeled cost of a query.
+func (m CostModel) Charge(clk Clock, rows, buckets int) {
+	clk.Advance(m.QueryCost(rows, buckets))
+}

@@ -1,0 +1,105 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimulatedStartsAtGivenTime(t *testing.T) {
+	start := time.Date(2019, 4, 16, 6, 15, 14, 0, time.UTC)
+	c := NewSimulated(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), start)
+	}
+}
+
+func TestSimulatedZeroStart(t *testing.T) {
+	c := NewSimulated(time.Time{})
+	if c.Now().IsZero() {
+		t.Fatal("zero start must be replaced with a fixed epoch")
+	}
+}
+
+func TestSimulatedAdvance(t *testing.T) {
+	c := NewSimulated(time.Time{})
+	t0 := c.Now()
+	c.Advance(90 * time.Second)
+	if got := c.Now().Sub(t0); got != 90*time.Second {
+		t.Fatalf("advanced %v, want 90s", got)
+	}
+	c.Advance(-time.Hour) // must be ignored
+	if got := c.Now().Sub(t0); got != 90*time.Second {
+		t.Fatalf("negative advance moved the clock: %v", got)
+	}
+	c.Advance(0)
+	if got := c.Now().Sub(t0); got != 90*time.Second {
+		t.Fatalf("zero advance moved the clock: %v", got)
+	}
+}
+
+func TestSimulatedConcurrentAdvance(t *testing.T) {
+	c := NewSimulated(time.Time{})
+	t0 := c.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now().Sub(t0); got != 8*time.Second {
+		t.Fatalf("concurrent advances lost updates: %v, want 8s", got)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Real
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatal("real clock far in the past")
+	}
+	c.Advance(time.Hour) // no-op, must not panic or affect Now
+	if c.Now().Sub(now) > time.Minute {
+		t.Fatal("Advance affected the real clock")
+	}
+}
+
+func TestQueryCost(t *testing.T) {
+	m := CostModel{SeekCost: 10 * time.Millisecond, RowCost: time.Millisecond, BucketCost: 2 * time.Millisecond}
+	got := m.QueryCost(5, 3)
+	want := 10*time.Millisecond + 5*time.Millisecond + 6*time.Millisecond
+	if got != want {
+		t.Fatalf("QueryCost = %v, want %v", got, want)
+	}
+	if m.QueryCost(0, 0) != m.SeekCost {
+		t.Fatal("empty query must cost exactly the seek cost")
+	}
+}
+
+func TestChargeAdvancesClock(t *testing.T) {
+	m := DefaultCostModel()
+	c := NewSimulated(time.Time{})
+	t0 := c.Now()
+	m.Charge(c, 100, 10)
+	if got := c.Now().Sub(t0); got != m.QueryCost(100, 10) {
+		t.Fatalf("Charge advanced %v, want %v", got, m.QueryCost(100, 10))
+	}
+}
+
+func TestDefaultCostModelOrdersOfMagnitude(t *testing.T) {
+	m := DefaultCostModel()
+	small := m.QueryCost(10, 5)
+	big := m.QueryCost(30_000, 700)
+	if small > 10*time.Second {
+		t.Errorf("bounded window query should take seconds, got %v", small)
+	}
+	if big < time.Hour {
+		t.Errorf("an explosion-scale retrieval should take hours (the paper saw >4h for 30.75K events), got %v", big)
+	}
+}

@@ -1,0 +1,149 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to report results in the paper's terms: means and standard
+// deviations, percentiles (Table II), and box-plot five-number summaries
+// (Figure 4).
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary is a five-number box-plot summary plus mean and count.
+type Summary struct {
+	N                        int
+	Min, Q1, Median, Q3, Max float64
+	Mean, Std                float64
+}
+
+// Summarize computes a Summary of xs. An empty input yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum, sum2 := 0.0, 0.0
+	for _, v := range s {
+		sum += v
+		sum2 += v * v
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.50),
+		Q3:     quantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   mean,
+		Std:    math.Sqrt(variance),
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics, matching the convention of R's
+// default (type 7) quantile, which is also what numpy.percentile uses.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Percentiles computes several quantiles in one pass over a single sort.
+func Percentiles(xs []float64, qs ...float64) []float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if len(s) == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = quantileSorted(s, q)
+	}
+	return out
+}
+
+// Durations converts a slice of time.Duration to float64 seconds.
+func Durations(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// DistinctTimes collapses runs of identical consecutive timestamps into one:
+// edges that land in the same instant (one query's batch) constitute a
+// single update to the dependency graph.
+func DistinctTimes(ts []time.Time) []time.Time {
+	out := ts[:0:0]
+	for i, t := range ts {
+		if i == 0 || !t.Equal(ts[i-1]) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Deltas returns the consecutive differences of a monotone time series:
+// the inter-update waiting times of Table II.
+func Deltas(ts []time.Time) []time.Duration {
+	if len(ts) < 2 {
+		return nil
+	}
+	out := make([]time.Duration, 0, len(ts)-1)
+	for i := 1; i < len(ts); i++ {
+		out = append(out, ts[i].Sub(ts[i-1]))
+	}
+	return out
+}
+
+// TopBottomRatio returns the ratio between the mean of the top fraction and
+// the mean of the bottom fraction of xs (e.g. frac=0.1 compares the top and
+// bottom deciles), the statistic Section IV-B2 reports for Figure 4.
+// It returns 0 when the bottom mean is zero or the input is empty.
+func TopBottomRatio(xs []float64, frac float64) float64 {
+	if len(xs) == 0 || frac <= 0 || frac > 0.5 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	k := int(math.Ceil(float64(len(s)) * frac))
+	var bottom, top float64
+	for i := 0; i < k; i++ {
+		bottom += s[i]
+		top += s[len(s)-1-i]
+	}
+	if bottom == 0 {
+		return 0
+	}
+	return top / bottom
+}

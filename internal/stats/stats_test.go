@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almost(s.Mean, 3) {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if !almost(s.Q1, 2) || !almost(s.Q3, 4) {
+		t.Errorf("quartiles = %v %v", s.Q1, s.Q3)
+	}
+	if !almost(s.Std, math.Sqrt(2)) {
+		t.Errorf("std = %v, want sqrt(2)", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {-1, 1}, {2, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile must be 0")
+	}
+	// Input must not be mutated.
+	orig := []float64{3, 1, 2}
+	Quantile(orig, 0.5)
+	if orig[0] != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	got := Percentiles(xs, 0.90, 0.95, 0.99)
+	want := []float64{90, 95, 99}
+	for i := range want {
+		if !almost(got[i], want[i]) {
+			t.Errorf("p%v = %v, want %v", want[i], got[i], want[i])
+		}
+	}
+	if got := Percentiles(nil, 0.5); got[0] != 0 {
+		t.Error("empty percentile must be 0")
+	}
+}
+
+func TestDeltas(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	ts := []time.Time{t0, t0.Add(2 * time.Second), t0.Add(3 * time.Second)}
+	ds := Deltas(ts)
+	if len(ds) != 2 || ds[0] != 2*time.Second || ds[1] != time.Second {
+		t.Fatalf("deltas = %v", ds)
+	}
+	if Deltas(ts[:1]) != nil || Deltas(nil) != nil {
+		t.Error("short input must yield nil")
+	}
+}
+
+func TestDurations(t *testing.T) {
+	ds := Durations([]time.Duration{time.Second, 1500 * time.Millisecond})
+	if !almost(ds[0], 1) || !almost(ds[1], 1.5) {
+		t.Fatalf("durations = %v", ds)
+	}
+}
+
+func TestTopBottomRatio(t *testing.T) {
+	xs := []float64{1, 1, 1, 1, 1, 10, 10, 10, 10, 100}
+	// top decile = {100}, bottom decile = {1}: ratio 100.
+	if got := TopBottomRatio(xs, 0.1); !almost(got, 100) {
+		t.Fatalf("ratio = %v", got)
+	}
+	if TopBottomRatio(nil, 0.1) != 0 {
+		t.Error("empty input must yield 0")
+	}
+	if TopBottomRatio(xs, 0) != 0 || TopBottomRatio(xs, 0.9) != 0 {
+		t.Error("invalid fractions must yield 0")
+	}
+	if TopBottomRatio([]float64{0, 0, 5}, 0.34) != 0 {
+		t.Error("zero bottom must yield 0")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		xs := make([]float64, 1+rng.Intn(50))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				t.Fatalf("quantile not monotone at q=%v", q)
+			}
+			prev = v
+		}
+		s := Summarize(xs)
+		if s.Min > s.Q1 || s.Q1 > s.Median || s.Median > s.Q3 || s.Q3 > s.Max {
+			t.Fatalf("summary ordering violated: %+v", s)
+		}
+	}
+}

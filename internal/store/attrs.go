@@ -1,0 +1,135 @@
+package store
+
+import (
+	"aptrace/internal/event"
+)
+
+// Computed object attributes used by BDL heuristics (paper Section IV-C,
+// Program 3). Both are defined over an analysis time range, because whether
+// a file is "read-only" or a process is a "write-through helper" depends on
+// the window under investigation, not on all history.
+//
+// These are modeled as index-backed aggregate queries and charge the cost
+// model for the posting entries they examine.
+
+// IsReadOnlyFile reports whether obj is a file that received no mutating
+// event (write, create, delete, rename, chmod) within [from, to).
+// Non-file objects are never read-only.
+func (s *Store) IsReadOnlyFile(obj event.ObjID, from, to int64) (bool, error) {
+	if !s.sealed {
+		return false, ErrNotSealed
+	}
+	if s.objects[obj].Type != event.ObjFile {
+		return false, nil
+	}
+	list := s.byDst[obj]
+	lo, hi := s.postingRange(list, from, to)
+	rows := int64(0)
+	readOnly := true
+	for _, idx := range list[lo:hi] {
+		rows++
+		switch s.events[idx].Action {
+		case event.ActWrite, event.ActCreate, event.ActDelete, event.ActRename, event.ActChmod:
+			readOnly = false
+		}
+		if !readOnly {
+			break
+		}
+	}
+	s.charge(rows, from, to)
+	return readOnly, nil
+}
+
+// IsWriteThrough reports whether obj is a "write-through" helper process
+// within [from, to): a process whose every interaction (other than loading
+// its own libraries) is with process objects, i.e. it only shuttles data
+// between its parent and children without touching files or the network.
+func (s *Store) IsWriteThrough(obj event.ObjID, from, to int64) (bool, error) {
+	if !s.sealed {
+		return false, ErrNotSealed
+	}
+	if s.objects[obj].Type != event.ObjProcess {
+		return false, nil
+	}
+	rows := int64(0)
+	seen := false
+	through := true
+	check := func(list []int32, counterpartOf func(event.Event) event.ObjID) {
+		lo, hi := s.postingRange(list, from, to)
+		for _, idx := range list[lo:hi] {
+			rows++
+			e := s.events[idx]
+			if e.Action == event.ActLoad {
+				continue // image/library loads do not disqualify a helper
+			}
+			seen = true
+			if s.objects[counterpartOf(e)].Type != event.ObjProcess {
+				through = false
+				return
+			}
+		}
+	}
+	check(s.byDst[obj], func(e event.Event) event.ObjID { return e.Src() })
+	if through {
+		check(s.bySrc[obj], func(e event.Event) event.ObjID { return e.Dst() })
+	}
+	s.charge(rows, from, to)
+	return seen && through, nil
+}
+
+// FlowAmount returns the total byte amount of events from src flowing into
+// dst within [from, to). It backs quantity-based heuristics (paper
+// Program 2: prioritize uploads at least as large as the sensitive read).
+func (s *Store) FlowAmount(src, dst event.ObjID, from, to int64) (int64, error) {
+	if !s.sealed {
+		return 0, ErrNotSealed
+	}
+	list := s.byDst[dst]
+	lo, hi := s.postingRange(list, from, to)
+	var total, rows int64
+	for _, idx := range list[lo:hi] {
+		rows++
+		if e := s.events[idx]; e.Src() == src {
+			total += e.Amount
+		}
+	}
+	s.charge(rows, from, to)
+	return total, nil
+}
+
+// FileTimes returns the file-time attributes BDL exposes for file objects
+// within [from, to): creation time (first create event), last modification
+// time (last mutating event), and last access time (last read). A zero value
+// means "no such event in range".
+func (s *Store) FileTimes(obj event.ObjID, from, to int64) (creation, lastMod, lastAccess int64, err error) {
+	if !s.sealed {
+		return 0, 0, 0, ErrNotSealed
+	}
+	list := s.byDst[obj]
+	lo, hi := s.postingRange(list, from, to)
+	rows := int64(0)
+	for _, idx := range list[lo:hi] {
+		rows++
+		e := s.events[idx]
+		switch e.Action {
+		case event.ActCreate:
+			if creation == 0 {
+				creation = e.Time
+			}
+			lastMod = e.Time
+		case event.ActWrite, event.ActRename, event.ActChmod, event.ActDelete:
+			lastMod = e.Time
+		}
+	}
+	// Accesses flow out of the file (file is the source of a read).
+	src := s.bySrc[obj]
+	lo, hi = s.postingRange(src, from, to)
+	for _, idx := range src[lo:hi] {
+		rows++
+		if e := s.events[idx]; e.Action == event.ActRead || e.Action == event.ActLoad {
+			lastAccess = e.Time
+		}
+	}
+	s.charge(rows, from, to)
+	return creation, lastMod, lastAccess, nil
+}

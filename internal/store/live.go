@@ -1,0 +1,295 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"aptrace/internal/event"
+	"aptrace/internal/simclock"
+)
+
+// Live is the continuously collecting form of the store: the deployment mode
+// of the paper's system, where agents stream audit events in all day while
+// analysts investigate.
+//
+// Architecture: an immutable sealed base (segment files, as written by
+// (*Store).Save) plus an in-memory tail of newly appended events, made
+// durable by a write-ahead log. Analysts never query the live store
+// directly; they take a Snapshot — a consistent, sealed, query-ready view —
+// so investigations and collection proceed independently. Checkpoint folds
+// the tail into new base segments and truncates the WAL.
+//
+// Recovery: on OpenLive the WAL is replayed; a torn final record (crash mid
+// append) is detected by its checksum and discarded, everything before it is
+// recovered — standard write-ahead semantics.
+type Live struct {
+	mu   sync.Mutex
+	dir  string
+	clk  simclock.Clock
+	base *Store
+	mem  []event.Event
+	wal  *os.File
+	// walBuf reuses one encode buffer across appends.
+	walBuf []byte
+	closed bool
+}
+
+const walFile = "wal.log"
+
+// WAL record types.
+const (
+	walObject byte = 'O'
+	walEvent  byte = 'E'
+)
+
+// OpenLive opens (or initializes) a live store in dir. If dir contains a
+// persisted base store it is loaded; otherwise the base starts empty. Any
+// WAL present is replayed into the in-memory tail.
+func OpenLive(dir string, clk simclock.Clock) (*Live, error) {
+	if clk == nil {
+		clk = simclock.Real{}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: live: %w", err)
+	}
+
+	var base *Store
+	if _, err := os.Stat(filepath.Join(dir, manifestFile)); err == nil {
+		base, err = Open(dir, clk)
+		if err != nil {
+			return nil, fmt.Errorf("store: live: load base: %w", err)
+		}
+	} else {
+		base = New(clk)
+		if err := base.Seal(); err != nil {
+			return nil, err
+		}
+	}
+
+	l := &Live{dir: dir, clk: clk, base: base}
+	if err := l.replayWAL(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: live: open wal: %w", err)
+	}
+	l.wal = wal
+	return l, nil
+}
+
+// replayWAL loads surviving records from the WAL into the tail. It stops
+// silently at the first corrupt or truncated record: that is the torn tail
+// of a crashed append.
+func (l *Live) replayWAL() error {
+	raw, err := os.ReadFile(filepath.Join(l.dir, walFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: live: read wal: %w", err)
+	}
+	off := 0
+	for off < len(raw) {
+		rec, n, ok := readWALRecord(raw[off:])
+		if !ok {
+			break // torn tail
+		}
+		off += n
+		switch rec[0] {
+		case walObject:
+			o, rest, err := event.DecodeObject(rec[1:])
+			if err != nil || len(rest) != 0 {
+				return fmt.Errorf("store: live: wal object corrupt (checksum valid): %v", err)
+			}
+			l.base.Intern(o)
+		case walEvent:
+			e, err := event.DecodeEvent(rec[1:])
+			if err != nil {
+				return fmt.Errorf("store: live: wal event corrupt (checksum valid): %v", err)
+			}
+			if int(e.Subject) >= l.base.NumObjects() || int(e.Object) >= l.base.NumObjects() {
+				return fmt.Errorf("store: live: wal event %d references unknown object", e.ID)
+			}
+			l.mem = append(l.mem, e)
+		default:
+			return fmt.Errorf("store: live: unknown wal record type %q", rec[0])
+		}
+	}
+	return nil
+}
+
+// writeWALRecord frames payload as [len u32][payload][crc u32] and appends it.
+func (l *Live) writeWALRecord(payload []byte) error {
+	l.walBuf = l.walBuf[:0]
+	l.walBuf = binary.LittleEndian.AppendUint32(l.walBuf, uint32(len(payload)))
+	l.walBuf = append(l.walBuf, payload...)
+	l.walBuf = binary.LittleEndian.AppendUint32(l.walBuf, crc32.ChecksumIEEE(payload))
+	_, err := l.wal.Write(l.walBuf)
+	return err
+}
+
+// readWALRecord parses one framed record; ok=false on truncation/corruption.
+func readWALRecord(buf []byte) (payload []byte, consumed int, ok bool) {
+	if len(buf) < 8 {
+		return nil, 0, false
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	total := 4 + int(n) + 4
+	if n == 0 || len(buf) < total {
+		return nil, 0, false
+	}
+	payload = buf[4 : 4+n]
+	sum := binary.LittleEndian.Uint32(buf[4+n:])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, 0, false
+	}
+	return payload, total, true
+}
+
+// Append durably records one event and adds it to the in-memory tail.
+// The subject must be a process. New objects are interned into the shared
+// object table and logged ahead of the event that references them.
+func (l *Live) Append(t int64, subject, object event.Object, action event.Action, dir event.Direction, amount int64) (event.EventID, error) {
+	if subject.Type != event.ObjProcess {
+		return 0, fmt.Errorf("store: live: event subject must be a process, got %v", subject.Type)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("store: live: closed")
+	}
+
+	logObj := func(o event.Object) (event.ObjID, error) {
+		if id, ok := l.base.Lookup(o); ok {
+			return id, nil
+		}
+		payload := append([]byte{walObject}, event.AppendObject(nil, o)...)
+		if err := l.writeWALRecord(payload); err != nil {
+			return 0, fmt.Errorf("store: live: wal append: %w", err)
+		}
+		return l.base.Intern(o), nil
+	}
+	subID, err := logObj(subject)
+	if err != nil {
+		return 0, err
+	}
+	objID, err := logObj(object)
+	if err != nil {
+		return 0, err
+	}
+
+	e := event.Event{
+		ID:      event.EventID(l.base.NumEvents() + len(l.mem) + 1),
+		Time:    t,
+		Subject: subID,
+		Object:  objID,
+		Action:  action,
+		Dir:     dir,
+		Amount:  amount,
+	}
+	payload := append([]byte{walEvent}, event.AppendEvent(nil, e)...)
+	if err := l.writeWALRecord(payload); err != nil {
+		return 0, fmt.Errorf("store: live: wal append: %w", err)
+	}
+	l.mem = append(l.mem, e)
+	return e.ID, nil
+}
+
+// Sync flushes the WAL to stable storage.
+func (l *Live) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wal == nil {
+		return nil
+	}
+	return l.wal.Sync()
+}
+
+// BaseEvents returns the number of events in the sealed base.
+func (l *Live) BaseEvents() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base.NumEvents()
+}
+
+// PendingEvents returns the number of tail events not yet checkpointed.
+func (l *Live) PendingEvents() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.mem)
+}
+
+// Snapshot produces a sealed, query-ready store holding the base plus every
+// appended event at this instant. The snapshot is independent: collection
+// may continue while analyses run against it.
+func (l *Live) Snapshot() (*Store, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapshotLocked()
+}
+
+func (l *Live) snapshotLocked() (*Store, error) {
+	snap := New(l.clk, WithBucketSeconds(l.base.bucketSeconds), WithCostModel(l.base.cost))
+	snap.objects = append([]event.Object(nil), l.base.objects...)
+	snap.byKey = make(map[event.ObjectKey]event.ObjID, len(l.base.byKey))
+	for k, v := range l.base.byKey {
+		snap.byKey[k] = v
+	}
+	snap.events = make([]event.Event, 0, len(l.base.events)+len(l.mem))
+	snap.events = append(snap.events, l.base.events...)
+	snap.events = append(snap.events, l.mem...)
+	if err := snap.Seal(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Checkpoint folds the tail into the persisted base (rewriting segment
+// files) and truncates the WAL. After a successful checkpoint the tail is
+// empty and recovery no longer needs the log.
+func (l *Live) Checkpoint() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("store: live: closed")
+	}
+	snap, err := l.snapshotLocked()
+	if err != nil {
+		return err
+	}
+	if err := snap.Save(l.dir); err != nil {
+		return err
+	}
+	// Truncate the WAL only after the segments are durably renamed.
+	if err := l.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: live: truncate wal: %w", err)
+	}
+	if _, err := l.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: live: rewind wal: %w", err)
+	}
+	l.base = snap
+	l.mem = nil
+	return nil
+}
+
+// Close syncs and closes the WAL. The live store must not be used after.
+func (l *Live) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.wal.Sync(); err != nil {
+		l.wal.Close()
+		return err
+	}
+	return l.wal.Close()
+}

@@ -1,0 +1,284 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aptrace/internal/event"
+)
+
+func liveAppend(t *testing.T, l *Live, tm int64, subExe string, path string) event.EventID {
+	t.Helper()
+	id, err := l.Append(tm,
+		event.Process("h", subExe, 1, 10),
+		event.File("h", path),
+		event.ActWrite, event.FlowOut, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestLiveAppendAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLive(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	id1 := liveAppend(t, l, 100, "svc", "/a")
+	id2 := liveAppend(t, l, 200, "svc", "/b")
+	if id1 == id2 {
+		t.Fatal("event IDs must be unique")
+	}
+	if l.PendingEvents() != 2 || l.BaseEvents() != 0 {
+		t.Fatalf("pending=%d base=%d", l.PendingEvents(), l.BaseEvents())
+	}
+
+	snap, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumEvents() != 2 {
+		t.Fatalf("snapshot has %d events", snap.NumEvents())
+	}
+	fa, ok := snap.Lookup(event.File("h", "/a"))
+	if !ok {
+		t.Fatal("object missing from snapshot")
+	}
+	got, err := snap.QueryBackward(fa, 0, 1000)
+	if err != nil || len(got) != 1 || got[0].ID != id1 {
+		t.Fatalf("snapshot query: %v %v", got, err)
+	}
+
+	// The snapshot is independent: further appends do not affect it.
+	liveAppend(t, l, 300, "svc", "/c")
+	if snap.NumEvents() != 2 {
+		t.Fatal("snapshot must be immutable")
+	}
+}
+
+func TestLiveRecoveryFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLive(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveAppend(t, l, 100, "svc", "/a")
+	liveAppend(t, l, 200, "cron", "/b")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the WAL replays both events and their objects.
+	l2, err := OpenLive(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.PendingEvents() != 2 {
+		t.Fatalf("recovered %d events, want 2", l2.PendingEvents())
+	}
+	snap, _ := l2.Snapshot()
+	if _, ok := snap.Lookup(event.Process("h", "cron", 1, 10)); !ok {
+		t.Fatal("interned object lost across recovery")
+	}
+	// IDs continue from where they left off.
+	id := liveAppend(t, l2, 300, "svc", "/c")
+	if id != 3 {
+		t.Fatalf("next id = %d, want 3", id)
+	}
+}
+
+func TestLiveTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLive(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveAppend(t, l, 100, "svc", "/a")
+	liveAppend(t, l, 200, "svc", "/b")
+	l.Close()
+
+	// Simulate a crash mid-append: chop bytes off the WAL tail.
+	walPath := filepath.Join(dir, walFile)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenLive(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	// The second event's record was torn; the first survives.
+	if l2.PendingEvents() != 1 {
+		t.Fatalf("recovered %d events after torn tail, want 1", l2.PendingEvents())
+	}
+	// The store keeps working after recovery.
+	liveAppend(t, l2, 300, "svc", "/c")
+	if l2.PendingEvents() != 2 {
+		t.Fatal("append after torn-tail recovery failed")
+	}
+}
+
+func TestLiveCorruptTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := OpenLive(dir, nil)
+	liveAppend(t, l, 100, "svc", "/a")
+	liveAppend(t, l, 200, "svc", "/b")
+	l.Close()
+
+	walPath := filepath.Join(dir, walFile)
+	raw, _ := os.ReadFile(walPath)
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-2] ^= 0xFF // flip a byte inside the final record's checksum
+	os.WriteFile(walPath, bad, 0o644)
+
+	l2, err := OpenLive(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.PendingEvents() >= 2 {
+		t.Fatalf("corrupt record not discarded: %d pending", l2.PendingEvents())
+	}
+}
+
+func TestLiveCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLive(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 20; i++ {
+		liveAppend(t, l, 100+i, "svc", "/f")
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if l.PendingEvents() != 0 || l.BaseEvents() != 20 {
+		t.Fatalf("after checkpoint: pending=%d base=%d", l.PendingEvents(), l.BaseEvents())
+	}
+	// The WAL is empty now.
+	if fi, err := os.Stat(filepath.Join(dir, walFile)); err != nil || fi.Size() != 0 {
+		t.Fatalf("wal not truncated: %v %v", fi, err)
+	}
+	// Post-checkpoint appends extend from the persisted base.
+	id := liveAppend(t, l, 500, "svc", "/g")
+	if id != 21 {
+		t.Fatalf("post-checkpoint id = %d, want 21", id)
+	}
+	l.Close()
+
+	// Reopen: base segments load, tail replays.
+	l2, err := OpenLive(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.BaseEvents() != 20 || l2.PendingEvents() != 1 {
+		t.Fatalf("reopen: base=%d pending=%d", l2.BaseEvents(), l2.PendingEvents())
+	}
+	snap, _ := l2.Snapshot()
+	if snap.NumEvents() != 21 {
+		t.Fatalf("snapshot after reopen: %d events", snap.NumEvents())
+	}
+}
+
+func TestLiveOnExistingStore(t *testing.T) {
+	// A store persisted by Save can be continued live.
+	dir := t.TempDir()
+	s := buildRandom(t, 300, 9)
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLive(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.BaseEvents() != 300 {
+		t.Fatalf("base = %d", l.BaseEvents())
+	}
+	id := liveAppend(t, l, 2_000_000, "svc", "/new")
+	if id != 301 {
+		t.Fatalf("id = %d, want 301", id)
+	}
+	snap, _ := l.Snapshot()
+	if snap.NumEvents() != 301 {
+		t.Fatalf("snapshot = %d", snap.NumEvents())
+	}
+	// The new event is queryable and in time order (it is the latest).
+	min, max, _ := snap.TimeRange()
+	if max != 2_000_000 || min == max {
+		t.Fatalf("time range [%d,%d]", min, max)
+	}
+}
+
+func TestLiveErrors(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := OpenLive(dir, nil)
+	if _, err := l.Append(1, event.File("h", "/x"), event.File("h", "/y"), event.ActWrite, event.FlowOut, 0); err == nil {
+		t.Fatal("non-process subject must be rejected")
+	}
+	l.Close()
+	if _, err := l.Append(1, event.Process("h", "p", 1, 1), event.File("h", "/y"), event.ActWrite, event.FlowOut, 0); err == nil {
+		t.Fatal("append after close must fail")
+	}
+	if err := l.Checkpoint(); err == nil {
+		t.Fatal("checkpoint after close must fail")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+}
+
+func TestLiveSnapshotDrivesAnalysis(t *testing.T) {
+	// The live-store contract end to end: stream events in, snapshot,
+	// run a backward query chain over the snapshot.
+	dir := t.TempDir()
+	l, err := OpenLive(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	mal := event.Process("h", "mal", 7, 50)
+	drop := event.Process("h", "drop", 8, 10)
+	payload := event.File("h", "/tmp/p")
+	if _, err := l.Append(100, drop, payload, event.ActWrite, event.FlowOut, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(200, mal, payload, event.ActRead, event.FlowIn, 10); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	malID, _ := snap.Lookup(mal)
+	deps, err := snap.QueryBackward(malID, 0, 1000)
+	if err != nil || len(deps) != 1 {
+		t.Fatalf("deps of mal = %v, %v", deps, err)
+	}
+	pid, _ := snap.Lookup(payload)
+	deps2, _ := snap.QueryBackward(pid, 0, deps[0].Time)
+	if len(deps2) != 1 || deps2[0].Subject != snapLookup(t, snap, drop) {
+		t.Fatalf("deps of payload = %v", deps2)
+	}
+}
+
+func snapLookup(t *testing.T, s *Store, o event.Object) event.ObjID {
+	t.Helper()
+	id, ok := s.Lookup(o)
+	if !ok {
+		t.Fatalf("object %v missing", o.Key())
+	}
+	return id
+}

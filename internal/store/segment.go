@@ -1,0 +1,230 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"aptrace/internal/event"
+	"aptrace/internal/simclock"
+)
+
+// On-disk layout: a store directory contains
+//
+//	manifest.json   - version, partitioning, segment index
+//	objects.dat     - the interned object table
+//	seg-NNNNN.dat   - fixed-size event records, partitioned by time span
+//
+// Each .dat file is framed as: 4-byte magic, u32 version, u64 record count,
+// payload, u32 CRC-32 (IEEE) of everything before the checksum. Segments are
+// immutable once written; this mirrors the sealed-segment design of
+// log-structured stores and keeps recovery trivial (a bad checksum names the
+// exact damaged file).
+
+const (
+	formatVersion = 1
+
+	objectsFile  = "objects.dat"
+	manifestFile = "manifest.json"
+
+	// segmentBuckets is the number of time buckets per segment file:
+	// 24 one-hour buckets, i.e. one file per day at default settings.
+	segmentBuckets = 24
+)
+
+var (
+	magicObjects = [4]byte{'A', 'P', 'T', 'O'}
+	magicEvents  = [4]byte{'A', 'P', 'T', 'E'}
+)
+
+// manifest is the JSON index of a persisted store directory.
+type manifest struct {
+	Version       int           `json:"version"`
+	BucketSeconds int64         `json:"bucket_seconds"`
+	Events        int           `json:"events"`
+	Objects       int           `json:"objects"`
+	Segments      []segmentMeta `json:"segments"`
+}
+
+type segmentMeta struct {
+	File    string `json:"file"`
+	MinTime int64  `json:"min_time"` // inclusive
+	MaxTime int64  `json:"max_time"` // inclusive
+	Count   int    `json:"count"`
+}
+
+func frame(magic [4]byte, count uint64, payload []byte) []byte {
+	buf := make([]byte, 0, len(payload)+20)
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, count)
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+func unframe(magic [4]byte, buf []byte) (count uint64, payload []byte, err error) {
+	if len(buf) < 20 {
+		return 0, nil, errors.New("file too short")
+	}
+	body, sum := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, nil, errors.New("checksum mismatch")
+	}
+	if [4]byte(body[:4]) != magic {
+		return 0, nil, fmt.Errorf("bad magic %q", body[:4])
+	}
+	if v := binary.LittleEndian.Uint32(body[4:]); v != formatVersion {
+		return 0, nil, fmt.Errorf("unsupported format version %d", v)
+	}
+	return binary.LittleEndian.Uint64(body[8:]), body[16:], nil
+}
+
+// Save persists a sealed store into dir, creating it if needed.
+// Existing store files in dir are overwritten atomically per file
+// (write to temp + rename).
+func (s *Store) Save(dir string) error {
+	if !s.sealed {
+		return ErrNotSealed
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: create dir: %w", err)
+	}
+
+	// Object table.
+	var objPayload []byte
+	for _, o := range s.objects {
+		objPayload = event.AppendObject(objPayload, o)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, objectsFile), frame(magicObjects, uint64(len(s.objects)), objPayload)); err != nil {
+		return err
+	}
+
+	// Event segments, partitioned by time span.
+	man := manifest{
+		Version:       formatVersion,
+		BucketSeconds: s.bucketSeconds,
+		Events:        len(s.events),
+		Objects:       len(s.objects),
+	}
+	span := s.bucketSeconds * segmentBuckets
+	i := 0
+	for i < len(s.events) {
+		segStart := s.events[i].Time - (s.events[i].Time % span)
+		segEnd := segStart + span // exclusive
+		j := i
+		var payload []byte
+		for j < len(s.events) && s.events[j].Time < segEnd {
+			payload = event.AppendEvent(payload, s.events[j])
+			j++
+		}
+		name := fmt.Sprintf("seg-%05d.dat", len(man.Segments))
+		if err := writeFileAtomic(filepath.Join(dir, name), frame(magicEvents, uint64(j-i), payload)); err != nil {
+			return err
+		}
+		man.Segments = append(man.Segments, segmentMeta{
+			File:    name,
+			MinTime: s.events[i].Time,
+			MaxTime: s.events[j-1].Time,
+			Count:   j - i,
+		})
+		i = j
+	}
+
+	manJSON, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: marshal manifest: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(dir, manifestFile), manJSON)
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: write %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: finalize %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// Open loads a persisted store directory, rebuilds indexes, and returns a
+// sealed, query-ready store charging costs to clk.
+func Open(dir string, clk simclock.Clock, opts ...Option) (*Store, error) {
+	manJSON, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: read manifest: %w", err)
+	}
+	var man manifest
+	if err := json.Unmarshal(manJSON, &man); err != nil {
+		return nil, fmt.Errorf("store: parse manifest: %w", err)
+	}
+	if man.Version != formatVersion {
+		return nil, fmt.Errorf("store: unsupported manifest version %d", man.Version)
+	}
+
+	st := New(clk, opts...)
+	st.bucketSeconds = man.BucketSeconds
+
+	// Object table.
+	raw, err := os.ReadFile(filepath.Join(dir, objectsFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: read objects: %w", err)
+	}
+	count, payload, err := unframe(magicObjects, raw)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", objectsFile, err)
+	}
+	st.objects = make([]event.Object, 0, count)
+	for n := uint64(0); n < count; n++ {
+		var o event.Object
+		o, payload, err = event.DecodeObject(payload)
+		if err != nil {
+			return nil, fmt.Errorf("store: %s object %d: %w", objectsFile, n, err)
+		}
+		st.byKey[o.Key()] = event.ObjID(len(st.objects))
+		st.objects = append(st.objects, o)
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("store: %s: %d trailing bytes", objectsFile, len(payload))
+	}
+
+	// Segments.
+	st.events = make([]event.Event, 0, man.Events)
+	for _, seg := range man.Segments {
+		raw, err := os.ReadFile(filepath.Join(dir, seg.File))
+		if err != nil {
+			return nil, fmt.Errorf("store: read segment: %w", err)
+		}
+		count, payload, err := unframe(magicEvents, raw)
+		if err != nil {
+			return nil, fmt.Errorf("store: %s: %w", seg.File, err)
+		}
+		if int(count) != seg.Count {
+			return nil, fmt.Errorf("store: %s: manifest says %d events, file says %d", seg.File, seg.Count, count)
+		}
+		if len(payload) != int(count)*event.EventEncodedSize {
+			return nil, fmt.Errorf("store: %s: payload size %d does not match %d records", seg.File, len(payload), count)
+		}
+		for n := 0; n < int(count); n++ {
+			e, err := event.DecodeEvent(payload[n*event.EventEncodedSize:])
+			if err != nil {
+				return nil, fmt.Errorf("store: %s record %d: %w", seg.File, n, err)
+			}
+			if err := st.addRaw(e); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(st.events) != man.Events {
+		return nil, fmt.Errorf("store: manifest says %d events, segments held %d", man.Events, len(st.events))
+	}
+	if err := st.Seal(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

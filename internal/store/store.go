@@ -1,0 +1,394 @@
+// Package store implements APTrace's embedded audit-event database.
+//
+// It stands in for the PostgreSQL deployment the paper used (13 TB of events
+// from 256 hosts, stored time-partitioned). The store keeps a normalized
+// object table, a time-sorted event log, and per-object posting lists that
+// serve the one query backtracking needs: "all events whose data-flow
+// destination is object o within time range [from, to)".
+//
+// Every query charges a simclock.CostModel to the injected Clock for the
+// index entries it examined and the time buckets (partitions) it touched.
+// Under the simulated clock this reproduces the latency profile of the
+// paper's database without requiring terabytes of data; under the real clock
+// the charges are no-ops.
+//
+// Lifecycle: create with New, ingest with AddEvent (events may arrive in any
+// time order), then Seal to sort and build indexes. Queries are only allowed
+// on a sealed store; AddEvent is only allowed before sealing. A sealed store
+// is safe for concurrent readers.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"aptrace/internal/event"
+	"aptrace/internal/simclock"
+)
+
+// DefaultBucketSeconds is the default time-partition width: one hour, the
+// granularity at which a partitioned audit table would be pruned.
+const DefaultBucketSeconds = 3600
+
+// ErrSealed is returned by mutating calls on a sealed store.
+var ErrSealed = errors.New("store: already sealed")
+
+// ErrNotSealed is returned by queries on an unsealed store.
+var ErrNotSealed = errors.New("store: not sealed; call Seal before querying")
+
+// Stats aggregates the work a store has performed, for the efficiency
+// experiments (Figure 6) and for debugging cost calibration.
+type Stats struct {
+	Events        int   // total events stored
+	Objects       int   // total distinct objects
+	Queries       int64 // queries executed
+	RowsExamined  int64 // index entries examined across all queries
+	BucketsPruned int64 // time buckets touched across all queries
+}
+
+// Store is the embedded event database. See the package documentation for
+// the lifecycle contract.
+type Store struct {
+	clock simclock.Clock
+	cost  simclock.CostModel
+
+	bucketSeconds int64
+
+	objects []event.Object
+	byKey   map[event.ObjectKey]event.ObjID
+
+	events []event.Event // time-sorted after Seal
+	sealed bool
+
+	byDst map[event.ObjID][]int32 // event indexes with Dst()==key, time-sorted
+	bySrc map[event.ObjID][]int32 // event indexes with Src()==key, time-sorted
+	byID  map[event.EventID]int32
+
+	minTime, maxTime int64 // inclusive bounds over stored events
+
+	stats Stats
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithBucketSeconds sets the time-partition width used for cost accounting
+// and segment persistence.
+func WithBucketSeconds(s int64) Option {
+	return func(st *Store) {
+		if s > 0 {
+			st.bucketSeconds = s
+		}
+	}
+}
+
+// WithCostModel overrides the query cost model.
+func WithCostModel(m simclock.CostModel) Option {
+	return func(st *Store) { st.cost = m }
+}
+
+// New returns an empty, unsealed store charging query costs to clk.
+// A nil clock defaults to the real clock (no simulated charges).
+func New(clk simclock.Clock, opts ...Option) *Store {
+	if clk == nil {
+		clk = simclock.Real{}
+	}
+	st := &Store{
+		clock:         clk,
+		cost:          simclock.DefaultCostModel(),
+		bucketSeconds: DefaultBucketSeconds,
+		byKey:         make(map[event.ObjectKey]event.ObjID),
+	}
+	for _, o := range opts {
+		o(st)
+	}
+	return st
+}
+
+// Clock returns the clock this store charges query costs to.
+func (s *Store) Clock() simclock.Clock { return s.clock }
+
+// CostModel returns the query cost model in effect.
+func (s *Store) CostModel() simclock.CostModel { return s.cost }
+
+// Intern returns the ObjID for o, assigning a new one if the object has not
+// been seen. Interning is permitted both before and after sealing (sealing
+// freezes events, not the object table), but is not safe for concurrent use
+// with other writers.
+func (s *Store) Intern(o event.Object) event.ObjID {
+	key := o.Key()
+	if id, ok := s.byKey[key]; ok {
+		return id
+	}
+	id := event.ObjID(len(s.objects))
+	s.objects = append(s.objects, o)
+	s.byKey[key] = id
+	return id
+}
+
+// Lookup returns the ObjID for an object that may or may not be interned.
+func (s *Store) Lookup(o event.Object) (event.ObjID, bool) {
+	id, ok := s.byKey[o.Key()]
+	return id, ok
+}
+
+// Object returns the object for an ID. It panics on an out-of-range ID,
+// which always indicates a bug (IDs are only produced by this store).
+func (s *Store) Object(id event.ObjID) event.Object {
+	return s.objects[id]
+}
+
+// NumObjects returns the number of distinct interned objects.
+func (s *Store) NumObjects() int { return len(s.objects) }
+
+// NumEvents returns the number of stored events.
+func (s *Store) NumEvents() int { return len(s.events) }
+
+// TimeRange returns the inclusive [min, max] event-time bounds, or ok=false
+// if the store is empty.
+func (s *Store) TimeRange() (min, max int64, ok bool) {
+	if len(s.events) == 0 {
+		return 0, 0, false
+	}
+	return s.minTime, s.maxTime, true
+}
+
+// AddEvent appends a new event. The subject must be a process object.
+// Events may be added in any time order; Seal sorts them. The returned
+// EventID is stable across Seal and persistence.
+func (s *Store) AddEvent(t int64, subject, object event.Object, action event.Action, dir event.Direction, amount int64) (event.EventID, error) {
+	if s.sealed {
+		return 0, ErrSealed
+	}
+	if subject.Type != event.ObjProcess {
+		return 0, fmt.Errorf("store: event subject must be a process, got %v", subject.Type)
+	}
+	id := event.EventID(len(s.events) + 1) // IDs start at 1; 0 means "no event"
+	s.events = append(s.events, event.Event{
+		ID:      id,
+		Time:    t,
+		Subject: s.Intern(subject),
+		Object:  s.Intern(object),
+		Action:  action,
+		Dir:     dir,
+		Amount:  amount,
+	})
+	return id, nil
+}
+
+// addRaw appends an already-normalized event during segment loading.
+func (s *Store) addRaw(e event.Event) error {
+	if s.sealed {
+		return ErrSealed
+	}
+	if int(e.Subject) >= len(s.objects) || int(e.Object) >= len(s.objects) {
+		return fmt.Errorf("store: event %d references unknown object", e.ID)
+	}
+	s.events = append(s.events, e)
+	return nil
+}
+
+// Seal sorts the event log by time, builds the posting-list indexes, and
+// enables queries. Sealing an already-sealed store is an error.
+func (s *Store) Seal() error {
+	if s.sealed {
+		return ErrSealed
+	}
+	sort.SliceStable(s.events, func(i, j int) bool {
+		return s.events[i].Time < s.events[j].Time
+	})
+	s.byDst = make(map[event.ObjID][]int32, len(s.objects))
+	s.bySrc = make(map[event.ObjID][]int32, len(s.objects))
+	s.byID = make(map[event.EventID]int32, len(s.events))
+	for i, e := range s.events {
+		s.byDst[e.Dst()] = append(s.byDst[e.Dst()], int32(i))
+		s.bySrc[e.Src()] = append(s.bySrc[e.Src()], int32(i))
+		s.byID[e.ID] = int32(i)
+	}
+	if len(s.events) > 0 {
+		s.minTime = s.events[0].Time
+		s.maxTime = s.events[len(s.events)-1].Time
+	}
+	s.stats.Events = len(s.events)
+	s.stats.Objects = len(s.objects)
+	s.sealed = true
+	return nil
+}
+
+// Sealed reports whether the store has been sealed.
+func (s *Store) Sealed() bool { return s.sealed }
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	st := s.stats
+	st.Events = len(s.events)
+	st.Objects = len(s.objects)
+	return st
+}
+
+// charge records and bills the cost of one query.
+func (s *Store) charge(rows, from, to int64) {
+	buckets := int64(0)
+	if to > from {
+		buckets = (to-from)/s.bucketSeconds + 1
+	}
+	s.stats.Queries++
+	s.stats.RowsExamined += rows
+	s.stats.BucketsPruned += buckets
+	s.cost.Charge(s.clock, int(rows), int(buckets))
+}
+
+// postingRange binary-searches a time-sorted posting list for the half-open
+// window [from, to) and returns the slice bounds.
+func (s *Store) postingRange(list []int32, from, to int64) (lo, hi int) {
+	lo = sort.Search(len(list), func(i int) bool {
+		return s.events[list[i]].Time >= from
+	})
+	hi = sort.Search(len(list), func(i int) bool {
+		return s.events[list[i]].Time >= to
+	})
+	return lo, hi
+}
+
+// QueryBackward returns the events whose data-flow destination is dst with
+// timestamps in the half-open window [from, to), in ascending time order.
+// This is the backtracking primitive: the returned events are exactly the
+// candidate backward dependencies of any event whose source is dst.
+//
+// The query charges the cost model for the rows returned plus the buckets
+// covered by the window.
+func (s *Store) QueryBackward(dst event.ObjID, from, to int64) ([]event.Event, error) {
+	if !s.sealed {
+		return nil, ErrNotSealed
+	}
+	list := s.byDst[dst]
+	lo, hi := s.postingRange(list, from, to)
+	out := make([]event.Event, 0, hi-lo)
+	for _, idx := range list[lo:hi] {
+		out = append(out, s.events[idx])
+	}
+	s.charge(int64(len(out)), from, to)
+	return out, nil
+}
+
+// CountBackward returns the number of events QueryBackward would return,
+// without materializing or charging for them (it models an index-only
+// cardinality estimate, which real planners get almost for free).
+func (s *Store) CountBackward(dst event.ObjID, from, to int64) (int, error) {
+	if !s.sealed {
+		return 0, ErrNotSealed
+	}
+	lo, hi := s.postingRange(s.byDst[dst], from, to)
+	return hi - lo, nil
+}
+
+// CountForward returns the number of events QueryForward would return,
+// without materializing or charging for them (an index-only cardinality
+// estimate, like CountBackward).
+func (s *Store) CountForward(src event.ObjID, from, to int64) (int, error) {
+	if !s.sealed {
+		return 0, ErrNotSealed
+	}
+	lo, hi := s.postingRange(s.bySrc[src], from, to)
+	return hi - lo, nil
+}
+
+// QueryForward returns the events whose data-flow source is src within
+// [from, to), in ascending time order. Forward queries serve the anomaly
+// detector and forward (impact) tracking.
+func (s *Store) QueryForward(src event.ObjID, from, to int64) ([]event.Event, error) {
+	if !s.sealed {
+		return nil, ErrNotSealed
+	}
+	list := s.bySrc[src]
+	lo, hi := s.postingRange(list, from, to)
+	out := make([]event.Event, 0, hi-lo)
+	for _, idx := range list[lo:hi] {
+		out = append(out, s.events[idx])
+	}
+	s.charge(int64(len(out)), from, to)
+	return out, nil
+}
+
+// EventByID returns the stored event with the given ID.
+func (s *Store) EventByID(id event.EventID) (event.Event, bool) {
+	if !s.sealed {
+		return event.Event{}, false
+	}
+	idx, ok := s.byID[id]
+	if !ok {
+		return event.Event{}, false
+	}
+	return s.events[idx], true
+}
+
+// Scan calls fn for every event in [from, to) in ascending time order,
+// stopping early if fn returns false. Scan charges for every row visited:
+// it models a sequential partition scan.
+func (s *Store) Scan(from, to int64, fn func(event.Event) bool) error {
+	if !s.sealed {
+		return ErrNotSealed
+	}
+	lo := sort.Search(len(s.events), func(i int) bool { return s.events[i].Time >= from })
+	rows := int64(0)
+	for i := lo; i < len(s.events) && s.events[i].Time < to; i++ {
+		rows++
+		if !fn(s.events[i]) {
+			break
+		}
+	}
+	s.charge(rows, from, to)
+	return nil
+}
+
+// RandomEvents returns n events sampled uniformly without replacement using
+// rng. If the store holds fewer than n events, all of them are returned.
+// Sampling is free (it is an experiment-harness convenience, not a modeled
+// database operation).
+func (s *Store) RandomEvents(n int, rng *rand.Rand) []event.Event {
+	if n >= len(s.events) {
+		out := make([]event.Event, len(s.events))
+		copy(out, s.events)
+		return out
+	}
+	idx := rng.Perm(len(s.events))[:n]
+	out := make([]event.Event, 0, n)
+	for _, i := range idx {
+		out = append(out, s.events[i])
+	}
+	return out
+}
+
+// EventAt returns the i-th event in time order. It is intended for tests and
+// tooling; it does not charge query cost.
+func (s *Store) EventAt(i int) event.Event { return s.events[i] }
+
+// Objects returns the full object table. The returned slice is owned by the
+// store and must not be modified.
+func (s *Store) Objects() []event.Object { return s.objects }
+
+// InDegree returns the total number of events flowing into obj over the
+// store's whole history, an explosion-severity signal used by tooling.
+func (s *Store) InDegree(obj event.ObjID) int { return len(s.byDst[obj]) }
+
+// OutDegree returns the total number of events flowing out of obj.
+func (s *Store) OutDegree(obj event.ObjID) int { return len(s.bySrc[obj]) }
+
+// BucketSeconds returns the time-partition width.
+func (s *Store) BucketSeconds() int64 { return s.bucketSeconds }
+
+// GlobalStart returns the default global starting time ts used by execution-
+// window generation when a BDL script gives no explicit "from": the earliest
+// event in the store.
+func (s *Store) GlobalStart() int64 { return s.minTime }
+
+// Duration returns the stored history span.
+func (s *Store) Duration() time.Duration {
+	if len(s.events) == 0 {
+		return 0
+	}
+	return time.Duration(s.maxTime-s.minTime) * time.Second
+}

@@ -1,0 +1,199 @@
+// Package suggest proposes BDL heuristics from a partially explored
+// dependency graph. The paper's workflow has the analyst eyeball the graph,
+// guess which objects are benign hubs (dll files, explorer.exe, findstr's
+// scan), verify, and write the exclusion by hand; this package automates the
+// "guess" step, ranking exclusion candidates by how much of the current
+// graph and of the remaining search space they account for. The analyst
+// still confirms and applies — exactly the division of labor Section II
+// argues for (blind automatic pruning is what attackers exploit).
+package suggest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aptrace/internal/event"
+	"aptrace/internal/graph"
+	"aptrace/internal/store"
+)
+
+// Suggestion is one proposed heuristic.
+type Suggestion struct {
+	// Clause is the BDL where-conjunct to add, e.g.
+	// `file.path != "*.dll"` or `proc.exename != "findstr.exe"`.
+	Clause string
+	// Reason explains the evidence.
+	Reason string
+	// GraphEdges is how many edges of the current graph involve the
+	// candidate; StoreFanIn is its total in-degree in the store — an
+	// upper bound on what exploring it can still drag in.
+	GraphEdges int
+	StoreFanIn int
+	// Caution is the verification the analyst should perform before
+	// applying (the paper's blue team checked dlls for tampering before
+	// excluding them).
+	Caution string
+}
+
+// Options tune suggestion generation.
+type Options struct {
+	// Limit is the maximum number of suggestions (default 5).
+	Limit int
+	// MinFanIn is the in-graph fan-in below which a node is not worth
+	// excluding (default 5).
+	MinFanIn int
+}
+
+// ForGraph analyzes an explored graph and proposes exclusion heuristics.
+// Nodes whose removal would break the only path to the starting point are
+// skipped (excluding them could sever the true chain).
+func ForGraph(g *graph.Graph, st *store.Store, opts Options) []Suggestion {
+	if opts.Limit <= 0 {
+		opts.Limit = 5
+	}
+	if opts.MinFanIn <= 0 {
+		opts.MinFanIn = 5
+	}
+
+	// Group hub candidates: individual heavy nodes plus extension classes
+	// (all dlls, all logs) that commonly explode together.
+	classEdges := map[string]int{}
+	classFan := map[string]int{}
+	classExample := map[string]string{}
+
+	var singles []Suggestion
+	for _, d := range graph.TopFanIn(g, 50) {
+		if d.In < opts.MinFanIn {
+			break
+		}
+		o := st.Object(d.ID)
+		switch o.Type {
+		case event.ObjFile:
+			if cls := fileClass(o.Path); cls != "" {
+				classEdges[cls] += d.In
+				classFan[cls] += st.InDegree(d.ID)
+				classExample[cls] = o.Path
+				continue
+			}
+			singles = append(singles, Suggestion{
+				Clause:     fmt.Sprintf("file.path != %q", baseName(o.Path)),
+				Reason:     fmt.Sprintf("file %s accounts for %d edges of the current graph", o.Path, d.In),
+				GraphEdges: d.In,
+				StoreFanIn: st.InDegree(d.ID),
+				Caution:    "confirm the file has no suspicious modifications in the window",
+			})
+		case event.ObjProcess:
+			singles = append(singles, Suggestion{
+				Clause:     fmt.Sprintf("proc.exename != %q", o.Exe),
+				Reason:     fmt.Sprintf("process %s accounts for %d edges of the current graph", o.Exe, d.In),
+				GraphEdges: d.In,
+				StoreFanIn: st.InDegree(d.ID),
+				Caution:    "confirm the process is not attacker-injected before excluding it",
+			})
+		case event.ObjSocket:
+			// Sockets are rarely safe to exclude wholesale; suggest the
+			// subnet only when it is clearly internal chatter.
+			if strings.HasPrefix(o.DstIP, "10.") {
+				singles = append(singles, Suggestion{
+					Clause:     fmt.Sprintf("ip.dst_ip != %q", subnetPattern(o.DstIP)),
+					Reason:     fmt.Sprintf("internal traffic to %s accounts for %d edges", o.DstIP, d.In),
+					GraphEdges: d.In,
+					StoreFanIn: st.InDegree(d.ID),
+					Caution:    "only exclude internal subnets you have separately swept",
+				})
+			}
+		}
+	}
+
+	// The same executable runs on many hosts (every desktop has an
+	// explorer.exe); a single exclusion clause covers them all, so merge
+	// duplicates, accumulating their impact.
+	merged := map[string]*Suggestion{}
+	order := []string{}
+	for _, sug := range singles {
+		if prev, ok := merged[sug.Clause]; ok {
+			prev.GraphEdges += sug.GraphEdges
+			prev.StoreFanIn += sug.StoreFanIn
+			continue
+		}
+		cp := sug
+		merged[sug.Clause] = &cp
+		order = append(order, sug.Clause)
+	}
+	out := make([]Suggestion, 0, len(order)+len(classEdges))
+	for _, c := range order {
+		out = append(out, *merged[c])
+	}
+	for cls, edges := range classEdges {
+		out = append(out, Suggestion{
+			Clause:     fmt.Sprintf("file.path != %q", cls),
+			Reason:     fmt.Sprintf("%s files (e.g. %s) account for %d edges of the current graph", cls, classExample[cls], edges),
+			GraphEdges: edges,
+			StoreFanIn: classFan[cls],
+			Caution:    "confirm no suspicious modifications to these files first",
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].GraphEdges != out[j].GraphEdges {
+			return out[i].GraphEdges > out[j].GraphEdges
+		}
+		return out[i].Clause < out[j].Clause
+	})
+	if len(out) > opts.Limit {
+		out = out[:opts.Limit]
+	}
+	return out
+}
+
+// fileClass maps a path to an exclusion class pattern, or "" if the file
+// does not belong to a well-known noisy class.
+func fileClass(path string) string {
+	lower := strings.ToLower(path)
+	switch {
+	case strings.HasSuffix(lower, ".dll"), strings.HasSuffix(lower, ".so"):
+		return "*.dll"
+	case strings.HasSuffix(lower, ".log"):
+		return "*.log"
+	case strings.Contains(lower, "thumbs.db"), strings.Contains(lower, "index.dat"):
+		return "*thumbs.db"
+	case strings.HasSuffix(lower, ".bash_history"):
+		return "*.bash_history"
+	case strings.Contains(lower, "/usr/include/"):
+		return "/usr/include/*"
+	default:
+		return ""
+	}
+}
+
+func baseName(p string) string {
+	if i := strings.LastIndexAny(p, `/\`); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// subnetPattern turns "10.1.0.26" into "10.1.0.*".
+func subnetPattern(ip string) string {
+	if i := strings.LastIndexByte(ip, '.'); i > 0 {
+		return ip[:i] + ".*"
+	}
+	return ip
+}
+
+// Render formats suggestions as the where-clause block an analyst would
+// paste into the next script version.
+func Render(sugs []Suggestion) string {
+	if len(sugs) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("where ")
+	for i, s := range sugs {
+		if i > 0 {
+			sb.WriteString("\n  and ")
+		}
+		sb.WriteString(s.Clause)
+	}
+	return sb.String()
+}

@@ -1,0 +1,148 @@
+package suggest
+
+import (
+	"strings"
+	"testing"
+
+	"aptrace/internal/baseline"
+	"aptrace/internal/core"
+	"aptrace/internal/refiner"
+	"aptrace/internal/workload"
+)
+
+func TestSuggestionsFromPhishingGraph(t *testing.T) {
+	ds, err := workload.Generate(workload.Config{Seed: 17, Hosts: 5, Days: 4, Density: 0.8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk := ds.Attacks[0] // phishing
+	alert, _ := ds.Store.EventByID(atk.AlertID)
+
+	// Explore without heuristics (the analyst's v1 situation).
+	res, err := baseline.Run(ds.Store, alert, baseline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sugs := ForGraph(res.Graph, ds.Store, Options{Limit: 8})
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions from an exploded graph")
+	}
+	joined := Render(sugs)
+	// The known hubs of this scenario must surface: the shared SQL server,
+	// the File Explorer, or a noisy file class.
+	wantAny := []string{`"*.log"`, `"*.dll"`, `"*thumbs.db"`, `"explorer.exe"`, `"sqlservr.exe"`, `"findstr.out"`}
+	found := 0
+	for _, w := range wantAny {
+		if strings.Contains(joined, w) {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatalf("no known-hub suggestion in:\n%s", joined)
+	}
+	// No duplicate clauses after merging.
+	seen := map[string]bool{}
+	for _, s := range sugs {
+		if seen[s.Clause] {
+			t.Fatalf("duplicate clause %q", s.Clause)
+		}
+		seen[s.Clause] = true
+	}
+	for _, s := range sugs {
+		if s.Clause == "" || s.Reason == "" || s.Caution == "" {
+			t.Errorf("incomplete suggestion: %+v", s)
+		}
+		if s.GraphEdges <= 0 {
+			t.Errorf("non-positive impact: %+v", s)
+		}
+	}
+	// Suggestions are sorted by impact.
+	for i := 1; i < len(sugs); i++ {
+		if sugs[i].GraphEdges > sugs[i-1].GraphEdges {
+			t.Fatal("suggestions not sorted by impact")
+		}
+	}
+}
+
+// TestSuggestionsCompile: every generated clause must be valid BDL when
+// attached to a script.
+func TestSuggestionsCompile(t *testing.T) {
+	ds, err := workload.Generate(workload.Config{Seed: 17, Hosts: 4, Days: 3, Density: 0.6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alert, _ := ds.Store.EventByID(ds.Attacks[0].AlertID)
+	res, err := baseline.Run(ds.Store, alert, baseline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugs := ForGraph(res.Graph, ds.Store, Options{Limit: 10})
+	if len(sugs) == 0 {
+		t.Skip("graph produced no suggestions at this scale")
+	}
+	script := `backward ip a[dst_ip = "203.0.113.66"] -> *` + "\n" + Render(sugs)
+	if _, err := refiner.ParseAndCompile(script); err != nil {
+		t.Fatalf("suggested clauses do not compile: %v\n%s", err, script)
+	}
+}
+
+// TestSuggestionsShrinkNextRun closes the loop: applying the suggestions
+// must shrink the next exploration, as the analyst's manual heuristics do.
+func TestSuggestionsShrinkNextRun(t *testing.T) {
+	ds, err := workload.Generate(workload.Config{Seed: 17, Hosts: 5, Days: 4, Density: 0.8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alert, _ := ds.Store.EventByID(ds.Attacks[0].AlertID)
+	before, err := baseline.Run(ds.Store, alert, baseline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugs := ForGraph(before.Graph, ds.Store, Options{Limit: 4})
+	script := `backward ip a[dst_ip = "203.0.113.66"] -> *` + "\n" + Render(sugs)
+	plan, err := refiner.ParseAndCompile(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := core.New(ds.Store, plan, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := x.RunUnchecked(alert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Graph.NumEdges()*2 >= before.Graph.NumEdges() {
+		t.Fatalf("suggestions did not halve the graph: %d -> %d",
+			before.Graph.NumEdges(), after.Graph.NumEdges())
+	}
+	t.Logf("suggestions shrank the graph %d -> %d", before.Graph.NumEdges(), after.Graph.NumEdges())
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if Render(nil) != "" {
+		t.Fatal("empty suggestions must render empty")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if fileClass(`C:\Windows\System32\a.DLL`) != "*.dll" {
+		t.Error("dll class")
+	}
+	if fileClass("/var/log/x.log") != "*.log" {
+		t.Error("log class")
+	}
+	if fileClass("/home/u/doc.txt") != "" {
+		t.Error("plain file has no class")
+	}
+	if baseName(`C:\a\b.txt`) != "b.txt" || baseName("x") != "x" {
+		t.Error("baseName")
+	}
+	if subnetPattern("10.1.0.26") != "10.1.0.*" {
+		t.Error("subnetPattern")
+	}
+	if subnetPattern("localhost") != "localhost" {
+		t.Error("subnetPattern fallback")
+	}
+}

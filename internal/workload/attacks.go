@@ -1,0 +1,447 @@
+package workload
+
+import (
+	"fmt"
+
+	"aptrace/internal/event"
+)
+
+// injectors maps scenario names to their implementations. Each injector
+// plants the attack's causal chain into the shared history (plus any
+// host-specific noise the scenario needs) and returns ground truth and the
+// analyst's scripted BDL refinement sequence (Section IV-D).
+var injectors = map[string]func(*generator) (Attack, error){
+	"phishing":         injectPhishing,
+	"excel-macro":      injectExcelMacro,
+	"shellshock":       injectShellShock,
+	"cheating-student": injectCheatingStudent,
+	"wget-gcc":         injectWgetGcc,
+}
+
+// atkTime places attack number slot (0-4): the five scenarios are spread
+// evenly across the second half of the history, so each has plenty of
+// earlier background to explode into and room for its own chain.
+func (g *generator) atkTime(slot int64) int64 {
+	base := g.t0 + int64(g.cfg.Days)*86400/2
+	span := (g.tEnd - base - 4*3600) / 5
+	return base + slot*span + 1800
+}
+
+// scriptRange renders the general "from .. to .." constraint covering the
+// whole recorded history.
+func (g *generator) scriptRange() string {
+	return fmt.Sprintf("from %q to %q", day(g.t0), day(g.tEnd+86400))
+}
+
+// chain is a small helper collecting ground-truth event IDs.
+type chain struct{ ids []event.EventID }
+
+func (c *chain) rec(id event.EventID) event.EventID {
+	c.ids = append(c.ids, id)
+	return id
+}
+
+// injectPhishing is attack case A1, the paper's motivating example
+// (Figure 1): a phishing mail drops a malicious Excel attachment; opening it
+// spawns java.exe, which scans the disk with findstr, escalates through
+// notepad.exe, dumps the internal database, and beacons to an external IP.
+func injectPhishing(g *generator) (Attack, error) {
+	host := "desktop-01"
+	if g.cfg.Hosts < 1 {
+		return Attack{}, fmt.Errorf("needs at least 1 workstation")
+	}
+	t := g.atkTime(0)
+	var c chain
+
+	explorer := g.proc(host, "explorer.exe", g.t0)
+	outlook := event.Process(host, "outlook.exe", g.pid(host), t-3600)
+	g.add(t-3600, explorer, outlook, event.ActStart, event.FlowOut, 0)
+
+	// The phishing mail arrives from the external relay. Root cause.
+	mail := sock(externalMailIP, 25, hostIP(host), 49152)
+	c.rec(g.add(t, outlook, mail, event.ActRecv, event.FlowIn, 2<<20))
+	attach := event.File(host, `C:\Users\u\mail\attachments\invoice.xls`)
+	c.rec(g.add(t+30, outlook, attach, event.ActWrite, event.FlowOut, 1<<20))
+
+	// The victim opens the attachment; the macro drops and starts java.exe.
+	excel := event.Process(host, "excel.exe", g.pid(host), t+600)
+	c.rec(g.add(t+600, outlook, excel, event.ActStart, event.FlowOut, 0))
+	c.rec(g.add(t+610, excel, attach, event.ActRead, event.FlowIn, 1<<20))
+	for i := 0; i < 12; i++ {
+		g.add(t+612+int64(i), excel, event.File(host, fmt.Sprintf(`C:\Windows\System32\lib%02d.dll`, i)), event.ActLoad, event.FlowIn, 0)
+	}
+	malFile := event.File(host, `C:\Users\u\Documents\java.exe`)
+	c.rec(g.add(t+630, excel, malFile, event.ActWrite, event.FlowOut, 300<<10))
+	java := event.Process(host, "java.exe", g.pid(host), t+640)
+	c.rec(g.add(t+640, excel, java, event.ActStart, event.FlowOut, 0))
+	g.add(t+641, java, malFile, event.ActLoad, event.FlowIn, 300<<10)
+	for i := 0; i < 8; i++ {
+		g.add(t+642+int64(i), java, event.File(host, fmt.Sprintf(`C:\Windows\System32\lib%02d.dll`, 10+i)), event.ActLoad, event.FlowIn, 0)
+	}
+
+	// Credential scan: cmd runs findstr over the victim's documents,
+	// hibernating between batches (the "can take days" part, compressed).
+	cmd := event.Process(host, "cmd.exe", g.pid(host), t+700)
+	g.add(t+700, java, cmd, event.ActStart, event.FlowOut, 0)
+	findstr := event.Process(host, "findstr.exe", g.pid(host), t+710)
+	g.add(t+710, cmd, findstr, event.ActStart, event.FlowOut, 0)
+	out := event.File(host, `C:\Users\u\AppData\findstr.out`)
+	scanT := t + 720
+	for i := 0; i < 60; i++ {
+		doc := event.File(host, fmt.Sprintf(`C:\Users\u\Documents\doc%03d.txt`, i%60))
+		g.add(scanT, findstr, doc, event.ActRead, event.FlowIn, 4096)
+		g.add(scanT+1, findstr, out, event.ActWrite, event.FlowOut, 128)
+		scanT += 40 + g.rng.Int63n(80) // hibernation between files
+	}
+	g.add(scanT+10, java, out, event.ActRead, event.FlowIn, 8<<10)
+
+	// Privilege escalation through notepad.exe; dump the internal DB.
+	notepad := event.Process(host, "notepad.exe", g.pid(host), scanT+60)
+	g.add(scanT+60, java, notepad, event.ActStart, event.FlowOut, 0)
+	g.add(scanT+61, java, notepad, event.ActInject, event.FlowOut, 64<<10)
+	dbSock := sock(hostIP(host), 49800, hostIP(serverDB), 1433)
+	sql := g.proc(serverDB, "sqlservr.exe", g.t0+60)
+	g.add(scanT+89, notepad, dbSock, event.ActSend, event.FlowOut, 512)
+	g.add(scanT+90, sql, dbSock, event.ActRecv, event.FlowIn, 512)
+	g.add(scanT+91, sql, dbSock, event.ActSend, event.FlowOut, 40<<20)
+	g.add(scanT+92, notepad, dbSock, event.ActRecv, event.FlowIn, 40<<20)
+	dump := event.File(host, `C:\Users\u\AppData\dump.dat`)
+	g.add(scanT+120, notepad, dump, event.ActWrite, event.FlowOut, 40<<20)
+	g.add(scanT+150, java, dump, event.ActRead, event.FlowIn, 40<<20)
+
+	// The beacon that trips the anomaly detector: the starting point.
+	exfil := sock(hostIP(host), 49900, externalAttackIP, 443)
+	alert := c.rec(g.add(scanT+200, java, exfil, event.ActSend, event.FlowOut, 40<<20))
+
+	alertAt := scanT + 200
+	rng := g.scriptRange()
+	v1 := fmt.Sprintf(`%s
+backward ip alert[dst_ip = %q and subject_name = "java.exe" and event_time = %q and action_type = "send"] -> *
+output = "./result.dot"`, rng, externalAttackIP, when(alertAt))
+	v2 := fmt.Sprintf(`%s
+backward ip alert[dst_ip = %q and subject_name = "java.exe" and event_time = %q and action_type = "send"] -> *
+where file.path != "*.dll"
+output = "./result.dot"`, rng, externalAttackIP, when(alertAt))
+	v3 := fmt.Sprintf(`%s
+backward ip alert[dst_ip = %q and subject_name = "java.exe" and event_time = %q and action_type = "send"] -> *
+where file.path != "*.dll" and proc.exename != "findstr.exe"
+output = "./result.dot"`, rng, externalAttackIP, when(alertAt))
+
+	return Attack{
+		Name:       "phishing",
+		Title:      "Phishing Email (motivating example)",
+		Host:       host,
+		AlertID:    alert,
+		RootCause:  mail.Key(),
+		ChainIDs:   c.ids,
+		Scripts:    []string{v1, v2, v3},
+		Heuristics: 2,
+	}, nil
+}
+
+// injectExcelMacro is attack case A2 (Figure 5): a drive-by Excel download
+// on Host 1 spawns java.exe, which reaches the SQL server on Host 2 and runs
+// a batch through its shell interface, dropping the qfvkl.exe backdoor.
+func injectExcelMacro(g *generator) (Attack, error) {
+	host1 := "desktop-02"
+	if g.cfg.Hosts < 2 {
+		host1 = "desktop-01"
+	}
+	host2 := serverDB
+	t := g.atkTime(1)
+
+	var c chain
+	explorer := g.proc(host1, "explorer.exe", g.t0)
+
+	// Host 1: the user downloads data.xls through the browser. Root cause.
+	iexplore := event.Process(host1, "iexplore.exe", g.pid(host1), t-1800)
+	g.add(t-1800, explorer, iexplore, event.ActStart, event.FlowOut, 0)
+	dl := sock("198.51.100.77", 443, hostIP(host1), 49300)
+	c.rec(g.add(t, iexplore, dl, event.ActRecv, event.FlowIn, 2<<20))
+	xls := event.File(host1, `C:\Users\u\Downloads\HTTPS0_172.16.157.129.XLS`)
+	c.rec(g.add(t+20, iexplore, xls, event.ActWrite, event.FlowOut, 2<<20))
+
+	// Opening it runs the macro, dropping java.exe in Documents.
+	excel := event.Process(host1, "excel.exe", g.pid(host1), t+400)
+	c.rec(g.add(t+400, explorer, excel, event.ActStart, event.FlowOut, 0))
+	c.rec(g.add(t+410, excel, xls, event.ActRead, event.FlowIn, 2<<20))
+	for i := 0; i < 10; i++ {
+		g.add(t+412+int64(i), excel, event.File(host1, fmt.Sprintf(`C:\Windows\System32\lib%02d.dll`, i)), event.ActLoad, event.FlowIn, 0)
+	}
+	malFile := event.File(host1, `C:\Users\u\Documents\java.exe`)
+	c.rec(g.add(t+430, excel, malFile, event.ActWrite, event.FlowOut, 250<<10))
+	java := event.Process(host1, "java.exe", g.pid(host1), t+440)
+	c.rec(g.add(t+440, excel, java, event.ActStart, event.FlowOut, 0))
+	g.add(t+441, java, malFile, event.ActLoad, event.FlowIn, 250<<10)
+
+	// Host 1 -> Host 2: java drives the SQL server's shell interface.
+	sqlSock := sock(hostIP(host1), 49500, hostIP(host2), 1433)
+	c.rec(g.add(t+600, java, sqlSock, event.ActSend, event.FlowOut, 900))
+	sql := g.proc(host2, "sqlservr.exe", g.t0+60)
+	c.rec(g.add(t+601, sql, sqlSock, event.ActRecv, event.FlowIn, 900))
+
+	// The alert: sqlservr.exe abnormally starts cmd.exe (xp_cmdshell).
+	cmd := event.Process(host2, "cmd.exe", g.pid(host2), t+610)
+	alert := c.rec(g.add(t+610, sql, cmd, event.ActStart, event.FlowOut, 0))
+
+	// Post-alert: the batch drops and runs the backdoor.
+	cscript := event.Process(host2, "cscript.exe", g.pid(host2), t+620)
+	g.add(t+620, cmd, cscript, event.ActStart, event.FlowOut, 0)
+	vbs := event.File(host2, `C:\Windows\Temp\QFTHV.VBS`)
+	g.add(t+621, cscript, vbs, event.ActWrite, event.FlowOut, 4<<10)
+	backdoor := event.File(host2, `C:\Windows\Temp\qfvkl.exe`)
+	g.add(t+640, cscript, backdoor, event.ActWrite, event.FlowOut, 500<<10)
+	qfvkl := event.Process(host2, "qfvkl.exe", g.pid(host2), t+650)
+	g.add(t+650, cscript, qfvkl, event.ActStart, event.FlowOut, 0)
+	g.add(t+651, qfvkl, backdoor, event.ActLoad, event.FlowIn, 500<<10)
+	out := sock(hostIP(host2), 49600, externalAttackIP, 8443)
+	g.add(t+700, qfvkl, out, event.ActSend, event.FlowOut, 5<<20)
+
+	alertAt := t + 610
+	rng := g.scriptRange()
+	start := fmt.Sprintf(`backward proc p[exename = "cmd" and event_time = %q and action_type = "start" and subject_name = "sqlserv"]`, when(alertAt))
+	v1 := fmt.Sprintf("%s\n%s -> *\noutput = \"./result.dot\"", rng, start)
+	v2 := fmt.Sprintf("%s\n%s -> *\nwhere file.path != \"*.dll\"\noutput = \"./result.dot\"", rng, start)
+	v3 := fmt.Sprintf("%s\n%s -> ip i[dst_ip = %q and src_ip = %q and subject_name = \"java.exe\"] -> *\nwhere file.path != \"*.dll\"\noutput = \"./result.dot\"",
+		rng, start, hostIP(host2), hostIP(host1))
+	v4 := fmt.Sprintf("%s\n%s -> ip i[dst_ip = %q and src_ip = %q and subject_name = \"java.exe\"] -> *\nwhere file.path != \"*.dll\" and proc.exename != \"explorer\"\noutput = \"./result.dot\"",
+		rng, start, hostIP(host2), hostIP(host1))
+
+	return Attack{
+		Name:       "excel-macro",
+		Title:      "Malicious Excel Macro",
+		Host:       host2,
+		AlertID:    alert,
+		RootCause:  dl.Key(),
+		ChainIDs:   c.ids,
+		Scripts:    []string{v1, v2, v3, v4},
+		Heuristics: 3,
+	}, nil
+}
+
+// injectShellShock is attack case A3: the Apache server is exploited through
+// CVE-2014-6271 to spawn a bash, which steals sensitive data that Apache
+// then uploads to the attacker.
+func injectShellShock(g *generator) (Attack, error) {
+	host := serverWeb
+	t := g.atkTime(2)
+	var c chain
+	httpd := g.proc(host, "httpd", g.t0+30)
+
+	// The crafted request. Root cause.
+	in := sock(externalAttackIP, 31337, hostIP(host), 80)
+	c.rec(g.add(t, httpd, in, event.ActRecv, event.FlowIn, 600))
+
+	// The exploited CGI spawns bash.
+	bash := event.Process(host, "bash", g.pid(host), t+2)
+	c.rec(g.add(t+2, httpd, bash, event.ActStart, event.FlowOut, 0))
+	c.rec(g.add(t+5, bash, event.File(host, "/etc/passwd"), event.ActRead, event.FlowIn, 4<<10))
+	secrets := event.File(host, "/var/db/customers.db")
+	c.rec(g.add(t+10, bash, secrets, event.ActRead, event.FlowIn, 80<<20))
+	dump := event.File(host, "/tmp/.cache.dat")
+	c.rec(g.add(t+20, bash, dump, event.ActWrite, event.FlowOut, 80<<20))
+
+	// Apache serves the stolen blob back out: the large-upload alert.
+	c.rec(g.add(t+60, httpd, dump, event.ActRead, event.FlowIn, 80<<20))
+	outSock := sock(hostIP(host), 80, externalAttackIP, 31400)
+	alert := c.rec(g.add(t+65, httpd, outSock, event.ActSend, event.FlowOut, 80<<20))
+
+	alertAt := t + 65
+	rng := g.scriptRange()
+	start := fmt.Sprintf(`backward ip alert[dst_ip = %q and subject_name = "httpd" and event_time = %q and action_type = "send"]`, externalAttackIP, when(alertAt))
+	v1 := fmt.Sprintf("%s\n%s -> *\noutput = \"./result.dot\"", rng, start)
+	v2 := fmt.Sprintf("%s\n%s -> *\nwhere file.path != \"*.html\"\noutput = \"./result.dot\"", rng, start)
+	v3 := fmt.Sprintf("%s\n%s -> *\nwhere file.path != \"*.html\" and ip.src_ip != \"198.51.100.*\"\noutput = \"./result.dot\"", rng, start)
+
+	return Attack{
+		Name:       "shellshock",
+		Title:      "Shell Shock",
+		Host:       host,
+		AlertID:    alert,
+		RootCause:  in.Key(),
+		ChainIDs:   c.ids,
+		Scripts:    []string{v1, v2, v3},
+		Heuristics: 2,
+	}, nil
+}
+
+// injectCheatingStudent is attack case A4: a student steals the registrar
+// credential, uploads a backdoor to the file server over SSH, and rewrites
+// the grade database.
+func injectCheatingStudent(g *generator) (Attack, error) {
+	student := "desktop-03"
+	if g.cfg.Hosts < 3 {
+		student = "desktop-01"
+	}
+	srv := serverFiles
+	t := g.atkTime(3)
+	var c chain
+
+	// Background for this scenario: sshd handles routine logins all
+	// period, making it a noisy hub on the backward path.
+	sshd := g.proc(srv, "sshd", g.t0+50)
+	g.add(g.t0+50, g.proc(srv, "services.exe", g.t0), sshd, event.ActStart, event.FlowOut, 0)
+	authLog := event.File(srv, "/var/log/auth.log")
+	for d := 0; d < g.cfg.Days; d++ {
+		dayStart := g.t0 + int64(d)*86400
+		for i := 0; i < int(40*g.cfg.Density); i++ {
+			tt := dayStart + g.rng.Int63n(86400)
+			login := sock(fmt.Sprintf("10.1.0.%d", 10+g.rng.Intn(200)), uint16(52000+g.rng.Intn(4000)), hostIP(srv), 22)
+			g.add(tt, sshd, login, event.ActRecv, event.FlowIn, 2048)
+			g.add(tt+1, sshd, event.File(srv, "/etc/shadow"), event.ActRead, event.FlowIn, 1024)
+			g.add(tt+2, sshd, authLog, event.ActWrite, event.FlowOut, 200)
+		}
+	}
+
+	// The student assembles the backdoor locally...
+	devenv := event.Process(student, "devenv.exe", g.pid(student), t-900)
+	g.add(t-900, g.proc(student, "explorer.exe", g.t0), devenv, event.ActStart, event.FlowOut, 0)
+	tool := event.File(student, `C:\Users\u\src\backdoor.bin`)
+	c.rec(g.add(t-600, devenv, tool, event.ActWrite, event.FlowOut, 700<<10))
+
+	// ...and uploads it with scp using the stolen credential.
+	scp := event.Process(student, "scp.exe", g.pid(student), t)
+	g.add(t, devenv, scp, event.ActStart, event.FlowOut, 0)
+	c.rec(g.add(t+2, scp, tool, event.ActRead, event.FlowIn, 700<<10))
+	up := sock(hostIP(student), 53111, hostIP(srv), 22)
+	c.rec(g.add(t+5, scp, up, event.ActSend, event.FlowOut, 700<<10))
+	c.rec(g.add(t+6, sshd, up, event.ActRecv, event.FlowIn, 700<<10))
+	dropped := event.File(srv, "/srv/.hidden/backdoor.bin")
+	c.rec(g.add(t+10, sshd, dropped, event.ActWrite, event.FlowOut, 700<<10))
+
+	// The backdoor runs and rewrites the grade database: the alert is the
+	// integrity violation on grades.db.
+	bd := event.Process(srv, "backdoor.bin", g.pid(srv), t+30)
+	c.rec(g.add(t+30, sshd, bd, event.ActStart, event.FlowOut, 0))
+	g.add(t+31, bd, dropped, event.ActLoad, event.FlowIn, 700<<10)
+	grades := event.File(srv, "/srv/registrar/grades.db")
+	alert := c.rec(g.add(t+90, bd, grades, event.ActWrite, event.FlowOut, 12<<10))
+
+	alertAt := t + 90
+	rng := g.scriptRange()
+	start := fmt.Sprintf(`backward file f[path = "grades.db" and event_time = %q and action_type = "write"]`, when(alertAt))
+	v1 := fmt.Sprintf("%s\n%s -> *\noutput = \"./result.dot\"", rng, start)
+	v2 := fmt.Sprintf("%s\n%s -> *\nwhere file.path != \"*.log\"\noutput = \"./result.dot\"", rng, start)
+	v3 := fmt.Sprintf("%s\n%s -> proc s[exename = \"sshd\"] -> *\nwhere file.path != \"*.log\" and proc.exename != \"smbd\"\noutput = \"./result.dot\"", rng, start)
+
+	return Attack{
+		Name:       "cheating-student",
+		Title:      "Cheating Student",
+		Host:       srv,
+		AlertID:    alert,
+		RootCause:  up.Key(),
+		ChainIDs:   c.ids,
+		Scripts:    []string{v1, v2, v3},
+		Heuristics: 3,
+	}, nil
+}
+
+// injectWgetGcc is attack case A5: a ZIP with malicious sources is
+// downloaded, unpacked, compiled, and the resulting binary exfiltrates
+// sensitive data. The compile step drags in the developer box's entire
+// header and build history, producing the largest unoptimized graph of
+// Table I.
+func injectWgetGcc(g *generator) (Attack, error) {
+	host := "desktop-05"
+	if g.cfg.Hosts < 5 {
+		host = "desktop-01"
+	}
+	t := g.atkTime(4)
+	var c chain
+
+	// Developer-box background: interactive shells that constantly churn
+	// .bash_history, periodic builds reading system headers, and a package
+	// manager refreshing headers — the fan-in gcc later explodes into.
+	headers := make([]event.Object, 80)
+	for i := range headers {
+		headers[i] = event.File(host, fmt.Sprintf("/usr/include/h%03d.h", i))
+	}
+	hist := event.File(host, "/home/dev/.bash_history")
+	pkg := g.proc(host, "pkgmgr", g.t0+20)
+	g.add(g.t0+20, g.proc(host, "services.exe", g.t0), pkg, event.ActStart, event.FlowOut, 0)
+	repo := sock(hostIP(host), 40400, "151.101.2.132", 443)
+	g.add(g.t0+25, pkg, repo, event.ActRecv, event.FlowIn, 30<<20)
+	for _, h := range headers {
+		g.add(g.t0+30+g.rng.Int63n(600), pkg, h, event.ActWrite, event.FlowOut, 8<<10)
+	}
+	var bash event.Object
+	for d := 0; d < g.cfg.Days; d++ {
+		dayStart := g.t0 + int64(d)*86400
+		for s := 0; s < int(8*g.cfg.Density); s++ {
+			tt := dayStart + 8*3600 + g.rng.Int63n(10*3600)
+			bash = event.Process(host, "bash", g.pid(host), tt)
+			g.add(tt, g.proc(host, "sshd", g.t0+22), bash, event.ActStart, event.FlowOut, 0)
+			g.add(tt+1, bash, hist, event.ActRead, event.FlowIn, 32<<10)
+			// A build: cc1 reads a header subset, writes objects.
+			cc := event.Process(host, "cc1", g.pid(host), tt+10)
+			g.add(tt+10, bash, cc, event.ActStart, event.FlowOut, 0)
+			for j := 0; j < 20; j++ {
+				g.add(tt+11+int64(j), cc, headers[g.rng.Intn(len(headers))], event.ActRead, event.FlowIn, 8<<10)
+			}
+			obj := event.File(host, fmt.Sprintf("/home/dev/build/o%d_%d.o", d, s))
+			g.add(tt+40, cc, obj, event.ActWrite, event.FlowOut, 64<<10)
+			g.add(tt+600, bash, hist, event.ActWrite, event.FlowOut, 512)
+		}
+	}
+
+	// The attack session.
+	atkBash := event.Process(host, "bash", g.pid(host), t)
+	g.add(t, g.proc(host, "sshd", g.t0+22), atkBash, event.ActStart, event.FlowOut, 0)
+	g.add(t+1, atkBash, hist, event.ActRead, event.FlowIn, 32<<10)
+
+	wget := event.Process(host, "wget", g.pid(host), t+10)
+	c.rec(g.add(t+10, atkBash, wget, event.ActStart, event.FlowOut, 0))
+	dl := sock(externalAttackIP, 80, hostIP(host), 41000)
+	c.rec(g.add(t+12, wget, dl, event.ActRecv, event.FlowIn, 1<<20)) // root cause
+	zip := event.File(host, "/tmp/payload.zip")
+	c.rec(g.add(t+15, wget, zip, event.ActWrite, event.FlowOut, 1<<20))
+
+	unzip := event.Process(host, "unzip", g.pid(host), t+30)
+	g.add(t+30, atkBash, unzip, event.ActStart, event.FlowOut, 0)
+	c.rec(g.add(t+31, unzip, zip, event.ActRead, event.FlowIn, 1<<20))
+	srcA := event.File(host, "/tmp/src/main.c")
+	srcB := event.File(host, "/tmp/src/evil.h")
+	c.rec(g.add(t+33, unzip, srcA, event.ActWrite, event.FlowOut, 90<<10))
+	g.add(t+34, unzip, srcB, event.ActWrite, event.FlowOut, 20<<10)
+
+	gcc := event.Process(host, "cc1", g.pid(host), t+60)
+	g.add(t+60, atkBash, gcc, event.ActStart, event.FlowOut, 0)
+	c.rec(g.add(t+61, gcc, srcA, event.ActRead, event.FlowIn, 90<<10))
+	g.add(t+62, gcc, srcB, event.ActRead, event.FlowIn, 20<<10)
+	for j := 0; j < 40; j++ { // system headers: the explosion fuse
+		g.add(t+63+int64(j), gcc, headers[g.rng.Intn(len(headers))], event.ActRead, event.FlowIn, 8<<10)
+	}
+	objF := event.File(host, "/tmp/src/main.o")
+	c.rec(g.add(t+110, gcc, objF, event.ActWrite, event.FlowOut, 120<<10))
+	ld := event.Process(host, "ld", g.pid(host), t+120)
+	g.add(t+120, atkBash, ld, event.ActStart, event.FlowOut, 0)
+	c.rec(g.add(t+121, ld, objF, event.ActRead, event.FlowIn, 120<<10))
+	aout := event.File(host, "/tmp/src/a.out")
+	c.rec(g.add(t+125, ld, aout, event.ActWrite, event.FlowOut, 200<<10))
+
+	mal := event.Process(host, "a.out", g.pid(host), t+200)
+	c.rec(g.add(t+200, atkBash, mal, event.ActStart, event.FlowOut, 0))
+	c.rec(g.add(t+201, mal, aout, event.ActLoad, event.FlowIn, 200<<10))
+	keys := event.File(host, "/home/dev/.ssh/id_rsa")
+	c.rec(g.add(t+210, mal, keys, event.ActRead, event.FlowIn, 3<<10))
+	ex := sock(hostIP(host), 41500, externalAttackIP, 443)
+	alert := c.rec(g.add(t+260, mal, ex, event.ActSend, event.FlowOut, 50<<20))
+
+	alertAt := t + 260
+	rng := g.scriptRange()
+	start := fmt.Sprintf(`backward ip alert[dst_ip = %q and subject_name = "a.out" and event_time = %q and action_type = "send"]`, externalAttackIP, when(alertAt))
+	v1 := fmt.Sprintf("%s\n%s -> *\noutput = \"./result.dot\"", rng, start)
+	v2 := fmt.Sprintf("%s\n%s -> *\nwhere file.path != \"/usr/include/*\"\noutput = \"./result.dot\"", rng, start)
+	v3 := fmt.Sprintf("%s\n%s -> *\nwhere file.path != \"/usr/include/*\" and file.path != \"*.bash_history\"\noutput = \"./result.dot\"", rng, start)
+
+	return Attack{
+		Name:       "wget-gcc",
+		Title:      "wget-unzip-gcc",
+		Host:       host,
+		AlertID:    alert,
+		RootCause:  dl.Key(),
+		ChainIDs:   c.ids,
+		Scripts:    []string{v1, v2, v3},
+		Heuristics: 2,
+	}, nil
+}

@@ -1,0 +1,297 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aptrace/internal/event"
+)
+
+// Background activity model. Rates below are per workstation-day at
+// Density=1 and sum to roughly 2,000 events; servers run a subset plus their
+// service-specific load. Everything is driven by the generator's seeded RNG,
+// so datasets are reproducible.
+
+// dllPool is the per-host set of shared libraries applications load.
+const dllPoolSize = 36
+
+// background simulates one host's benign history across the whole period.
+func (g *generator) background(host string, isServer bool) {
+	b := &hostSim{g: g, host: host}
+	b.boot()
+	for d := 0; d < g.cfg.Days; d++ {
+		dayStart := g.t0 + int64(d)*86400
+		b.serviceDay(dayStart)
+		if !isServer {
+			b.userDay(dayStart)
+		}
+	}
+	if isServer {
+		b.serverLoad(host)
+	}
+}
+
+type hostSim struct {
+	g    *generator
+	host string
+
+	services  []event.Object // long-running service processes
+	logs      []event.Object // their log files (heavy hitters)
+	explorer  event.Object
+	collector event.Object
+	dlls      []event.Object
+	docs      []event.Object
+	updater   event.Object
+
+	// Zipfian pickers: file popularity in real audit data is heavy
+	// tailed (a few documents and libraries absorb most accesses), which
+	// is what gives dependency graphs their power-law in-degrees.
+	docZipf *rand.Zipf
+	dllZipf *rand.Zipf
+}
+
+// pickDoc and pickDll sample the pools with Zipfian popularity.
+func (b *hostSim) pickDoc() event.Object { return b.docs[b.docZipf.Uint64()] }
+func (b *hostSim) pickDll() event.Object { return b.dlls[b.dllZipf.Uint64()] }
+
+func (b *hostSim) file(path string) event.Object { return event.File(b.host, path) }
+
+// scaled converts a per-day base rate into a concrete count under Density.
+func (b *hostSim) scaled(base int) int {
+	n := int(float64(base) * b.g.cfg.Density)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// boot creates the process tree and static file pools.
+func (b *hostSim) boot() {
+	g := b.g
+	t := g.t0 + g.rng.Int63n(120)
+
+	systemd := g.proc(b.host, "services.exe", t)
+	for i := 0; i < 4; i++ {
+		svc := g.proc(b.host, fmt.Sprintf("svchost-%d.exe", i), t+int64(i)+1)
+		g.add(t+int64(i)+1, systemd, svc, event.ActStart, event.FlowOut, 0)
+		b.services = append(b.services, svc)
+		b.logs = append(b.logs, b.file(fmt.Sprintf(`C:\Windows\Logs\svc%d.log`, i)))
+	}
+	// Services, like every real Windows process, have dependencies of
+	// their own: image loads at boot and periodic configuration reads.
+	// Without these, a randomly sampled event often has a trivial
+	// backward closure, which real audit data never shows.
+	for i, svc := range b.services {
+		for j := 0; j < 4; j++ {
+			g.add(t+int64(5+i), svc, b.file(fmt.Sprintf(`C:\Windows\System32\lib%02d.dll`, (i*7+j)%dllPoolSize)), event.ActLoad, event.FlowIn, 0)
+		}
+	}
+	b.explorer = g.proc(b.host, "explorer.exe", t+10)
+	g.add(t+10, systemd, b.explorer, event.ActStart, event.FlowOut, 0)
+	b.collector = g.proc(b.host, "collector.exe", t+12)
+	g.add(t+12, systemd, b.collector, event.ActStart, event.FlowOut, 0)
+	b.updater = g.proc(b.host, "updater.exe", t+14)
+	g.add(t+14, systemd, b.updater, event.ActStart, event.FlowOut, 0)
+
+	for i := 0; i < dllPoolSize; i++ {
+		b.dlls = append(b.dlls, b.file(fmt.Sprintf(`C:\Windows\System32\lib%02d.dll`, i)))
+	}
+	for i := 0; i < 60; i++ {
+		b.docs = append(b.docs, b.file(fmt.Sprintf(`C:\Users\u\Documents\doc%03d.txt`, i)))
+	}
+	b.docZipf = rand.NewZipf(g.rng, 1.4, 1, uint64(len(b.docs)-1))
+	b.dllZipf = rand.NewZipf(g.rng, 1.3, 1, uint64(len(b.dlls)-1))
+}
+
+// serviceDay generates the always-on machinery: services appending to their
+// logs (the heavy hitters), the log collector sweeping them, and the daily
+// updater rewriting a couple of dlls (so "*.dll is always read-only" is a
+// heuristic an analyst must confirm, not assume — Section IV-D A1).
+func (b *hostSim) serviceDay(dayStart int64) {
+	g := b.g
+
+	// Services append to logs all day: the dominant noise source.
+	writes := b.scaled(600)
+	for i := 0; i < writes; i++ {
+		svc := b.services[g.rng.Intn(len(b.services))]
+		log := b.logs[g.rng.Intn(len(b.logs))]
+		g.add(dayStart+g.rng.Int63n(86400), svc, log, event.ActWrite, event.FlowOut, int64(64+g.rng.Intn(512)))
+	}
+
+	// Hourly collector sweep: reads every log, ships to the collector IP.
+	for h := int64(0); h < 24; h++ {
+		t := dayStart + h*3600 + g.rng.Int63n(300)
+		for _, log := range b.logs {
+			g.add(t, b.collector, log, event.ActRead, event.FlowIn, 4096)
+			t += 1 + g.rng.Int63n(3)
+		}
+		up := sock(hostIP(b.host), uint16(40000+g.rng.Intn(2000)), collectorIP, 6514)
+		g.add(t+2, b.collector, up, event.ActSend, event.FlowOut, int64(len(b.logs))*4096)
+	}
+
+	// Services re-read their configuration a few times a day; the configs
+	// are occasionally rewritten by the updater, linking service activity
+	// back into the update chain.
+	for i, svc := range b.services {
+		for r := 0; r < 3; r++ {
+			tt := dayStart + g.rng.Int63n(86400)
+			g.add(tt, svc, b.file(fmt.Sprintf(`C:\ProgramData\svc%d.cfg`, i)), event.ActRead, event.FlowIn, 2048)
+		}
+	}
+
+	// Daily update: fetch from the vendor, rewrite 1-2 dlls and a config.
+	t := dayStart + 3*3600 + g.rng.Int63n(1800)
+	dl := sock(hostIP(b.host), uint16(42000+g.rng.Intn(2000)), "93.184.216.34", 443)
+	g.add(t, b.updater, dl, event.ActRecv, event.FlowIn, 1<<20)
+	for i := 0; i < 1+g.rng.Intn(2); i++ {
+		g.add(t+int64(10+i), b.updater, b.pickDll(), event.ActWrite, event.FlowOut, 1<<19)
+	}
+	g.add(t+20, b.updater, b.file(fmt.Sprintf(`C:\ProgramData\svc%d.cfg`, g.rng.Intn(len(b.services)))), event.ActWrite, event.FlowOut, 2048)
+}
+
+// userDay simulates an interactive 9-to-5 user: explorer browsing bursts,
+// application sessions with dll loads, document work, and web traffic.
+func (b *hostSim) userDay(dayStart int64) {
+	g := b.g
+	workStart := dayStart + 9*3600
+	workSpan := int64(8 * 3600)
+
+	// Explorer browsing bursts: metadata reads over many files plus
+	// thumbnail-cache writes. This is what makes explorer.exe the classic
+	// millions-of-dependencies hub of case A2.
+	thumbs := b.file(`C:\Users\u\AppData\thumbs.db`)
+	bursts := b.scaled(12)
+	for i := 0; i < bursts; i++ {
+		t := workStart + g.rng.Int63n(workSpan)
+		for j := 0; j < 10+g.rng.Intn(25); j++ {
+			g.add(t+int64(j), b.explorer, b.pickDoc(), event.ActRead, event.FlowIn, 256)
+		}
+		g.add(t+40, b.explorer, thumbs, event.ActWrite, event.FlowOut, 8192)
+	}
+
+	// Application sessions.
+	apps := []string{"chrome.exe", "winword.exe", "excel.exe", "notepad.exe", "outlook.exe"}
+	sessions := b.scaled(10)
+	for i := 0; i < sessions; i++ {
+		t := workStart + g.rng.Int63n(workSpan)
+		exe := apps[g.rng.Intn(len(apps))]
+		app := event.Process(b.host, exe, g.pid(b.host), t)
+		g.add(t, b.explorer, app, event.ActStart, event.FlowOut, 0)
+		// Library loads.
+		for j := 0; j < 6+g.rng.Intn(10); j++ {
+			g.add(t+int64(1+j), app, b.pickDll(), event.ActLoad, event.FlowIn, 0)
+		}
+		// Document work with temporal locality: a session touches a
+		// small Zipf-anchored cluster of documents repeatedly.
+		base := int(b.docZipf.Uint64())
+		if base > len(b.docs)-5 {
+			base = len(b.docs) - 5
+		}
+		for j := 0; j < 6+g.rng.Intn(12); j++ {
+			doc := b.docs[base+g.rng.Intn(4)]
+			tt := t + 30 + int64(j*20) + g.rng.Int63n(15)
+			if g.rng.Intn(3) == 0 {
+				g.add(tt, app, doc, event.ActWrite, event.FlowOut, int64(512+g.rng.Intn(4096)))
+			} else {
+				g.add(tt, app, doc, event.ActRead, event.FlowIn, int64(512+g.rng.Intn(4096)))
+			}
+		}
+		// Some office sessions query the central SQL server (ODBC),
+		// creating the cross-host fan-in/fan-out that lets one host's
+		// backtracking explode into the whole fleet, as in the paper's
+		// enterprise deployment.
+		if g.rng.Intn(3) == 0 {
+			sql := g.proc(serverDB, "sqlservr.exe", g.t0+60)
+			dbs := sock(hostIP(b.host), uint16(50000+g.rng.Intn(9000)), hostIP(serverDB), 1433)
+			tt := t + 90
+			g.add(tt, app, dbs, event.ActSend, event.FlowOut, 300)
+			g.add(tt+1, sql, dbs, event.ActRecv, event.FlowIn, 300)
+			g.add(tt+2, sql, dbs, event.ActSend, event.FlowOut, 16<<10)
+			g.add(tt+3, app, dbs, event.ActRecv, event.FlowIn, 16<<10)
+		}
+		// Network chatter for browser and mail.
+		if exe == "chrome.exe" || exe == "outlook.exe" {
+			for j := 0; j < 3+g.rng.Intn(5); j++ {
+				dst := fmt.Sprintf("151.101.%d.%d", g.rng.Intn(4), 1+g.rng.Intn(250))
+				ws := sock(hostIP(b.host), uint16(50000+g.rng.Intn(9000)), dst, 443)
+				tt := t + 60 + int64(j*30)
+				g.add(tt, app, ws, event.ActSend, event.FlowOut, int64(256+g.rng.Intn(2048)))
+				g.add(tt+1, app, ws, event.ActRecv, event.FlowIn, int64(1024+g.rng.Intn(1<<16)))
+			}
+		}
+		// Office apps save through a helper (write-through pattern).
+		if exe == "winword.exe" || exe == "excel.exe" {
+			helper := event.Process(b.host, "splwow64.exe", g.pid(b.host), t+200)
+			g.add(t+200, app, helper, event.ActStart, event.FlowOut, 0)
+			g.add(t+201, app, helper, event.ActInject, event.FlowOut, 128)
+			g.add(t+202, helper, app, event.ActWrite, event.FlowOut, 128)
+		}
+	}
+
+	// Cross-host shares: a few reads from the file server per day.
+	for i := 0; i < b.scaled(3); i++ {
+		t := workStart + g.rng.Int63n(workSpan)
+		share := sock(hostIP(b.host), uint16(49000+g.rng.Intn(500)), hostIP(serverFiles), 445)
+		g.add(t, b.explorer, share, event.ActRecv, event.FlowIn, 1<<16)
+	}
+}
+
+// serverLoad adds the service-specific history for the three infrastructure
+// hosts: the SQL server answering clients, the file server, and the Apache
+// web server (the ShellShock substrate).
+func (b *hostSim) serverLoad(host string) {
+	g := b.g
+	switch host {
+	case serverDB:
+		sql := g.proc(host, "sqlservr.exe", g.t0+60)
+		g.add(g.t0+60, g.proc(host, "services.exe", g.t0), sql, event.ActStart, event.FlowOut, 0)
+		db := b.file(`D:\data\main.mdf`)
+		for d := 0; d < g.cfg.Days; d++ {
+			dayStart := g.t0 + int64(d)*86400
+			for i := 0; i < b.scaled(300); i++ {
+				t := dayStart + g.rng.Int63n(86400)
+				cli := sock(fmt.Sprintf("10.1.0.%d", 10+g.rng.Intn(200)), uint16(50000+g.rng.Intn(5000)), hostIP(host), 1433)
+				g.add(t, sql, cli, event.ActRecv, event.FlowIn, 512)
+				if g.rng.Intn(2) == 0 {
+					g.add(t+1, sql, db, event.ActWrite, event.FlowOut, 8192)
+				} else {
+					g.add(t+1, sql, db, event.ActRead, event.FlowIn, 8192)
+				}
+				g.add(t+2, sql, cli, event.ActSend, event.FlowOut, 4096)
+			}
+		}
+	case serverFiles:
+		smb := g.proc(host, "smbd", g.t0+45)
+		g.add(g.t0+45, g.proc(host, "services.exe", g.t0), smb, event.ActStart, event.FlowOut, 0)
+		shares := make([]event.Object, 40)
+		for i := range shares {
+			shares[i] = b.file(fmt.Sprintf("/srv/share/file%03d.dat", i))
+		}
+		for d := 0; d < g.cfg.Days; d++ {
+			dayStart := g.t0 + int64(d)*86400
+			for i := 0; i < b.scaled(200); i++ {
+				t := dayStart + g.rng.Int63n(86400)
+				g.add(t, smb, shares[g.rng.Intn(len(shares))], event.ActRead, event.FlowIn, 1<<16)
+			}
+		}
+	case serverWeb:
+		httpd := g.proc(host, "httpd", g.t0+30)
+		g.add(g.t0+30, g.proc(host, "services.exe", g.t0), httpd, event.ActStart, event.FlowOut, 0)
+		access := b.file("/var/log/httpd/access.log")
+		content := make([]event.Object, 25)
+		for i := range content {
+			content[i] = b.file(fmt.Sprintf("/var/www/html/page%02d.html", i))
+		}
+		for d := 0; d < g.cfg.Days; d++ {
+			dayStart := g.t0 + int64(d)*86400
+			for i := 0; i < b.scaled(400); i++ {
+				t := dayStart + g.rng.Int63n(86400)
+				cli := sock(fmt.Sprintf("198.51.100.%d", 1+g.rng.Intn(250)), uint16(30000+g.rng.Intn(30000)), hostIP(host), 80)
+				g.add(t, httpd, cli, event.ActRecv, event.FlowIn, 400)
+				g.add(t+1, httpd, content[g.rng.Intn(len(content))], event.ActRead, event.FlowIn, 1<<14)
+				g.add(t+1, httpd, access, event.ActWrite, event.FlowOut, 120)
+				g.add(t+2, httpd, cli, event.ActSend, event.FlowOut, 1<<14)
+			}
+		}
+	}
+}
