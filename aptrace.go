@@ -32,6 +32,7 @@ package aptrace
 
 import (
 	"io"
+	"net/http"
 	"time"
 
 	"aptrace/internal/alerts"
@@ -46,6 +47,7 @@ import (
 	"aptrace/internal/simclock"
 	"aptrace/internal/store"
 	"aptrace/internal/suggest"
+	"aptrace/internal/telemetry"
 	"aptrace/internal/workload"
 )
 
@@ -83,6 +85,23 @@ type (
 	SimulatedClock = simclock.Simulated
 	// CostModel converts query work (rows, partitions) into time.
 	CostModel = simclock.CostModel
+	// StoreOption configures a Store at open/create time.
+	StoreOption = store.Option
+)
+
+// Telemetry layer.
+type (
+	// Telemetry is the metrics + tracing registry: atomic counters,
+	// gauges, fixed-bucket histograms, and a span ring buffer, exposed as
+	// JSON snapshots and Prometheus text. A nil *Telemetry disables all
+	// publication at near-zero cost.
+	Telemetry = telemetry.Registry
+	// TelemetrySnapshot is a consistent point-in-time copy of every
+	// registered instrument, shaped for JSON encoding.
+	TelemetrySnapshot = telemetry.Snapshot
+	// SpanRecord is one finished trace span (window.query,
+	// window.resplit, session.pause).
+	SpanRecord = telemetry.SpanRecord
 )
 
 // Language and planning layer.
@@ -160,11 +179,29 @@ const (
 
 // NewStore creates an empty, unsealed store charging query costs to clk
 // (nil = real clock: no simulated charges).
-func NewStore(clk Clock) *Store { return store.New(clk) }
+func NewStore(clk Clock, opts ...StoreOption) *Store { return store.New(clk, opts...) }
 
 // OpenStore loads a persisted store directory and returns it sealed and
 // query-ready.
-func OpenStore(dir string, clk Clock) (*Store, error) { return store.Open(dir, clk) }
+func OpenStore(dir string, clk Clock, opts ...StoreOption) (*Store, error) {
+	return store.Open(dir, clk, opts...)
+}
+
+// NewTelemetry returns an enabled metrics + tracing registry. Attach it to
+// a store with WithTelemetry and to an executor or session through
+// ExecOptions.Telemetry.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// WithTelemetry attaches a telemetry registry to a store at open/create
+// time; queries then publish rows-examined and latency metrics.
+func WithTelemetry(reg *Telemetry) StoreOption { return store.WithTelemetry(reg) }
+
+// ServeTelemetry serves the registry's /metrics (Prometheus text) and
+// /debug/telemetry (JSON) endpoints on addr in a background goroutine,
+// returning the server and its bound address (useful with ":0").
+func ServeTelemetry(addr string, reg *Telemetry) (*http.Server, string, error) {
+	return telemetry.Serve(addr, reg)
+}
 
 // NewSimulatedClock returns a virtual clock for cost-modeled analysis runs.
 // The zero time starts the clock at a fixed epoch.
@@ -232,8 +269,8 @@ func IngestAudit(st *Store, r io.Reader) (audit.IngestStats, error) {
 // OpenLiveStore opens (or initializes) a continuously collecting store in
 // dir: appends are WAL-durable, Snapshot yields sealed analysis views, and
 // Checkpoint folds the tail into segment files.
-func OpenLiveStore(dir string, clk Clock) (*LiveStore, error) {
-	return store.OpenLive(dir, clk)
+func OpenLiveStore(dir string, clk Clock, opts ...StoreOption) (*LiveStore, error) {
+	return store.OpenLive(dir, clk, opts...)
 }
 
 // IngestAuditLive streams audit records into a live store as they arrive.

@@ -6,6 +6,13 @@
 //
 //	apbench [-exp all|severity|fig4|table1|table2|fig6|ablation-k|ablation-policy]
 //	        [-hosts 12] [-days 10] [-density 1.5] [-samples 200] [-cap 2h] [-k 8]
+//	        [-json dir] [-metrics addr]
+//
+// With -json, each experiment's structured result is also written as
+// BENCH_<exp>.json in the given directory, so perf trajectories can be
+// tracked across revisions. With -metrics, a telemetry registry is wired
+// through the store and every executor, served at /metrics (Prometheus
+// text) and /debug/telemetry (JSON) for the duration of the run.
 //
 // Paper mapping:
 //
@@ -18,9 +25,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -38,8 +47,25 @@ func main() {
 		samples = flag.Int("samples", 200, "random starting events (the paper uses 200)")
 		cap_    = flag.Duration("cap", 2*time.Hour, "execution cap for unoptimized runs")
 		k       = flag.Int("k", aptrace.DefaultWindows, "execution-window count")
+		jsonDir = flag.String("json", "", "also write each experiment's result as BENCH_<exp>.json into this directory")
+		metrics = flag.String("metrics", "", "serve /metrics and /debug/telemetry on this address during the run")
 	)
 	flag.Parse()
+
+	var reg *aptrace.Telemetry
+	if *metrics != "" {
+		reg = aptrace.NewTelemetry()
+		_, addr, err := aptrace.ServeTelemetry(*metrics, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics and /debug/telemetry on %s\n", addr)
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
 
 	fmt.Printf("generating dataset: %d hosts, %d days, density %.1f, seed %d ...\n",
 		*hosts, *days, *density, *seed)
@@ -50,44 +76,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if reg != nil {
+		env.Dataset.Store.SetTelemetry(reg)
+	}
 	fmt.Printf("dataset ready: %d events, %d objects, %d attacks (%.1fs wall)\n",
 		env.Dataset.Store.NumEvents(), env.Dataset.Store.NumObjects(),
 		len(env.Dataset.Attacks), time.Since(wall).Seconds())
 
-	cfg := experiments.Config{Samples: *samples, Cap: *cap_, Windows: *k, Seed: 42}
+	cfg := experiments.Config{Samples: *samples, Cap: *cap_, Windows: *k, Seed: 42, Telemetry: reg}
 
-	runners := map[string]func() error{
-		"severity": func() error {
-			_, err := experiments.RunSeverity(env, cfg, os.Stdout)
-			return err
+	// Every runner returns its structured result so -json can persist the
+	// machine-readable rows next to the printed tables.
+	runners := map[string]func() (any, error){
+		"severity": func() (any, error) { return experiments.RunSeverity(env, cfg, os.Stdout) },
+		"fig4":     func() (any, error) { return experiments.RunFig4(env, cfg, os.Stdout) },
+		"table1":   func() (any, error) { return experiments.RunTable1(env, cfg, os.Stdout) },
+		"table2":   func() (any, error) { return experiments.RunTable2(env, cfg, os.Stdout) },
+		"fig6":     func() (any, error) { return experiments.RunFig6(env, cfg, os.Stdout) },
+		"refiner":  func() (any, error) { return experiments.RunRefiner(env, cfg, os.Stdout) },
+		"ablation-k": func() (any, error) {
+			return experiments.RunAblationK(env, cfg, os.Stdout)
 		},
-		"fig4": func() error {
-			_, err := experiments.RunFig4(env, cfg, os.Stdout)
-			return err
-		},
-		"table1": func() error {
-			_, err := experiments.RunTable1(env, cfg, os.Stdout)
-			return err
-		},
-		"table2": func() error {
-			_, err := experiments.RunTable2(env, cfg, os.Stdout)
-			return err
-		},
-		"fig6": func() error {
-			_, err := experiments.RunFig6(env, cfg, os.Stdout)
-			return err
-		},
-		"refiner": func() error {
-			_, err := experiments.RunRefiner(env, cfg, os.Stdout)
-			return err
-		},
-		"ablation-k": func() error {
-			_, err := experiments.RunAblationK(env, cfg, os.Stdout)
-			return err
-		},
-		"ablation-policy": func() error {
-			_, err := experiments.RunAblationPolicy(env, cfg, os.Stdout)
-			return err
+		"ablation-policy": func() (any, error) {
+			return experiments.RunAblationPolicy(env, cfg, os.Stdout)
 		},
 	}
 	order := []string{"severity", "fig4", "table1", "table2", "fig6", "refiner", "ablation-k", "ablation-policy"}
@@ -103,11 +114,39 @@ func main() {
 			fatal(fmt.Errorf("unknown experiment %q (want one of %s)", name, strings.Join(order, ", ")))
 		}
 		wall := time.Now()
-		if err := run(); err != nil {
+		res, err := run()
+		if err != nil {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		fmt.Printf("[%s done in %.1fs wall]\n", name, time.Since(wall).Seconds())
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, "BENCH_"+name+".json")
+			if err := writeJSON(path, res); err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+			fmt.Printf("[%s rows written to %s]\n", name, path)
+		}
 	}
+
+	if reg != nil {
+		fmt.Fprintln(os.Stderr, "\ntelemetry snapshot:")
+		enc := json.NewEncoder(os.Stderr)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	}
+}
+
+// writeJSON atomically persists one experiment's structured result.
+func writeJSON(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func fatal(err error) {

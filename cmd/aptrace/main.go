@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,7 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress the per-update progress stream")
 		doSug    = flag.Bool("suggest", false, "after the run, propose exclusion heuristics for the next script version")
 		inter    = flag.Bool("interactive", false, "start the interactive analyst console")
+		metrics  = flag.String("metrics", "", "serve /metrics (Prometheus) and /debug/telemetry (JSON) on this address, e.g. :9090")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -50,7 +52,18 @@ func main() {
 	if *simulate {
 		clk = aptrace.NewSimulatedClock()
 	}
-	st, err := aptrace.OpenStore(*storeDir, clk)
+	var reg *aptrace.Telemetry
+	var storeOpts []aptrace.StoreOption
+	if *metrics != "" {
+		reg = aptrace.NewTelemetry()
+		_, addr, err := aptrace.ServeTelemetry(*metrics, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics and /debug/telemetry on %s\n", addr)
+		storeOpts = append(storeOpts, aptrace.WithTelemetry(reg))
+	}
+	st, err := aptrace.OpenStore(*storeDir, clk, storeOpts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -61,7 +74,7 @@ func main() {
 		return
 	}
 	if *inter {
-		console := repl.New(st, aptrace.ExecOptions{Windows: *k}, os.Stdout)
+		console := repl.New(st, aptrace.ExecOptions{Windows: *k, Telemetry: reg}, os.Stdout)
 		if _, err := console.Run(os.Stdin); err != nil {
 			fatal(err)
 		}
@@ -75,7 +88,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	runScript(st, string(raw), *k, *quiet, *doSug)
+	runScript(st, string(raw), *k, *quiet, *doSug, reg)
+	dumpTelemetry(reg)
+}
+
+// dumpTelemetry writes the end-of-run metrics snapshot to stderr as JSON so
+// a scripted run leaves a machine-readable record even when nothing
+// scraped the HTTP endpoint.
+func dumpTelemetry(reg *aptrace.Telemetry) {
+	if reg == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "\ntelemetry snapshot:")
+	enc := json.NewEncoder(os.Stderr)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reg.Snapshot()); err != nil {
+		fmt.Fprintln(os.Stderr, "aptrace: telemetry snapshot:", err)
+	}
 }
 
 func listAlerts(st *aptrace.Store) {
@@ -92,10 +121,11 @@ func listAlerts(st *aptrace.Store) {
 	fmt.Fprintf(os.Stderr, "%d alerts\n", len(found))
 }
 
-func runScript(st *aptrace.Store, src string, k int, quiet, doSuggest bool) {
+func runScript(st *aptrace.Store, src string, k int, quiet, doSuggest bool, reg *aptrace.Telemetry) {
 	var times []time.Time
 	sess := aptrace.NewSession(st, aptrace.ExecOptions{
-		Windows: k,
+		Windows:   k,
+		Telemetry: reg,
 		OnUpdate: func(u aptrace.Update) {
 			times = append(times, u.At)
 			if quiet {

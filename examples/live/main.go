@@ -4,11 +4,18 @@
 // rare-parentage rule — watches snapshots; an alert triggers a backtracking
 // investigation over a consistent snapshot while collection continues.
 //
-//	go run ./examples/live
+// With -metrics, the whole pipeline publishes telemetry — WAL appends and
+// fsyncs, per-query store metrics, executor window scheduling — served at
+// /metrics (Prometheus text) and /debug/telemetry (JSON) and dumped as a
+// JSON snapshot when the run finishes.
+//
+//	go run ./examples/live [-metrics :9090]
 package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -19,6 +26,20 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	metrics := flag.String("metrics", "", "serve /metrics and /debug/telemetry on this address, e.g. :9090")
+	flag.Parse()
+
+	var reg *aptrace.Telemetry
+	var storeOpts []aptrace.StoreOption
+	if *metrics != "" {
+		reg = aptrace.NewTelemetry()
+		_, addr, err := aptrace.ServeTelemetry(*metrics, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry: serving /metrics and /debug/telemetry on %s\n", addr)
+		storeOpts = append(storeOpts, aptrace.WithTelemetry(reg))
+	}
 
 	// Synthesize "the wire": raw audit records from a generated dataset,
 	// encoded in the auditd line format collectors would emit.
@@ -41,7 +62,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	live, err := aptrace.OpenLiveStore(dir, nil)
+	live, err := aptrace.OpenLiveStore(dir, nil, storeOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,7 +124,7 @@ func main() {
 	script := fmt.Sprintf(`
 backward ip a[event_time = %q] -> *
 where hop <= 10`, pick.Event.When().Format("01/02/2006:15:04:05"))
-	sess := aptrace.NewSession(snap, aptrace.ExecOptions{})
+	sess := aptrace.NewSession(snap, aptrace.ExecOptions{Telemetry: reg})
 	if err := sess.Start(script, &pick.Event); err != nil {
 		// The alert may not be a socket event; fall back to a proc start.
 		script = fmt.Sprintf(`backward proc p[event_time = %q] -> * where hop <= 10`,
@@ -123,6 +144,15 @@ where hop <= 10`, pick.Event.When().Format("01/02/2006:15:04:05"))
 		fmt.Println("\nsuggested heuristics for the next script version:")
 		for _, s := range sugs {
 			fmt.Printf("  %-38s -- %s\n", s.Clause, s.Reason)
+		}
+	}
+
+	if reg != nil {
+		fmt.Println("\ntelemetry snapshot:")
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reg.Snapshot()); err != nil {
+			log.Fatal(err)
 		}
 	}
 }

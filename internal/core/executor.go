@@ -12,6 +12,7 @@ import (
 	"aptrace/internal/refiner"
 	"aptrace/internal/simclock"
 	"aptrace/internal/store"
+	"aptrace/internal/telemetry"
 )
 
 // DefaultWindows is the default window count k; the paper's blue team used
@@ -77,6 +78,11 @@ type Options struct {
 	// entirely (ablation A2).
 	MaxWindowRows int
 	NoSplit       bool
+	// Telemetry, if set, publishes executor metrics (queue depth,
+	// windows executed, re-splits, inter-update gap histogram) and spans
+	// (window.query, window.resplit) to the registry. Nil disables
+	// publication at near-zero cost.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultMaxWindowRows is the default per-window retrieval cap. At the
@@ -114,6 +120,28 @@ type Executor struct {
 	windows  int
 	prepared bool
 	alert    event.Event
+
+	tel        execMetrics
+	tracer     *telemetry.Tracer
+	lastUpdate time.Time // timestamp of the latest distinct update
+}
+
+// execMetrics holds the executor's pre-resolved instruments; all nil (and
+// therefore no-ops) when telemetry is disabled.
+type execMetrics struct {
+	queueDepth *telemetry.Gauge
+	windows    *telemetry.Counter
+	resplits   *telemetry.Counter
+	updateGap  *telemetry.Histogram
+}
+
+func newExecMetrics(reg *telemetry.Registry) execMetrics {
+	return execMetrics{
+		queueDepth: reg.Gauge(telemetry.MetricExecQueueDepth),
+		windows:    reg.Counter(telemetry.MetricExecWindows),
+		resplits:   reg.Counter(telemetry.MetricExecResplits),
+		updateGap:  reg.Histogram(telemetry.MetricExecUpdateGap, telemetry.GapBuckets),
+	}
 }
 
 // New prepares an executor for the given plan over st. The store must be
@@ -129,6 +157,8 @@ func New(st *store.Store, plan *refiner.Plan, opts Options) (*Executor, error) {
 		opts.MaxWindowRows = DefaultMaxWindowRows
 	}
 	x := &Executor{st: st, clk: st.Clock(), opts: opts, plan: plan}
+	x.tel = newExecMetrics(opts.Telemetry)
+	x.tracer = opts.Telemetry.Tracer()
 	x.cond = sync.NewCond(&x.mu)
 	return x, nil
 }
@@ -274,6 +304,7 @@ loop:
 		if !ok {
 			break loop
 		}
+		x.tel.queueDepth.Set(int64(x.pq.Len()))
 		if err := x.processWindow(w); err != nil {
 			return nil, err
 		}
@@ -341,6 +372,7 @@ func (x *Executor) enqueue(e event.Event, boost int) {
 		w.Boost = boost
 		x.pq.push(w)
 	}
+	x.tel.queueDepth.Set(int64(x.pq.Len()))
 }
 
 // enqueueForward mirrors enqueue for impact tracking: windows extend from
@@ -382,6 +414,7 @@ func (x *Executor) enqueueForward(e event.Event, boost int) {
 		w.Boost = boost
 		x.pq.push(w)
 	}
+	x.tel.queueDepth.Set(int64(x.pq.Len()))
 }
 
 // processWindow runs one bounded query (Algorithm 1 lines 3-7): fetch the
@@ -403,6 +436,11 @@ func (x *Executor) processWindow(w ExecWindow) error {
 			return err
 		}
 		if n > x.opts.MaxWindowRows {
+			var sp *telemetry.Span
+			if x.tracer != nil {
+				sp = x.tracer.StartAt(telemetry.SpanWindowResplit, nil, x.clk.Now())
+				sp.SetDetail(fmt.Sprintf("obj=%d rows=%d span=%ds", w.Obj, n, w.Finish-w.Begin))
+			}
 			mid := w.Begin + (w.Finish-w.Begin)/2
 			far, near := w, w
 			if x.fwd {
@@ -414,11 +452,25 @@ func (x *Executor) processWindow(w ExecWindow) error {
 			}
 			x.pq.push(near)
 			x.pq.push(far)
+			x.tel.resplits.Inc()
+			x.tel.queueDepth.Set(int64(x.pq.Len()))
+			if sp != nil {
+				sp.EndAt(x.clk.Now())
+			}
 			return nil
 		}
 	}
 	x.windows++
+	x.tel.windows.Inc()
+	var qsp *telemetry.Span
+	if x.tracer != nil {
+		qsp = x.tracer.StartAt(telemetry.SpanWindowQuery, nil, x.clk.Now())
+		qsp.SetDetail(fmt.Sprintf("obj=%d [%d,%d)", w.Obj, w.Begin, w.Finish))
+	}
 	deps, err := query(w.Obj, w.Begin, w.Finish)
+	if qsp != nil {
+		qsp.EndAt(x.clk.Now())
+	}
 	if err != nil {
 		return err
 	}
@@ -476,8 +528,21 @@ func (x *Executor) processWindow(w ExecWindow) error {
 			return err
 		}
 		x.updates++
-		if x.opts.OnUpdate != nil {
-			x.opts.OnUpdate(Update{Event: dep, NewNode: newNode, At: x.clk.Now(), Edges: x.g.NumEdges()})
+		if x.opts.OnUpdate != nil || x.tel.updateGap != nil {
+			now := x.clk.Now()
+			// The inter-update gap histogram is Table II's statistic as a
+			// live metric: edges landing at the same instant (one
+			// retrieval's batch) are one update, so gaps are measured
+			// between distinct timestamps only.
+			if x.tel.updateGap != nil && !now.Equal(x.lastUpdate) {
+				if !x.lastUpdate.IsZero() {
+					x.tel.updateGap.Observe(now.Sub(x.lastUpdate).Seconds())
+				}
+				x.lastUpdate = now
+			}
+			if x.opts.OnUpdate != nil {
+				x.opts.OnUpdate(Update{Event: dep, NewNode: newNode, At: now, Edges: x.g.NumEdges()})
+			}
 		}
 		x.enqueue(dep, x.boostFor(dep, w))
 	}

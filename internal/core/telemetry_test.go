@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"aptrace/internal/graph"
+	"aptrace/internal/simclock"
+	"aptrace/internal/stats"
+	"aptrace/internal/telemetry"
+)
+
+// TestExecutorTelemetryMatchesRecordedUpdates runs an instrumented analysis
+// and cross-checks every published metric against the ground truth the run
+// itself recorded: the inter-update-gap histogram must agree with the
+// deltas of the distinct update timestamps (Table II's statistic), and the
+// executor counters must agree with the Result.
+func TestExecutorTelemetryMatchesRecordedUpdates(t *testing.T) {
+	clk := simclock.NewSimulated(time.Time{})
+	st, alert := fixture(t, clk, 400)
+	reg := telemetry.NewRegistry()
+	st.SetTelemetry(reg)
+
+	var times []time.Time
+	x, err := New(st, wildcardPlan(t, ""), Options{
+		Telemetry: reg,
+		OnUpdate:  func(u graph.Update) { times = append(times, u.At) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := x.RunUnchecked(alert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates == 0 {
+		t.Fatal("run produced no updates; fixture broken")
+	}
+
+	snap := reg.Snapshot()
+
+	// The gap histogram must match the session-recorded timestamp series.
+	deltas := stats.Deltas(stats.DistinctTimes(times))
+	gap := snap.Histograms[telemetry.MetricExecUpdateGap]
+	if gap.Count != int64(len(deltas)) {
+		t.Fatalf("gap histogram count = %d, want %d distinct-update deltas", gap.Count, len(deltas))
+	}
+	var wantSum float64
+	for _, d := range deltas {
+		wantSum += d.Seconds()
+	}
+	if math.Abs(gap.Sum-wantSum) > 1e-6*math.Max(1, wantSum) {
+		t.Fatalf("gap histogram sum = %gs, want %gs", gap.Sum, wantSum)
+	}
+
+	// Executor counters agree with the result.
+	if got := snap.Counters[telemetry.MetricExecWindows]; got != int64(res.Windows) {
+		t.Fatalf("windows counter = %d, Result.Windows = %d", got, res.Windows)
+	}
+	if snap.Counters[telemetry.MetricExecResplits] == 0 {
+		t.Fatal("heavy-hitter fixture must force at least one re-split")
+	}
+	if snap.Gauges[telemetry.MetricExecQueueDepth] != 0 {
+		t.Fatalf("drained run must leave queue depth 0, got %d",
+			snap.Gauges[telemetry.MetricExecQueueDepth])
+	}
+
+	// Store counters agree with the store's own accounting (the acceptance
+	// criterion for the /metrics endpoint).
+	s := st.Stats()
+	if got := snap.Counters[telemetry.MetricStoreRowsExamined]; got != s.RowsExamined {
+		t.Fatalf("rows examined counter = %d, store.Stats() = %d", got, s.RowsExamined)
+	}
+	if got := snap.Counters[telemetry.MetricStoreQueries]; got != s.Queries {
+		t.Fatalf("queries counter = %d, store.Stats() = %d", got, s.Queries)
+	}
+
+	// Spans: every executed window traced a window.query span, every
+	// re-split a window.resplit span (ring capacity permitting).
+	var queries, resplits int
+	for _, sp := range reg.Tracer().Spans() {
+		switch sp.Name {
+		case telemetry.SpanWindowQuery:
+			queries++
+		case telemetry.SpanWindowResplit:
+			resplits++
+		}
+	}
+	total := int64(queries + resplits)
+	wantTotal := snap.Counters[telemetry.MetricExecWindows] + snap.Counters[telemetry.MetricExecResplits]
+	if wantTotal <= telemetry.DefaultSpanCapacity && total != wantTotal {
+		t.Fatalf("recorded %d spans, want %d (windows+resplits)", total, wantTotal)
+	}
+}
+
+// TestExecutorNilTelemetryUnchanged pins the disabled path: a run with no
+// registry must behave identically (same result, same simulated elapsed
+// time) to an instrumented run over the same fixture.
+func TestExecutorNilTelemetryUnchanged(t *testing.T) {
+	run := func(reg *telemetry.Registry) (*Result, time.Duration) {
+		clk := simclock.NewSimulated(time.Time{})
+		st, alert := fixture(t, clk, 400)
+		if reg != nil {
+			st.SetTelemetry(reg)
+		}
+		x, err := New(st, wildcardPlan(t, ""), Options{Telemetry: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := x.RunUnchecked(alert)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, res.Elapsed
+	}
+	off, offElapsed := run(nil)
+	on, onElapsed := run(telemetry.NewRegistry())
+	if off.Updates != on.Updates || off.Windows != on.Windows ||
+		off.Graph.NumEdges() != on.Graph.NumEdges() {
+		t.Fatalf("telemetry changed the analysis: off=%+v on=%+v", off, on)
+	}
+	if offElapsed != onElapsed {
+		t.Fatalf("telemetry perturbed simulated time: off=%v on=%v", offElapsed, onElapsed)
+	}
+}

@@ -76,6 +76,7 @@ func runVariant(env *Env, cfg Config, name string, opts core.Options) (AblationR
 		start := env.Clock.Now()
 		var times []time.Time
 		o := opts
+		o.Telemetry = cfg.Telemetry
 		o.OnUpdate = func(u graph.Update) { times = append(times, u.At) }
 		x, err := core.New(env.Dataset.Store, wildcardPlan(cfg.Cap), o)
 		if err != nil {

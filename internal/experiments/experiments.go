@@ -21,9 +21,11 @@ import (
 	"math/rand"
 	"time"
 
+	"aptrace/internal/core"
 	"aptrace/internal/event"
 	"aptrace/internal/refiner"
 	"aptrace/internal/simclock"
+	"aptrace/internal/telemetry"
 	"aptrace/internal/workload"
 )
 
@@ -38,6 +40,16 @@ type Config struct {
 	Windows int
 	// Seed drives event sampling.
 	Seed int64
+	// Telemetry, if set, is threaded into every executor the runners
+	// create, so a benchmark run leaves live metrics behind. Nil (the
+	// default) keeps the harness unobserved.
+	Telemetry *telemetry.Registry
+}
+
+// execOptions returns the baseline core options for this config, with the
+// telemetry registry attached.
+func (c Config) execOptions() core.Options {
+	return core.Options{Windows: c.Windows, Telemetry: c.Telemetry}
 }
 
 // DefaultConfig mirrors the paper's experiment parameters.

@@ -48,7 +48,7 @@ func RunRefiner(env *Env, cfg Config, w io.Writer) (*RefinerResult, error) {
 		return nil, err
 	}
 	v1.TimeBudget = cfg.Cap
-	x, err := core.New(st, v1, core.Options{Windows: cfg.Windows})
+	x, err := core.New(st, v1, cfg.execOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +87,7 @@ func RunRefiner(env *Env, cfg Config, w io.Writer) (*RefinerResult, error) {
 
 	// Path B: run v2 from scratch (what a system without the Refiner must
 	// do after every script edit).
-	x2, err := core.New(st, v2, core.Options{Windows: cfg.Windows})
+	x2, err := core.New(st, v2, cfg.execOptions())
 	if err != nil {
 		return nil, err
 	}

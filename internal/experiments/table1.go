@@ -115,7 +115,8 @@ func replayScripts(env *Env, cfg Config, atk workload.Attack, alert event.Event,
 		var x *core.Executor
 		count := 0
 		x, err = core.New(st, plan, core.Options{
-			Windows: cfg.Windows,
+			Windows:   cfg.Windows,
+			Telemetry: cfg.Telemetry,
 			OnUpdate: func(u graph.Update) {
 				count++
 				if last {

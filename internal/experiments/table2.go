@@ -59,10 +59,9 @@ func RunTable2(env *Env, cfg Config, w io.Writer) (*Table2Result, error) {
 	for _, ev := range events {
 		var times []time.Time
 		plan := wildcardPlan(cfg.Cap)
-		x, err := core.New(env.Dataset.Store, plan, core.Options{
-			Windows:  cfg.Windows,
-			OnUpdate: func(u graph.Update) { times = append(times, u.At) },
-		})
+		o := cfg.execOptions()
+		o.OnUpdate = func(u graph.Update) { times = append(times, u.At) }
+		x, err := core.New(env.Dataset.Store, plan, o)
 		if err != nil {
 			return nil, err
 		}

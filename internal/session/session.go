@@ -21,6 +21,7 @@ import (
 	"aptrace/internal/maintainer"
 	"aptrace/internal/refiner"
 	"aptrace/internal/store"
+	"aptrace/internal/telemetry"
 )
 
 // Session drives one investigation over a sealed store.
@@ -40,16 +41,29 @@ type Session struct {
 	onUpdate func(graph.Update)
 	journal  *Journal
 
+	telUpdates *telemetry.Counter
+	telPauses  *telemetry.Counter
+	telResumes *telemetry.Counter
+	tracer     *telemetry.Tracer
+	pauseSpan  *telemetry.Span // open from Pause until Resume/Stop
+
 	done chan struct{}
 	res  *core.Result
 	err  error
 }
 
 // New creates a session over the store. opts.OnUpdate, if set, receives
-// every update in addition to the session's own recording.
+// every update in addition to the session's own recording. opts.Telemetry,
+// if set, additionally counts emitted updates and pause/resume actions and
+// traces each pause as a session.pause span lasting until the matching
+// resume.
 func New(st *store.Store, opts core.Options) *Session {
 	s := &Session{st: st, opts: opts, onUpdate: opts.OnUpdate}
 	s.opts.OnUpdate = s.record
+	s.telUpdates = opts.Telemetry.Counter(telemetry.MetricSessionUpdates)
+	s.telPauses = opts.Telemetry.Counter(telemetry.MetricSessionPauses)
+	s.telResumes = opts.Telemetry.Counter(telemetry.MetricSessionResumes)
+	s.tracer = opts.Telemetry.Tracer()
 	return s
 }
 
@@ -83,8 +97,18 @@ func (s *Session) record(u graph.Update) {
 	s.mu.Lock()
 	s.updates = append(s.updates, u)
 	s.mu.Unlock()
+	s.telUpdates.Inc()
 	if s.onUpdate != nil {
 		s.onUpdate(u)
+	}
+}
+
+// endPauseSpanLocked closes the open session.pause span, if any. Caller
+// must hold s.mu.
+func (s *Session) endPauseSpanLocked() {
+	if s.pauseSpan != nil {
+		s.pauseSpan.EndAt(s.st.Clock().Now())
+		s.pauseSpan = nil
 	}
 }
 
@@ -197,9 +221,13 @@ func (s *Session) runLoop() {
 func (s *Session) Pause() {
 	s.mu.Lock()
 	x := s.x
+	if x != nil && s.pauseSpan == nil && s.tracer != nil {
+		s.pauseSpan = s.tracer.StartAt(telemetry.SpanSessionPause, nil, s.st.Clock().Now())
+	}
 	s.mu.Unlock()
 	if x != nil {
 		x.Pause()
+		s.telPauses.Inc()
 		s.log(JournalEntry{Action: "pause"})
 	}
 }
@@ -208,9 +236,11 @@ func (s *Session) Pause() {
 func (s *Session) Resume() {
 	s.mu.Lock()
 	x := s.x
+	s.endPauseSpanLocked()
 	s.mu.Unlock()
 	if x != nil {
 		x.Resume()
+		s.telResumes.Inc()
 		s.log(JournalEntry{Action: "resume"})
 	}
 }
@@ -219,6 +249,7 @@ func (s *Session) Resume() {
 func (s *Session) Stop() {
 	s.mu.Lock()
 	x := s.x
+	s.endPauseSpanLocked()
 	s.mu.Unlock()
 	if x != nil {
 		x.Stop()

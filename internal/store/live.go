@@ -12,6 +12,7 @@ import (
 
 	"aptrace/internal/event"
 	"aptrace/internal/simclock"
+	"aptrace/internal/telemetry"
 )
 
 // Live is the continuously collecting form of the store: the deployment mode
@@ -38,6 +39,9 @@ type Live struct {
 	// walBuf reuses one encode buffer across appends.
 	walBuf []byte
 	closed bool
+
+	walAppends *telemetry.Counter
+	walFsyncs  *telemetry.Counter
 }
 
 const walFile = "wal.log"
@@ -50,8 +54,10 @@ const (
 
 // OpenLive opens (or initializes) a live store in dir. If dir contains a
 // persisted base store it is loaded; otherwise the base starts empty. Any
-// WAL present is replayed into the in-memory tail.
-func OpenLive(dir string, clk simclock.Clock) (*Live, error) {
+// WAL present is replayed into the in-memory tail. Options (bucket width,
+// cost model, telemetry) apply to the base store and to every snapshot
+// taken from it.
+func OpenLive(dir string, clk simclock.Clock, opts ...Option) (*Live, error) {
 	if clk == nil {
 		clk = simclock.Real{}
 	}
@@ -61,18 +67,24 @@ func OpenLive(dir string, clk simclock.Clock) (*Live, error) {
 
 	var base *Store
 	if _, err := os.Stat(filepath.Join(dir, manifestFile)); err == nil {
-		base, err = Open(dir, clk)
+		base, err = Open(dir, clk, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("store: live: load base: %w", err)
 		}
 	} else {
-		base = New(clk)
+		base = New(clk, opts...)
 		if err := base.Seal(); err != nil {
 			return nil, err
 		}
 	}
 
-	l := &Live{dir: dir, clk: clk, base: base}
+	l := &Live{
+		dir:        dir,
+		clk:        clk,
+		base:       base,
+		walAppends: base.reg.Counter(telemetry.MetricWALAppends),
+		walFsyncs:  base.reg.Counter(telemetry.MetricWALFsyncs),
+	}
 	if err := l.replayWAL(); err != nil {
 		return nil, err
 	}
@@ -132,6 +144,9 @@ func (l *Live) writeWALRecord(payload []byte) error {
 	l.walBuf = append(l.walBuf, payload...)
 	l.walBuf = binary.LittleEndian.AppendUint32(l.walBuf, crc32.ChecksumIEEE(payload))
 	_, err := l.wal.Write(l.walBuf)
+	if err == nil {
+		l.walAppends.Inc()
+	}
 	return err
 }
 
@@ -209,7 +224,11 @@ func (l *Live) Sync() error {
 	if l.wal == nil {
 		return nil
 	}
-	return l.wal.Sync()
+	err := l.wal.Sync()
+	if err == nil {
+		l.walFsyncs.Inc()
+	}
+	return err
 }
 
 // BaseEvents returns the number of events in the sealed base.
@@ -226,6 +245,13 @@ func (l *Live) PendingEvents() int {
 	return len(l.mem)
 }
 
+// Telemetry returns the registry attached to the base store (nil if none).
+func (l *Live) Telemetry() *telemetry.Registry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base.reg
+}
+
 // Snapshot produces a sealed, query-ready store holding the base plus every
 // appended event at this instant. The snapshot is independent: collection
 // may continue while analyses run against it.
@@ -236,7 +262,7 @@ func (l *Live) Snapshot() (*Store, error) {
 }
 
 func (l *Live) snapshotLocked() (*Store, error) {
-	snap := New(l.clk, WithBucketSeconds(l.base.bucketSeconds), WithCostModel(l.base.cost))
+	snap := New(l.clk, WithBucketSeconds(l.base.bucketSeconds), WithCostModel(l.base.cost), WithTelemetry(l.base.reg))
 	snap.objects = append([]event.Object(nil), l.base.objects...)
 	snap.byKey = make(map[event.ObjectKey]event.ObjID, len(l.base.byKey))
 	for k, v := range l.base.byKey {
@@ -291,5 +317,6 @@ func (l *Live) Close() error {
 		l.wal.Close()
 		return err
 	}
+	l.walFsyncs.Inc()
 	return l.wal.Close()
 }

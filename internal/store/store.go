@@ -23,10 +23,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"aptrace/internal/event"
 	"aptrace/internal/simclock"
+	"aptrace/internal/telemetry"
 )
 
 // DefaultBucketSeconds is the default time-partition width: one hour, the
@@ -69,7 +71,36 @@ type Store struct {
 
 	minTime, maxTime int64 // inclusive bounds over stored events
 
+	// stats counters are updated atomically: a sealed store promises safe
+	// concurrent readers, and every query mutates them.
 	stats Stats
+
+	reg *telemetry.Registry
+	tel storeMetrics
+}
+
+// storeMetrics holds the store's pre-resolved telemetry instruments. All
+// fields are nil when telemetry is disabled; nil instruments no-op.
+type storeMetrics struct {
+	queries       *telemetry.Counter
+	rowsExamined  *telemetry.Counter
+	bucketsPruned *telemetry.Counter
+	postingHits   *telemetry.Counter
+	postingMisses *telemetry.Counter
+	queryRows     *telemetry.Histogram
+	queryLatency  *telemetry.Histogram
+}
+
+func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
+	return storeMetrics{
+		queries:       reg.Counter(telemetry.MetricStoreQueries),
+		rowsExamined:  reg.Counter(telemetry.MetricStoreRowsExamined),
+		bucketsPruned: reg.Counter(telemetry.MetricStoreBucketsPruned),
+		postingHits:   reg.Counter(telemetry.MetricStorePostingHits),
+		postingMisses: reg.Counter(telemetry.MetricStorePostingMisses),
+		queryRows:     reg.Histogram(telemetry.MetricStoreQueryRows, telemetry.RowBuckets),
+		queryLatency:  reg.Histogram(telemetry.MetricStoreQueryLatency, telemetry.LatencyBuckets),
+	}
 }
 
 // Option configures a Store.
@@ -88,6 +119,14 @@ func WithBucketSeconds(s int64) Option {
 // WithCostModel overrides the query cost model.
 func WithCostModel(m simclock.CostModel) Option {
 	return func(st *Store) { st.cost = m }
+}
+
+// WithTelemetry attaches a metrics registry: every query publishes its
+// rows-examined and modeled latency, and posting-list lookups count hits
+// and misses. A nil registry (the default) disables publication at
+// near-zero cost.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(st *Store) { st.SetTelemetry(reg) }
 }
 
 // New returns an empty, unsealed store charging query costs to clk.
@@ -110,6 +149,17 @@ func New(clk simclock.Clock, opts ...Option) *Store {
 
 // Clock returns the clock this store charges query costs to.
 func (s *Store) Clock() simclock.Clock { return s.clock }
+
+// SetTelemetry attaches (or detaches, with nil) a metrics registry. It is
+// not safe to call concurrently with queries; wire telemetry before
+// handing the store to readers.
+func (s *Store) SetTelemetry(reg *telemetry.Registry) {
+	s.reg = reg
+	s.tel = newStoreMetrics(reg)
+}
+
+// Telemetry returns the attached registry (nil when disabled).
+func (s *Store) Telemetry() *telemetry.Registry { return s.reg }
 
 // CostModel returns the query cost model in effect.
 func (s *Store) CostModel() simclock.CostModel { return s.cost }
@@ -223,9 +273,13 @@ func (s *Store) Sealed() bool { return s.sealed }
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
-	st := s.stats
-	st.Events = len(s.events)
-	st.Objects = len(s.objects)
+	st := Stats{
+		Events:        len(s.events),
+		Objects:       len(s.objects),
+		Queries:       atomic.LoadInt64(&s.stats.Queries),
+		RowsExamined:  atomic.LoadInt64(&s.stats.RowsExamined),
+		BucketsPruned: atomic.LoadInt64(&s.stats.BucketsPruned),
+	}
 	return st
 }
 
@@ -235,9 +289,14 @@ func (s *Store) charge(rows, from, to int64) {
 	if to > from {
 		buckets = (to-from)/s.bucketSeconds + 1
 	}
-	s.stats.Queries++
-	s.stats.RowsExamined += rows
-	s.stats.BucketsPruned += buckets
+	atomic.AddInt64(&s.stats.Queries, 1)
+	atomic.AddInt64(&s.stats.RowsExamined, rows)
+	atomic.AddInt64(&s.stats.BucketsPruned, buckets)
+	s.tel.queries.Inc()
+	s.tel.rowsExamined.Add(rows)
+	s.tel.bucketsPruned.Add(buckets)
+	s.tel.queryRows.Observe(float64(rows))
+	s.tel.queryLatency.Observe(s.cost.QueryCost(int(rows), int(buckets)).Seconds())
 	s.cost.Charge(s.clock, int(rows), int(buckets))
 }
 
@@ -253,6 +312,51 @@ func (s *Store) postingRange(list []int32, from, to int64) (lo, hi int) {
 	return lo, hi
 }
 
+// postingList resolves the posting list of one data-flow endpoint —
+// destination objects for backward queries, source objects for forward —
+// and counts the lookup as a posting-table hit or miss.
+func (s *Store) postingList(obj event.ObjID, forward bool) []int32 {
+	m := s.byDst
+	if forward {
+		m = s.bySrc
+	}
+	list := m[obj]
+	if len(list) > 0 {
+		s.tel.postingHits.Inc()
+	} else {
+		s.tel.postingMisses.Inc()
+	}
+	return list
+}
+
+// queryPosting is the shared posting-list walk behind QueryBackward and
+// QueryForward: binary-search the window bounds, materialize the rows, and
+// charge the cost model for the rows plus the buckets covered.
+func (s *Store) queryPosting(obj event.ObjID, forward bool, from, to int64) ([]event.Event, error) {
+	if !s.sealed {
+		return nil, ErrNotSealed
+	}
+	list := s.postingList(obj, forward)
+	lo, hi := s.postingRange(list, from, to)
+	out := make([]event.Event, 0, hi-lo)
+	for _, idx := range list[lo:hi] {
+		out = append(out, s.events[idx])
+	}
+	s.charge(int64(len(out)), from, to)
+	return out, nil
+}
+
+// countPosting is the shared cardinality estimate behind CountBackward and
+// CountForward. It does not materialize or charge: it models an index-only
+// estimate, which real planners get almost for free.
+func (s *Store) countPosting(obj event.ObjID, forward bool, from, to int64) (int, error) {
+	if !s.sealed {
+		return 0, ErrNotSealed
+	}
+	lo, hi := s.postingRange(s.postingList(obj, forward), from, to)
+	return hi - lo, nil
+}
+
 // QueryBackward returns the events whose data-flow destination is dst with
 // timestamps in the half-open window [from, to), in ascending time order.
 // This is the backtracking primitive: the returned events are exactly the
@@ -261,56 +365,26 @@ func (s *Store) postingRange(list []int32, from, to int64) (lo, hi int) {
 // The query charges the cost model for the rows returned plus the buckets
 // covered by the window.
 func (s *Store) QueryBackward(dst event.ObjID, from, to int64) ([]event.Event, error) {
-	if !s.sealed {
-		return nil, ErrNotSealed
-	}
-	list := s.byDst[dst]
-	lo, hi := s.postingRange(list, from, to)
-	out := make([]event.Event, 0, hi-lo)
-	for _, idx := range list[lo:hi] {
-		out = append(out, s.events[idx])
-	}
-	s.charge(int64(len(out)), from, to)
-	return out, nil
+	return s.queryPosting(dst, false, from, to)
 }
 
 // CountBackward returns the number of events QueryBackward would return,
-// without materializing or charging for them (it models an index-only
-// cardinality estimate, which real planners get almost for free).
+// without materializing or charging for them.
 func (s *Store) CountBackward(dst event.ObjID, from, to int64) (int, error) {
-	if !s.sealed {
-		return 0, ErrNotSealed
-	}
-	lo, hi := s.postingRange(s.byDst[dst], from, to)
-	return hi - lo, nil
+	return s.countPosting(dst, false, from, to)
 }
 
 // CountForward returns the number of events QueryForward would return,
-// without materializing or charging for them (an index-only cardinality
-// estimate, like CountBackward).
+// without materializing or charging for them.
 func (s *Store) CountForward(src event.ObjID, from, to int64) (int, error) {
-	if !s.sealed {
-		return 0, ErrNotSealed
-	}
-	lo, hi := s.postingRange(s.bySrc[src], from, to)
-	return hi - lo, nil
+	return s.countPosting(src, true, from, to)
 }
 
 // QueryForward returns the events whose data-flow source is src within
 // [from, to), in ascending time order. Forward queries serve the anomaly
 // detector and forward (impact) tracking.
 func (s *Store) QueryForward(src event.ObjID, from, to int64) ([]event.Event, error) {
-	if !s.sealed {
-		return nil, ErrNotSealed
-	}
-	list := s.bySrc[src]
-	lo, hi := s.postingRange(list, from, to)
-	out := make([]event.Event, 0, hi-lo)
-	for _, idx := range list[lo:hi] {
-		out = append(out, s.events[idx])
-	}
-	s.charge(int64(len(out)), from, to)
-	return out, nil
+	return s.queryPosting(src, true, from, to)
 }
 
 // EventByID returns the stored event with the given ID.

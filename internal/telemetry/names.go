@@ -1,0 +1,54 @@
+package telemetry
+
+// Canonical metric names. Everything APTrace exports lives under the
+// aptrace_ prefix, grouped by layer: store (query engine + live WAL),
+// executor (window scheduling), session (analyst-visible activity).
+// Counters end in _total; histograms carry their unit as a suffix.
+const (
+	// Store query engine.
+	MetricStoreQueries       = "aptrace_store_queries_total"
+	MetricStoreRowsExamined  = "aptrace_store_rows_examined_total"
+	MetricStoreBucketsPruned = "aptrace_store_buckets_pruned_total"
+	MetricStorePostingHits   = "aptrace_store_posting_hits_total"
+	MetricStorePostingMisses = "aptrace_store_posting_misses_total"
+	MetricStoreQueryRows     = "aptrace_store_query_rows"
+	MetricStoreQueryLatency  = "aptrace_store_query_latency_seconds"
+
+	// Live store WAL.
+	MetricWALAppends = "aptrace_store_wal_appends_total"
+	MetricWALFsyncs  = "aptrace_store_wal_fsyncs_total"
+
+	// Executor (window scheduling).
+	MetricExecQueueDepth = "aptrace_executor_queue_depth"
+	MetricExecWindows    = "aptrace_executor_windows_total"
+	MetricExecResplits   = "aptrace_executor_resplits_total"
+	MetricExecUpdateGap  = "aptrace_executor_update_gap_seconds"
+
+	// Session (analyst loop).
+	MetricSessionUpdates = "aptrace_session_updates_total"
+	MetricSessionPauses  = "aptrace_session_pauses_total"
+	MetricSessionResumes = "aptrace_session_resumes_total"
+)
+
+// Span names recorded by the tracer.
+const (
+	SpanWindowQuery   = "window.query"
+	SpanWindowResplit = "window.resplit"
+	SpanSessionPause  = "session.pause"
+	SpanSessionResume = "session.resume"
+)
+
+// DefaultSpanCapacity is the ring-buffer size of a registry's tracer.
+const DefaultSpanCapacity = 1024
+
+// Default bucket boundaries. LatencyBuckets cover the simulated query-cost
+// regime (50 ms seek + 400 ms/row puts bounded windows at 0.05–4 s and
+// monolithic scans at minutes); GapBuckets cover Table II's inter-update
+// range (the paper reports a baseline p95 of ~10 minutes vs APTrace's
+// seconds); RowBuckets cover per-query retrieval sizes around the
+// re-splitting cap of 8 rows.
+var (
+	LatencyBuckets = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300, 1800}
+	GapBuckets     = []float64{0.1, 0.5, 1, 2, 4, 8, 16, 30, 60, 120, 300, 600, 1200, 3600}
+	RowBuckets     = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}
+)

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one finished span as stored in the tracer's ring buffer.
+type SpanRecord struct {
+	ID       uint64        `json:"id"`
+	Parent   uint64        `json:"parent,omitempty"` // 0 = root
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Detail   string        `json:"detail,omitempty"`
+}
+
+// Span is an in-flight traced operation. Spans are cheap value carriers:
+// starting one assigns an ID and a start time; ending one pushes a record
+// into the tracer's ring buffer. A nil *Span is a no-op, which is what a
+// nil tracer hands out.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	detail string
+}
+
+// ID returns the span's ID (0 on a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetDetail attaches a short free-form annotation recorded with the span.
+func (s *Span) SetDetail(d string) {
+	if s != nil {
+		s.detail = d
+	}
+}
+
+// End finishes the span at the tracer's current time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.EndAt(s.tr.now())
+}
+
+// EndAt finishes the span at an explicit instant — used by code running on
+// a simulated clock, where wall time is meaningless.
+func (s *Span) EndAt(at time.Time) {
+	if s == nil {
+		return
+	}
+	s.tr.record(SpanRecord{
+		ID:       s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: at.Sub(s.start),
+		Detail:   s.detail,
+	})
+}
+
+// Tracer records finished spans into a fixed-size ring buffer: cheap,
+// bounded, and always holding the most recent activity. A nil *Tracer
+// hands out nil spans, so instrumented code needs no enabled check.
+type Tracer struct {
+	nextID atomic.Uint64
+	nowFn  atomic.Value // func() time.Time
+
+	mu   sync.Mutex
+	ring []SpanRecord
+	head int // next write position
+	n    int // number of valid records
+}
+
+// NewTracer returns a tracer holding the most recent capacity spans
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &Tracer{ring: make([]SpanRecord, capacity)}
+	t.nowFn.Store(time.Now)
+	return t
+}
+
+// SetNow replaces the tracer's time source; simulated-clock harnesses point
+// it at their clock so span timestamps live in analysis time.
+func (t *Tracer) SetNow(fn func() time.Time) {
+	if t != nil && fn != nil {
+		t.nowFn.Store(fn)
+	}
+}
+
+func (t *Tracer) now() time.Time {
+	return t.nowFn.Load().(func() time.Time)()
+}
+
+// Start begins a span at the tracer's current time. parent may be nil (a
+// root span). On a nil tracer it returns nil, a valid no-op span.
+func (t *Tracer) Start(name string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.StartAt(name, parent, t.now())
+}
+
+// StartAt begins a span at an explicit instant (simulated-clock callers).
+func (t *Tracer) StartAt(name string, parent *Span, at time.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, id: t.nextID.Add(1), name: name, start: at}
+	if parent != nil {
+		s.parent = parent.id
+	}
+	return s
+}
+
+func (t *Tracer) record(r SpanRecord) {
+	t.mu.Lock()
+	t.ring[t.head] = r
+	t.head = (t.head + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the recorded spans, oldest first. Nil tracer returns nil.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, t.n)
+	start := t.head - t.n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
