@@ -41,6 +41,7 @@ import (
 	"aptrace/internal/bdl"
 	"aptrace/internal/core"
 	"aptrace/internal/event"
+	"aptrace/internal/fleet"
 	"aptrace/internal/graph"
 	"aptrace/internal/refiner"
 	"aptrace/internal/session"
@@ -136,6 +137,11 @@ type (
 	BaselineOptions = baseline.Options
 	// BaselineResult is its outcome.
 	BaselineResult = baseline.Result
+	// Fleet is a bounded worker pool running many independent analyses
+	// concurrently over one shared sealed store; pair each run with its
+	// own (*Store).View so runs share the event log but not clocks or
+	// counters. See NewFleet, FleetMap.
+	Fleet = fleet.Pool
 )
 
 // Dataset and detection layer.
@@ -234,6 +240,23 @@ func NewExecutor(st *Store, plan *Plan, opts ExecOptions) (*Executor, error) {
 // NewSession creates an interactive analysis session over a sealed store.
 func NewSession(st *Store, opts ExecOptions) *Session {
 	return session.New(st, opts)
+}
+
+// NewFleet returns a pool running at most workers concurrent analyses;
+// workers <= 0 means all cores. A nil registry disables the pool gauges.
+func NewFleet(workers int, reg *Telemetry) *Fleet { return fleet.New(workers, reg) }
+
+// FleetMap runs job(0..n-1) on the pool and collects the results by job
+// index, so aggregation order matches submission order no matter how the
+// scheduler interleaved the runs. The first (lowest-index) error aborts the
+// batch and is returned wrapped with its job index.
+func FleetMap[T any](p *Fleet, n int, job func(int) (T, error)) ([]T, error) {
+	return fleet.Map(p, n, job)
+}
+
+// FleetForEach is FleetMap for jobs with no result value.
+func FleetForEach(p *Fleet, n int, job func(int) error) error {
+	return fleet.ForEach(p, n, job)
 }
 
 // RunBaseline performs classic King-Chen execute-to-complete backtracking,

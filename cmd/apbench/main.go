@@ -6,13 +6,17 @@
 //
 //	apbench [-exp all|severity|fig4|table1|table2|fig6|ablation-k|ablation-policy]
 //	        [-hosts 12] [-days 10] [-density 1.5] [-samples 200] [-cap 2h] [-k 8]
-//	        [-json dir] [-metrics addr]
+//	        [-parallel 1] [-json dir] [-metrics addr]
 //
 // With -json, each experiment's structured result is also written as
 // BENCH_<exp>.json in the given directory, so perf trajectories can be
 // tracked across revisions. With -metrics, a telemetry registry is wired
 // through the store and every executor, served at /metrics (Prometheus
-// text) and /debug/telemetry (JSON) for the duration of the run.
+// text) and /debug/telemetry (JSON) for the duration of the run. With
+// -parallel N, each experiment fans its sampled starting events across N
+// concurrent analyses over shared store views; results are collected in
+// sample order, so the tables are byte-identical to a serial run (-parallel 0
+// uses all cores).
 //
 // Paper mapping:
 //
@@ -30,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -39,18 +44,22 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment(s) to run, comma separated")
-		hosts   = flag.Int("hosts", 12, "workstations in the dataset")
-		days    = flag.Int("days", 10, "days of history")
-		density = flag.Float64("density", 1.5, "background activity scale")
-		seed    = flag.Int64("seed", 1, "dataset seed")
-		samples = flag.Int("samples", 200, "random starting events (the paper uses 200)")
-		cap_    = flag.Duration("cap", 2*time.Hour, "execution cap for unoptimized runs")
-		k       = flag.Int("k", aptrace.DefaultWindows, "execution-window count")
-		jsonDir = flag.String("json", "", "also write each experiment's result as BENCH_<exp>.json into this directory")
-		metrics = flag.String("metrics", "", "serve /metrics and /debug/telemetry on this address during the run")
+		exp      = flag.String("exp", "all", "experiment(s) to run, comma separated")
+		hosts    = flag.Int("hosts", 12, "workstations in the dataset")
+		days     = flag.Int("days", 10, "days of history")
+		density  = flag.Float64("density", 1.5, "background activity scale")
+		seed     = flag.Int64("seed", 1, "dataset seed")
+		samples  = flag.Int("samples", 200, "random starting events (the paper uses 200)")
+		cap_     = flag.Duration("cap", 2*time.Hour, "execution cap for unoptimized runs")
+		k        = flag.Int("k", aptrace.DefaultWindows, "execution-window count")
+		parallel = flag.Int("parallel", 1, "concurrent analyses per experiment (0 = all cores)")
+		jsonDir  = flag.String("json", "", "also write each experiment's result as BENCH_<exp>.json into this directory")
+		metrics  = flag.String("metrics", "", "serve /metrics and /debug/telemetry on this address during the run")
 	)
 	flag.Parse()
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
 
 	var reg *aptrace.Telemetry
 	if *metrics != "" {
@@ -83,7 +92,11 @@ func main() {
 		env.Dataset.Store.NumEvents(), env.Dataset.Store.NumObjects(),
 		len(env.Dataset.Attacks), time.Since(wall).Seconds())
 
-	cfg := experiments.Config{Samples: *samples, Cap: *cap_, Windows: *k, Seed: 42, Telemetry: reg}
+	cfg := experiments.Config{Samples: *samples, Cap: *cap_, Windows: *k, Seed: 42, Parallel: *parallel, Telemetry: reg}
+	if *parallel > 1 {
+		// Stderr, so stdout stays byte-comparable against a serial run.
+		fmt.Fprintf(os.Stderr, "parallel analyses per experiment: %d\n", *parallel)
+	}
 
 	// Every runner returns its structured result so -json can persist the
 	// machine-readable rows next to the printed tables.

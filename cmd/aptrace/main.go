@@ -4,6 +4,7 @@
 // Usage:
 //
 //	aptrace -store ./data -script investigate.bdl [-simulate] [-k 8]
+//	aptrace -store ./data -script investigate.bdl -batch [-parallel 4]
 //	aptrace -store ./data -alerts
 //
 // With -alerts, the built-in anomaly detector scans the store and lists the
@@ -11,6 +12,13 @@
 // starting point locates the alert, exploration streams progress to stderr,
 // and the final dependency graph goes to the script's "output" path (or
 // stdout as DOT if the script has none).
+//
+// With -batch, the script runs from EVERY event matching its starting point
+// — the enterprise triage posture, where one detector rule fires many alerts
+// a day. The analyses fan out across -parallel workers (0 = all cores), each
+// over its own read view of the shared store, and a per-alert summary table
+// goes to stdout in event order. If the script names an output path, each
+// alert's graph is written as DOT to <output>.<event-id>.
 //
 // -simulate attaches the query cost model to a virtual clock, reporting
 // analysis time in modeled database-latency terms; without it, timings are
@@ -22,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"aptrace"
@@ -40,6 +49,8 @@ func main() {
 		doSug    = flag.Bool("suggest", false, "after the run, propose exclusion heuristics for the next script version")
 		inter    = flag.Bool("interactive", false, "start the interactive analyst console")
 		metrics  = flag.String("metrics", "", "serve /metrics (Prometheus) and /debug/telemetry (JSON) on this address, e.g. :9090")
+		batch    = flag.Bool("batch", false, "run the script from every matching starting event (see -parallel)")
+		parallel = flag.Int("parallel", 1, "concurrent analyses in -batch mode (0 = all cores)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -88,8 +99,128 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	runScript(st, string(raw), *k, *quiet, *doSug, reg)
+	if *batch {
+		if *parallel <= 0 {
+			*parallel = runtime.GOMAXPROCS(0)
+		}
+		runBatch(st, string(raw), *k, *parallel, *simulate, reg)
+	} else {
+		runScript(st, string(raw), *k, *quiet, *doSug, reg)
+	}
 	dumpTelemetry(reg)
+}
+
+// runBatch runs the script from every event matching its starting point,
+// fanning the analyses over a bounded pool. Each run gets a private read
+// view of the store (own clock and counters, shared event log), so the runs
+// neither contend nor interfere; the summary table is printed in event
+// order, independent of scheduling.
+func runBatch(st *aptrace.Store, src string, k, workers int, simulate bool, reg *aptrace.Telemetry) {
+	plan, err := aptrace.CompileScript(src)
+	if err != nil {
+		fatal(err)
+	}
+	min, max, ok := st.TimeRange()
+	if !ok {
+		fatal(fmt.Errorf("store is empty"))
+	}
+	from, to := plan.Range(min, max)
+	var starts []aptrace.Event
+	var matchErr error
+	if err := st.Scan(from, to, func(e aptrace.Event) bool {
+		ok, err := plan.MatchStart(e, st)
+		if err != nil {
+			matchErr = err
+			return false
+		}
+		if ok {
+			starts = append(starts, e)
+		}
+		return true
+	}); err != nil {
+		fatal(err)
+	}
+	if matchErr != nil {
+		fatal(matchErr)
+	}
+	if len(starts) == 0 {
+		fatal(fmt.Errorf("no event matches the script's starting point"))
+	}
+
+	pool := aptrace.NewFleet(workers, reg)
+	fmt.Fprintf(os.Stderr, "batch: %d starting events across %d workers\n", len(starts), pool.Workers())
+
+	type outcome struct {
+		reason  string
+		edges   int
+		nodes   int
+		windows int
+		elapsed time.Duration
+		graph   *aptrace.Graph
+	}
+	wall := time.Now()
+	runs, err := aptrace.FleetMap(pool, len(starts), func(i int) (outcome, error) {
+		var clk aptrace.Clock
+		if simulate {
+			clk = aptrace.NewSimulatedClock()
+		}
+		view, err := st.View(clk)
+		if err != nil {
+			return outcome{}, err
+		}
+		// Compile privately: plan state (quantity-rule maintainers) is
+		// per analysis, not shared across the fleet.
+		p, err := aptrace.CompileScript(src)
+		if err != nil {
+			return outcome{}, err
+		}
+		x, err := aptrace.NewExecutor(view, p, aptrace.ExecOptions{Windows: k, Telemetry: reg})
+		if err != nil {
+			return outcome{}, err
+		}
+		res, err := x.Run(starts[i])
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{
+			reason:  fmt.Sprint(res.Reason),
+			edges:   res.Graph.NumEdges(),
+			nodes:   res.Graph.NumNodes(),
+			windows: res.Windows,
+			elapsed: res.Elapsed,
+			graph:   res.Graph,
+		}, nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%-22s %-9s %-22s %8s %8s %8s %10s\n",
+		"time (UTC)", "event id", "reason", "events", "nodes", "windows", "elapsed")
+	for i, r := range runs {
+		fmt.Printf("%-22s %-9d %-22s %8d %8d %8d %10s\n",
+			starts[i].When().Format("2006-01-02 15:04:05"), starts[i].ID,
+			r.reason, r.edges, r.nodes, r.windows, r.elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "%d analyses in %.1fs wall\n", len(runs), time.Since(wall).Seconds())
+
+	if plan.Output != "" {
+		for i, r := range runs {
+			path := fmt.Sprintf("%s.%d", plan.Output, starts[i].ID)
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := aptrace.WriteDOT(f, r.graph, st.Object); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%d graphs written to %s.<event-id>\n", len(runs), plan.Output)
+	}
 }
 
 // dumpTelemetry writes the end-of-run metrics snapshot to stderr as JSON so

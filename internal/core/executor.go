@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -98,10 +99,13 @@ type Executor struct {
 	clk  simclock.Clock
 	opts Options
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	paused bool
-	stop   bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	paused  bool
+	stop    bool
+	running bool  // the run loop is active
+	parked  bool  // the run loop is waiting out a pause
+	runGoid int64 // goroutine running the loop, 0 when not running
 
 	plan  *refiner.Plan
 	maint *maintainer.Maintainer
@@ -153,6 +157,9 @@ func New(st *store.Store, plan *refiner.Plan, opts Options) (*Executor, error) {
 	if opts.Windows <= 0 {
 		opts.Windows = DefaultWindows
 	}
+	if opts.Windows > MaxWindows {
+		opts.Windows = MaxWindows
+	}
 	if opts.MaxWindowRows <= 0 {
 		opts.MaxWindowRows = DefaultMaxWindowRows
 	}
@@ -163,8 +170,29 @@ func New(st *store.Store, plan *refiner.Plan, opts Options) (*Executor, error) {
 	return x, nil
 }
 
+// goid returns the current goroutine's ID by parsing the "goroutine N ["
+// header of a stack dump. The run loop records its own ID so Pause and
+// UpdatePlan can tell a reentrant call (from an OnUpdate callback on the
+// run goroutine, where blocking would self-deadlock) from a concurrent one.
+func goid() int64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	var id int64
+	for _, c := range buf[len("goroutine "):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}
+
 // Graph returns the dependency graph built so far (nil before Run).
-func (x *Executor) Graph() *graph.Graph { return x.g }
+func (x *Executor) Graph() *graph.Graph {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.g
+}
 
 // Plan returns the currently active plan.
 func (x *Executor) Plan() *refiner.Plan {
@@ -174,11 +202,24 @@ func (x *Executor) Plan() *refiner.Plan {
 }
 
 // Pause suspends the run at the next window boundary. It returns once the
-// executor acknowledges the pause (or the run already ended).
+// executor acknowledges the pause — the run loop has parked — or the run
+// already ended, so a caller that sequences Pause before UpdatePlan can
+// never race an in-flight window. Calling Pause from the run goroutine
+// itself (inside an OnUpdate callback) only requests the pause: the loop
+// parks when the current window finishes, and blocking there would
+// self-deadlock.
 func (x *Executor) Pause() {
 	x.mu.Lock()
+	defer x.mu.Unlock()
 	x.paused = true
-	x.mu.Unlock()
+	if x.runGoid == goid() {
+		return
+	}
+	// Wait until the loop parks, the run ends, or the pause is cancelled
+	// (Resume/Stop from a third goroutine releases the waiter).
+	for x.running && !x.parked && x.paused {
+		x.cond.Wait()
+	}
 }
 
 // Resume lets a paused run continue.
@@ -201,12 +242,29 @@ func (x *Executor) Stop() {
 // UpdatePlan swaps in a new compiled plan while the executor is paused,
 // applying the given resume action. Restart is rejected: a changed starting
 // point needs a fresh Executor (the session layer handles that case).
+//
+// When the run loop is active, UpdatePlan requires a pause to be in effect
+// and waits until the loop has actually parked before swapping, so no
+// in-flight window can observe a half-applied plan. (From the run goroutine
+// itself — an OnUpdate callback — the swap is immediate: the loop is, by
+// construction, not mid-window elsewhere.)
 func (x *Executor) UpdatePlan(plan *refiner.Plan, action refiner.ResumeAction) error {
 	if action == refiner.Restart {
 		return errors.New("core: restart requires a new executor")
 	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	if x.running && x.runGoid != goid() {
+		if !x.paused {
+			return errors.New("core: UpdatePlan on a running executor requires Pause first")
+		}
+		for x.running && !x.parked && x.paused {
+			x.cond.Wait()
+		}
+		if x.running && !x.parked {
+			return errors.New("core: pause was cancelled before the plan swap; call Pause again")
+		}
+	}
 	x.plan = plan
 	min, max, _ := x.st.TimeRange()
 	x.from, x.to = plan.Range(min, max)
@@ -280,13 +338,33 @@ func (x *Executor) RunUnchecked(alert event.Event) (*Result, error) {
 		return nil, err
 	}
 
+	x.mu.Lock()
+	x.running = true
+	x.runGoid = goid()
+	x.mu.Unlock()
+	defer func() {
+		// Release Pause/UpdatePlan callers blocked on the park handshake.
+		x.mu.Lock()
+		x.running = false
+		x.runGoid = 0
+		x.cond.Broadcast()
+		x.mu.Unlock()
+	}()
+
 	reason := Completed
 loop:
 	for {
-		// Honor pause/stop between window queries.
+		// Honor pause/stop between window queries. Parking is a handshake:
+		// the broadcast releases Pause (and UpdatePlan) callers waiting for
+		// the loop to be provably outside processWindow.
 		x.mu.Lock()
-		for x.paused && !x.stop {
-			x.cond.Wait()
+		if x.paused && !x.stop {
+			x.parked = true
+			x.cond.Broadcast()
+			for x.paused && !x.stop {
+				x.cond.Wait()
+			}
+			x.parked = false
 		}
 		if x.stop {
 			x.mu.Unlock()
@@ -364,10 +442,14 @@ func (x *Executor) enqueue(e event.Event, boost int) {
 	for _, w := range ws {
 		// Index statistics make empty ranges detectable without touching
 		// the table (CountBackward models an index-only cardinality
-		// estimate); provably empty windows are never queried.
-		if n, err := x.st.CountBackward(w.Obj, w.Begin, w.Finish); err == nil && n == 0 {
+		// estimate); provably empty windows are never queried. The estimate
+		// rides along on the window so the re-split check at pop time does
+		// not count the identical range a second time.
+		n, err := x.st.CountBackward(w.Obj, w.Begin, w.Finish)
+		if err == nil && n == 0 {
 			continue
 		}
+		w.Card = n
 		w.State = state
 		w.Boost = boost
 		x.pq.push(w)
@@ -407,9 +489,11 @@ func (x *Executor) enqueueForward(e event.Event, boost int) {
 		state = n.State
 	}
 	for _, w := range ws {
-		if n, err := x.st.CountForward(w.Obj, w.Begin, w.Finish); err == nil && n == 0 {
+		n, err := x.st.CountForward(w.Obj, w.Begin, w.Finish)
+		if err == nil && n == 0 {
 			continue
 		}
+		w.Card = n
 		w.State = state
 		w.Boost = boost
 		x.pq.push(w)
@@ -431,9 +515,16 @@ func (x *Executor) processWindow(w ExecWindow) error {
 		query = x.st.QueryForward
 	}
 	if !x.opts.NoSplit && w.Finish-w.Begin >= 2 {
-		n, err := count(w.Obj, w.Begin, w.Finish)
-		if err != nil {
-			return err
+		// Reuse the enqueue-time cardinality estimate; the store is sealed,
+		// so the count cannot have changed. Only re-split halves (Card == 0,
+		// unknown) need a fresh count.
+		n := w.Card
+		if n <= 0 {
+			var err error
+			n, err = count(w.Obj, w.Begin, w.Finish)
+			if err != nil {
+				return err
+			}
 		}
 		if n > x.opts.MaxWindowRows {
 			var sp *telemetry.Span
@@ -450,8 +541,20 @@ func (x *Executor) processWindow(w ExecWindow) error {
 				near.Begin = mid
 				far.Finish = mid
 			}
-			x.pq.push(near)
-			x.pq.push(far)
+			// One index-only count prices both halves: the posting range is
+			// exact over contiguous half-open windows, so far = n - near.
+			// Empty halves are pruned exactly as at enqueue time.
+			nc, err := count(near.Obj, near.Begin, near.Finish)
+			if err != nil {
+				return err
+			}
+			near.Card, far.Card = nc, n-nc
+			if near.Card > 0 {
+				x.pq.push(near)
+			}
+			if far.Card > 0 {
+				x.pq.push(far)
+			}
 			x.tel.resplits.Inc()
 			x.tel.queueDepth.Set(int64(x.pq.Len()))
 			if sp != nil {

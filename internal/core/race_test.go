@@ -1,0 +1,205 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"aptrace/internal/event"
+	"aptrace/internal/refiner"
+	"aptrace/internal/simclock"
+)
+
+// TestPauseBlocksForUpdatePlan is the regression test for the documented
+// Pause contract: pause → UpdatePlan from a controlling goroutine must never
+// race an in-flight processWindow reading x.plan. Before the fix, Pause only
+// set the flag and returned immediately, so the plan swap raced the run
+// loop; the race detector catches it on this loop.
+func TestPauseBlocksForUpdatePlan(t *testing.T) {
+	clk := simclock.NewSimulated(time.Time{})
+	s, alert := fixture(t, clk, 5000)
+	started := make(chan struct{})
+	var once sync.Once
+	x, err := New(s, wildcardPlan(t, ""), Options{OnUpdate: func(Update) {
+		once.Do(func() { close(started) })
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := x.RunUnchecked(alert); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("run produced no updates")
+	}
+	for i := 0; i < 50; i++ {
+		x.Pause()
+		// With the pause acknowledged, the loop is parked (or finished):
+		// swapping the plan cannot race a window in flight.
+		if err := x.UpdatePlan(wildcardPlan(t, ""), refiner.Resume); err != nil {
+			t.Fatal(err)
+		}
+		x.Resume()
+	}
+	x.Stop()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not stop")
+	}
+}
+
+// TestUpdatePlanRequiresPause pins the guard added with the blocking pause:
+// swapping the plan under a live, unpaused run loop is refused instead of
+// racing it.
+func TestUpdatePlanRequiresPause(t *testing.T) {
+	clk := simclock.NewSimulated(time.Time{})
+	s, alert := fixture(t, clk, 5000)
+	started := make(chan struct{})
+	var once sync.Once
+	x, err := New(s, wildcardPlan(t, ""), Options{OnUpdate: func(Update) {
+		once.Do(func() { close(started) })
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		x.RunUnchecked(alert)
+	}()
+	<-started
+	if err := x.UpdatePlan(wildcardPlan(t, ""), refiner.Resume); err == nil {
+		// The run may legitimately have finished already; only a swap
+		// accepted while the loop is live is a bug.
+		x.mu.Lock()
+		running := x.running
+		x.mu.Unlock()
+		if running {
+			t.Fatal("UpdatePlan on a running, unpaused executor must be refused")
+		}
+	}
+	x.Stop()
+	<-done
+}
+
+// TestGraphConcurrentWithPrepare is the regression test for the
+// unsynchronized Graph() read: Prepare writes x.g under the mutex while
+// observers poll Graph(); before the fix the bare read raced the write.
+func TestGraphConcurrentWithPrepare(t *testing.T) {
+	s, alert := fixture(t, nil, 100)
+	x, err := New(s, wildcardPlan(t, ""), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := x.Prepare(alert); err != nil {
+			t.Error(err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			_ = x.Graph()
+		}
+	}()
+	wg.Wait()
+	if x.Graph() == nil {
+		t.Fatal("graph must be visible after Prepare")
+	}
+}
+
+// checkWindowInvariants asserts the contract shared by both generators:
+// at most MaxWindows windows, positive widths, and an exact contiguous
+// cover of the requested range (nearest-first for backward, nearest-first
+// meaning ascending for forward).
+func checkWindowInvariants(t *testing.T, ws []ExecWindow, lo, hi int64, forward bool) {
+	t.Helper()
+	if len(ws) == 0 {
+		t.Fatal("no windows generated for a non-empty span")
+	}
+	if len(ws) > MaxWindows {
+		t.Fatalf("generated %d windows, cap is %d", len(ws), MaxWindows)
+	}
+	for i, w := range ws {
+		if w.Finish <= w.Begin {
+			t.Fatalf("window %d has non-positive width: [%d,%d)", i, w.Begin, w.Finish)
+		}
+	}
+	if forward {
+		if ws[0].Begin != lo || ws[len(ws)-1].Finish != hi {
+			t.Fatalf("cover is [%d,%d), want [%d,%d)", ws[0].Begin, ws[len(ws)-1].Finish, lo, hi)
+		}
+		for i := 1; i < len(ws); i++ {
+			if ws[i].Begin != ws[i-1].Finish {
+				t.Fatalf("gap between windows %d and %d", i-1, i)
+			}
+		}
+		return
+	}
+	if ws[0].Finish != hi || ws[len(ws)-1].Begin != lo {
+		t.Fatalf("cover is [%d,%d), want [%d,%d)", ws[len(ws)-1].Begin, ws[0].Finish, lo, hi)
+	}
+	for i := 1; i < len(ws); i++ {
+		if ws[i].Finish != ws[i-1].Begin {
+			t.Fatalf("gap between windows %d and %d", i-1, i)
+		}
+	}
+}
+
+// TestGenExeWindowsLargeK is the overflow regression test: with k >= 63 the
+// un-clamped generators computed 2^k - 1 in int64, overflowing into a
+// garbage sigma and producing more than MaxWindows windows over a wide
+// span. The span 2^62 makes the failure visible: pre-fix k=63 emits 63
+// windows (and k=64 emits 64), post-clamp both emit exactly 62.
+func TestGenExeWindowsLargeK(t *testing.T) {
+	// A raw event with a huge timestamp; Dir=FlowOut makes Subject the
+	// flow source (the object backward windows search).
+	e := event.Event{ID: 1, Time: 1 << 62, Subject: 0, Object: 1, Dir: event.FlowOut}
+	for _, k := range []int{62, 63, 64} {
+		ws := GenExeWindows(e, 0, k)
+		checkWindowInvariants(t, ws, 0, e.Time, false)
+
+		fe := event.Event{ID: 2, Time: 0, Subject: 0, Object: 1, Dir: event.FlowOut}
+		fws := GenExeWindowsForward(fe, 1<<62, k)
+		checkWindowInvariants(t, fws, fe.Time+1, 1<<62, true)
+	}
+	// Geometric shape survives the clamp: nearest window smallest.
+	ws := GenExeWindows(e, 0, 63)
+	if len(ws) != MaxWindows {
+		t.Fatalf("k=63 over a 2^62 span must clamp to %d windows, got %d", MaxWindows, len(ws))
+	}
+	if first, last := ws[0], ws[len(ws)-1]; first.Finish-first.Begin >= last.Finish-last.Begin {
+		t.Fatal("nearest window must be the smallest")
+	}
+}
+
+// TestExecutorClampsWindowCount: an absurd Options.Windows must not break
+// the analysis — core.New clamps it and the run still reaches the full
+// closure.
+func TestExecutorClampsWindowCount(t *testing.T) {
+	s, alert := fixture(t, nil, 200)
+	want := naiveClosure(s, alert)
+	x, err := New(s, wildcardPlan(t, ""), Options{Windows: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := x.RunUnchecked(alert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumEdges() != len(want) {
+		t.Fatalf("clamped run found %d edges, closure has %d", res.Graph.NumEdges(), len(want))
+	}
+}

@@ -94,6 +94,48 @@ func TestExecutorTelemetryMatchesRecordedUpdates(t *testing.T) {
 	}
 }
 
+// TestResplitReusesEnqueueCardinality is the regression test for the
+// redundant per-window recount: enqueue already counted every window for
+// the empty-window prune, so the re-split check must ride on that estimate
+// (ExecWindow.Card) and only one fresh count per re-split — pricing both
+// halves — is allowed. On this fixed fixture the pre-fix executor performed
+// 502 posting-list lookups and charged 84 store queries; carrying the
+// estimate brings those to 413 and 79. The thresholds sit between the two
+// so the test fails if the pop-time recount ever comes back.
+func TestResplitReusesEnqueueCardinality(t *testing.T) {
+	clk := simclock.NewSimulated(time.Time{})
+	st, alert := fixture(t, clk, 400)
+	reg := telemetry.NewRegistry()
+	st.SetTelemetry(reg)
+	x, err := New(st, wildcardPlan(t, ""), Options{Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := x.RunUnchecked(alert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+
+	lookups := snap.Counters[telemetry.MetricStorePostingHits] +
+		snap.Counters[telemetry.MetricStorePostingMisses]
+	if lookups == 0 {
+		t.Fatal("fixture produced no posting lookups; telemetry broken")
+	}
+	if lookups > 460 {
+		t.Fatalf("posting lookups = %d; the re-split check is recounting ranges the enqueue already counted", lookups)
+	}
+	if q := snap.Counters[telemetry.MetricStoreQueries]; q > 81 {
+		t.Fatalf("charged queries = %d; empty re-split halves must be pruned, not queried", q)
+	}
+
+	// The saved counts must not change what the analysis finds.
+	want := naiveClosure(st, alert)
+	if res.Graph.NumEdges() != len(want) {
+		t.Fatalf("graph has %d edges, closure %d", res.Graph.NumEdges(), len(want))
+	}
+}
+
 // TestExecutorNilTelemetryUnchanged pins the disabled path: a run with no
 // registry must behave identically (same result, same simulated elapsed
 // time) to an instrumented run over the same fixture.

@@ -20,6 +20,12 @@ import (
 	"aptrace/internal/event"
 )
 
+// MaxWindows is the largest accepted window count k. The geometric sequence
+// needs 2^k - 1 to fit in an int64, so k is clamped at 62 (the span of any
+// real second-granularity log is far below 2^62 anyway — the clamp only
+// guards the arithmetic).
+const MaxWindows = 62
+
 // ExecWindow is the unit of search: look for backward dependencies of Obj
 // (the source object of the generating event E) in the half-open time range
 // [Begin, Finish).
@@ -28,6 +34,12 @@ type ExecWindow struct {
 	Finish int64
 	Obj    event.ObjID // object whose dependencies this window searches
 	E      event.Event // the event that generated this window
+
+	// Card is the cardinality estimate taken when the window was enqueued
+	// (the same index-only count that pruned empty windows), carried so the
+	// re-split check does not have to count the identical range again.
+	// Zero means unknown — the halves of a re-split window recount at pop.
+	Card int
 
 	// Scheduling attributes.
 	State int   // maintainer state of Obj at enqueue time (-1 if none)
@@ -47,6 +59,9 @@ func GenExeWindows(e event.Event, ts int64, k int) []ExecWindow {
 	te := e.Time
 	if te <= ts || k < 1 {
 		return nil
+	}
+	if k > MaxWindows {
+		k = MaxWindows // 1<<63 overflows int64
 	}
 	span := te - ts
 	// sigma = span / (2^k - 1), clamped so the nearest window is at least
@@ -80,6 +95,9 @@ func GenExeWindowsForward(e event.Event, tEnd int64, k int) []ExecWindow {
 	ts := e.Time + 1
 	if tEnd <= ts || k < 1 {
 		return nil
+	}
+	if k > MaxWindows {
+		k = MaxWindows // 1<<63 overflows int64
 	}
 	span := tEnd - ts
 	denom := int64(1)<<uint(k) - 1

@@ -6,8 +6,11 @@ import (
 	"time"
 
 	"aptrace/internal/core"
+	"aptrace/internal/event"
 	"aptrace/internal/graph"
+	"aptrace/internal/simclock"
 	"aptrace/internal/stats"
+	"aptrace/internal/store"
 )
 
 // AblationRow summarizes one executor variant's responsiveness over the
@@ -69,29 +72,49 @@ func RunAblationPolicy(env *Env, cfg Config, w io.Writer) (*AblationResult, erro
 
 func runVariant(env *Env, cfg Config, name string, opts core.Options) (AblationRow, error) {
 	events := env.sampleEvents(cfg.Samples, cfg.Seed)
+
+	type run struct {
+		deltas  []time.Duration
+		first   time.Duration
+		updated bool
+		windows int
+	}
+	runs, err := fanOut(env, cfg, events,
+		func(st *store.Store, clk *simclock.Simulated, ev event.Event) (run, error) {
+			start := clk.Now()
+			var times []time.Time
+			o := opts
+			o.Telemetry = cfg.Telemetry
+			o.OnUpdate = func(u graph.Update) { times = append(times, u.At) }
+			x, err := core.New(st, wildcardPlan(cfg.Cap), o)
+			if err != nil {
+				return run{}, err
+			}
+			out, err := x.RunUnchecked(ev)
+			if err != nil {
+				return run{}, err
+			}
+			times = stats.DistinctTimes(times)
+			r := run{deltas: stats.Deltas(times), windows: out.Windows}
+			if len(times) > 0 {
+				r.first = times[0].Sub(start)
+				r.updated = true
+			}
+			return r, nil
+		})
+	if err != nil {
+		return AblationRow{}, err
+	}
+
 	var deltas []time.Duration
 	var firsts []time.Duration
 	windows := 0
-	for _, ev := range events {
-		start := env.Clock.Now()
-		var times []time.Time
-		o := opts
-		o.Telemetry = cfg.Telemetry
-		o.OnUpdate = func(u graph.Update) { times = append(times, u.At) }
-		x, err := core.New(env.Dataset.Store, wildcardPlan(cfg.Cap), o)
-		if err != nil {
-			return AblationRow{}, err
+	for _, r := range runs {
+		windows += r.windows
+		if r.updated {
+			firsts = append(firsts, r.first)
 		}
-		out, err := x.RunUnchecked(ev)
-		if err != nil {
-			return AblationRow{}, err
-		}
-		windows += out.Windows
-		times = stats.DistinctTimes(times)
-		if len(times) > 0 {
-			firsts = append(firsts, times[0].Sub(start))
-		}
-		deltas = append(deltas, stats.Deltas(times)...)
+		deltas = append(deltas, r.deltas...)
 	}
 	xs := stats.Durations(deltas)
 	sum := stats.Summarize(xs)

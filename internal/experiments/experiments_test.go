@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -203,6 +204,77 @@ func TestRunAblations(t *testing.T) {
 	if !strings.Contains(buf.String(), "variant") {
 		t.Error("report missing")
 	}
+}
+
+// TestParallelMatchesSerial is the fleet's determinism guarantee: the same
+// experiment, fanned out over 4 workers, must print byte-identical tables
+// and return deeply equal structured results. One shared Env serves all
+// runs, which additionally proves the fan-out never mutates shared dataset
+// state. Covers E1 (severity), E4 (table2), and an ablation sweep; run
+// under -race this is also the concurrency-safety check for views.
+func TestParallelMatchesSerial(t *testing.T) {
+	env := testEnv(t)
+	serial := testCfg()
+	par := testCfg()
+	par.Parallel = 4
+
+	t.Run("table2", func(t *testing.T) {
+		var sBuf, pBuf bytes.Buffer
+		sRes, err := RunTable2(env, serial, &sBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pRes, err := RunTable2(env, par, &pBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sBuf.Bytes(), pBuf.Bytes()) {
+			t.Fatalf("parallel table differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", sBuf.String(), pBuf.String())
+		}
+		if !reflect.DeepEqual(sRes, pRes) {
+			t.Fatalf("structured results diverge: %+v vs %+v", sRes, pRes)
+		}
+	})
+
+	t.Run("severity", func(t *testing.T) {
+		var sBuf, pBuf bytes.Buffer
+		sRes, err := RunSeverity(env, serial, &sBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pRes, err := RunSeverity(env, par, &pBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sBuf.Bytes(), pBuf.Bytes()) {
+			t.Fatalf("parallel table differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", sBuf.String(), pBuf.String())
+		}
+		if !reflect.DeepEqual(sRes, pRes) {
+			t.Fatal("structured results diverge")
+		}
+	})
+
+	t.Run("ablation", func(t *testing.T) {
+		small := serial
+		small.Samples = 10
+		smallPar := par
+		smallPar.Samples = 10
+		var sBuf, pBuf bytes.Buffer
+		sRes, err := RunAblationPolicy(env, small, &sBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pRes, err := RunAblationPolicy(env, smallPar, &pBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sBuf.Bytes(), pBuf.Bytes()) {
+			t.Fatalf("parallel ablation differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", sBuf.String(), pBuf.String())
+		}
+		if !reflect.DeepEqual(sRes, pRes) {
+			t.Fatal("structured results diverge")
+		}
+	})
 }
 
 func TestFmtHelpers(t *testing.T) {

@@ -6,8 +6,11 @@ import (
 	"time"
 
 	"aptrace/internal/baseline"
+	"aptrace/internal/event"
 	"aptrace/internal/graph"
+	"aptrace/internal/simclock"
 	"aptrace/internal/stats"
+	"aptrace/internal/store"
 )
 
 // Fig4Result holds, for each time-limit threshold k (minutes), the
@@ -30,30 +33,34 @@ func RunFig4(env *Env, cfg Config, w io.Writer) (*Fig4Result, error) {
 	const maxMinutes = 30
 	events := env.sampleEvents(cfg.Samples, cfg.Seed)
 
+	type point struct {
+		at   time.Duration
+		size int
+	}
+	curves, err := fanOut(env, cfg, events,
+		func(st *store.Store, clk *simclock.Simulated, ev event.Event) ([]point, error) {
+			start := clk.Now()
+			var curve []point
+			if _, err := baseline.Run(st, ev, baseline.Options{
+				TimeBudget: maxMinutes * time.Minute,
+				OnUpdate: func(u graph.Update) {
+					curve = append(curve, point{u.At.Sub(start), u.Edges})
+				},
+			}); err != nil {
+				return nil, err
+			}
+			return curve, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	// sizes[k][i] = graph size of sample i under a (k+1)-minute limit.
 	sizes := make([][]float64, maxMinutes)
 	for k := range sizes {
 		sizes[k] = make([]float64, len(events))
 	}
-
-	for i, ev := range events {
-		start := env.Clock.Now()
-		var curve []struct {
-			at   time.Duration
-			size int
-		}
-		_, err := baseline.Run(env.Dataset.Store, ev, baseline.Options{
-			TimeBudget: maxMinutes * time.Minute,
-			OnUpdate: func(u graph.Update) {
-				curve = append(curve, struct {
-					at   time.Duration
-					size int
-				}{u.At.Sub(start), u.Edges})
-			},
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, curve := range curves {
 		for k := 0; k < maxMinutes; k++ {
 			limit := time.Duration(k+1) * time.Minute
 			size := 1 // the alert edge itself

@@ -6,6 +6,9 @@ import (
 	"time"
 
 	"aptrace/internal/baseline"
+	"aptrace/internal/event"
+	"aptrace/internal/simclock"
+	"aptrace/internal/store"
 )
 
 // SeverityResult is the outcome of the Section IV-B1 experiment: run
@@ -24,37 +27,54 @@ type SeverityResult struct {
 }
 
 // RunSeverity executes the experiment: cfg.Samples random events, baseline
-// backtracking, cfg.Cap execution cap.
+// backtracking, cfg.Cap execution cap. Runs fan out across cfg.Parallel
+// workers, one store view each; aggregation stays in sample order.
 func RunSeverity(env *Env, cfg Config, w io.Writer) (*SeverityResult, error) {
 	events := env.sampleEvents(cfg.Samples, cfg.Seed)
+
+	type run struct {
+		elapsed   time.Duration
+		size      int
+		completed bool
+	}
+	runs, err := fanOut(env, cfg, events,
+		func(st *store.Store, clk *simclock.Simulated, ev event.Event) (run, error) {
+			start := clk.Now()
+			out, err := baseline.Run(st, ev, baseline.Options{TimeBudget: cfg.Cap})
+			if err != nil {
+				return run{}, err
+			}
+			return run{
+				elapsed:   clk.Now().Sub(start),
+				size:      out.Graph.NumEdges(),
+				completed: out.Completed,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &SeverityResult{Samples: len(events)}
-	for _, ev := range events {
-		start := env.Clock.Now()
-		out, err := baseline.Run(env.Dataset.Store, ev, baseline.Options{TimeBudget: cfg.Cap})
-		if err != nil {
-			return nil, err
-		}
-		elapsed := env.Clock.Now().Sub(start)
-		size := out.Graph.NumEdges()
-		res.Elapsed = append(res.Elapsed, elapsed)
-		res.GraphSizes = append(res.GraphSizes, size)
-		if elapsed > 20*time.Minute {
+	for _, r := range runs {
+		res.Elapsed = append(res.Elapsed, r.elapsed)
+		res.GraphSizes = append(res.GraphSizes, r.size)
+		if r.elapsed > 20*time.Minute {
 			res.Over20Min++
 		}
-		if !out.Completed {
+		if !r.completed {
 			res.HitCap++
 		}
-		if size > 1000 {
+		if r.size > 1000 {
 			res.Over1000++
 		}
-		if size > 2500 {
+		if r.size > 2500 {
 			res.Over2500++
 		}
-		if size > 5000 {
+		if r.size > 5000 {
 			res.Over5000++
 		}
-		if size > res.MaxGraph {
-			res.MaxGraph = size
+		if r.size > res.MaxGraph {
+			res.MaxGraph = r.size
 		}
 	}
 

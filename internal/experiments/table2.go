@@ -7,8 +7,11 @@ import (
 
 	"aptrace/internal/baseline"
 	"aptrace/internal/core"
+	"aptrace/internal/event"
 	"aptrace/internal/graph"
+	"aptrace/internal/simclock"
 	"aptrace/internal/stats"
+	"aptrace/internal/store"
 )
 
 // Table2Side is one row of Table II: the inter-update waiting-time
@@ -40,37 +43,61 @@ type Table2Result struct {
 func RunTable2(env *Env, cfg Config, w io.Writer) (*Table2Result, error) {
 	events := env.sampleEvents(cfg.Samples, cfg.Seed)
 
-	var baseDeltas, apDeltas []time.Duration
-	baseUpdates, apUpdates := 0, 0
-
-	for _, ev := range events {
-		var times []time.Time
-		if _, err := baseline.Run(env.Dataset.Store, ev, baseline.Options{
-			TimeBudget: cfg.Cap,
-			OnUpdate:   func(u graph.Update) { times = append(times, u.At) },
-		}); err != nil {
-			return nil, err
-		}
+	// One fleet job per starting event and engine; each run's distinct
+	// update timestamps reduce to deltas on its private clock, so the
+	// concatenation below (in sample order) is byte-identical to the old
+	// serial loops at any parallelism.
+	type run struct {
+		deltas  []time.Duration
+		updates int
+	}
+	collect := func(times []time.Time) run {
 		times = stats.DistinctTimes(times)
-		baseUpdates += len(times)
-		baseDeltas = append(baseDeltas, stats.Deltas(times)...)
+		return run{deltas: stats.Deltas(times), updates: len(times)}
 	}
 
-	for _, ev := range events {
-		var times []time.Time
-		plan := wildcardPlan(cfg.Cap)
-		o := cfg.execOptions()
-		o.OnUpdate = func(u graph.Update) { times = append(times, u.At) }
-		x, err := core.New(env.Dataset.Store, plan, o)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := x.RunUnchecked(ev); err != nil {
-			return nil, err
-		}
-		times = stats.DistinctTimes(times)
-		apUpdates += len(times)
-		apDeltas = append(apDeltas, stats.Deltas(times)...)
+	baseRuns, err := fanOut(env, cfg, events,
+		func(st *store.Store, clk *simclock.Simulated, ev event.Event) (run, error) {
+			var times []time.Time
+			if _, err := baseline.Run(st, ev, baseline.Options{
+				TimeBudget: cfg.Cap,
+				OnUpdate:   func(u graph.Update) { times = append(times, u.At) },
+			}); err != nil {
+				return run{}, err
+			}
+			return collect(times), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	apRuns, err := fanOut(env, cfg, events,
+		func(st *store.Store, clk *simclock.Simulated, ev event.Event) (run, error) {
+			var times []time.Time
+			o := cfg.execOptions()
+			o.OnUpdate = func(u graph.Update) { times = append(times, u.At) }
+			x, err := core.New(st, wildcardPlan(cfg.Cap), o)
+			if err != nil {
+				return run{}, err
+			}
+			if _, err := x.RunUnchecked(ev); err != nil {
+				return run{}, err
+			}
+			return collect(times), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	var baseDeltas, apDeltas []time.Duration
+	baseUpdates, apUpdates := 0, 0
+	for _, r := range baseRuns {
+		baseUpdates += r.updates
+		baseDeltas = append(baseDeltas, r.deltas...)
+	}
+	for _, r := range apRuns {
+		apUpdates += r.updates
+		apDeltas = append(apDeltas, r.deltas...)
 	}
 
 	res := &Table2Result{

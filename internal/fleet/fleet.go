@@ -1,0 +1,122 @@
+// Package fleet runs many independent analyses concurrently over one shared
+// sealed store.
+//
+// The paper's deployment serves a whole enterprise: hundreds of alerts a day
+// fan out into backtracking analyses that all read the same event database.
+// A Pool is the engine-side half of that story — a bounded worker pool that
+// executes N independent jobs (typically one Executor run per starting
+// event, each over its own store.View) on at most `workers` goroutines.
+//
+// Determinism: the pool imposes no ordering on execution, but Map collects
+// results by job index, so aggregation order is the submission order no
+// matter how the wall-clock scheduling interleaved. Jobs that charge
+// per-run simulated clocks (store views) therefore produce results
+// bit-for-bit identical to a serial loop.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"aptrace/internal/telemetry"
+)
+
+// Pool is a bounded worker pool for analysis runs. A Pool is stateless
+// between calls and safe for concurrent use; the zero value is not valid —
+// use New.
+type Pool struct {
+	workers int
+
+	active   *telemetry.Gauge   // runs executing right now
+	queued   *telemetry.Gauge   // runs submitted but not yet started
+	runs     *telemetry.Counter // runs completed (success or failure)
+	failures *telemetry.Counter // runs completed with an error
+}
+
+// New returns a pool running at most workers jobs concurrently; workers <= 0
+// means GOMAXPROCS. A nil registry disables the pool gauges at no cost.
+func New(workers int, reg *telemetry.Registry) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{
+		workers:  workers,
+		active:   reg.Gauge(telemetry.MetricFleetActive),
+		queued:   reg.Gauge(telemetry.MetricFleetQueued),
+		runs:     reg.Counter(telemetry.MetricFleetRuns),
+		failures: reg.Counter(telemetry.MetricFleetFailures),
+	}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map runs job(0..n-1) on the pool and returns the results indexed by job,
+// independent of execution interleaving. (Generic methods are not allowed
+// in Go, hence the free function.)
+//
+// The first error — lowest job index among failures — aborts the batch:
+// jobs not yet started are skipped, jobs already running finish, and the
+// error is returned wrapped with its job index. On success every slot of
+// the returned slice is the corresponding job's value.
+func Map[T any](p *Pool, n int, job func(int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	p.queued.Add(int64(n))
+
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				p.queued.Add(-1)
+				if failed.Load() {
+					continue // a run failed; skip unstarted work
+				}
+				p.active.Add(1)
+				v, err := job(i)
+				p.active.Add(-1)
+				p.runs.Inc()
+				if err != nil {
+					p.failures.Inc()
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				results[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fleet: run %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// ForEach is Map for jobs with no result value.
+func ForEach(p *Pool, n int, job func(int) error) error {
+	_, err := Map(p, n, func(i int) (struct{}, error) {
+		return struct{}{}, job(i)
+	})
+	return err
+}

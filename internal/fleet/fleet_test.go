@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aptrace/internal/telemetry"
+)
+
+func TestDefaultWorkers(t *testing.T) {
+	if got := New(0, nil).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(0).Workers() = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(3, nil).Workers(); got != 3 {
+		t.Fatalf("New(3).Workers() = %d", got)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(New(2, nil), 0, func(int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("Map(0) = %v, %v", out, err)
+	}
+}
+
+// TestMapBoundedConcurrency proves both halves of the contract: the pool
+// really runs `workers` jobs at once (the first four jobs rendezvous on a
+// barrier that only completes if all four are in flight together), and it
+// never runs more (the high-water mark of the active counter).
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 4
+	p := New(workers, nil)
+
+	var active, high int32
+	var barrier sync.WaitGroup
+	barrier.Add(workers)
+	out, err := Map(p, 32, func(i int) (int, error) {
+		cur := atomic.AddInt32(&active, 1)
+		for {
+			old := atomic.LoadInt32(&high)
+			if cur <= old || atomic.CompareAndSwapInt32(&high, old, cur) {
+				break
+			}
+		}
+		if i < workers {
+			// The pool pops jobs in submission order, so jobs 0..3 land on
+			// the four workers; this only returns if they overlap in time.
+			barrier.Done()
+			barrier.Wait()
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&active, -1)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 32 {
+		t.Fatalf("got %d results", len(out))
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d: results not collected by job index", i, v)
+		}
+	}
+	if h := atomic.LoadInt32(&high); h != workers {
+		t.Fatalf("high-water concurrency = %d, want exactly %d", h, workers)
+	}
+}
+
+func TestMapErrorPropagation(t *testing.T) {
+	sentinel := errors.New("boom")
+	var ran int32
+	_, err := Map(New(2, nil), 20, func(i int) (int, error) {
+		atomic.AddInt32(&ran, 1)
+		if i == 7 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("Map must propagate the job error")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if !strings.Contains(err.Error(), "run 7") {
+		t.Fatalf("err = %v, want the failing job index", err)
+	}
+	// Unstarted jobs are skipped after the failure.
+	if n := atomic.LoadInt32(&ran); n >= 20 {
+		t.Fatalf("all %d jobs ran despite the failure", n)
+	}
+}
+
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	// Both failures happen before the abort flag is visible; the reported
+	// error must be the lowest job index, deterministically.
+	var gate sync.WaitGroup
+	gate.Add(2)
+	_, err := Map(New(2, nil), 2, func(i int) (int, error) {
+		gate.Done()
+		gate.Wait() // both jobs fail concurrently
+		return 0, errors.New("fail")
+	})
+	if err == nil || !strings.Contains(err.Error(), "run 0") {
+		t.Fatalf("err = %v, want run 0", err)
+	}
+}
+
+func TestPoolTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := New(4, reg)
+	if err := ForEach(p, 10, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[telemetry.MetricFleetRuns]; got != 10 {
+		t.Fatalf("runs counter = %d, want 10", got)
+	}
+	if got := snap.Counters[telemetry.MetricFleetFailures]; got != 0 {
+		t.Fatalf("failures counter = %d, want 0", got)
+	}
+	if g := snap.Gauges[telemetry.MetricFleetActive]; g != 0 {
+		t.Fatalf("active gauge = %d after drain", g)
+	}
+	if g := snap.Gauges[telemetry.MetricFleetQueued]; g != 0 {
+		t.Fatalf("queued gauge = %d after drain", g)
+	}
+
+	// A failing batch still drains both gauges and counts the failure.
+	ForEach(p, 10, func(i int) error {
+		if i == 3 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	snap = reg.Snapshot()
+	if got := snap.Counters[telemetry.MetricFleetFailures]; got == 0 {
+		t.Fatal("failure not counted")
+	}
+	if g := snap.Gauges[telemetry.MetricFleetQueued]; g != 0 {
+		t.Fatalf("queued gauge = %d after failed batch", g)
+	}
+	if g := snap.Gauges[telemetry.MetricFleetActive]; g != 0 {
+		t.Fatalf("active gauge = %d after failed batch", g)
+	}
+}

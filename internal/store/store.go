@@ -75,6 +75,10 @@ type Store struct {
 	// concurrent readers, and every query mutates them.
 	stats Stats
 
+	// isView marks a read view created by View: it shares the parent's
+	// immutable event log and indexes and must never mutate them.
+	isView bool
+
 	reg *telemetry.Registry
 	tel storeMetrics
 }
@@ -167,8 +171,12 @@ func (s *Store) CostModel() simclock.CostModel { return s.cost }
 // Intern returns the ObjID for o, assigning a new one if the object has not
 // been seen. Interning is permitted both before and after sealing (sealing
 // freezes events, not the object table), but is not safe for concurrent use
-// with other writers.
+// with other writers — in particular, a store with live Views must not
+// Intern, and the views themselves are strictly read-only.
 func (s *Store) Intern(o event.Object) event.ObjID {
+	if s.isView {
+		panic("store: Intern on a read view (views are read-only)")
+	}
 	key := o.Key()
 	if id, ok := s.byKey[key]; ok {
 		return id
@@ -270,6 +278,50 @@ func (s *Store) Seal() error {
 
 // Sealed reports whether the store has been sealed.
 func (s *Store) Sealed() bool { return s.sealed }
+
+// View returns a cheap per-run read view of a sealed store: it shares the
+// immutable event log, object table, and posting-list indexes, but charges
+// query costs to its own clock and accumulates its own Stats. Many views may
+// be used concurrently — this is what lets a fleet of analyses fan out over
+// one store while each run's simulated cost accounting stays isolated and
+// deterministic.
+//
+// A nil clock inherits the parent's clock (useful for real-clock
+// deployments, where sharing the wall clock is exactly right). The attached
+// telemetry registry is shared: instrument updates are atomic, so fleet
+// runs aggregate into the same counters a serial run would.
+//
+// Views are strictly read-only: AddEvent and Seal fail as on any sealed
+// store, and Intern panics. The parent must not Intern while views are in
+// use (object-table growth is not synchronized with view readers).
+func (s *Store) View(clk simclock.Clock) (*Store, error) {
+	if !s.sealed {
+		return nil, ErrNotSealed
+	}
+	if clk == nil {
+		clk = s.clock
+	}
+	v := &Store{
+		clock:         clk,
+		cost:          s.cost,
+		bucketSeconds: s.bucketSeconds,
+		objects:       s.objects,
+		byKey:         s.byKey,
+		events:        s.events,
+		sealed:        true,
+		byDst:         s.byDst,
+		bySrc:         s.bySrc,
+		byID:          s.byID,
+		minTime:       s.minTime,
+		maxTime:       s.maxTime,
+		isView:        true,
+		reg:           s.reg,
+		tel:           s.tel,
+	}
+	v.stats.Events = len(s.events)
+	v.stats.Objects = len(s.objects)
+	return v, nil
+}
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {

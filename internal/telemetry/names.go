@@ -28,6 +28,12 @@ const (
 	MetricSessionUpdates = "aptrace_session_updates_total"
 	MetricSessionPauses  = "aptrace_session_pauses_total"
 	MetricSessionResumes = "aptrace_session_resumes_total"
+
+	// Fleet (parallel analysis pool).
+	MetricFleetActive   = "aptrace_fleet_active_runs"
+	MetricFleetQueued   = "aptrace_fleet_queued_runs"
+	MetricFleetRuns     = "aptrace_fleet_runs_total"
+	MetricFleetFailures = "aptrace_fleet_failures_total"
 )
 
 // Span names recorded by the tracer.
