@@ -41,6 +41,7 @@ import (
 	"aptrace/internal/bdl"
 	"aptrace/internal/core"
 	"aptrace/internal/event"
+	"aptrace/internal/explain"
 	"aptrace/internal/fleet"
 	"aptrace/internal/graph"
 	"aptrace/internal/refiner"
@@ -103,6 +104,24 @@ type (
 	// SpanRecord is one finished trace span (window.query,
 	// window.resplit, session.pause).
 	SpanRecord = telemetry.SpanRecord
+)
+
+// Explain layer: the decision flight recorder.
+type (
+	// ExplainRecorder is the ring-buffered decision flight recorder; attach
+	// one per analysis through ExecOptions.Explain. A nil *ExplainRecorder
+	// disables recording at the cost of one pointer test per decision.
+	ExplainRecorder = explain.Recorder
+	// ExplainRecord is one retained decision record.
+	ExplainRecord = explain.Record
+	// Explanation is the assembled causal justification for one object:
+	// why it is (or is not) in the dependency graph.
+	Explanation = explain.Explanation
+	// PrunedCandidate is one prune-frontier entry: an object the analysis
+	// considered and excluded, with the deciding reason.
+	PrunedCandidate = explain.Pruned
+	// DOTAnnotation marks a pruned candidate for WriteDOTAnnotated.
+	DOTAnnotation = graph.DOTAnnotation
 )
 
 // Language and planning layer.
@@ -281,6 +300,32 @@ func DefaultRules() []DetectorRule { return alerts.DefaultRules() }
 // normally (*Store).Object.
 func WriteDOT(w io.Writer, g *Graph, resolve func(ObjID) Object) error {
 	return graph.WriteDOT(w, g, resolve)
+}
+
+// WriteDOTAnnotated renders the graph like WriteDOT plus the prune frontier
+// as dashed gray nodes — one per excluded candidate, labeled with the
+// deciding reason (see ExplainRecorder and PruneFrontierAnnotations).
+func WriteDOTAnnotated(w io.Writer, g *Graph, resolve func(ObjID) Object, pruned []DOTAnnotation) error {
+	return graph.WriteDOTAnnotated(w, g, resolve, pruned)
+}
+
+// NewExplainRecorder returns a decision flight recorder retaining the most
+// recent capacity records (capacity <= 0 selects the default). reg, if
+// non-nil, receives the aptrace_explain_records_total and
+// aptrace_explain_dropped_total counters.
+func NewExplainRecorder(capacity int, reg *Telemetry) *ExplainRecorder {
+	return explain.New(capacity, reg)
+}
+
+// PruneFrontierAnnotations converts a recorder's prune frontier into the
+// annotation list WriteDOTAnnotated draws.
+func PruneFrontierAnnotations(rec *ExplainRecorder) []DOTAnnotation {
+	frontier := rec.PruneFrontier()
+	out := make([]DOTAnnotation, len(frontier))
+	for i, p := range frontier {
+		out[i] = DOTAnnotation{Obj: p.Node, Peer: p.Peer, Reason: p.Reason}
+	}
+	return out
 }
 
 // IngestAudit reads newline-delimited audit records (ETW-style or

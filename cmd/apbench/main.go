@@ -25,6 +25,8 @@
 //	table1          -> Table I       (five attack cases, No Opt vs Opt)
 //	table2          -> Table II      (inter-update waiting time)
 //	fig6            -> Figure 6      (CPU/memory during a long analysis)
+//	explain         -> decision flight recorder: zero graph effect, full
+//	                   explanation coverage, recording overhead
 //	ablation-*      -> design-choice ablations from DESIGN.md
 package main
 
@@ -107,6 +109,7 @@ func main() {
 		"table2":   func() (any, error) { return experiments.RunTable2(env, cfg, os.Stdout) },
 		"fig6":     func() (any, error) { return experiments.RunFig6(env, cfg, os.Stdout) },
 		"refiner":  func() (any, error) { return experiments.RunRefiner(env, cfg, os.Stdout) },
+		"explain":  func() (any, error) { return experiments.RunExplain(env, cfg, os.Stdout) },
 		"ablation-k": func() (any, error) {
 			return experiments.RunAblationK(env, cfg, os.Stdout)
 		},
@@ -114,7 +117,7 @@ func main() {
 			return experiments.RunAblationPolicy(env, cfg, os.Stdout)
 		},
 	}
-	order := []string{"severity", "fig4", "table1", "table2", "fig6", "refiner", "ablation-k", "ablation-policy"}
+	order := []string{"severity", "fig4", "table1", "table2", "fig6", "refiner", "explain", "ablation-k", "ablation-policy"}
 
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {

@@ -10,9 +10,15 @@
 //	apquery -store ./data -objects "java"            # objects matching a pattern
 //	apquery -store ./data -events "java.exe" -n 20   # events touching matches
 //	apquery -store ./data -around "03/02/2019:14:02:28" -n 10
+//
+// Combining -stats with a query (-objects, -events, -around) additionally
+// prints the store's telemetry snapshot for that query — lookups issued, rows
+// examined, buckets pruned — as JSON on stderr, so an analyst can see what a
+// lookup cost before turning it into a BDL heuristic.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,23 +45,40 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	st, err := aptrace.OpenStore(*storeDir, nil)
+	// With -stats alongside a query, a telemetry registry observes the
+	// store so the per-query work counters can be dumped afterwards.
+	var reg *aptrace.Telemetry
+	var opts []aptrace.StoreOption
+	if *stats {
+		reg = aptrace.NewTelemetry()
+		opts = append(opts, aptrace.WithTelemetry(reg))
+	}
+	st, err := aptrace.OpenStore(*storeDir, nil, opts...)
 	if err != nil {
 		fatal(err)
 	}
 
 	switch {
-	case *stats:
-		printStats(st)
 	case *objects != "":
 		printObjects(st, *objects, *n)
 	case *events != "":
 		printEvents(st, *events, *n)
 	case *around != "":
 		printAround(st, *around, *n)
+	case *stats:
+		printStats(st)
+		return
 	default:
 		fmt.Fprintln(os.Stderr, "apquery: pick one of -stats, -objects, -events, -around")
 		os.Exit(2)
+	}
+	if reg != nil {
+		fmt.Fprintln(os.Stderr, "\ntelemetry snapshot:")
+		enc := json.NewEncoder(os.Stderr)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reg.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "apquery: telemetry snapshot:", err)
+		}
 	}
 }
 

@@ -29,8 +29,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"aptrace"
@@ -51,6 +54,7 @@ func main() {
 		metrics  = flag.String("metrics", "", "serve /metrics (Prometheus) and /debug/telemetry (JSON) on this address, e.g. :9090")
 		batch    = flag.Bool("batch", false, "run the script from every matching starting event (see -parallel)")
 		parallel = flag.Int("parallel", 1, "concurrent analyses in -batch mode (0 = all cores)")
+		explArg  = flag.String("explain", "", "record every analysis decision and explain the result: an object ID, \"all\" (every graph node), \"frontier\" (pruned candidates), or \"on\" (record only, for -interactive); explanations go to stderr")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -67,6 +71,15 @@ func main() {
 	var storeOpts []aptrace.StoreOption
 	if *metrics != "" {
 		reg = aptrace.NewTelemetry()
+	}
+	var rec *aptrace.ExplainRecorder
+	if *explArg != "" {
+		rec = aptrace.NewExplainRecorder(0, reg)
+		// Mount the decision dump next to the telemetry endpoints; must
+		// happen before ServeTelemetry builds the mux.
+		reg.RegisterDebug("/debug/explain", rec.Handler())
+	}
+	if reg != nil {
 		_, addr, err := aptrace.ServeTelemetry(*metrics, reg)
 		if err != nil {
 			fatal(err)
@@ -85,7 +98,7 @@ func main() {
 		return
 	}
 	if *inter {
-		console := repl.New(st, aptrace.ExecOptions{Windows: *k, Telemetry: reg}, os.Stdout)
+		console := repl.New(st, aptrace.ExecOptions{Windows: *k, Telemetry: reg, Explain: rec}, os.Stdout)
 		if _, err := console.Run(os.Stdin); err != nil {
 			fatal(err)
 		}
@@ -103,9 +116,9 @@ func main() {
 		if *parallel <= 0 {
 			*parallel = runtime.GOMAXPROCS(0)
 		}
-		runBatch(st, string(raw), *k, *parallel, *simulate, reg)
+		runBatch(st, string(raw), *k, *parallel, *simulate, reg, *explArg)
 	} else {
-		runScript(st, string(raw), *k, *quiet, *doSug, reg)
+		runScript(st, string(raw), *k, *quiet, *doSug, reg, rec, *explArg)
 	}
 	dumpTelemetry(reg)
 }
@@ -115,7 +128,7 @@ func main() {
 // view of the store (own clock and counters, shared event log), so the runs
 // neither contend nor interfere; the summary table is printed in event
 // order, independent of scheduling.
-func runBatch(st *aptrace.Store, src string, k, workers int, simulate bool, reg *aptrace.Telemetry) {
+func runBatch(st *aptrace.Store, src string, k, workers int, simulate bool, reg *aptrace.Telemetry, explArg string) {
 	plan, err := aptrace.CompileScript(src)
 	if err != nil {
 		fatal(err)
@@ -157,6 +170,7 @@ func runBatch(st *aptrace.Store, src string, k, workers int, simulate bool, reg 
 		windows int
 		elapsed time.Duration
 		graph   *aptrace.Graph
+		rec     *aptrace.ExplainRecorder // per-run recorder (nil unless -explain)
 	}
 	wall := time.Now()
 	runs, err := aptrace.FleetMap(pool, len(starts), func(i int) (outcome, error) {
@@ -174,7 +188,13 @@ func runBatch(st *aptrace.Store, src string, k, workers int, simulate bool, reg 
 		if err != nil {
 			return outcome{}, err
 		}
-		x, err := aptrace.NewExecutor(view, p, aptrace.ExecOptions{Windows: k, Telemetry: reg})
+		// One recorder per analysis (the counters are shared): decision
+		// traces stay per-run, so fleet scheduling cannot interleave them.
+		var rec *aptrace.ExplainRecorder
+		if explArg != "" {
+			rec = aptrace.NewExplainRecorder(0, reg)
+		}
+		x, err := aptrace.NewExecutor(view, p, aptrace.ExecOptions{Windows: k, Telemetry: reg, Explain: rec})
 		if err != nil {
 			return outcome{}, err
 		}
@@ -189,6 +209,7 @@ func runBatch(st *aptrace.Store, src string, k, workers int, simulate bool, reg 
 			windows: res.Windows,
 			elapsed: res.Elapsed,
 			graph:   res.Graph,
+			rec:     rec,
 		}, nil
 	})
 	if err != nil {
@@ -204,6 +225,13 @@ func runBatch(st *aptrace.Store, src string, k, workers int, simulate bool, reg 
 	}
 	fmt.Fprintf(os.Stderr, "%d analyses in %.1fs wall\n", len(runs), time.Since(wall).Seconds())
 
+	if explArg != "" {
+		for i, r := range runs {
+			fmt.Fprintf(os.Stderr, "\n--- event %d ---\n", starts[i].ID)
+			explainReport(os.Stderr, st, r.rec, r.graph, explArg)
+		}
+	}
+
 	if plan.Output != "" {
 		for i, r := range runs {
 			path := fmt.Sprintf("%s.%d", plan.Output, starts[i].ID)
@@ -211,9 +239,17 @@ func runBatch(st *aptrace.Store, src string, k, workers int, simulate bool, reg 
 			if err != nil {
 				fatal(err)
 			}
-			if err := aptrace.WriteDOT(f, r.graph, st.Object); err != nil {
+			// With -explain the DOT carries the prune frontier: dashed gray
+			// nodes for the candidates the analysis decided against.
+			var werr error
+			if r.rec != nil {
+				werr = aptrace.WriteDOTAnnotated(f, r.graph, st.Object, aptrace.PruneFrontierAnnotations(r.rec))
+			} else {
+				werr = aptrace.WriteDOT(f, r.graph, st.Object)
+			}
+			if werr != nil {
 				f.Close()
-				fatal(err)
+				fatal(werr)
 			}
 			if err := f.Close(); err != nil {
 				fatal(err)
@@ -252,11 +288,12 @@ func listAlerts(st *aptrace.Store) {
 	fmt.Fprintf(os.Stderr, "%d alerts\n", len(found))
 }
 
-func runScript(st *aptrace.Store, src string, k int, quiet, doSuggest bool, reg *aptrace.Telemetry) {
+func runScript(st *aptrace.Store, src string, k int, quiet, doSuggest bool, reg *aptrace.Telemetry, rec *aptrace.ExplainRecorder, explArg string) {
 	var times []time.Time
 	sess := aptrace.NewSession(st, aptrace.ExecOptions{
 		Windows:   k,
 		Telemetry: reg,
+		Explain:   rec,
 		OnUpdate: func(u aptrace.Update) {
 			times = append(times, u.At)
 			if quiet {
@@ -281,6 +318,9 @@ func runScript(st *aptrace.Store, src string, k int, quiet, doSuggest bool, reg 
 
 	fmt.Fprintf(os.Stderr, "\nanalysis %s: %d events, %d nodes (pruned %d), %d windows, elapsed %s\n",
 		res.Reason, res.Graph.NumEdges(), res.Graph.NumNodes(), pruned, res.Windows, res.Elapsed.Round(time.Millisecond))
+	if rec != nil {
+		explainReport(os.Stderr, st, rec, res.Graph, explArg)
+	}
 	if ds := stats.Deltas(stats.DistinctTimes(times)); len(ds) > 0 {
 		xs := stats.Durations(ds)
 		ps := stats.Percentiles(xs, 0.5, 0.9, 0.99)
@@ -306,6 +346,48 @@ func runScript(st *aptrace.Store, src string, k int, quiet, doSuggest bool, reg 
 		}
 	} else if plan != nil {
 		fmt.Fprintf(os.Stderr, "graph written to %s\n", plan.Output)
+	}
+}
+
+// explainReport prints decision-trace justifications to w. arg selects the
+// scope: "all" explains every graph node and appends the prune frontier,
+// "frontier" prints only the pruned candidates, a numeric object ID explains
+// that one object, and anything else (e.g. "on") prints just the recorder
+// stats line.
+func explainReport(w io.Writer, st *aptrace.Store, rec *aptrace.ExplainRecorder, g *aptrace.Graph, arg string) {
+	if rec == nil {
+		return
+	}
+	label := func(id aptrace.ObjID) string { return st.Object(id).Label() }
+	emitted, dropped := rec.Stats()
+	fmt.Fprintf(w, "\ndecision trace: %d records (%d overwritten by ring overflow)\n", emitted, dropped)
+	printFrontier := func() {
+		frontier := rec.PruneFrontier()
+		if len(frontier) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "prune frontier (%d candidates excluded):\n", len(frontier))
+		for _, p := range frontier {
+			fmt.Fprintf(w, "  %-40s %s\n", label(p.Node), p.Reason)
+		}
+	}
+	switch arg {
+	case "all":
+		if g != nil {
+			for _, n := range g.Nodes() {
+				fmt.Fprintf(w, "%s (object %d):\n", label(n.ID), n.ID)
+				for _, line := range strings.Split(strings.TrimRight(rec.Explain(n.ID).Justification(label), "\n"), "\n") {
+					fmt.Fprintf(w, "  %s\n", line)
+				}
+			}
+		}
+		printFrontier()
+	case "frontier":
+		printFrontier()
+	default:
+		if id, err := strconv.ParseUint(arg, 10, 32); err == nil {
+			fmt.Fprint(w, rec.Explain(aptrace.ObjID(id)).Justification(label))
+		}
 	}
 }
 

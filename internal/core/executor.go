@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"aptrace/internal/event"
+	"aptrace/internal/explain"
 	"aptrace/internal/graph"
 	"aptrace/internal/maintainer"
 	"aptrace/internal/refiner"
@@ -84,6 +85,11 @@ type Options struct {
 	// (window.query, window.resplit) to the registry. Nil disables
 	// publication at near-zero cost.
 	Telemetry *telemetry.Registry
+	// Explain, if set, receives a decision record for every per-edge
+	// verdict and scheduling choice the executor makes, powering the
+	// EXPLAIN query layer. Nil disables recording at the cost of one
+	// pointer test per emission site.
+	Explain *explain.Recorder
 }
 
 // DefaultMaxWindowRows is the default per-window retrieval cap. At the
@@ -127,6 +133,7 @@ type Executor struct {
 
 	tel        execMetrics
 	tracer     *telemetry.Tracer
+	rec        *explain.Recorder
 	lastUpdate time.Time // timestamp of the latest distinct update
 }
 
@@ -166,6 +173,8 @@ func New(st *store.Store, plan *refiner.Plan, opts Options) (*Executor, error) {
 	x := &Executor{st: st, clk: st.Clock(), opts: opts, plan: plan}
 	x.tel = newExecMetrics(opts.Telemetry)
 	x.tracer = opts.Telemetry.Tracer()
+	x.rec = opts.Explain
+	x.rec.SetClock(st.Clock())
 	x.cond = sync.NewCond(&x.mu)
 	return x, nil
 }
@@ -326,6 +335,14 @@ func (x *Executor) Prepare(alert event.Event) error {
 	x.pq = windowHeap{fifo: x.opts.FIFOQueue, forward: x.fwd}
 	x.mu.Unlock()
 
+	// The alert edge seeds the graph before exploration starts: record the
+	// hop-0 object and the second endpoint so every graph node — including
+	// the two the analyst named — has an inclusion record.
+	x.rec.RunStart(alert, alert.Dst(), x.from, x.to)
+	if x.rec != nil && alert.Src() != alert.Dst() {
+		x.rec.EdgeAdded(alert.ID, alert.Src(), alert.Dst(), 1, x.from, x.to, 0)
+	}
+
 	// Line 1 of Algorithm 1: seed the queue with the alert's windows.
 	x.enqueue(alert, 0)
 	return nil
@@ -388,6 +405,19 @@ loop:
 		}
 	}
 
+	// Windows still queued when a budget or the analyst ended the run are
+	// frontiers the analysis never explored: record each so Explain can say
+	// "this region was abandoned", not just stay silent about it.
+	if x.rec != nil && reason != Completed {
+		for {
+			w, ok := x.pq.pop()
+			if !ok {
+				break
+			}
+			x.rec.WindowAbandoned(w.Obj, w.Begin, w.Finish, reason.String())
+		}
+	}
+
 	return &Result{
 		Graph:   x.g,
 		Reason:  reason,
@@ -447,11 +477,13 @@ func (x *Executor) enqueue(e event.Event, boost int) {
 		// not count the identical range a second time.
 		n, err := x.st.CountBackward(w.Obj, w.Begin, w.Finish)
 		if err == nil && n == 0 {
+			x.rec.WindowEmpty(w.Obj, w.Begin, w.Finish)
 			continue
 		}
 		w.Card = n
 		w.State = state
 		w.Boost = boost
+		x.rec.WindowEnqueued(w.Obj, w.Begin, w.Finish, w.Card, w.State, w.Boost)
 		x.pq.push(w)
 	}
 	x.tel.queueDepth.Set(int64(x.pq.Len()))
@@ -491,11 +523,13 @@ func (x *Executor) enqueueForward(e event.Event, boost int) {
 	for _, w := range ws {
 		n, err := x.st.CountForward(w.Obj, w.Begin, w.Finish)
 		if err == nil && n == 0 {
+			x.rec.WindowEmpty(w.Obj, w.Begin, w.Finish)
 			continue
 		}
 		w.Card = n
 		w.State = state
 		w.Boost = boost
+		x.rec.WindowEnqueued(w.Obj, w.Begin, w.Finish, w.Card, w.State, w.Boost)
 		x.pq.push(w)
 	}
 	x.tel.queueDepth.Set(int64(x.pq.Len()))
@@ -549,10 +583,13 @@ func (x *Executor) processWindow(w ExecWindow) error {
 				return err
 			}
 			near.Card, far.Card = nc, n-nc
+			x.rec.WindowResplit(w.Obj, w.Begin, w.Finish, n)
 			if near.Card > 0 {
+				x.rec.WindowEnqueued(near.Obj, near.Begin, near.Finish, near.Card, near.State, near.Boost)
 				x.pq.push(near)
 			}
 			if far.Card > 0 {
+				x.rec.WindowEnqueued(far.Obj, far.Begin, far.Finish, far.Card, far.State, far.Boost)
 				x.pq.push(far)
 			}
 			x.tel.resplits.Inc()
@@ -577,21 +614,32 @@ func (x *Executor) processWindow(w ExecWindow) error {
 	if err != nil {
 		return err
 	}
+	x.rec.WindowQueried(w.Obj, w.Begin, w.Finish, len(deps))
 	hopLimit := x.plan.HopBudget
 	for _, dep := range deps {
+		src := dep.Src()
+		known := dep.Dst()
+		if x.fwd {
+			src, known = known, src // src is the newly discovered side
+		}
 		if dep.ID == w.E.ID || x.g.HasEdge(dep.ID) {
+			x.rec.EdgeDedup(dep.ID, src)
 			continue
 		}
-		src := dep.Src()
-		if x.fwd {
-			src = dep.Dst() // the newly discovered side
-		}
 		if x.dropped[src] {
+			x.rec.EdgeDropped(dep.ID, src, known)
 			continue
 		}
 		// General host constraint.
 		if !x.plan.HostAllowed(x.st.Object(dep.Subject).Host) ||
 			!x.plan.HostAllowed(x.st.Object(dep.Object).Host) {
+			if x.rec != nil {
+				host := x.st.Object(dep.Subject).Host
+				if x.plan.HostAllowed(host) {
+					host = x.st.Object(dep.Object).Host
+				}
+				x.rec.EdgeHostFiltered(dep.ID, src, known, host)
+			}
 			continue
 		}
 		// Where statement: objects failing it are deleted from the
@@ -603,16 +651,17 @@ func (x *Executor) processWindow(w ExecWindow) error {
 			}
 			if !keep {
 				x.dropped[src] = true
+				if x.rec != nil {
+					clause, pos := x.plan.Where.FailingClause(dep, src, x.st, x.from, x.to)
+					x.rec.EdgeWhereRejected(dep.ID, src, known, clause, pos)
+				}
 				continue
 			}
 		}
 		// Hop budget: stop extending paths longer than the limit.
-		known := dep.Dst()
-		if x.fwd {
-			known = dep.Src()
-		}
 		if hopLimit > 0 {
 			if kn, ok := x.g.Node(known); ok && kn.Hop+1 > hopLimit {
+				x.rec.EdgeHopBudget(dep.ID, src, known, kn.Hop+1, hopLimit)
 				continue
 			}
 		}
@@ -629,6 +678,14 @@ func (x *Executor) processWindow(w ExecWindow) error {
 		}
 		if _, err := x.maint.OnEdge(x.g, dep); err != nil {
 			return err
+		}
+		boost := x.boostFor(dep, w)
+		if x.rec != nil {
+			hop := 0
+			if n, ok := x.g.Node(src); ok {
+				hop = n.Hop
+			}
+			x.rec.EdgeAdded(dep.ID, src, known, hop, w.Begin, w.Finish, boost)
 		}
 		x.updates++
 		if x.opts.OnUpdate != nil || x.tel.updateGap != nil {
@@ -647,7 +704,7 @@ func (x *Executor) processWindow(w ExecWindow) error {
 				x.opts.OnUpdate(Update{Event: dep, NewNode: newNode, At: now, Edges: x.g.NumEdges()})
 			}
 		}
-		x.enqueue(dep, x.boostFor(dep, w))
+		x.enqueue(dep, boost)
 	}
 	return nil
 }

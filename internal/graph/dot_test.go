@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"aptrace/internal/event"
+)
+
+func TestEscapeDOT(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `plain`},
+		{`C:\dir\file.txt`, `C:\\dir\\file.txt`},
+		{`say "hi"`, `say \"hi\"`},
+		{`mix\"ed`, `mix\\\"ed`},
+		{`non-ascii é stays raw`, `non-ascii é stays raw`},
+	}
+	for _, c := range cases {
+		if got := escapeDOT(c.in); got != c.want {
+			t.Errorf("escapeDOT(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestWriteDOTEscapesLabels feeds labels with quotes and backslashes through
+// the renderer: the quotes must be escaped DOT-style and the Windows path
+// backslashes doubled — not turned into Go \uXXXX escapes.
+func TestWriteDOTEscapesLabels(t *testing.T) {
+	e0 := event.Event{ID: 1, Time: 10, Subject: 5, Object: 6, Dir: event.FlowOut, Action: event.ActWrite}
+	g := New(e0)
+	resolve := func(id event.ObjID) event.Object {
+		if id == 5 {
+			return event.File("ws1", `C:\Users\admin\"draft".doc`)
+		}
+		return event.File("ws1", `C:\tmp\out.txt`)
+	}
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, resolve); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `C:\\Users\\admin\\\"draft\".doc`) {
+		t.Errorf("quoted label not escaped for DOT:\n%s", out)
+	}
+	if strings.Contains(out, `\u`) {
+		t.Errorf("Go-style unicode escapes leaked into DOT:\n%s", out)
+	}
+	// Every label attribute must still be a balanced quoted string.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "label=") {
+			continue
+		}
+		if strings.Count(strings.ReplaceAll(line, `\"`, ``), `"`)%2 != 0 {
+			t.Errorf("unbalanced quotes in DOT line: %s", line)
+		}
+	}
+}
+
+func TestWriteDOTAnnotatedFrontier(t *testing.T) {
+	g := chainGraph(t)
+	resolve := func(id event.ObjID) event.Object {
+		return event.File("ws1", "f"+string(rune('0'+id%10)))
+	}
+	ann := []DOTAnnotation{
+		{Obj: 30, Peer: 11, Reason: `where clause file.path != "*.dll"`},
+		{Obj: 31, Peer: 99, Reason: "hop budget 4"}, // peer not in graph: no edge
+	}
+	var sb strings.Builder
+	if err := WriteDOTAnnotated(&sb, g, resolve, ann); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "x30 [label=") || !strings.Contains(out, "style=dashed") {
+		t.Errorf("pruned node missing:\n%s", out)
+	}
+	if !strings.Contains(out, `\"*.dll\"`) {
+		t.Errorf("reason not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "x30 -> n11 [style=dashed") {
+		t.Errorf("frontier edge to in-graph peer missing:\n%s", out)
+	}
+	if strings.Contains(out, "x31 -> n99") {
+		t.Errorf("edge drawn to a peer outside the graph:\n%s", out)
+	}
+	// The plain writer must not emit any frontier nodes.
+	var plain strings.Builder
+	if err := WriteDOT(&plain, g, resolve); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "x30") {
+		t.Error("WriteDOT leaked annotations")
+	}
+}

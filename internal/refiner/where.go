@@ -35,6 +35,10 @@ type whereExpr struct {
 	leaf *whereCond
 	op   bdl.LogicOp
 	x, y *whereExpr
+	// src is the BDL expression this node was compiled from, kept so the
+	// explain layer can report the exact clause (text and position) that
+	// rejected a candidate.
+	src bdl.Expr
 }
 
 type whereCond struct {
@@ -86,7 +90,7 @@ func compileWhereExpr(e bdl.Expr, b *budgets, topAnd bool) (*whereExpr, error) {
 		case y == nil:
 			return x, nil
 		}
-		return &whereExpr{op: n.Op, x: x, y: y}, nil
+		return &whereExpr{op: n.Op, x: x, y: y, src: n}, nil
 
 	case *bdl.Paren:
 		// Parentheses under 'and' preserve top-level-ness only when the
@@ -119,7 +123,7 @@ func compileWhereExpr(e bdl.Expr, b *budgets, topAnd bool) (*whereExpr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &whereExpr{leaf: wc}, nil
+		return &whereExpr{leaf: wc, src: n}, nil
 
 	default:
 		return nil, errPos(e.Pos(), "unsupported where expression")
@@ -198,6 +202,36 @@ func (w *WhereFilter) NumConstraints() int {
 		return count(e.x) + count(e.y)
 	}
 	return count(w.root)
+}
+
+// FailingClause re-walks the tree for a candidate that Keep already rejected
+// and returns the text and position of the deciding clause: for an 'and' it
+// descends into the false side, for an 'or' the whole group is the reason.
+// Evaluation errors are ignored — the initial Keep call surfaced them.
+func (w *WhereFilter) FailingClause(e event.Event, obj event.ObjID, env Env, from, to int64) (string, bdl.Pos) {
+	if w == nil || w.root == nil {
+		return "", bdl.Pos{}
+	}
+	x := w.root
+	for x.leaf == nil {
+		if x.op == bdl.OpOr {
+			// Every disjunct is false; the group as a whole is the reason.
+			break
+		}
+		a, err := x.x.eval(e, obj, env, from, to)
+		if err != nil {
+			return "", bdl.Pos{}
+		}
+		if !a {
+			x = x.x
+		} else {
+			x = x.y
+		}
+	}
+	if x.src == nil {
+		return "", bdl.Pos{}
+	}
+	return bdl.FormatExpr(x.src), x.src.Pos()
 }
 
 // Keep decides whether the candidate object reached through connecting

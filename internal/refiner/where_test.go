@@ -1,0 +1,252 @@
+package refiner
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"aptrace/internal/event"
+	"aptrace/internal/store"
+)
+
+// wherePlan compiles a minimal tracking script around the given where clause.
+func wherePlan(t *testing.T, clause string) *Plan {
+	t.Helper()
+	p, err := ParseAndCompile("backward proc p[exename = \"*\"] -> *\nwhere " + clause)
+	if err != nil {
+		t.Fatalf("where %q: %v", clause, err)
+	}
+	return p
+}
+
+// whereErr asserts the clause fails to compile and returns the error.
+func whereErr(t *testing.T, clause string) error {
+	t.Helper()
+	_, err := ParseAndCompile("backward proc p[exename = \"*\"] -> *\nwhere " + clause)
+	if err == nil {
+		t.Fatalf("where %q compiled, want error", clause)
+	}
+	return err
+}
+
+func TestWhereBudgetExtraction(t *testing.T) {
+	p := wherePlan(t, `time <= 10mins and hop <= 25 and file.path != "*.dll"`)
+	if p.TimeBudget != 10*time.Minute || p.HopBudget != 25 {
+		t.Fatalf("budgets: %v %d", p.TimeBudget, p.HopBudget)
+	}
+	if p.Where == nil || p.Where.NumConstraints() != 1 {
+		t.Fatalf("constraints = %d, want 1", p.Where.NumConstraints())
+	}
+	// Strict '<' is accepted too, and a budget-only where leaves Where nil.
+	p = wherePlan(t, `time < 5mins and hop < 8`)
+	if p.TimeBudget != 5*time.Minute || p.HopBudget != 8 {
+		t.Fatalf("strict budgets: %v %d", p.TimeBudget, p.HopBudget)
+	}
+	if p.Where != nil {
+		t.Fatal("budget-only where must compile to a nil filter")
+	}
+}
+
+// TestWhereOperatorTable drives every comparison operator through clause
+// evaluation against the A1-style fixture store: string patterns (=, !=,
+// glob '*' and '?'), lexicographic string ordering (<, <=, >, >=), numerics
+// on object and event fields, subject fields, time-valued fields, and the
+// vacuous-truth rule for conditions typed for another object kind.
+func TestWhereOperatorTable(t *testing.T) {
+	s, objs := testEnv(t)
+	id := func(k string) event.ObjID {
+		oid, ok := s.Lookup(objs[k])
+		if !ok {
+			t.Fatalf("object %q not in store", k)
+		}
+		return oid
+	}
+	cases := []struct {
+		clause string
+		at     int64 // connecting event time in the fixture
+		obj    string
+		want   bool
+	}{
+		// String equality is an unanchored, case-insensitive pattern match.
+		{`proc.exename = "java*"`, 1200, "java", true},
+		{`proc.exename = "JAVA.EXE"`, 1200, "java", true},
+		{`proc.exename = "java*"`, 1100, "excel", false},
+		{`proc.exename != "explorer"`, 1200, "java", true},
+		{`proc.exename != "java*"`, 1200, "java", false},
+		{`file.path = "*.xl?"`, 1000, "xls", true},
+		{`file.path = "*.xl?"`, 1500, "doc", false},
+		// Ordered string comparisons are lexicographic on the raw value.
+		{`proc.exename < "m"`, 1100, "excel", true},
+		{`proc.exename < "m"`, 1000, "outlook", false},
+		{`proc.exename <= "excel.exe"`, 1100, "excel", true},
+		{`proc.exename > "m"`, 1000, "outlook", true},
+		{`proc.exename >= "excel"`, 1000, "outlook", true},
+		// Numeric object fields.
+		{`proc.pid = 33`, 1200, "java", true},
+		{`proc.pid != 33`, 1200, "java", false},
+		{`ip.dst_port = 443`, 1400, "sock", true},
+		{`ip.dst_port < 443`, 1400, "sock", false},
+		{`ip.dst_port <= 443`, 1400, "sock", true},
+		{`ip.dst_port > 100`, 1400, "sock", true},
+		{`ip.dst_port >= 444`, 1400, "sock", false},
+		{`ip.dst_ip = "168.120.*"`, 1400, "sock", true},
+		// Event-level amount (the only bare field a where clause accepts).
+		{`amount >= 4096`, 1400, "sock", true},
+		{`amount >= 4096`, 1000, "xls", false},
+		{`amount < 4096`, 1000, "xls", true},
+		{`amount > 7999`, 1400, "sock", true},
+		{`amount <= 8000`, 1400, "sock", true},
+		{`amount = 8000`, 1400, "sock", true},
+		{`amount != 8000`, 1400, "sock", false},
+		// Shared event fields reached through a type qualifier. The type
+		// still gates the condition, so the candidate must be a proc.
+		{`proc.subject_name = "java.exe"`, 1400, "java", true},
+		{`proc.action_type = "send"`, 1400, "java", true},
+		{`proc.type = "send"`, 1400, "java", true}, // Program 1 alias
+		{`proc.action_type = "send"`, 1000, "outlook", false},
+		{`proc.event_id > 0`, 1000, "outlook", true},
+		{`proc.event_time < 1100`, 1000, "outlook", true},
+		{`proc.event_time < 1100`, 1400, "java", false},
+		// Time-valued object field against a BDL time literal.
+		{`proc.starttime < "01/01/2000:00:00:00"`, 1200, "java", true},
+		{`proc.starttime >= "01/01/2000:00:00:00"`, 1200, "java", false},
+		// File timestamp attributes resolved through the store.
+		{`file.last_modification_time = 1000`, 1100, "xls", true},
+		{`file.creation_time > 0`, 1100, "xls", false}, // never created in range
+		// Conditions typed for another object kind are vacuously true.
+		{`file.path != "*.dll"`, 1200, "java", true},
+		{`file.path != "*.dll"`, 1300, "dll", false},
+		{`ip.dst_ip = "10.*"`, 1000, "xls", true},
+		// Logical composition.
+		{`file.path != "*.dll" and amount >= 4096`, 1400, "sock", true},
+		{`file.path != "*.dll" and amount >= 4096`, 1000, "xls", false},
+		{`amount >= 4096 or proc.exename = "outlook*"`, 1000, "outlook", true},
+		{`amount >= 4096 or proc.exename = "outlook*"`, 1100, "excel", false},
+		{`(file.path = "*.dll" or file.path = "*.doc") and amount > 6000`, 1500, "doc", true},
+		{`(file.path = "*.dll" or file.path = "*.doc") and amount > 6000`, 1300, "dll", false},
+	}
+	for _, c := range cases {
+		p := wherePlan(t, c.clause)
+		e := eventAt(t, s, c.at)
+		got, err := p.Where.Keep(e, id(c.obj), s, 0, 2000)
+		if err != nil {
+			t.Errorf("Keep(%q, %s@%d): %v", c.clause, c.obj, c.at, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Keep(%q, %s@%d) = %v, want %v", c.clause, c.obj, c.at, got, c.want)
+		}
+	}
+}
+
+func TestWhereComputedAttributeEval(t *testing.T) {
+	s, objs := testEnv(t)
+	javaID, _ := s.Lookup(objs["java"])
+	docID, _ := s.Lookup(objs["doc"])
+	// doc is never written, so a synthetic connecting event flowing into it
+	// sees a read-only destination; xls is written at t=1000, so the flow
+	// destination of that event is not read-only.
+	toDoc := event.Event{ID: 999, Time: 1450, Subject: javaID, Object: docID, Dir: event.FlowOut, Action: event.ActWrite}
+	toXLS := eventAt(t, s, 1000)
+
+	cases := []struct {
+		clause string
+		e      event.Event
+		want   bool
+	}{
+		{`proc.dst.isReadonly = true`, toDoc, true},
+		{`proc.dst.isReadonly = true`, toXLS, false},
+		{`proc.dst.isReadonly != true`, toXLS, true},
+		{`proc.dst.isReadonly = false`, toXLS, true},
+		// java touches files and the network, so it is not write-through.
+		{`proc.dst.isWriteThrough = true`, eventAt(t, s, 1200), false},
+		{`proc.dst.isWriteThrough = false`, eventAt(t, s, 1200), true},
+	}
+	for _, c := range cases {
+		p := wherePlan(t, c.clause)
+		got, err := p.Where.Keep(c.e, docID, s, 0, 2000)
+		if err != nil {
+			t.Errorf("Keep(%q): %v", c.clause, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Keep(%q, event #%d) = %v, want %v", c.clause, c.e.ID, got, c.want)
+		}
+	}
+
+	// Computed attributes query the store, so an unsealed store surfaces an
+	// error through Keep rather than a silent verdict.
+	unsealed := store.New(nil)
+	p := wherePlan(t, `proc.dst.isReadonly = true`)
+	if _, err := p.Where.Keep(event.Event{Dir: event.FlowOut}, 0, unsealed, 0, 10); err == nil {
+		t.Fatal("unsealed store: want error from computed attribute")
+	}
+}
+
+// TestWhereMalformed covers every compile-time rejection path of the where
+// statement, asserting the diagnostic names the offending construct.
+func TestWhereMalformed(t *testing.T) {
+	cases := []struct{ clause, wantSub string }{
+		{`subject_name = "x"`, "bare"},
+		{`exename = "x"`, "bare"},
+		{`hop <= 6 or file.path != "*.dll"`, "cannot appear under 'or'"},
+		{`time = 10mins`, "'<' or '<='"},
+		{`time <= 10`, "duration"},
+		{`hop <= 0`, "positive number"},
+		{`hop <= "six"`, "positive number"},
+		{`net.addr = "x"`, "unknown type qualifier"},
+		{`proc.src.isReadonly = true`, `unknown qualifier "src"`},
+		{`proc.dst.isDeleted = true`, "unknown computed attribute"},
+		{`proc.dst.isReadonly = 1`, "true/false"},
+		{`proc.dst.isReadonly < true`, "'=' and '!='"},
+		{`proc.a.b.c = 1`, "too many qualifiers"},
+		{`proc.bogus = "x"`, "unknown field"},
+		{`proc.pid = "abc"`, "numeric value"},
+		{`proc.exename = 5`, "does not accept a numeric value"},
+		{`amount = true`, "boolean"},
+		{`proc.exename = 10mins`, "duration"},
+	}
+	for _, c := range cases {
+		err := whereErr(t, c.clause)
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("where %q: error %q does not mention %q", c.clause, err, c.wantSub)
+		}
+	}
+}
+
+// TestFailingClause checks the explain layer's re-walk: for an 'and' the
+// false side is named, for an 'or' the whole group is the reason.
+func TestFailingClause(t *testing.T) {
+	s, objs := testEnv(t)
+	dllID, _ := s.Lookup(objs["dll"])
+	javaID, _ := s.Lookup(objs["java"])
+	p := wherePlan(t, `file.path != "*.dll" and (proc.exename != "java*" or amount < 100)`)
+
+	// dll fails the left conjunct: the clause text is that leaf.
+	clause, pos := p.Where.FailingClause(eventAt(t, s, 1300), dllID, s, 0, 2000)
+	if !strings.Contains(clause, "file.path") || !strings.Contains(clause, "*.dll") {
+		t.Errorf("failing clause = %q, want the file.path leaf", clause)
+	}
+	if strings.Contains(clause, "or") {
+		t.Errorf("failing clause %q should not include the or-group", clause)
+	}
+	if pos.Line == 0 {
+		t.Errorf("clause position not set: %v", pos)
+	}
+
+	// java passes the (vacuous) file condition and fails the or-group: every
+	// disjunct is false, so the whole group is reported.
+	clause, _ = p.Where.FailingClause(eventAt(t, s, 1400), javaID, s, 0, 2000)
+	if !strings.Contains(clause, "or") || !strings.Contains(clause, "amount") {
+		t.Errorf("failing clause = %q, want the whole or-group", clause)
+	}
+
+	// Nil filters never name a clause.
+	var nilFilter *WhereFilter
+	if c, _ := nilFilter.FailingClause(event.Event{}, 0, s, 0, 2000); c != "" {
+		t.Errorf("nil filter clause = %q", c)
+	}
+	if ok, err := nilFilter.Keep(event.Event{}, 0, s, 0, 2000); !ok || err != nil {
+		t.Errorf("nil filter Keep = %v, %v", ok, err)
+	}
+}

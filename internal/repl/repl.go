@@ -17,6 +17,7 @@ import (
 
 	"aptrace/internal/alerts"
 	"aptrace/internal/core"
+	"aptrace/internal/event"
 	"aptrace/internal/graph"
 	"aptrace/internal/session"
 	"aptrace/internal/stats"
@@ -88,6 +89,8 @@ func (c *Console) Run(in io.Reader) (int, error) {
 			c.cmdTop(arg)
 		case "dot":
 			c.cmdDot(arg)
+		case "explain":
+			c.cmdExplain(arg)
 		default:
 			fmt.Fprintf(c.out, "unknown command %q; try help\n", cmd)
 		}
@@ -105,6 +108,9 @@ func (c *Console) cmdHelp() {
   top [N]         show the N highest fan-in nodes of the current graph
   alerts [N]      run the anomaly detector over the store
   dot FILE        write the current graph as Graphviz DOT
+  explain ARG     why is this object (not) in the graph? ARG is an object
+                  ID, "all" (every graph node), or "frontier" (pruned
+                  candidates); needs decision recording (-explain)
   stop            terminate the analysis
   quit            stop and leave
 `)
@@ -277,6 +283,55 @@ func (c *Console) cmdDot(path string) {
 		return
 	}
 	fmt.Fprintf(c.out, "graph written to %s\n", path)
+}
+
+// cmdExplain answers "why is this object (not) in my graph?" from the
+// decision flight recorder attached to the console's executors.
+func (c *Console) cmdExplain(arg string) {
+	rec := c.opts.Explain
+	if rec == nil {
+		fmt.Fprintln(c.out, "decision recording is off; restart the console with -explain")
+		return
+	}
+	if !c.require() {
+		return
+	}
+	label := func(id event.ObjID) string { return c.st.Object(id).Label() }
+	switch arg {
+	case "":
+		fmt.Fprintln(c.out, "usage: explain ID | all | frontier")
+	case "all":
+		g := c.graph()
+		if g == nil {
+			return
+		}
+		for _, n := range g.Nodes() {
+			fmt.Fprintf(c.out, "%s (object %d):\n", label(n.ID), n.ID)
+			c.printIndented(rec.Explain(n.ID).Justification(label))
+		}
+	case "frontier":
+		frontier := rec.PruneFrontier()
+		if len(frontier) == 0 {
+			fmt.Fprintln(c.out, "nothing pruned yet")
+			return
+		}
+		for _, p := range frontier {
+			fmt.Fprintf(c.out, "  %-40s %s\n", label(p.Node), p.Reason)
+		}
+	default:
+		id, err := strconv.ParseUint(arg, 10, 32)
+		if err != nil {
+			fmt.Fprintf(c.out, "explain: %q is not an object ID (try \"all\" or \"frontier\")\n", arg)
+			return
+		}
+		fmt.Fprint(c.out, rec.Explain(event.ObjID(id)).Justification(label))
+	}
+}
+
+func (c *Console) printIndented(s string) {
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		fmt.Fprintf(c.out, "  %s\n", line)
+	}
 }
 
 // graph returns the current dependency graph, or nil (with a message) when

@@ -11,12 +11,14 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"aptrace/internal/bdl"
 	"aptrace/internal/core"
 	"aptrace/internal/event"
+	"aptrace/internal/explain"
 	"aptrace/internal/graph"
 	"aptrace/internal/maintainer"
 	"aptrace/internal/refiner"
@@ -46,6 +48,7 @@ type Session struct {
 	telResumes *telemetry.Counter
 	tracer     *telemetry.Tracer
 	pauseSpan  *telemetry.Span // open from Pause until Resume/Stop
+	rec        *explain.Recorder
 
 	done chan struct{}
 	res  *core.Result
@@ -64,6 +67,7 @@ func New(st *store.Store, opts core.Options) *Session {
 	s.telPauses = opts.Telemetry.Counter(telemetry.MetricSessionPauses)
 	s.telResumes = opts.Telemetry.Counter(telemetry.MetricSessionResumes)
 	s.tracer = opts.Telemetry.Tracer()
+	s.rec = opts.Explain
 	return s
 }
 
@@ -213,6 +217,10 @@ func (s *Session) runLoop() {
 			detail = res.Reason.String()
 		}
 		s.log(JournalEntry{Action: "finished", Detail: detail})
+		if emitted, dropped := s.rec.Stats(); emitted > 0 {
+			s.log(JournalEntry{Action: "decisions",
+				Detail: fmt.Sprintf("%d decision records (%d overwritten by ring overflow)", emitted, dropped)})
+		}
 		return
 	}
 }
@@ -228,6 +236,7 @@ func (s *Session) Pause() {
 	if x != nil {
 		x.Pause()
 		s.telPauses.Inc()
+		s.rec.Pause()
 		s.log(JournalEntry{Action: "pause"})
 	}
 }
@@ -241,6 +250,7 @@ func (s *Session) Resume() {
 	if x != nil {
 		x.Resume()
 		s.telResumes.Inc()
+		s.rec.Resume()
 		s.log(JournalEntry{Action: "resume"})
 	}
 }
@@ -284,6 +294,7 @@ func (s *Session) UpdateScript(scriptSrc string) (refiner.ResumeAction, error) {
 		return 0, errors.New("session: not started")
 	}
 	action := refiner.Delta(s.script, script)
+	delta := scriptDelta(s.script, script)
 	s.script = script
 	switch action {
 	case refiner.Restart:
@@ -298,14 +309,72 @@ func (s *Session) UpdateScript(scriptSrc string) (refiner.ResumeAction, error) {
 		}
 		s.plan = plan
 	}
+	s.rec.PlanUpdate(action.String(), delta)
 	if s.journal != nil {
-		e := JournalEntry{Action: "update-script", Script: scriptSrc, Decision: action.String(), AnalysisAt: s.st.Clock().Now()}
+		e := JournalEntry{Action: "update-script", Script: scriptSrc, Decision: action.String(), Detail: delta, AnalysisAt: s.st.Clock().Now()}
 		if g := s.x.Graph(); g != nil {
 			e.Edges, e.Nodes = g.NumEdges(), g.NumNodes()
 		}
 		s.journal.record(e)
 	}
 	return action, nil
+}
+
+// scriptDelta summarizes what changed between two script versions — the
+// human-readable side of the Refiner's resume decision, recorded in the
+// plan-update decision record and the journal.
+func scriptDelta(old, new *bdl.Script) string {
+	if old == nil {
+		return "initial script"
+	}
+	var parts []string
+	if !bdl.SameStart(old, new) {
+		parts = append(parts, "starting point changed")
+	}
+	if !bdl.SameIntermediates(old, new) {
+		parts = append(parts, "intermediate points changed")
+	}
+	if !bdl.EqualExpr(old.Where, new.Where) {
+		nw := "(removed)"
+		if new.Where != nil {
+			nw = "`" + bdl.FormatExpr(new.Where) + "`"
+		}
+		parts = append(parts, "where -> "+nw)
+	}
+	if prioritizeText(old) != prioritizeText(new) {
+		parts = append(parts, "prioritize rules changed")
+	}
+	if strings.Join(old.Hosts, ",") != strings.Join(new.Hosts, ",") {
+		parts = append(parts, "host constraint changed")
+	}
+	if rangeText(old) != rangeText(new) {
+		parts = append(parts, "analysis range changed")
+	}
+	if old.Output != new.Output {
+		parts = append(parts, "output changed")
+	}
+	if len(parts) == 0 {
+		return "no structural change"
+	}
+	return strings.Join(parts, "; ")
+}
+
+func prioritizeText(s *bdl.Script) string {
+	var sb strings.Builder
+	for _, pr := range s.Prioritize {
+		sb.WriteString(bdl.FormatExpr(pr.Target))
+		sb.WriteString("<-")
+		sb.WriteString(bdl.FormatExpr(pr.Source))
+		sb.WriteString(";")
+	}
+	return sb.String()
+}
+
+func rangeText(s *bdl.Script) string {
+	if s.From == nil {
+		return ""
+	}
+	return s.From.Raw + ".." + s.To.Raw
 }
 
 // Wait blocks until the analysis finishes (completed, budget expired, or
@@ -371,6 +440,7 @@ func (s *Session) Finalize() (int, error) {
 		return 0, err
 	}
 	removed := m.Prune(g)
+	s.rec.Finalize(removed)
 	s.log(JournalEntry{Action: "finalize", Detail: fmt.Sprintf("pruned %d edges", removed)})
 	if plan.Output != "" {
 		f, err := os.Create(plan.Output)

@@ -59,12 +59,29 @@ type debugPayload struct {
 	Spans   []SpanRecord `json:"spans"`
 }
 
+// RegisterDebug mounts an extra handler on the registry's HTTP surface
+// (e.g. the explain recorder's /debug/explain dump). Call before Handler or
+// Serve; later registrations do not reach already-built muxes. No-op on a
+// nil registry.
+func (r *Registry) RegisterDebug(path string, h http.Handler) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.debug == nil {
+		r.debug = make(map[string]http.Handler)
+	}
+	r.debug[path] = h
+}
+
 // Handler returns an http.Handler serving the registry:
 //
 //	/metrics          Prometheus text format
 //	/debug/telemetry  JSON: full metrics snapshot + recent spans
 //
-// It is safe to call on a nil registry (the endpoints serve empty data).
+// plus any endpoints added with RegisterDebug. It is safe to call on a nil
+// registry (the endpoints serve empty data).
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -77,6 +94,13 @@ func (r *Registry) Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(debugPayload{Metrics: r.Snapshot(), Spans: r.Tracer().Spans()})
 	})
+	if r != nil {
+		r.mu.Lock()
+		for path, h := range r.debug {
+			mux.Handle(path, h)
+		}
+		r.mu.Unlock()
+	}
 	return mux
 }
 

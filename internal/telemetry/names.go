@@ -34,6 +34,12 @@ const (
 	MetricFleetQueued   = "aptrace_fleet_queued_runs"
 	MetricFleetRuns     = "aptrace_fleet_runs_total"
 	MetricFleetFailures = "aptrace_fleet_failures_total"
+
+	// Explain (decision flight recorder). records counts every decision
+	// emitted; dropped counts records overwritten by ring overflow, so a
+	// truncated flight recording is visible instead of silent.
+	MetricExplainRecords = "aptrace_explain_records_total"
+	MetricExplainDropped = "aptrace_explain_dropped_total"
 )
 
 // Span names recorded by the tracer.

@@ -25,6 +25,7 @@ package telemetry
 
 import (
 	"math"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -171,6 +172,8 @@ type Registry struct {
 	// insertion order per kind, for stable exposition
 	order map[string]int
 	next  int
+	// debug holds extra HTTP endpoints mounted by Handler (RegisterDebug).
+	debug map[string]http.Handler
 
 	tracer *Tracer
 }
