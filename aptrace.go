@@ -221,11 +221,24 @@ func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
 // time; queries then publish rows-examined and latency metrics.
 func WithTelemetry(reg *Telemetry) StoreOption { return store.WithTelemetry(reg) }
 
+// WithSealWorkers fixes the worker count Seal uses for its parallel sort and
+// index build (0, the default, auto-sizes to the machine). Any value yields
+// bit-identical indexes.
+func WithSealWorkers(n int) StoreOption { return store.WithSealWorkers(n) }
+
 // ServeTelemetry serves the registry's /metrics (Prometheus text) and
 // /debug/telemetry (JSON) endpoints on addr in a background goroutine,
 // returning the server and its bound address (useful with ":0").
 func ServeTelemetry(addr string, reg *Telemetry) (*http.Server, string, error) {
 	return telemetry.Serve(addr, reg)
+}
+
+// ServePprof serves the stdlib net/http/pprof profiling endpoints on addr in
+// a background goroutine, returning the server and its bound address. To
+// share one address with ServeTelemetry instead, call reg.RegisterPprof()
+// before ServeTelemetry.
+func ServePprof(addr string) (*http.Server, string, error) {
+	return telemetry.ServePprof(addr)
 }
 
 // NewSimulatedClock returns a virtual clock for cost-modeled analysis runs.

@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	apbench [-exp all|severity|fig4|table1|table2|fig6|ablation-k|ablation-policy]
+//	apbench [-exp all|severity|fig4|table1|table2|fig6|ablation-k|ablation-policy|perf]
 //	        [-hosts 12] [-days 10] [-density 1.5] [-samples 200] [-cap 2h] [-k 8]
-//	        [-parallel 1] [-json dir] [-metrics addr]
+//	        [-parallel 1] [-json dir] [-metrics addr] [-pprof addr]
 //
 // With -json, each experiment's structured result is also written as
 // BENCH_<exp>.json in the given directory, so perf trajectories can be
@@ -28,6 +28,8 @@
 //	explain         -> decision flight recorder: zero graph effect, full
 //	                   explanation coverage, recording overhead
 //	ablation-*      -> design-choice ablations from DESIGN.md
+//	perf            -> real-CPU benchmarks of the query engine hot loops
+//	                   (testing.Benchmark; BENCH_perf.json with -json)
 package main
 
 import (
@@ -57,6 +59,7 @@ func main() {
 		parallel = flag.Int("parallel", 1, "concurrent analyses per experiment (0 = all cores)")
 		jsonDir  = flag.String("json", "", "also write each experiment's result as BENCH_<exp>.json into this directory")
 		metrics  = flag.String("metrics", "", "serve /metrics and /debug/telemetry on this address during the run")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (shares the -metrics mux when the addresses match)")
 	)
 	flag.Parse()
 	if *parallel <= 0 {
@@ -66,11 +69,24 @@ func main() {
 	var reg *aptrace.Telemetry
 	if *metrics != "" {
 		reg = aptrace.NewTelemetry()
+		if *pprofA == *metrics {
+			// Mount before ServeTelemetry builds the mux.
+			reg.RegisterPprof()
+		}
 		_, addr, err := aptrace.ServeTelemetry(*metrics, reg)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics and /debug/telemetry on %s\n", addr)
+	}
+	if *pprofA != "" && *pprofA != *metrics {
+		_, addr, err := aptrace.ServePprof(*pprofA)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving /debug/pprof on %s\n", addr)
+	} else if *pprofA != "" {
+		fmt.Fprintf(os.Stderr, "pprof: sharing the -metrics mux at /debug/pprof\n")
 	}
 	if *jsonDir != "" {
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
@@ -116,8 +132,9 @@ func main() {
 		"ablation-policy": func() (any, error) {
 			return experiments.RunAblationPolicy(env, cfg, os.Stdout)
 		},
+		"perf": func() (any, error) { return experiments.RunPerf(env, cfg, os.Stdout) },
 	}
-	order := []string{"severity", "fig4", "table1", "table2", "fig6", "refiner", "explain", "ablation-k", "ablation-policy"}
+	order := []string{"severity", "fig4", "table1", "table2", "fig6", "refiner", "explain", "ablation-k", "ablation-policy", "perf"}
 
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {

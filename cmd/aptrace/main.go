@@ -55,6 +55,7 @@ func main() {
 		batch    = flag.Bool("batch", false, "run the script from every matching starting event (see -parallel)")
 		parallel = flag.Int("parallel", 1, "concurrent analyses in -batch mode (0 = all cores)")
 		explArg  = flag.String("explain", "", "record every analysis decision and explain the result: an object ID, \"all\" (every graph node), \"frontier\" (pruned candidates), or \"on\" (record only, for -interactive); explanations go to stderr")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (shares the -metrics mux when the addresses match)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -80,12 +81,26 @@ func main() {
 		reg.RegisterDebug("/debug/explain", rec.Handler())
 	}
 	if reg != nil {
+		if *pprofA == *metrics {
+			// Same address: mount pprof on the telemetry mux before
+			// ServeTelemetry builds it.
+			reg.RegisterPprof()
+		}
 		_, addr, err := aptrace.ServeTelemetry(*metrics, reg)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics and /debug/telemetry on %s\n", addr)
 		storeOpts = append(storeOpts, aptrace.WithTelemetry(reg))
+	}
+	if *pprofA != "" && *pprofA != *metrics {
+		_, addr, err := aptrace.ServePprof(*pprofA)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving /debug/pprof on %s\n", addr)
+	} else if *pprofA != "" {
+		fmt.Fprintf(os.Stderr, "pprof: sharing the -metrics mux at /debug/pprof\n")
 	}
 	st, err := aptrace.OpenStore(*storeDir, clk, storeOpts...)
 	if err != nil {

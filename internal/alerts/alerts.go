@@ -81,16 +81,22 @@ func DefaultRules() []Rule {
 // Scan runs every rule over every event in [from, to) and returns the alerts
 // in time order. Pass (0, 1<<62) to scan everything.
 func (d *Detector) Scan(st *store.Store, from, to int64) ([]Alert, error) {
-	var out []Alert
+	return d.ScanAppend(st, from, to, nil)
+}
+
+// ScanAppend is Scan with caller-owned storage: alerts are appended to buf
+// and the extended buffer is returned, so periodic re-scans can reuse one
+// allocation across sweeps.
+func (d *Detector) ScanAppend(st *store.Store, from, to int64, buf []Alert) ([]Alert, error) {
 	err := st.Scan(from, to, func(e event.Event) bool {
 		for _, r := range d.rules {
 			if msg, sev, hit := r.Check(e, st); hit {
-				out = append(out, Alert{Event: e, Rule: r.Name(), Severity: sev, Message: msg})
+				buf = append(buf, Alert{Event: e, Rule: r.Name(), Severity: sev, Message: msg})
 			}
 		}
 		return true
 	})
-	return out, err
+	return buf, err
 }
 
 // AbnormalChildRule flags server daemons spawning interactive shells —

@@ -80,6 +80,7 @@ func Run(st *store.Store, alert event.Event, opts Options) (*Result, error) {
 	dropped := make(map[event.ObjID]bool)
 	queue := []item{{alert.Src(), alert.Time}}
 	explored[alert.Src()] = true
+	var deps []event.Event // reused across every monolithic query of the run
 
 	for len(queue) > 0 {
 		if opts.TimeBudget > 0 && clk.Now().Sub(start) >= opts.TimeBudget {
@@ -94,7 +95,8 @@ func Run(st *store.Store, alert event.Event, opts Options) (*Result, error) {
 			te = to
 		}
 		// The monolithic query: the node's whole backward history.
-		deps, err := st.QueryBackward(it.obj, from, te)
+		var err error
+		deps, err = st.AppendBackward(deps[:0], it.obj, from, te)
 		if err != nil {
 			return nil, err
 		}

@@ -125,6 +125,7 @@ type Executor struct {
 	pq      windowHeap
 	covered map[event.ObjID]int64 // per object: latest (earliest, forward) time scheduled
 	dropped map[event.ObjID]bool  // objects rejected by the where filter
+	depsBuf []event.Event         // window-query buffer, reused across processWindow calls
 
 	updates  int
 	windows  int
@@ -535,6 +536,24 @@ func (x *Executor) enqueueForward(e event.Event, boost int) {
 	x.tel.queueDepth.Set(int64(x.pq.Len()))
 }
 
+// count is the direction-resolved index-only cardinality estimate. A plain
+// method dispatch here (instead of binding x.st.CountBackward to a variable)
+// keeps processWindow free of per-call closure allocations.
+func (x *Executor) count(obj event.ObjID, from, to int64) (int, error) {
+	if x.fwd {
+		return x.st.CountForward(obj, from, to)
+	}
+	return x.st.CountBackward(obj, from, to)
+}
+
+// query is the direction-resolved window fetch, appending into buf.
+func (x *Executor) query(buf []event.Event, obj event.ObjID, from, to int64) ([]event.Event, error) {
+	if x.fwd {
+		return x.st.AppendForward(buf, obj, from, to)
+	}
+	return x.st.AppendBackward(buf, obj, from, to)
+}
+
 // processWindow runs one bounded query (Algorithm 1 lines 3-7): fetch the
 // events inside the window that flow into the window's object, add them as
 // edges, and schedule their own windows. Windows that would retrieve more
@@ -542,12 +561,6 @@ func (x *Executor) enqueueForward(e event.Event, boost int) {
 // instead of being queried, keeping every retrieval — and therefore every
 // inter-update gap — bounded.
 func (x *Executor) processWindow(w ExecWindow) error {
-	count := x.st.CountBackward
-	query := x.st.QueryBackward
-	if x.fwd {
-		count = x.st.CountForward
-		query = x.st.QueryForward
-	}
 	if !x.opts.NoSplit && w.Finish-w.Begin >= 2 {
 		// Reuse the enqueue-time cardinality estimate; the store is sealed,
 		// so the count cannot have changed. Only re-split halves (Card == 0,
@@ -555,7 +568,7 @@ func (x *Executor) processWindow(w ExecWindow) error {
 		n := w.Card
 		if n <= 0 {
 			var err error
-			n, err = count(w.Obj, w.Begin, w.Finish)
+			n, err = x.count(w.Obj, w.Begin, w.Finish)
 			if err != nil {
 				return err
 			}
@@ -578,7 +591,7 @@ func (x *Executor) processWindow(w ExecWindow) error {
 			// One index-only count prices both halves: the posting range is
 			// exact over contiguous half-open windows, so far = n - near.
 			// Empty halves are pruned exactly as at enqueue time.
-			nc, err := count(near.Obj, near.Begin, near.Finish)
+			nc, err := x.count(near.Obj, near.Begin, near.Finish)
 			if err != nil {
 				return err
 			}
@@ -607,13 +620,17 @@ func (x *Executor) processWindow(w ExecWindow) error {
 		qsp = x.tracer.StartAt(telemetry.SpanWindowQuery, nil, x.clk.Now())
 		qsp.SetDetail(fmt.Sprintf("obj=%d [%d,%d)", w.Obj, w.Begin, w.Finish))
 	}
-	deps, err := query(w.Obj, w.Begin, w.Finish)
+	// The window query appends into a buffer reused across every window of
+	// the run, so the steady-state loop performs no allocations.
+	depsBuf, err := x.query(x.depsBuf[:0], w.Obj, w.Begin, w.Finish)
 	if qsp != nil {
 		qsp.EndAt(x.clk.Now())
 	}
 	if err != nil {
 		return err
 	}
+	x.depsBuf = depsBuf
+	deps := depsBuf
 	x.rec.WindowQueried(w.Obj, w.Begin, w.Finish, len(deps))
 	hopLimit := x.plan.HopBudget
 	for _, dep := range deps {

@@ -22,8 +22,8 @@ func (s *Store) IsReadOnlyFile(obj event.ObjID, from, to int64) (bool, error) {
 	if s.objects[obj].Type != event.ObjFile {
 		return false, nil
 	}
-	list := s.byDst[obj]
-	lo, hi := s.postingRange(list, from, to)
+	list, times := s.byDst.list(obj)
+	lo, hi := postingRange(times, from, to)
 	rows := int64(0)
 	readOnly := true
 	for _, idx := range list[lo:hi] {
@@ -54,8 +54,9 @@ func (s *Store) IsWriteThrough(obj event.ObjID, from, to int64) (bool, error) {
 	rows := int64(0)
 	seen := false
 	through := true
-	check := func(list []int32, counterpartOf func(event.Event) event.ObjID) {
-		lo, hi := s.postingRange(list, from, to)
+	check := func(p *postings, counterpartOf func(event.Event) event.ObjID) {
+		list, times := p.list(obj)
+		lo, hi := postingRange(times, from, to)
 		for _, idx := range list[lo:hi] {
 			rows++
 			e := s.events[idx]
@@ -69,9 +70,9 @@ func (s *Store) IsWriteThrough(obj event.ObjID, from, to int64) (bool, error) {
 			}
 		}
 	}
-	check(s.byDst[obj], func(e event.Event) event.ObjID { return e.Src() })
+	check(s.byDst, func(e event.Event) event.ObjID { return e.Src() })
 	if through {
-		check(s.bySrc[obj], func(e event.Event) event.ObjID { return e.Dst() })
+		check(s.bySrc, func(e event.Event) event.ObjID { return e.Dst() })
 	}
 	s.charge(rows, from, to)
 	return seen && through, nil
@@ -84,8 +85,8 @@ func (s *Store) FlowAmount(src, dst event.ObjID, from, to int64) (int64, error) 
 	if !s.sealed {
 		return 0, ErrNotSealed
 	}
-	list := s.byDst[dst]
-	lo, hi := s.postingRange(list, from, to)
+	list, times := s.byDst.list(dst)
+	lo, hi := postingRange(times, from, to)
 	var total, rows int64
 	for _, idx := range list[lo:hi] {
 		rows++
@@ -105,8 +106,8 @@ func (s *Store) FileTimes(obj event.ObjID, from, to int64) (creation, lastMod, l
 	if !s.sealed {
 		return 0, 0, 0, ErrNotSealed
 	}
-	list := s.byDst[obj]
-	lo, hi := s.postingRange(list, from, to)
+	list, times := s.byDst.list(obj)
+	lo, hi := postingRange(times, from, to)
 	rows := int64(0)
 	for _, idx := range list[lo:hi] {
 		rows++
@@ -122,8 +123,8 @@ func (s *Store) FileTimes(obj event.ObjID, from, to int64) (creation, lastMod, l
 		}
 	}
 	// Accesses flow out of the file (file is the source of a read).
-	src := s.bySrc[obj]
-	lo, hi = s.postingRange(src, from, to)
+	src, srcTimes := s.bySrc.list(obj)
+	lo, hi = postingRange(srcTimes, from, to)
 	for _, idx := range src[lo:hi] {
 		rows++
 		if e := s.events[idx]; e.Action == event.ActRead || e.Action == event.ActLoad {

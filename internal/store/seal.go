@@ -1,0 +1,267 @@
+package store
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"aptrace/internal/event"
+)
+
+// sealParallelCutoff is the event count below which an auto-configured Seal
+// stays serial: goroutine fan-out costs more than it saves on small logs.
+const sealParallelCutoff = 1 << 14
+
+// WithSealWorkers fixes the number of workers Seal uses for sorting the
+// event log and building the posting indexes. Zero (the default) picks
+// runtime.GOMAXPROCS(0) for large logs and one for small ones. Any worker
+// count produces bit-identical indexes: the parallel sort is stable and the
+// sharded index build preserves event-log order per object.
+func WithSealWorkers(n int) Option {
+	return func(st *Store) { st.sealWorkers = n }
+}
+
+// Seal sorts the event log by time (stable, so equal-timestamp events keep
+// their ingestion order), builds the struct-of-arrays posting indexes and the
+// event-ID index, and enables queries. Sorting and index construction are
+// chunked across workers; the result is identical to a serial seal for any
+// worker count. Sealing an already-sealed store is an error.
+func (s *Store) Seal() error {
+	if s.sealed {
+		return ErrSealed
+	}
+	workers := s.sealWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if len(s.events) < sealParallelCutoff {
+			workers = 1
+		}
+	}
+	if workers > len(s.events) {
+		workers = len(s.events)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	sortEventsStable(s.events, workers)
+	s.byDst, s.bySrc = buildPostings(s.events, len(s.objects), workers)
+	s.buildEventIDIndex(workers)
+
+	if len(s.events) > 0 {
+		s.minTime = s.events[0].Time
+		s.maxTime = s.events[len(s.events)-1].Time
+	}
+	s.stats.Events = len(s.events)
+	s.stats.Objects = len(s.objects)
+	s.sealed = true
+	return nil
+}
+
+// chunkBounds splits n items into workers contiguous ranges; bounds[w] is
+// the start of chunk w and bounds[workers] == n.
+func chunkBounds(n, workers int) []int {
+	bounds := make([]int, workers+1)
+	for i := range bounds {
+		bounds[i] = i * n / workers
+	}
+	return bounds
+}
+
+// sortEventsStable stable-sorts events by Time using workers goroutines:
+// each sorts a contiguous chunk, then adjacent runs are merged pairwise.
+// Merges take the left (earlier-position) run on equal timestamps, so the
+// result is bit-identical to a serial sort.SliceStable for any worker count.
+func sortEventsStable(events []event.Event, workers int) {
+	n := len(events)
+	if n == 0 {
+		return
+	}
+	if workers <= 1 {
+		sort.SliceStable(events, func(i, j int) bool {
+			return events[i].Time < events[j].Time
+		})
+		return
+	}
+	bounds := chunkBounds(n, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		chunk := events[bounds[w]:bounds[w+1]]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sort.SliceStable(chunk, func(i, j int) bool {
+				return chunk[i].Time < chunk[j].Time
+			})
+		}()
+	}
+	wg.Wait()
+
+	buf := make([]event.Event, n)
+	src, dst := events, buf
+	for width := 1; width < workers; width *= 2 {
+		var mg sync.WaitGroup
+		for lo := 0; lo < workers; lo += 2 * width {
+			a := bounds[lo]
+			mid := bounds[min(lo+width, workers)]
+			b := bounds[min(lo+2*width, workers)]
+			mg.Add(1)
+			go func() {
+				defer mg.Done()
+				mergeRuns(dst[a:b], src[a:mid], src[mid:b])
+			}()
+		}
+		mg.Wait()
+		src, dst = dst, src
+	}
+	if &src[0] != &events[0] {
+		copy(events, src)
+	}
+}
+
+// mergeRuns merges two time-sorted runs into out (len(out) == len(a)+len(b)).
+// Equal timestamps take from a first, preserving stability.
+func mergeRuns(out, a, b []event.Event) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j].Time < a[i].Time {
+			out[k] = b[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	k += copy(out[k:], a[i:])
+	copy(out[k:], b[j:])
+}
+
+// buildPostings constructs the byDst and bySrc CSR indexes over a time-sorted
+// event log with a sharded two-pass build: workers count endpoint occurrences
+// per contiguous chunk, a serial prefix-sum pass turns the per-chunk counts
+// into disjoint write cursors, and workers then fill their slots in event-log
+// order. Chunk c's slots for an object precede chunk c+1's, so the per-object
+// ordering — and therefore the whole index — is identical for any worker
+// count.
+func buildPostings(events []event.Event, numObjects, workers int) (byDst, bySrc *postings) {
+	n := len(events)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	bounds := chunkBounds(n, workers)
+
+	dstCounts := make([][]int32, workers)
+	srcCounts := make([][]int32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dc := make([]int32, numObjects)
+			sc := make([]int32, numObjects)
+			for i := bounds[w]; i < bounds[w+1]; i++ {
+				dc[events[i].Dst()]++
+				sc[events[i].Src()]++
+			}
+			dstCounts[w] = dc
+			srcCounts[w] = sc
+		}()
+	}
+	wg.Wait()
+
+	byDst = &postings{off: make([]int32, numObjects+1), idx: make([]int32, n), times: make([]int64, n)}
+	bySrc = &postings{off: make([]int32, numObjects+1), idx: make([]int32, n), times: make([]int64, n)}
+	// Prefix sums: convert each chunk's per-object count into that chunk's
+	// starting write cursor while accumulating the global offsets.
+	var dtot, stot int32
+	for obj := 0; obj < numObjects; obj++ {
+		byDst.off[obj] = dtot
+		bySrc.off[obj] = stot
+		for w := 0; w < workers; w++ {
+			c := dstCounts[w][obj]
+			dstCounts[w][obj] = dtot
+			dtot += c
+			c = srcCounts[w][obj]
+			srcCounts[w][obj] = stot
+			stot += c
+		}
+	}
+	byDst.off[numObjects] = dtot
+	bySrc.off[numObjects] = stot
+
+	// Parallel fill: each chunk advances its private cursors, so writes land
+	// in disjoint slots and per-object order follows event-log order.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dcur, scur := dstCounts[w], srcCounts[w]
+			for i := bounds[w]; i < bounds[w+1]; i++ {
+				e := &events[i]
+				p := dcur[e.Dst()]
+				byDst.idx[p] = int32(i)
+				byDst.times[p] = e.Time
+				dcur[e.Dst()] = p + 1
+				p = scur[e.Src()]
+				bySrc.idx[p] = int32(i)
+				bySrc.times[p] = e.Time
+				scur[e.Src()] = p + 1
+			}
+		}()
+	}
+	wg.Wait()
+	return byDst, bySrc
+}
+
+// buildEventIDIndex builds the EventID -> log-position index. IDs assigned by
+// AddEvent are exactly 1..n, so the common case is a dense []int32 filled in
+// parallel (idPos[id-1] holds position+1). Segment files could in principle
+// carry arbitrary IDs, so non-dense or duplicate IDs fall back to the map
+// index, built serially in event order to match the pre-SoA behavior.
+func (s *Store) buildEventIDIndex(workers int) {
+	n := len(s.events)
+	dense := true
+	for i := range s.events {
+		if id := s.events[i].ID; id < 1 || id > event.EventID(n) {
+			dense = false
+			break
+		}
+	}
+	if dense {
+		idPos := make([]int32, n)
+		bounds := chunkBounds(n, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := bounds[w]; i < bounds[w+1]; i++ {
+					idPos[s.events[i].ID-1] = int32(i) + 1
+				}
+			}()
+		}
+		wg.Wait()
+		// Duplicate IDs leave a pigeonhole empty; only a permutation of 1..n
+		// fills every slot.
+		for _, p := range idPos {
+			if p == 0 {
+				dense = false
+				break
+			}
+		}
+		if dense {
+			s.idPos = idPos
+			s.byID = nil
+			return
+		}
+	}
+	s.idPos = nil
+	s.byID = make(map[event.EventID]int32, n)
+	for i := range s.events {
+		s.byID[s.events[i].ID] = int32(i)
+	}
+}

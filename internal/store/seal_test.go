@@ -1,0 +1,183 @@
+package store
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"aptrace/internal/event"
+)
+
+// buildTied builds an unsealed store with n events over a deliberately tiny
+// time range, so equal timestamps are common and tie-breaking is exercised.
+func buildTied(t testing.TB, n int, seed, timeRange int64, opts ...Option) *Store {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := New(nil, opts...)
+	procs := make([]event.Object, 10)
+	for i := range procs {
+		procs[i] = event.Process("host", "proc", int32(i), int64(i))
+	}
+	for i := 0; i < n; i++ {
+		var obj event.Object
+		switch rng.Intn(3) {
+		case 0:
+			obj = procs[rng.Intn(len(procs))]
+		case 1:
+			obj = event.File("host", "/data/f"+string(rune('0'+rng.Intn(10))))
+		case 2:
+			obj = event.Socket("host", "10.0.0.1", uint16(rng.Intn(4)+1000), "9.9.9.9", 443)
+		}
+		sub := procs[rng.Intn(len(procs))]
+		act := []event.Action{event.ActRead, event.ActWrite, event.ActSend, event.ActStart}[rng.Intn(4)]
+		if _, err := s.AddEvent(rng.Int63n(timeRange), sub, obj, act, act.DefaultDirection(), rng.Int63n(1<<20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// expectSameSealed asserts two sealed stores hold bit-identical logs and
+// acceleration indexes.
+func expectSameSealed(t *testing.T, serial, parallel *Store) {
+	t.Helper()
+	if !reflect.DeepEqual(serial.events, parallel.events) {
+		for i := range serial.events {
+			if serial.events[i] != parallel.events[i] {
+				t.Fatalf("event log diverges at position %d: serial %+v, parallel %+v",
+					i, serial.events[i], parallel.events[i])
+			}
+		}
+		t.Fatal("event logs differ")
+	}
+	if !reflect.DeepEqual(serial.byDst, parallel.byDst) {
+		t.Error("byDst index differs between serial and parallel seal")
+	}
+	if !reflect.DeepEqual(serial.bySrc, parallel.bySrc) {
+		t.Error("bySrc index differs between serial and parallel seal")
+	}
+	if !reflect.DeepEqual(serial.idPos, parallel.idPos) {
+		t.Error("dense ID index differs between serial and parallel seal")
+	}
+	if !reflect.DeepEqual(serial.byID, parallel.byID) {
+		t.Error("fallback ID index differs between serial and parallel seal")
+	}
+}
+
+func TestParallelSealMatchesSerial(t *testing.T) {
+	// timeRange 300 over 5000 events forces heavy timestamp collisions, so
+	// any tie-breaking difference between the serial stable sort and the
+	// chunked parallel sort+merge would surface.
+	for _, workers := range []int{2, 3, 7, 16} {
+		serial := buildTied(t, 5000, 99, 300, WithSealWorkers(1))
+		parallel := buildTied(t, 5000, 99, 300, WithSealWorkers(workers))
+		if err := serial.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		if err := parallel.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		expectSameSealed(t, serial, parallel)
+
+		// Round-trip a few lookups through the public API as well.
+		for _, id := range []event.EventID{1, 2500, 5000} {
+			se, sok := serial.EventByID(id)
+			pe, pok := parallel.EventByID(id)
+			if sok != pok || se != pe {
+				t.Fatalf("workers=%d: EventByID(%d) = %+v,%v (serial) vs %+v,%v (parallel)",
+					workers, id, se, sok, pe, pok)
+			}
+		}
+		for obj := event.ObjID(0); int(obj) < serial.NumObjects(); obj++ {
+			if serial.InDegree(obj) != parallel.InDegree(obj) || serial.OutDegree(obj) != parallel.OutDegree(obj) {
+				t.Fatalf("workers=%d: degree mismatch for object %d", workers, obj)
+			}
+		}
+	}
+}
+
+func TestParallelSealStableTies(t *testing.T) {
+	// All events share one timestamp: the sealed log must preserve ingestion
+	// order (IDs 1..n) exactly, for any worker count.
+	for _, workers := range []int{1, 4, 9} {
+		s := New(nil, WithSealWorkers(workers))
+		p := event.Process("h", "p", 1, 0)
+		f := event.File("h", "/f")
+		for i := 0; i < 1000; i++ {
+			if _, err := s.AddEvent(77, p, f, event.ActWrite, event.FlowOut, int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < s.NumEvents(); i++ {
+			if got := s.EventAt(i).ID; got != event.EventID(i+1) {
+				t.Fatalf("workers=%d: position %d holds event %d, want %d (stability lost)", workers, i, got, i+1)
+			}
+		}
+	}
+}
+
+func TestParallelSealTinyAndEmpty(t *testing.T) {
+	// More workers than events, and no events at all.
+	s := buildTied(t, 3, 1, 10, WithSealWorkers(64))
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumEvents() != 3 {
+		t.Fatalf("NumEvents = %d, want 3", s.NumEvents())
+	}
+
+	empty := New(nil, WithSealWorkers(8))
+	if err := empty.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := empty.QueryBackward(0, 0, 100); err != nil || len(got) != 0 {
+		t.Fatalf("query on empty sealed store = %v, %v", got, err)
+	}
+}
+
+func TestSealNonDenseIDFallback(t *testing.T) {
+	// Events injected with sparse IDs (as a hand-built segment could carry)
+	// must fall back to the map index and still resolve by ID.
+	s := New(nil, WithSealWorkers(4))
+	p := s.Intern(event.Process("h", "p", 1, 0))
+	f := s.Intern(event.File("h", "/f"))
+	for i, id := range []event.EventID{10, 700, 3} {
+		if err := s.addRaw(event.Event{ID: id, Time: int64(100 + i), Subject: p, Object: f, Action: event.ActWrite, Dir: event.FlowOut}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if s.idPos != nil {
+		t.Fatal("sparse IDs must not use the dense index")
+	}
+	for _, id := range []event.EventID{10, 700, 3} {
+		if e, ok := s.EventByID(id); !ok || e.ID != id {
+			t.Fatalf("EventByID(%d) = %+v, %v", id, e, ok)
+		}
+	}
+	if _, ok := s.EventByID(11); ok {
+		t.Fatal("EventByID(11) should miss")
+	}
+}
+
+func TestViewSharesSealedIndexArrays(t *testing.T) {
+	s := buildTied(t, 2000, 5, 1000, WithSealWorkers(3))
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.View(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.byDst != s.byDst || v.bySrc != s.bySrc {
+		t.Fatal("view must share the parent's posting indexes")
+	}
+	if &v.idPos[0] != &s.idPos[0] {
+		t.Fatal("view must share the parent's dense ID index")
+	}
+}

@@ -65,9 +65,12 @@ type Store struct {
 	events []event.Event // time-sorted after Seal
 	sealed bool
 
-	byDst map[event.ObjID][]int32 // event indexes with Dst()==key, time-sorted
-	bySrc map[event.ObjID][]int32 // event indexes with Src()==key, time-sorted
-	byID  map[event.EventID]int32
+	byDst *postings               // SoA index over events with Dst()==obj, time-sorted
+	bySrc *postings               // SoA index over events with Src()==obj, time-sorted
+	idPos []int32                 // dense EventID index: idPos[id-1] = log position+1
+	byID  map[event.EventID]int32 // fallback ID index when IDs are not dense 1..n
+
+	sealWorkers int // fixed Seal worker count; 0 = auto (see WithSealWorkers)
 
 	minTime, maxTime int64 // inclusive bounds over stored events
 
@@ -249,33 +252,6 @@ func (s *Store) addRaw(e event.Event) error {
 	return nil
 }
 
-// Seal sorts the event log by time, builds the posting-list indexes, and
-// enables queries. Sealing an already-sealed store is an error.
-func (s *Store) Seal() error {
-	if s.sealed {
-		return ErrSealed
-	}
-	sort.SliceStable(s.events, func(i, j int) bool {
-		return s.events[i].Time < s.events[j].Time
-	})
-	s.byDst = make(map[event.ObjID][]int32, len(s.objects))
-	s.bySrc = make(map[event.ObjID][]int32, len(s.objects))
-	s.byID = make(map[event.EventID]int32, len(s.events))
-	for i, e := range s.events {
-		s.byDst[e.Dst()] = append(s.byDst[e.Dst()], int32(i))
-		s.bySrc[e.Src()] = append(s.bySrc[e.Src()], int32(i))
-		s.byID[e.ID] = int32(i)
-	}
-	if len(s.events) > 0 {
-		s.minTime = s.events[0].Time
-		s.maxTime = s.events[len(s.events)-1].Time
-	}
-	s.stats.Events = len(s.events)
-	s.stats.Objects = len(s.objects)
-	s.sealed = true
-	return nil
-}
-
 // Sealed reports whether the store has been sealed.
 func (s *Store) Sealed() bool { return s.sealed }
 
@@ -311,6 +287,7 @@ func (s *Store) View(clk simclock.Clock) (*Store, error) {
 		sealed:        true,
 		byDst:         s.byDst,
 		bySrc:         s.bySrc,
+		idPos:         s.idPos,
 		byID:          s.byID,
 		minTime:       s.minTime,
 		maxTime:       s.maxTime,
@@ -352,50 +329,44 @@ func (s *Store) charge(rows, from, to int64) {
 	s.cost.Charge(s.clock, int(rows), int(buckets))
 }
 
-// postingRange binary-searches a time-sorted posting list for the half-open
-// window [from, to) and returns the slice bounds.
-func (s *Store) postingRange(list []int32, from, to int64) (lo, hi int) {
-	lo = sort.Search(len(list), func(i int) bool {
-		return s.events[list[i]].Time >= from
-	})
-	hi = sort.Search(len(list), func(i int) bool {
-		return s.events[list[i]].Time >= to
-	})
-	return lo, hi
-}
-
-// postingList resolves the posting list of one data-flow endpoint —
-// destination objects for backward queries, source objects for forward —
-// and counts the lookup as a posting-table hit or miss.
-func (s *Store) postingList(obj event.ObjID, forward bool) []int32 {
-	m := s.byDst
+// posting resolves the posting list of one data-flow endpoint — destination
+// objects for backward queries, source objects for forward — and counts the
+// lookup as a posting-table hit or miss.
+func (s *Store) posting(obj event.ObjID, forward bool) (idx []int32, times []int64) {
+	p := s.byDst
 	if forward {
-		m = s.bySrc
+		p = s.bySrc
 	}
-	list := m[obj]
-	if len(list) > 0 {
+	idx, times = p.list(obj)
+	if len(idx) > 0 {
 		s.tel.postingHits.Inc()
 	} else {
 		s.tel.postingMisses.Inc()
 	}
-	return list
+	return idx, times
 }
 
-// queryPosting is the shared posting-list walk behind QueryBackward and
-// QueryForward: binary-search the window bounds, materialize the rows, and
-// charge the cost model for the rows plus the buckets covered.
-func (s *Store) queryPosting(obj event.ObjID, forward bool, from, to int64) ([]event.Event, error) {
+// appendPosting is the shared posting walk behind the Query and Append query
+// APIs: binary-search the window bounds on the contiguous time column,
+// append the rows to buf, and charge the cost model for the rows plus the
+// buckets covered. It allocates only when buf lacks capacity, which is what
+// makes the steady-state window loop allocation-free.
+func (s *Store) appendPosting(buf []event.Event, obj event.ObjID, forward bool, from, to int64) ([]event.Event, error) {
 	if !s.sealed {
-		return nil, ErrNotSealed
+		return buf, ErrNotSealed
 	}
-	list := s.postingList(obj, forward)
-	lo, hi := s.postingRange(list, from, to)
-	out := make([]event.Event, 0, hi-lo)
-	for _, idx := range list[lo:hi] {
-		out = append(out, s.events[idx])
+	idx, times := s.posting(obj, forward)
+	lo, hi := postingRange(times, from, to)
+	if need := len(buf) + (hi - lo); need > cap(buf) {
+		grown := make([]event.Event, len(buf), need)
+		copy(grown, buf)
+		buf = grown
 	}
-	s.charge(int64(len(out)), from, to)
-	return out, nil
+	for _, q := range idx[lo:hi] {
+		buf = append(buf, s.events[q])
+	}
+	s.charge(int64(hi-lo), from, to)
+	return buf, nil
 }
 
 // countPosting is the shared cardinality estimate behind CountBackward and
@@ -405,7 +376,8 @@ func (s *Store) countPosting(obj event.ObjID, forward bool, from, to int64) (int
 	if !s.sealed {
 		return 0, ErrNotSealed
 	}
-	lo, hi := s.postingRange(s.postingList(obj, forward), from, to)
+	_, times := s.posting(obj, forward)
+	lo, hi := postingRange(times, from, to)
 	return hi - lo, nil
 }
 
@@ -417,7 +389,20 @@ func (s *Store) countPosting(obj event.ObjID, forward bool, from, to int64) (int
 // The query charges the cost model for the rows returned plus the buckets
 // covered by the window.
 func (s *Store) QueryBackward(dst event.ObjID, from, to int64) ([]event.Event, error) {
-	return s.queryPosting(dst, false, from, to)
+	return s.appendPosting(nil, dst, false, from, to)
+}
+
+// AppendBackward is QueryBackward with caller-owned storage: matching events
+// are appended to buf and the extended buffer is returned. Reusing one
+// buffer across a run's window queries keeps the hot loop allocation-free.
+// Charged cost is identical to QueryBackward.
+func (s *Store) AppendBackward(buf []event.Event, dst event.ObjID, from, to int64) ([]event.Event, error) {
+	return s.appendPosting(buf, dst, false, from, to)
+}
+
+// AppendForward is QueryForward with caller-owned storage; see AppendBackward.
+func (s *Store) AppendForward(buf []event.Event, src event.ObjID, from, to int64) ([]event.Event, error) {
+	return s.appendPosting(buf, src, true, from, to)
 }
 
 // CountBackward returns the number of events QueryBackward would return,
@@ -436,13 +421,19 @@ func (s *Store) CountForward(src event.ObjID, from, to int64) (int, error) {
 // [from, to), in ascending time order. Forward queries serve the anomaly
 // detector and forward (impact) tracking.
 func (s *Store) QueryForward(src event.ObjID, from, to int64) ([]event.Event, error) {
-	return s.queryPosting(src, true, from, to)
+	return s.appendPosting(nil, src, true, from, to)
 }
 
 // EventByID returns the stored event with the given ID.
 func (s *Store) EventByID(id event.EventID) (event.Event, bool) {
 	if !s.sealed {
 		return event.Event{}, false
+	}
+	if s.idPos != nil {
+		if id < 1 || int(id) > len(s.idPos) {
+			return event.Event{}, false
+		}
+		return s.events[s.idPos[id-1]-1], true
 	}
 	idx, ok := s.byID[id]
 	if !ok {
@@ -480,9 +471,27 @@ func (s *Store) RandomEvents(n int, rng *rand.Rand) []event.Event {
 		copy(out, s.events)
 		return out
 	}
-	idx := rng.Perm(len(s.events))[:n]
+	// Bounded partial Fisher–Yates: reproduce the first n entries of
+	// rng.Perm(len(events)) while allocating O(n) instead of O(len(events)).
+	// Perm's inside-out shuffle only ever writes positions >= n by copying
+	// (m[i] = m[j] with i >= n), while positions < n are always overwritten
+	// with the literal loop index (m[j] = i, j <= i so j < n whenever the
+	// copy read below position n). Tracking just the first n cells while
+	// consuming the identical random stream therefore yields Perm(len)[:n]
+	// bit-for-bit, so experiment event selection does not shift.
+	sel := make([]int, n)
+	for i := 0; i < len(s.events); i++ {
+		j := rng.Intn(i + 1)
+		switch {
+		case i < n:
+			sel[i] = sel[j]
+			sel[j] = i
+		case j < n:
+			sel[j] = i
+		}
+	}
 	out := make([]event.Event, 0, n)
-	for _, i := range idx {
+	for _, i := range sel {
 		out = append(out, s.events[i])
 	}
 	return out
@@ -498,10 +507,10 @@ func (s *Store) Objects() []event.Object { return s.objects }
 
 // InDegree returns the total number of events flowing into obj over the
 // store's whole history, an explosion-severity signal used by tooling.
-func (s *Store) InDegree(obj event.ObjID) int { return len(s.byDst[obj]) }
+func (s *Store) InDegree(obj event.ObjID) int { return s.byDst.count(obj) }
 
 // OutDegree returns the total number of events flowing out of obj.
-func (s *Store) OutDegree(obj event.ObjID) int { return len(s.bySrc[obj]) }
+func (s *Store) OutDegree(obj event.ObjID) int { return s.bySrc.count(obj) }
 
 // BucketSeconds returns the time-partition width.
 func (s *Store) BucketSeconds() int64 { return s.bucketSeconds }
