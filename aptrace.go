@@ -50,6 +50,7 @@ import (
 	"aptrace/internal/store"
 	"aptrace/internal/suggest"
 	"aptrace/internal/telemetry"
+	"aptrace/internal/timeline"
 	"aptrace/internal/workload"
 )
 
@@ -104,6 +105,32 @@ type (
 	// SpanRecord is one finished trace span (window.query,
 	// window.resplit, session.pause).
 	SpanRecord = telemetry.SpanRecord
+	// Span is an in-flight trace span; obtain one from the registry's
+	// Tracer. A nil *Span is a safe no-op on every method.
+	Span = telemetry.Span
+	// SpanArg is one integer annotation attached to a span (e.g. rows=12).
+	SpanArg = telemetry.SpanArg
+)
+
+// Timeline layer: the run profiler and responsiveness SLO watchdog.
+type (
+	// TimelineProfiler owns the lanes of one profiled run (or fleet of
+	// runs) and exports them as a Chrome trace-event JSON file Perfetto
+	// can load. See NewTimeline.
+	TimelineProfiler = timeline.Profiler
+	// TimelineRecorder is one lane: attach it to an analysis through
+	// ExecOptions.Timeline. A nil *TimelineRecorder disables profiling at
+	// the cost of one pointer test per emission.
+	TimelineRecorder = timeline.Recorder
+	// TimelineOptions configure a profiler (SLO gap target, stall factor,
+	// per-lane event cap, telemetry registry for the stall counter).
+	TimelineOptions = timeline.Options
+	// TimelineReport is the end-of-run SLO summary across every lane.
+	TimelineReport = timeline.Report
+	// TimelineStall is one watchdog hit: an inter-update gap that exceeded
+	// the stall limit, with the heaviest query of the gap as the suspected
+	// offender.
+	TimelineStall = timeline.Stall
 )
 
 // Explain layer: the decision flight recorder.
@@ -191,6 +218,12 @@ const (
 	// DefaultWindows is the default execution-window count k (the paper's
 	// empirical value).
 	DefaultWindows = core.DefaultWindows
+
+	// DefaultGapTarget is the SLO watchdog's default inter-update gap
+	// target (Table II's p95 for APTrace); DefaultStallFactor scales it
+	// into the stall limit.
+	DefaultGapTarget   = timeline.DefaultGapTarget
+	DefaultStallFactor = timeline.DefaultStallFactor
 
 	// Resume actions returned by Session.UpdateScript.
 	ActionRestart     = refiner.Restart
@@ -289,6 +322,20 @@ func FleetMap[T any](p *Fleet, n int, job func(int) (T, error)) ([]T, error) {
 // FleetForEach is FleetMap for jobs with no result value.
 func FleetForEach(p *Fleet, n int, job func(int) error) error {
 	return fleet.ForEach(p, n, job)
+}
+
+// NewTimeline returns a run timeline profiler: allocate a lane per analysis
+// (Lane or Lanes), attach lanes through ExecOptions.Timeline, then export
+// with WriteTrace or serve live via Handler at /debug/timeline. The zero
+// Options value uses the paper-derived SLO defaults.
+func NewTimeline(opts TimelineOptions) *TimelineProfiler { return timeline.New(opts) }
+
+// FleetMapTimeline is FleetMap with one profiler lane per job, allocated as
+// a contiguous block before any job runs so the exported trace does not
+// depend on scheduling. A nil profiler hands every job a nil (free) lane.
+func FleetMapTimeline[T any](p *Fleet, n int, tl *TimelineProfiler, name string,
+	job func(i int, lane *TimelineRecorder) (T, error)) ([]T, error) {
+	return fleet.MapTimeline(p, n, tl, name, job)
 }
 
 // RunBaseline performs classic King-Chen execute-to-complete backtracking,

@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	apbench [-exp all|severity|fig4|table1|table2|fig6|ablation-k|ablation-policy|perf]
+//	apbench [-exp all|severity|fig4|table1|table2|fig6|timeline|ablation-k|ablation-policy|perf]
 //	        [-hosts 12] [-days 10] [-density 1.5] [-samples 200] [-cap 2h] [-k 8]
-//	        [-parallel 1] [-json dir] [-metrics addr] [-pprof addr]
+//	        [-parallel 1] [-json dir] [-metrics addr] [-pprof addr] [-timeline trace.json]
 //
 // With -json, each experiment's structured result is also written as
 // BENCH_<exp>.json in the given directory, so perf trajectories can be
@@ -16,7 +16,12 @@
 // -parallel N, each experiment fans its sampled starting events across N
 // concurrent analyses over shared store views; results are collected in
 // sample order, so the tables are byte-identical to a serial run (-parallel 0
-// uses all cores).
+// uses all cores). With -timeline, every fanned-out analysis records into a
+// per-sample profiler lane; the run's Chrome trace-event file (Perfetto:
+// ui.perfetto.dev) is written to the given path, the SLO watchdog report
+// goes to stderr, and — combined with -metrics — the live trace is also
+// served at /debug/timeline. All profiler output is off stdout, so tables
+// stay byte-identical with the flag on or off.
 //
 // Paper mapping:
 //
@@ -27,6 +32,9 @@
 //	fig6            -> Figure 6      (CPU/memory during a long analysis)
 //	explain         -> decision flight recorder: zero graph effect, full
 //	                   explanation coverage, recording overhead
+//	timeline        -> run timeline profiler + SLO watchdog: zero graph
+//	                   effect, per-lane update cadence, stall detection,
+//	                   trace-event schema validation
 //	ablation-*      -> design-choice ablations from DESIGN.md
 //	perf            -> real-CPU benchmarks of the query engine hot loops
 //	                   (testing.Benchmark; BENCH_perf.json with -json)
@@ -48,18 +56,20 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment(s) to run, comma separated")
-		hosts    = flag.Int("hosts", 12, "workstations in the dataset")
-		days     = flag.Int("days", 10, "days of history")
-		density  = flag.Float64("density", 1.5, "background activity scale")
-		seed     = flag.Int64("seed", 1, "dataset seed")
-		samples  = flag.Int("samples", 200, "random starting events (the paper uses 200)")
-		cap_     = flag.Duration("cap", 2*time.Hour, "execution cap for unoptimized runs")
-		k        = flag.Int("k", aptrace.DefaultWindows, "execution-window count")
-		parallel = flag.Int("parallel", 1, "concurrent analyses per experiment (0 = all cores)")
-		jsonDir  = flag.String("json", "", "also write each experiment's result as BENCH_<exp>.json into this directory")
-		metrics  = flag.String("metrics", "", "serve /metrics and /debug/telemetry on this address during the run")
-		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (shares the -metrics mux when the addresses match)")
+		exp       = flag.String("exp", "all", "experiment(s) to run, comma separated")
+		hosts     = flag.Int("hosts", 12, "workstations in the dataset")
+		days      = flag.Int("days", 10, "days of history")
+		density   = flag.Float64("density", 1.5, "background activity scale")
+		seed      = flag.Int64("seed", 1, "dataset seed")
+		samples   = flag.Int("samples", 200, "random starting events (the paper uses 200)")
+		cap_      = flag.Duration("cap", 2*time.Hour, "execution cap for unoptimized runs")
+		k         = flag.Int("k", aptrace.DefaultWindows, "execution-window count")
+		parallel  = flag.Int("parallel", 1, "concurrent analyses per experiment (0 = all cores)")
+		jsonDir   = flag.String("json", "", "also write each experiment's result as BENCH_<exp>.json into this directory")
+		metrics   = flag.String("metrics", "", "serve /metrics and /debug/telemetry on this address during the run")
+		pprofA    = flag.String("pprof", "", "serve net/http/pprof on this address (shares the -metrics mux when the addresses match)")
+		timelineF = flag.String("timeline", "", "profile every analysis into a run timeline; write the Chrome trace-event JSON to this path")
+		gap       = flag.Duration("slo", aptrace.DefaultGapTarget, "SLO inter-update gap target for the -timeline watchdog")
 	)
 	flag.Parse()
 	if *parallel <= 0 {
@@ -67,11 +77,21 @@ func main() {
 	}
 
 	var reg *aptrace.Telemetry
-	if *metrics != "" {
+	var tl *aptrace.TimelineProfiler
+	if *metrics != "" || *timelineF != "" {
+		// The stall counter needs a registry even without -metrics.
 		reg = aptrace.NewTelemetry()
+	}
+	if *timelineF != "" {
+		tl = aptrace.NewTimeline(aptrace.TimelineOptions{GapTarget: *gap, Telemetry: reg})
+	}
+	if *metrics != "" {
 		if *pprofA == *metrics {
 			// Mount before ServeTelemetry builds the mux.
 			reg.RegisterPprof()
+		}
+		if tl != nil {
+			reg.RegisterDebug("/debug/timeline", tl.Handler())
 		}
 		_, addr, err := aptrace.ServeTelemetry(*metrics, reg)
 		if err != nil {
@@ -110,7 +130,7 @@ func main() {
 		env.Dataset.Store.NumEvents(), env.Dataset.Store.NumObjects(),
 		len(env.Dataset.Attacks), time.Since(wall).Seconds())
 
-	cfg := experiments.Config{Samples: *samples, Cap: *cap_, Windows: *k, Seed: 42, Parallel: *parallel, Telemetry: reg}
+	cfg := experiments.Config{Samples: *samples, Cap: *cap_, Windows: *k, Seed: 42, Parallel: *parallel, Telemetry: reg, Timeline: tl}
 	if *parallel > 1 {
 		// Stderr, so stdout stays byte-comparable against a serial run.
 		fmt.Fprintf(os.Stderr, "parallel analyses per experiment: %d\n", *parallel)
@@ -126,6 +146,7 @@ func main() {
 		"fig6":     func() (any, error) { return experiments.RunFig6(env, cfg, os.Stdout) },
 		"refiner":  func() (any, error) { return experiments.RunRefiner(env, cfg, os.Stdout) },
 		"explain":  func() (any, error) { return experiments.RunExplain(env, cfg, os.Stdout) },
+		"timeline": func() (any, error) { return experiments.RunTimeline(env, cfg, os.Stdout) },
 		"ablation-k": func() (any, error) {
 			return experiments.RunAblationK(env, cfg, os.Stdout)
 		},
@@ -134,7 +155,7 @@ func main() {
 		},
 		"perf": func() (any, error) { return experiments.RunPerf(env, cfg, os.Stdout) },
 	}
-	order := []string{"severity", "fig4", "table1", "table2", "fig6", "refiner", "explain", "ablation-k", "ablation-policy", "perf"}
+	order := []string{"severity", "fig4", "table1", "table2", "fig6", "refiner", "explain", "timeline", "ablation-k", "ablation-policy", "perf"}
 
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {
@@ -161,7 +182,21 @@ func main() {
 		}
 	}
 
-	if reg != nil {
+	if tl != nil {
+		f, err := os.Create(*timelineF)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tl.WriteTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "\ntimeline: trace written to %s (load in ui.perfetto.dev)\n", *timelineF)
+		tl.Report().Print(os.Stderr, nil)
+	}
+	if *metrics != "" {
 		fmt.Fprintln(os.Stderr, "\ntelemetry snapshot:")
 		enc := json.NewEncoder(os.Stderr)
 		enc.SetIndent("", "  ")

@@ -15,6 +15,12 @@
 // prints the store's telemetry snapshot for that query — lookups issued, rows
 // examined, buckets pruned — as JSON on stderr, so an analyst can see what a
 // lookup cost before turning it into a BDL heuristic.
+//
+// Like the other tools, -metrics serves /metrics (Prometheus) and
+// /debug/telemetry (JSON) for the process lifetime, and -pprof serves
+// net/http/pprof (sharing the -metrics mux when the addresses match). -trace
+// wraps the lookup in a span and dumps the recent span ring to stderr as
+// JSON afterwards.
 package main
 
 import (
@@ -38,6 +44,9 @@ func main() {
 		events   = flag.String("events", "", "show events touching objects matching the substring")
 		around   = flag.String("around", "", "show events around a BDL timestamp (MM/DD/YYYY:HH:MM:SS)")
 		n        = flag.Int("n", 20, "row limit")
+		metrics  = flag.String("metrics", "", "serve /metrics (Prometheus) and /debug/telemetry (JSON) on this address, e.g. :9090")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (shares the -metrics mux when the addresses match)")
+		trace    = flag.Bool("trace", false, "span the lookup and dump the recent span ring to stderr as JSON")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -45,40 +54,89 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	// With -stats alongside a query, a telemetry registry observes the
-	// store so the per-query work counters can be dumped afterwards.
+	// With -stats (or -metrics/-trace) alongside a query, a telemetry
+	// registry observes the store so the per-query work counters — and with
+	// -trace the lookup span — can be dumped afterwards.
 	var reg *aptrace.Telemetry
 	var opts []aptrace.StoreOption
-	if *stats {
+	if *stats || *metrics != "" || *trace {
 		reg = aptrace.NewTelemetry()
 		opts = append(opts, aptrace.WithTelemetry(reg))
+	}
+	if *metrics != "" {
+		if *pprofA == *metrics {
+			// Mount before ServeTelemetry builds the mux.
+			reg.RegisterPprof()
+		}
+		_, addr, err := aptrace.ServeTelemetry(*metrics, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics and /debug/telemetry on %s\n", addr)
+	}
+	if *pprofA != "" && *pprofA != *metrics {
+		_, addr, err := aptrace.ServePprof(*pprofA)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving /debug/pprof on %s\n", addr)
+	} else if *pprofA != "" {
+		fmt.Fprintf(os.Stderr, "pprof: sharing the -metrics mux at /debug/pprof\n")
 	}
 	st, err := aptrace.OpenStore(*storeDir, nil, opts...)
 	if err != nil {
 		fatal(err)
 	}
 
+	// span wraps one lookup so -trace has something to show; on a nil
+	// tracer (no -trace/-stats/-metrics) both calls are free no-ops.
+	span := func(name, detail string, op func()) {
+		var sp *aptrace.Span
+		if *trace {
+			sp = reg.Tracer().Start(name, nil)
+			sp.SetDetail(detail)
+		}
+		op()
+		sp.End()
+	}
+
 	switch {
 	case *objects != "":
-		printObjects(st, *objects, *n)
+		span("query.objects", *objects, func() { printObjects(st, *objects, *n) })
 	case *events != "":
-		printEvents(st, *events, *n)
+		span("query.events", *events, func() { printEvents(st, *events, *n) })
 	case *around != "":
-		printAround(st, *around, *n)
+		span("query.around", *around, func() { printAround(st, *around, *n) })
 	case *stats:
-		printStats(st)
+		span("query.stats", "", func() { printStats(st) })
+		dumpSpans(reg, *trace)
 		return
 	default:
 		fmt.Fprintln(os.Stderr, "apquery: pick one of -stats, -objects, -events, -around")
 		os.Exit(2)
 	}
-	if reg != nil {
+	dumpSpans(reg, *trace)
+	if *stats {
 		fmt.Fprintln(os.Stderr, "\ntelemetry snapshot:")
 		enc := json.NewEncoder(os.Stderr)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reg.Snapshot()); err != nil {
 			fmt.Fprintln(os.Stderr, "apquery: telemetry snapshot:", err)
 		}
+	}
+}
+
+// dumpSpans prints the registry's recent span ring — the lookup span plus
+// any store-internal spans it covered — to stderr as JSON.
+func dumpSpans(reg *aptrace.Telemetry, trace bool) {
+	if !trace {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "\nrecent spans:")
+	enc := json.NewEncoder(os.Stderr)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reg.Tracer().Spans()); err != nil {
+		fmt.Fprintln(os.Stderr, "apquery: span dump:", err)
 	}
 }
 

@@ -23,6 +23,14 @@
 // -simulate attaches the query cost model to a virtual clock, reporting
 // analysis time in modeled database-latency terms; without it, timings are
 // wall clock (the store is in memory, so they are near zero).
+//
+// With -timeline, the run (or every batch alert, one lane each) is profiled
+// into a run timeline: window lifecycle, query costs, graph updates, and
+// session pauses, exported as Chrome trace-event JSON (load the file in
+// ui.perfetto.dev) and served live at /debug/timeline when -metrics is on.
+// The SLO watchdog flags any inter-update gap beyond 3x the -slo target and
+// the end-of-run report (stderr) names the offending query, correlated with
+// -explain decision records when both are enabled.
 package main
 
 import (
@@ -43,19 +51,21 @@ import (
 
 func main() {
 	var (
-		storeDir = flag.String("store", "", "store directory (required)")
-		script   = flag.String("script", "", "BDL script file")
-		alerts   = flag.Bool("alerts", false, "scan the store with the anomaly detector and list alerts")
-		simulate = flag.Bool("simulate", false, "charge the query cost model to a virtual clock")
-		k        = flag.Int("k", aptrace.DefaultWindows, "execution-window count")
-		quiet    = flag.Bool("quiet", false, "suppress the per-update progress stream")
-		doSug    = flag.Bool("suggest", false, "after the run, propose exclusion heuristics for the next script version")
-		inter    = flag.Bool("interactive", false, "start the interactive analyst console")
-		metrics  = flag.String("metrics", "", "serve /metrics (Prometheus) and /debug/telemetry (JSON) on this address, e.g. :9090")
-		batch    = flag.Bool("batch", false, "run the script from every matching starting event (see -parallel)")
-		parallel = flag.Int("parallel", 1, "concurrent analyses in -batch mode (0 = all cores)")
-		explArg  = flag.String("explain", "", "record every analysis decision and explain the result: an object ID, \"all\" (every graph node), \"frontier\" (pruned candidates), or \"on\" (record only, for -interactive); explanations go to stderr")
-		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (shares the -metrics mux when the addresses match)")
+		storeDir  = flag.String("store", "", "store directory (required)")
+		script    = flag.String("script", "", "BDL script file")
+		alerts    = flag.Bool("alerts", false, "scan the store with the anomaly detector and list alerts")
+		simulate  = flag.Bool("simulate", false, "charge the query cost model to a virtual clock")
+		k         = flag.Int("k", aptrace.DefaultWindows, "execution-window count")
+		quiet     = flag.Bool("quiet", false, "suppress the per-update progress stream")
+		doSug     = flag.Bool("suggest", false, "after the run, propose exclusion heuristics for the next script version")
+		inter     = flag.Bool("interactive", false, "start the interactive analyst console")
+		metrics   = flag.String("metrics", "", "serve /metrics (Prometheus) and /debug/telemetry (JSON) on this address, e.g. :9090")
+		batch     = flag.Bool("batch", false, "run the script from every matching starting event (see -parallel)")
+		parallel  = flag.Int("parallel", 1, "concurrent analyses in -batch mode (0 = all cores)")
+		explArg   = flag.String("explain", "", "record every analysis decision and explain the result: an object ID, \"all\" (every graph node), \"frontier\" (pruned candidates), or \"on\" (record only, for -interactive); explanations go to stderr")
+		pprofA    = flag.String("pprof", "", "serve net/http/pprof on this address (shares the -metrics mux when the addresses match)")
+		timelineF = flag.String("timeline", "", "profile the run(s) into a timeline; write the Chrome trace-event JSON to this path")
+		gap       = flag.Duration("slo", aptrace.DefaultGapTarget, "SLO inter-update gap target for the -timeline watchdog")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -79,6 +89,12 @@ func main() {
 		// Mount the decision dump next to the telemetry endpoints; must
 		// happen before ServeTelemetry builds the mux.
 		reg.RegisterDebug("/debug/explain", rec.Handler())
+	}
+	var tl *aptrace.TimelineProfiler
+	if *timelineF != "" {
+		tl = aptrace.NewTimeline(aptrace.TimelineOptions{GapTarget: *gap, Telemetry: reg})
+		// Live view of the trace, same mux rule as /debug/explain.
+		reg.RegisterDebug("/debug/timeline", tl.Handler())
 	}
 	if reg != nil {
 		if *pprofA == *metrics {
@@ -113,9 +129,12 @@ func main() {
 		return
 	}
 	if *inter {
-		console := repl.New(st, aptrace.ExecOptions{Windows: *k, Telemetry: reg, Explain: rec}, os.Stdout)
+		console := repl.New(st, aptrace.ExecOptions{Windows: *k, Telemetry: reg, Explain: rec, Timeline: tl.Lane("console")}, os.Stdout)
 		if _, err := console.Run(os.Stdin); err != nil {
 			fatal(err)
+		}
+		if tl != nil {
+			writeTimeline(tl, *timelineF, rec)
 		}
 		return
 	}
@@ -131,11 +150,35 @@ func main() {
 		if *parallel <= 0 {
 			*parallel = runtime.GOMAXPROCS(0)
 		}
-		runBatch(st, string(raw), *k, *parallel, *simulate, reg, *explArg)
+		runBatch(st, string(raw), *k, *parallel, *simulate, reg, *explArg, tl)
 	} else {
-		runScript(st, string(raw), *k, *quiet, *doSug, reg, rec, *explArg)
+		runScript(st, string(raw), *k, *quiet, *doSug, reg, rec, *explArg, tl)
+	}
+	if tl != nil {
+		writeTimeline(tl, *timelineF, rec)
 	}
 	dumpTelemetry(reg)
+}
+
+// writeTimeline exports the profiler's trace and prints the SLO report to
+// stderr, correlating stalls against the decision recorder when -explain ran.
+func writeTimeline(tl *aptrace.TimelineProfiler, path string, rec *aptrace.ExplainRecorder) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tl.WriteTrace(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "\ntimeline: trace written to %s (load in ui.perfetto.dev)\n", path)
+	var recs []aptrace.ExplainRecord
+	if rec != nil {
+		recs = rec.Records()
+	}
+	tl.Report().Print(os.Stderr, recs)
 }
 
 // runBatch runs the script from every event matching its starting point,
@@ -143,7 +186,7 @@ func main() {
 // view of the store (own clock and counters, shared event log), so the runs
 // neither contend nor interfere; the summary table is printed in event
 // order, independent of scheduling.
-func runBatch(st *aptrace.Store, src string, k, workers int, simulate bool, reg *aptrace.Telemetry, explArg string) {
+func runBatch(st *aptrace.Store, src string, k, workers int, simulate bool, reg *aptrace.Telemetry, explArg string, tl *aptrace.TimelineProfiler) {
 	plan, err := aptrace.CompileScript(src)
 	if err != nil {
 		fatal(err)
@@ -188,7 +231,10 @@ func runBatch(st *aptrace.Store, src string, k, workers int, simulate bool, reg 
 		rec     *aptrace.ExplainRecorder // per-run recorder (nil unless -explain)
 	}
 	wall := time.Now()
-	runs, err := aptrace.FleetMap(pool, len(starts), func(i int) (outcome, error) {
+	// Lanes are pre-allocated by alert index — the trace cannot depend on
+	// which worker ran which alert. FleetMapTimeline hands each job its lane
+	// (nil, and therefore free, when -timeline is off).
+	runs, err := aptrace.FleetMapTimeline(pool, len(starts), tl, "alert", func(i int, lane *aptrace.TimelineRecorder) (outcome, error) {
 		var clk aptrace.Clock
 		if simulate {
 			clk = aptrace.NewSimulatedClock()
@@ -209,7 +255,7 @@ func runBatch(st *aptrace.Store, src string, k, workers int, simulate bool, reg 
 		if explArg != "" {
 			rec = aptrace.NewExplainRecorder(0, reg)
 		}
-		x, err := aptrace.NewExecutor(view, p, aptrace.ExecOptions{Windows: k, Telemetry: reg, Explain: rec})
+		x, err := aptrace.NewExecutor(view, p, aptrace.ExecOptions{Windows: k, Telemetry: reg, Explain: rec, Timeline: lane})
 		if err != nil {
 			return outcome{}, err
 		}
@@ -303,12 +349,13 @@ func listAlerts(st *aptrace.Store) {
 	fmt.Fprintf(os.Stderr, "%d alerts\n", len(found))
 }
 
-func runScript(st *aptrace.Store, src string, k int, quiet, doSuggest bool, reg *aptrace.Telemetry, rec *aptrace.ExplainRecorder, explArg string) {
+func runScript(st *aptrace.Store, src string, k int, quiet, doSuggest bool, reg *aptrace.Telemetry, rec *aptrace.ExplainRecorder, explArg string, tl *aptrace.TimelineProfiler) {
 	var times []time.Time
 	sess := aptrace.NewSession(st, aptrace.ExecOptions{
 		Windows:   k,
 		Telemetry: reg,
 		Explain:   rec,
+		Timeline:  tl.Lane("run"),
 		OnUpdate: func(u aptrace.Update) {
 			times = append(times, u.At)
 			if quiet {

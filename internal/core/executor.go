@@ -15,6 +15,7 @@ import (
 	"aptrace/internal/simclock"
 	"aptrace/internal/store"
 	"aptrace/internal/telemetry"
+	"aptrace/internal/timeline"
 )
 
 // DefaultWindows is the default window count k; the paper's blue team used
@@ -90,6 +91,12 @@ type Options struct {
 	// EXPLAIN query layer. Nil disables recording at the cost of one
 	// pointer test per emission site.
 	Explain *explain.Recorder
+	// Timeline, if set, is this run's profiler lane: the executor emits
+	// the window lifecycle (enqueue/query/resplit/abandon) and graph
+	// updates into it, the store's charged query cost is attributed to it,
+	// and its SLO watchdog measures the inter-update gap. Nil disables
+	// profiling at the cost of one pointer test per emission site.
+	Timeline *timeline.Recorder
 }
 
 // DefaultMaxWindowRows is the default per-window retrieval cap. At the
@@ -135,7 +142,9 @@ type Executor struct {
 	tel        execMetrics
 	tracer     *telemetry.Tracer
 	rec        *explain.Recorder
-	lastUpdate time.Time // timestamp of the latest distinct update
+	tl         *timeline.Recorder
+	runSpan    *telemetry.Span // open from Prepare to the end of the run
+	lastUpdate time.Time       // timestamp of the latest distinct update
 }
 
 // execMetrics holds the executor's pre-resolved instruments; all nil (and
@@ -176,6 +185,14 @@ func New(st *store.Store, plan *refiner.Plan, opts Options) (*Executor, error) {
 	x.tracer = opts.Telemetry.Tracer()
 	x.rec = opts.Explain
 	x.rec.SetClock(st.Clock())
+	x.tl = opts.Timeline
+	if x.tl != nil {
+		// Per-window cost attribution: the store reports every charged
+		// query's rows/buckets/cost, which the lane folds into the next
+		// window.query trace event. The store (usually a per-run view) is
+		// private to this run, so the observer never crosses runs.
+		st.SetCostObserver(x.tl.ObserveQueryCost)
+	}
 	x.cond = sync.NewCond(&x.mu)
 	return x, nil
 }
@@ -336,6 +353,16 @@ func (x *Executor) Prepare(alert event.Event) error {
 	x.pq = windowHeap{fifo: x.opts.FIFOQueue, forward: x.fwd}
 	x.mu.Unlock()
 
+	// The whole run is one root span; window spans nest under it, and the
+	// timeline lane anchors its SLO watchdog at the start (so
+	// time-to-first-update is measured too).
+	if x.tracer != nil {
+		x.runSpan = x.tracer.StartAt(telemetry.SpanRun, nil, x.started)
+		x.runSpan.SetLane(x.tl.LaneID())
+		x.runSpan.SetDetail(fmt.Sprintf("event=%d", alert.ID))
+	}
+	x.tl.RunStart(x.started, alert.ID)
+
 	// The alert edge seeds the graph before exploration starts: record the
 	// hop-0 object and the second endpoint so every graph node — including
 	// the two the analyst named — has an inclusion record.
@@ -406,24 +433,34 @@ loop:
 		}
 	}
 
+	endAt := x.clk.Now()
+
 	// Windows still queued when a budget or the analyst ended the run are
 	// frontiers the analysis never explored: record each so Explain can say
 	// "this region was abandoned", not just stay silent about it.
-	if x.rec != nil && reason != Completed {
+	if (x.rec != nil || x.tl != nil) && reason != Completed {
 		for {
 			w, ok := x.pq.pop()
 			if !ok {
 				break
 			}
 			x.rec.WindowAbandoned(w.Obj, w.Begin, w.Finish, reason.String())
+			x.tl.Abandoned(endAt, w.Obj, w.Begin, w.Finish, reason.String())
 		}
+	}
+
+	// Close the run: the lane's watchdog checks the tail gap (a run may
+	// stall by ending long after its last update) and the root span ends.
+	x.tl.RunEnd(endAt, reason.String())
+	if x.runSpan != nil {
+		x.runSpan.EndAt(endAt)
 	}
 
 	return &Result{
 		Graph:   x.g,
 		Reason:  reason,
 		Updates: x.updates,
-		Elapsed: x.clk.Now().Sub(x.started),
+		Elapsed: endAt.Sub(x.started),
 		Windows: x.windows,
 	}, nil
 }
@@ -485,6 +522,9 @@ func (x *Executor) enqueue(e event.Event, boost int) {
 		w.State = state
 		w.Boost = boost
 		x.rec.WindowEnqueued(w.Obj, w.Begin, w.Finish, w.Card, w.State, w.Boost)
+		if x.tl != nil {
+			x.tl.Enqueued(x.clk.Now(), w.Obj, w.Begin, w.Finish, w.Card)
+		}
 		x.pq.push(w)
 	}
 	x.tel.queueDepth.Set(int64(x.pq.Len()))
@@ -531,6 +571,9 @@ func (x *Executor) enqueueForward(e event.Event, boost int) {
 		w.State = state
 		w.Boost = boost
 		x.rec.WindowEnqueued(w.Obj, w.Begin, w.Finish, w.Card, w.State, w.Boost)
+		if x.tl != nil {
+			x.tl.Enqueued(x.clk.Now(), w.Obj, w.Begin, w.Finish, w.Card)
+		}
 		x.pq.push(w)
 	}
 	x.tel.queueDepth.Set(int64(x.pq.Len()))
@@ -576,8 +619,13 @@ func (x *Executor) processWindow(w ExecWindow) error {
 		if n > x.opts.MaxWindowRows {
 			var sp *telemetry.Span
 			if x.tracer != nil {
-				sp = x.tracer.StartAt(telemetry.SpanWindowResplit, nil, x.clk.Now())
+				sp = x.tracer.StartAt(telemetry.SpanWindowResplit, x.runSpan, x.clk.Now())
+				sp.SetLane(x.tl.LaneID())
 				sp.SetDetail(fmt.Sprintf("obj=%d rows=%d span=%ds", w.Obj, n, w.Finish-w.Begin))
+				sp.AddArg("card", int64(n))
+			}
+			if x.tl != nil {
+				x.tl.Resplit(x.clk.Now(), w.Obj, w.Begin, w.Finish, n)
 			}
 			mid := w.Begin + (w.Finish-w.Begin)/2
 			far, near := w, w
@@ -599,10 +647,16 @@ func (x *Executor) processWindow(w ExecWindow) error {
 			x.rec.WindowResplit(w.Obj, w.Begin, w.Finish, n)
 			if near.Card > 0 {
 				x.rec.WindowEnqueued(near.Obj, near.Begin, near.Finish, near.Card, near.State, near.Boost)
+				if x.tl != nil {
+					x.tl.Enqueued(x.clk.Now(), near.Obj, near.Begin, near.Finish, near.Card)
+				}
 				x.pq.push(near)
 			}
 			if far.Card > 0 {
 				x.rec.WindowEnqueued(far.Obj, far.Begin, far.Finish, far.Card, far.State, far.Boost)
+				if x.tl != nil {
+					x.tl.Enqueued(x.clk.Now(), far.Obj, far.Begin, far.Finish, far.Card)
+				}
 				x.pq.push(far)
 			}
 			x.tel.resplits.Inc()
@@ -616,15 +670,28 @@ func (x *Executor) processWindow(w ExecWindow) error {
 	x.windows++
 	x.tel.windows.Inc()
 	var qsp *telemetry.Span
+	var qstart time.Time
+	if x.tracer != nil || x.tl != nil {
+		qstart = x.clk.Now()
+	}
 	if x.tracer != nil {
-		qsp = x.tracer.StartAt(telemetry.SpanWindowQuery, nil, x.clk.Now())
+		qsp = x.tracer.StartAt(telemetry.SpanWindowQuery, x.runSpan, qstart)
+		qsp.SetLane(x.tl.LaneID())
 		qsp.SetDetail(fmt.Sprintf("obj=%d [%d,%d)", w.Obj, w.Begin, w.Finish))
 	}
 	// The window query appends into a buffer reused across every window of
 	// the run, so the steady-state loop performs no allocations.
 	depsBuf, err := x.query(x.depsBuf[:0], w.Obj, w.Begin, w.Finish)
-	if qsp != nil {
-		qsp.EndAt(x.clk.Now())
+	if x.tracer != nil || x.tl != nil {
+		qend := x.clk.Now()
+		if qsp != nil {
+			// The charged cost as span args: retrieved rows plus the
+			// enqueue-time posting estimate the scheduler priced it at.
+			qsp.AddArg("rows", int64(len(depsBuf)))
+			qsp.AddArg("card", int64(w.Card))
+			qsp.EndAt(qend)
+		}
+		x.tl.Query(qstart, qend, w.Obj, w.Begin, w.Finish, len(depsBuf))
 	}
 	if err != nil {
 		return err
@@ -705,8 +772,11 @@ func (x *Executor) processWindow(w ExecWindow) error {
 			x.rec.EdgeAdded(dep.ID, src, known, hop, w.Begin, w.Finish, boost)
 		}
 		x.updates++
-		if x.opts.OnUpdate != nil || x.tel.updateGap != nil {
+		if x.opts.OnUpdate != nil || x.tel.updateGap != nil || x.tl != nil {
 			now := x.clk.Now()
+			// The lane's watchdog measures between distinct instants; the
+			// recorder itself collapses same-instant edges into one update.
+			x.tl.Update(now)
 			// The inter-update gap histogram is Table II's statistic as a
 			// live metric: edges landing at the same instant (one
 			// retrieval's batch) are one update, so gaps are measured

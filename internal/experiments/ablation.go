@@ -11,6 +11,7 @@ import (
 	"aptrace/internal/simclock"
 	"aptrace/internal/stats"
 	"aptrace/internal/store"
+	"aptrace/internal/timeline"
 )
 
 // AblationRow summarizes one executor variant's responsiveness over the
@@ -79,12 +80,13 @@ func runVariant(env *Env, cfg Config, name string, opts core.Options) (AblationR
 		updated bool
 		windows int
 	}
-	runs, err := fanOut(env, cfg, events,
-		func(st *store.Store, clk *simclock.Simulated, ev event.Event) (run, error) {
+	runs, err := fanOut(env, cfg, events, "ablation "+name,
+		func(st *store.Store, clk *simclock.Simulated, ev event.Event, lane *timeline.Recorder) (run, error) {
 			start := clk.Now()
 			var times []time.Time
 			o := opts
 			o.Telemetry = cfg.Telemetry
+			o.Timeline = lane
 			o.OnUpdate = func(u graph.Update) { times = append(times, u.At) }
 			x, err := core.New(st, wildcardPlan(cfg.Cap), o)
 			if err != nil {

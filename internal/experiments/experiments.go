@@ -28,6 +28,7 @@ import (
 	"aptrace/internal/simclock"
 	"aptrace/internal/store"
 	"aptrace/internal/telemetry"
+	"aptrace/internal/timeline"
 	"aptrace/internal/workload"
 )
 
@@ -53,12 +54,25 @@ type Config struct {
 	// create, so a benchmark run leaves live metrics behind. Nil (the
 	// default) keeps the harness unobserved.
 	Telemetry *telemetry.Registry
+	// Timeline, if set, profiles every fanned-out analysis: each sampled
+	// starting event records into its own lane (allocated by sample index,
+	// so the exported trace is byte-identical serial vs parallel), and the
+	// profiler's SLO watchdog measures every run's update cadence. Nil
+	// (the default) profiles nothing at near-zero cost.
+	Timeline *timeline.Profiler
 }
 
 // execOptions returns the baseline core options for this config, with the
 // telemetry registry attached.
 func (c Config) execOptions() core.Options {
 	return core.Options{Windows: c.Windows, Telemetry: c.Telemetry}
+}
+
+// laneOptions is execOptions plus this run's profiler lane.
+func (c Config) laneOptions(lane *timeline.Recorder) core.Options {
+	o := c.execOptions()
+	o.Timeline = lane
+	return o
 }
 
 // DefaultConfig mirrors the paper's experiment parameters.
@@ -98,21 +112,24 @@ func (e *Env) sampleEvents(n int, seed int64) []event.Event {
 // the aggregates — and every printed table — bit-for-bit identical to the
 // serial loop, while real wall-clock work spreads across cfg.Parallel
 // goroutines.
-func fanOut[T any](env *Env, cfg Config, events []event.Event,
-	job func(st *store.Store, clk *simclock.Simulated, ev event.Event) (T, error)) ([]T, error) {
+// Each job also receives its own profiler lane (nil unless cfg.Timeline is
+// set), named "name i" with the lane ID pinned to the sample index before
+// dispatch — the trace, like the tables, cannot depend on scheduling.
+func fanOut[T any](env *Env, cfg Config, events []event.Event, name string,
+	job func(st *store.Store, clk *simclock.Simulated, ev event.Event, lane *timeline.Recorder) (T, error)) ([]T, error) {
 	workers := cfg.Parallel
 	if workers < 1 {
 		workers = 1
 	}
 	pool := fleet.New(workers, cfg.Telemetry)
-	return fleet.Map(pool, len(events), func(i int) (T, error) {
+	return fleet.MapTimeline(pool, len(events), cfg.Timeline, name, func(i int, lane *timeline.Recorder) (T, error) {
 		clk := simclock.NewSimulated(time.Time{})
 		v, err := env.Dataset.Store.View(clk)
 		if err != nil {
 			var zero T
 			return zero, err
 		}
-		return job(v, clk, events[i])
+		return job(v, clk, events[i], lane)
 	})
 }
 

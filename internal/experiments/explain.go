@@ -12,6 +12,7 @@ import (
 	"aptrace/internal/refiner"
 	"aptrace/internal/simclock"
 	"aptrace/internal/store"
+	"aptrace/internal/timeline"
 )
 
 // ExplainResult is the outcome of the decision-flight-recorder experiment:
@@ -73,8 +74,8 @@ func RunExplain(env *Env, cfg Config, w io.Writer) (*ExplainResult, error) {
 		dropped       uint64
 		wall          time.Duration
 	}
-	runs, err := fanOut(env, cfg, events,
-		func(st *store.Store, clk *simclock.Simulated, ev event.Event) (xrun, error) {
+	runs, err := fanOut(env, cfg, events, "explain",
+		func(st *store.Store, clk *simclock.Simulated, ev event.Event, lane *timeline.Recorder) (xrun, error) {
 			// Plain run on the fanOut-provided view.
 			x1, err := core.New(st, explainPlan(), cfg.execOptions())
 			if err != nil {
@@ -85,14 +86,16 @@ func RunExplain(env *Env, cfg Config, w io.Writer) (*ExplainResult, error) {
 				return xrun{}, err
 			}
 
-			// Recorded run on a second private view and clock.
+			// Recorded run on a second private view and clock; the timeline
+			// lane rides along on this one (it shares the recorder's
+			// zero-effect obligation, checked below).
 			clk2 := simclock.NewSimulated(time.Time{})
 			v2, err := env.Dataset.Store.View(clk2)
 			if err != nil {
 				return xrun{}, err
 			}
 			rec := explain.New(0, cfg.Telemetry)
-			opts := cfg.execOptions()
+			opts := cfg.laneOptions(lane)
 			opts.Explain = rec
 			x2, err := core.New(v2, explainPlan(), opts)
 			if err != nil {

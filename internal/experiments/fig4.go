@@ -11,6 +11,7 @@ import (
 	"aptrace/internal/simclock"
 	"aptrace/internal/stats"
 	"aptrace/internal/store"
+	"aptrace/internal/timeline"
 )
 
 // Fig4Result holds, for each time-limit threshold k (minutes), the
@@ -37,18 +38,26 @@ func RunFig4(env *Env, cfg Config, w io.Writer) (*Fig4Result, error) {
 		at   time.Duration
 		size int
 	}
-	curves, err := fanOut(env, cfg, events,
-		func(st *store.Store, clk *simclock.Simulated, ev event.Event) ([]point, error) {
+	curves, err := fanOut(env, cfg, events, "fig4",
+		func(st *store.Store, clk *simclock.Simulated, ev event.Event, lane *timeline.Recorder) ([]point, error) {
 			start := clk.Now()
+			lane.RunStart(start, ev.ID)
 			var curve []point
-			if _, err := baseline.Run(st, ev, baseline.Options{
+			out, err := baseline.Run(st, ev, baseline.Options{
 				TimeBudget: maxMinutes * time.Minute,
 				OnUpdate: func(u graph.Update) {
 					curve = append(curve, point{u.At.Sub(start), u.Edges})
+					lane.Update(u.At)
 				},
-			}); err != nil {
+			})
+			if err != nil {
 				return nil, err
 			}
+			reason := "completed"
+			if !out.Completed {
+				reason = "time budget exceeded"
+			}
+			lane.RunEnd(clk.Now(), reason)
 			return curve, nil
 		})
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"aptrace/internal/simclock"
 	"aptrace/internal/stats"
 	"aptrace/internal/store"
+	"aptrace/internal/timeline"
 )
 
 // Table2Side is one row of Table II: the inter-update waiting-time
@@ -56,25 +57,35 @@ func RunTable2(env *Env, cfg Config, w io.Writer) (*Table2Result, error) {
 		return run{deltas: stats.Deltas(times), updates: len(times)}
 	}
 
-	baseRuns, err := fanOut(env, cfg, events,
-		func(st *store.Store, clk *simclock.Simulated, ev event.Event) (run, error) {
+	baseRuns, err := fanOut(env, cfg, events, "table2/baseline",
+		func(st *store.Store, clk *simclock.Simulated, ev event.Event, lane *timeline.Recorder) (run, error) {
 			var times []time.Time
-			if _, err := baseline.Run(st, ev, baseline.Options{
+			lane.RunStart(clk.Now(), ev.ID)
+			out, err := baseline.Run(st, ev, baseline.Options{
 				TimeBudget: cfg.Cap,
-				OnUpdate:   func(u graph.Update) { times = append(times, u.At) },
-			}); err != nil {
+				OnUpdate: func(u graph.Update) {
+					times = append(times, u.At)
+					lane.Update(u.At)
+				},
+			})
+			if err != nil {
 				return run{}, err
 			}
+			reason := "completed"
+			if !out.Completed {
+				reason = "time budget exceeded"
+			}
+			lane.RunEnd(clk.Now(), reason)
 			return collect(times), nil
 		})
 	if err != nil {
 		return nil, err
 	}
 
-	apRuns, err := fanOut(env, cfg, events,
-		func(st *store.Store, clk *simclock.Simulated, ev event.Event) (run, error) {
+	apRuns, err := fanOut(env, cfg, events, "table2/aptrace",
+		func(st *store.Store, clk *simclock.Simulated, ev event.Event, lane *timeline.Recorder) (run, error) {
 			var times []time.Time
-			o := cfg.execOptions()
+			o := cfg.laneOptions(lane)
 			o.OnUpdate = func(u graph.Update) { times = append(times, u.At) }
 			x, err := core.New(st, wildcardPlan(cfg.Cap), o)
 			if err != nil {

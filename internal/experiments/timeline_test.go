@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"aptrace/internal/telemetry"
+	"aptrace/internal/timeline"
+)
+
+func TestRunTimeline(t *testing.T) {
+	env := testEnv(t)
+	cfg := testCfg()
+	cfg.Telemetry = telemetry.NewRegistry()
+	cfg.Timeline = timeline.New(timeline.Options{Telemetry: cfg.Telemetry})
+
+	var buf bytes.Buffer
+	res, err := RunTimeline(env, cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != cfg.Samples {
+		t.Fatalf("samples = %d, want %d", res.Samples, cfg.Samples)
+	}
+	if !res.GraphsIdentical {
+		t.Error("profiling changed the analysis output")
+	}
+	if !res.TraceValid {
+		t.Error("exported trace failed schema validation")
+	}
+	if res.APUpdates == 0 || res.APQueries == 0 {
+		t.Errorf("APTrace lanes empty: %d updates, %d queries", res.APUpdates, res.APQueries)
+	}
+	if res.BaseUpdates == 0 {
+		t.Errorf("baseline lanes empty: %d updates", res.BaseUpdates)
+	}
+	// The monolithic baseline must be the less responsive engine — that
+	// asymmetry is the watchdog's whole reason to exist.
+	if res.BaseWorstGap <= res.APWorstGap {
+		t.Errorf("baseline worst gap %v not above APTrace's %v", res.BaseWorstGap, res.APWorstGap)
+	}
+	out := buf.String()
+	for _, want := range []string{"SLO", "APTrace", "baseline", "trace-event JSON schema"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunTimelineWithoutProfiler checks the experiment provisions its own
+// profiler when the config carries none.
+func TestRunTimelineWithoutProfiler(t *testing.T) {
+	env := testEnv(t)
+	cfg := testCfg()
+	cfg.Samples = 8
+	var buf bytes.Buffer
+	res, err := RunTimeline(env, cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.GraphsIdentical || !res.TraceValid {
+		t.Fatalf("self-provisioned run unhealthy: %+v", res)
+	}
+}
+
+// TestTimelineParallelMatchesSerial holds the determinism contract for the
+// profiler itself: stdout AND the exported trace bytes must be identical
+// between a serial and a parallel run.
+func TestTimelineParallelMatchesSerial(t *testing.T) {
+	env := testEnv(t)
+
+	type outcome struct {
+		res   *TimelineResult
+		table []byte
+		trace []byte
+	}
+	run := func(parallel int) outcome {
+		cfg := testCfg()
+		cfg.Samples = 12
+		cfg.Cap = 20 * time.Minute
+		cfg.Parallel = parallel
+		cfg.Timeline = timeline.New(timeline.Options{})
+		var buf bytes.Buffer
+		res, err := RunTimeline(env, cfg, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace bytes.Buffer
+		if err := cfg.Timeline.WriteTrace(&trace); err != nil {
+			t.Fatal(err)
+		}
+		return outcome{res: res, table: buf.Bytes(), trace: trace.Bytes()}
+	}
+
+	serial := run(1)
+	parallel := run(4)
+	if !bytes.Equal(serial.table, parallel.table) {
+		t.Fatalf("parallel table differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.table, parallel.table)
+	}
+	if !bytes.Equal(serial.trace, parallel.trace) {
+		t.Fatal("parallel trace bytes differ from serial")
+	}
+	if !reflect.DeepEqual(serial.res, parallel.res) {
+		t.Fatalf("structured results diverge:\n%+v\nvs\n%+v", serial.res, parallel.res)
+	}
+}
+
+// TestFanOutLanesStdoutUnchanged: attaching a profiler to the classic
+// experiments must not move a byte of their stdout (the lanes only observe).
+func TestFanOutLanesStdoutUnchanged(t *testing.T) {
+	env := testEnv(t)
+	plain := testCfg()
+	plain.Samples = 10
+	profiled := plain
+	profiled.Timeline = timeline.New(timeline.Options{})
+
+	var a, b bytes.Buffer
+	if _, err := RunTable2(env, plain, &a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunTable2(env, profiled, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("profiling moved table2 stdout:\n--- off ---\n%s\n--- on ---\n%s", a.String(), b.String())
+	}
+	if profiled.Timeline.Report().Events == 0 {
+		t.Fatal("profiler recorded nothing during table2")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"aptrace/internal/telemetry"
+	"aptrace/internal/timeline"
 )
 
 // Pool is a bounded worker pool for analysis runs. A Pool is stateless
@@ -119,4 +120,21 @@ func ForEach(p *Pool, n int, job func(int) error) error {
 		return struct{}{}, job(i)
 	})
 	return err
+}
+
+// MapTimeline is Map with one profiler lane per job. Lanes are allocated
+// as one contiguous block — named "name i" with IDs pinned to job indexes —
+// before any job runs, so the exported trace is identical no matter how
+// the pool schedules the work. A nil profiler hands every job a nil (and
+// therefore free) lane.
+func MapTimeline[T any](p *Pool, n int, tl *timeline.Profiler, name string,
+	job func(i int, lane *timeline.Recorder) (T, error)) ([]T, error) {
+	lanes := tl.Lanes(name, n)
+	return Map(p, n, func(i int) (T, error) {
+		var lane *timeline.Recorder
+		if lanes != nil {
+			lane = lanes[i]
+		}
+		return job(i, lane)
+	})
 }

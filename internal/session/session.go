@@ -24,6 +24,7 @@ import (
 	"aptrace/internal/refiner"
 	"aptrace/internal/store"
 	"aptrace/internal/telemetry"
+	"aptrace/internal/timeline"
 )
 
 // Session drives one investigation over a sealed store.
@@ -49,6 +50,7 @@ type Session struct {
 	tracer     *telemetry.Tracer
 	pauseSpan  *telemetry.Span // open from Pause until Resume/Stop
 	rec        *explain.Recorder
+	tl         *timeline.Recorder
 
 	done chan struct{}
 	res  *core.Result
@@ -68,6 +70,7 @@ func New(st *store.Store, opts core.Options) *Session {
 	s.telResumes = opts.Telemetry.Counter(telemetry.MetricSessionResumes)
 	s.tracer = opts.Telemetry.Tracer()
 	s.rec = opts.Explain
+	s.tl = opts.Timeline
 	return s
 }
 
@@ -237,6 +240,7 @@ func (s *Session) Pause() {
 		x.Pause()
 		s.telPauses.Inc()
 		s.rec.Pause()
+		s.tl.Pause(s.st.Clock().Now())
 		s.log(JournalEntry{Action: "pause"})
 	}
 }
@@ -251,6 +255,7 @@ func (s *Session) Resume() {
 		x.Resume()
 		s.telResumes.Inc()
 		s.rec.Resume()
+		s.tl.Resume(s.st.Clock().Now())
 		s.log(JournalEntry{Action: "resume"})
 	}
 }
@@ -310,6 +315,7 @@ func (s *Session) UpdateScript(scriptSrc string) (refiner.ResumeAction, error) {
 		s.plan = plan
 	}
 	s.rec.PlanUpdate(action.String(), delta)
+	s.tl.PlanUpdate(s.st.Clock().Now(), action.String()+": "+delta)
 	if s.journal != nil {
 		e := JournalEntry{Action: "update-script", Script: scriptSrc, Decision: action.String(), Detail: delta, AnalysisAt: s.st.Clock().Now()}
 		if g := s.x.Graph(); g != nil {

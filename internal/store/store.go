@@ -84,6 +84,10 @@ type Store struct {
 
 	reg *telemetry.Registry
 	tel storeMetrics
+
+	// costObs, if set, observes every charged query (timeline cost
+	// attribution). Per store/view, never inherited by View.
+	costObs CostObserver
 }
 
 // storeMetrics holds the store's pre-resolved telemetry instruments. All
@@ -167,6 +171,20 @@ func (s *Store) SetTelemetry(reg *telemetry.Registry) {
 
 // Telemetry returns the attached registry (nil when disabled).
 func (s *Store) Telemetry() *telemetry.Registry { return s.reg }
+
+// CostObserver receives, per charged query, the rows examined, posting
+// buckets walked, and modeled cost the store billed to its clock. The
+// timeline profiler uses it for per-window cost attribution.
+type CostObserver func(rows, buckets int64, cost time.Duration)
+
+// SetCostObserver attaches (or detaches, with nil) a per-query cost
+// observer. Like SetTelemetry it is not safe to call concurrently with
+// queries; attach the observer before the run starts. Views do not
+// inherit the parent's observer — each run attaches its own to its own
+// view, so parallel fleets never share one.
+func (s *Store) SetCostObserver(fn CostObserver) {
+	s.costObs = fn
+}
 
 // CostModel returns the query cost model in effect.
 func (s *Store) CostModel() simclock.CostModel { return s.cost }
@@ -326,6 +344,9 @@ func (s *Store) charge(rows, from, to int64) {
 	s.tel.bucketsPruned.Add(buckets)
 	s.tel.queryRows.Observe(float64(rows))
 	s.tel.queryLatency.Observe(s.cost.QueryCost(int(rows), int(buckets)).Seconds())
+	if s.costObs != nil {
+		s.costObs(rows, buckets, s.cost.QueryCost(int(rows), int(buckets)))
+	}
 	s.cost.Charge(s.clock, int(rows), int(buckets))
 }
 

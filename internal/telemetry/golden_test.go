@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a fixed registry covering every instrument kind and
+// the exposition edge cases: counters, gauges (including negative values),
+// a multi-bucket histogram with observations on bucket edges and in the
+// overflow, and a degenerate histogram with no bounds.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("aptrace_events_total").Add(12345)
+	r.Counter("aptrace_slo_stall_total").Add(2)
+	r.Gauge("aptrace_windows_active").Set(7)
+	r.Gauge("aptrace_budget_headroom").Set(-3)
+	h := r.Histogram("aptrace_gap_seconds", []float64{1, 2, 4})
+	h.Observe(0.5) // bucket le=1
+	h.Observe(2)   // on the edge: le=2 is inclusive
+	h.Observe(3)   // le=4
+	h.Observe(100) // overflow
+	r.Histogram("aptrace_empty_seconds", nil).Observe(9)
+	return r
+}
+
+// TestWritePrometheusGolden pins the full exposition byte-for-byte. The
+// format is deterministic — registration order, %g floats — so any drift
+// here is a real wire-format change; regenerate with `go test -run Golden
+// -update ./internal/telemetry`.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusDeterministic: two renders of the same registry are
+// byte-identical (the property the golden test relies on).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := goldenRegistry()
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same registry rendered differently twice")
+	}
+}

@@ -40,10 +40,15 @@ const (
 	// truncated flight recording is visible instead of silent.
 	MetricExplainRecords = "aptrace_explain_records_total"
 	MetricExplainDropped = "aptrace_explain_dropped_total"
+
+	// Timeline SLO watchdog: fired once per detected stall (no graph
+	// update within StallFactor × GapTarget).
+	MetricSLOStalls = "aptrace_slo_stall_total"
 )
 
 // Span names recorded by the tracer.
 const (
+	SpanRun           = "run"
 	SpanWindowQuery   = "window.query"
 	SpanWindowResplit = "window.resplit"
 	SpanSessionPause  = "session.pause"

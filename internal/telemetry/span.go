@@ -6,14 +6,24 @@ import (
 	"time"
 )
 
+// SpanArg is one integer annotation attached to a span (rows retrieved,
+// cardinality estimates, ...). Args are a slice, not a map, so a record
+// marshals deterministically and costs no hashing on the hot path.
+type SpanArg struct {
+	Key string `json:"k"`
+	Val int64  `json:"v"`
+}
+
 // SpanRecord is one finished span as stored in the tracer's ring buffer.
 type SpanRecord struct {
 	ID       uint64        `json:"id"`
 	Parent   uint64        `json:"parent,omitempty"` // 0 = root
+	Lane     int64         `json:"lane,omitempty"`   // timeline lane (fleet worker), 0 = none
 	Name     string        `json:"name"`
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration_ns"`
 	Detail   string        `json:"detail,omitempty"`
+	Args     []SpanArg     `json:"args,omitempty"`
 }
 
 // Span is an in-flight traced operation. Spans are cheap value carriers:
@@ -24,9 +34,11 @@ type Span struct {
 	tr     *Tracer
 	id     uint64
 	parent uint64
+	lane   int64
 	name   string
 	start  time.Time
 	detail string
+	args   []SpanArg
 }
 
 // ID returns the span's ID (0 on a nil span).
@@ -41,6 +53,22 @@ func (s *Span) ID() uint64 {
 func (s *Span) SetDetail(d string) {
 	if s != nil {
 		s.detail = d
+	}
+}
+
+// SetLane tags the span with a timeline lane ID, so spans from different
+// fleet workers are distinguishable in the ring. Zero means no lane.
+func (s *Span) SetLane(lane int64) {
+	if s != nil {
+		s.lane = lane
+	}
+}
+
+// AddArg attaches one integer annotation (e.g. rows=12) recorded with the
+// span. Args keep insertion order.
+func (s *Span) AddArg(key string, val int64) {
+	if s != nil {
+		s.args = append(s.args, SpanArg{Key: key, Val: val})
 	}
 }
 
@@ -61,10 +89,12 @@ func (s *Span) EndAt(at time.Time) {
 	s.tr.record(SpanRecord{
 		ID:       s.id,
 		Parent:   s.parent,
+		Lane:     s.lane,
 		Name:     s.name,
 		Start:    s.start,
 		Duration: at.Sub(s.start),
 		Detail:   s.detail,
+		Args:     s.args,
 	})
 }
 

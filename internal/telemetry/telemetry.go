@@ -100,8 +100,25 @@ type Histogram struct {
 }
 
 func newHistogram(bounds []float64) *Histogram {
-	bs := append([]float64(nil), bounds...)
+	// Sanitize caller-supplied bounds instead of trusting (or panicking
+	// on) them: NaN never compares true so it would swallow observations,
+	// +Inf duplicates the implicit overflow bucket, and duplicates waste
+	// buckets that can never count. Empty bounds degrade to a single
+	// overflow bucket — a counter-shaped histogram, not a panic.
+	bs := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if !math.IsNaN(b) && !math.IsInf(b, 1) {
+			bs = append(bs, b)
+		}
+	}
 	sort.Float64s(bs)
+	uniq := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	bs = uniq
 	return &Histogram{
 		bounds:  bs,
 		buckets: make([]atomic.Int64, len(bs)+1),

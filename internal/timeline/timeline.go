@@ -1,0 +1,503 @@
+// Package timeline is the per-run profiler: it correlates the executor's
+// window lifecycle (enqueue → query → update → re-split/abandon), the
+// store's charged query costs, and session pause/resume into one
+// lane-per-run trace, exportable as Chrome trace-event JSON (trace.go) and
+// summarized by an inter-update-gap SLO watchdog.
+//
+// A Profiler owns the lanes; each analysis run records into its own
+// *Recorder (one lane), so fleet workers never contend and the exported
+// trace is deterministic regardless of scheduling: lanes are allocated by
+// sample index before dispatch, and every timestamp is an explicit instant
+// read from the run's (simulated) clock — never wall time.
+//
+// Like the explain recorder, a nil *Recorder is a no-op costing one pointer
+// test per emission site (see BenchmarkNilRecorder), and recording must not
+// change any analysis output: the recorder never advances a clock and never
+// touches the graph.
+package timeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"aptrace/internal/event"
+	"aptrace/internal/telemetry"
+)
+
+// DefaultGapTarget is the inter-update-gap SLO target. Table II reports
+// APTrace's inter-update waiting time at avg 2 s, p90 4 s, p95 9 s; the
+// default target is the p95 — an update cadence the paper's own system
+// sustains on enterprise workloads.
+const DefaultGapTarget = 9 * time.Second
+
+// DefaultStallFactor is the watchdog multiplier: a stall fires when no
+// graph update lands within StallFactor × GapTarget.
+const DefaultStallFactor = 3
+
+// DefaultMaxLaneEvents bounds one lane's trace buffer. Overflow is counted
+// (never silent) and reported per lane; stall records are always kept.
+const DefaultMaxLaneEvents = 1 << 16
+
+// Kind classifies a timeline event. The String form is the trace-event
+// name shown in Perfetto.
+type Kind uint8
+
+const (
+	// KindRun spans the whole analysis, RunStart to RunEnd.
+	KindRun Kind = iota
+	// KindEnqueue marks an execution window entering the priority queue.
+	KindEnqueue
+	// KindQuery spans one bounded window query, carrying retrieved rows
+	// and the store-charged cost (rows examined, posting buckets walked).
+	KindQuery
+	// KindResplit marks a window split in half instead of being queried.
+	KindResplit
+	// KindUpdate marks a graph update batch (distinct clock instants only).
+	KindUpdate
+	// KindAbandon marks a window still queued when the run ended early.
+	KindAbandon
+	// KindPause spans an analyst pause, Pause to Resume (or run end).
+	KindPause
+	// KindPlan marks a mid-run BDL script swap.
+	KindPlan
+	// KindStall spans a watchdog violation: no update for longer than
+	// StallFactor × GapTarget. It carries the heaviest query of the gap.
+	KindStall
+)
+
+var kindNames = [...]string{
+	KindRun:     "run",
+	KindEnqueue: "window.enqueue",
+	KindQuery:   "window.query",
+	KindResplit: "window.resplit",
+	KindUpdate:  "graph.update",
+	KindAbandon: "window.abandon",
+	KindPause:   "session.pause",
+	KindPlan:    "plan.update",
+	KindStall:   "slo.stall",
+}
+
+// String returns the trace-event name for the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// ph maps the kind to its Chrome trace-event phase: "X" (complete, with a
+// duration) or "i" (instant).
+func (k Kind) ph() string {
+	switch k {
+	case KindRun, KindQuery, KindPause, KindStall:
+		return "X"
+	}
+	return "i"
+}
+
+// Event is one recorded timeline entry. Field meaning varies by Kind:
+// window kinds carry (Obj, Begin, Finish); Rows is retrieved rows for
+// KindQuery, the cardinality estimate for KindEnqueue/KindResplit.
+type Event struct {
+	Kind      Kind
+	Start     time.Time
+	Dur       time.Duration // zero for instants
+	Obj       event.ObjID
+	Begin     int64
+	Finish    int64
+	Rows      int
+	Buckets   int64         // posting buckets walked (KindQuery/KindStall)
+	Cost      time.Duration // store-charged query cost (KindQuery/KindStall)
+	Alert     event.EventID // the run's alert event (KindRun)
+	Detail    string
+	HasWindow bool
+}
+
+// Stall is one watchdog violation, kept separately from the (bounded)
+// event buffer so the SLO report is complete even on truncated lanes.
+type Stall struct {
+	Lane      int64         `json:"lane"`
+	LaneName  string        `json:"lane_name"`
+	At        time.Time     `json:"at"`  // the last update before the gap
+	Gap       time.Duration `json:"gap"` // elapsed until the next update (or run end)
+	Obj       event.ObjID   `json:"obj,omitempty"`
+	Begin     int64         `json:"begin,omitempty"`
+	Finish    int64         `json:"finish,omitempty"`
+	Rows      int           `json:"rows,omitempty"`
+	Cost      time.Duration `json:"cost,omitempty"`
+	HasWindow bool          `json:"has_window"` // an offending window query was identified
+}
+
+// Options configure a Profiler. The zero value is usable: Table II target,
+// factor 3, bounded lanes, no telemetry.
+type Options struct {
+	// GapTarget is the inter-update-gap SLO target (DefaultGapTarget if
+	// zero or negative).
+	GapTarget time.Duration
+	// StallFactor is the watchdog multiplier (DefaultStallFactor if < 1):
+	// a stall fires when a gap exceeds StallFactor × GapTarget.
+	StallFactor int
+	// MaxLaneEvents bounds each lane's event buffer
+	// (DefaultMaxLaneEvents if zero or negative).
+	MaxLaneEvents int
+	// Telemetry, if set, receives the aptrace_slo_stall_total counter.
+	Telemetry *telemetry.Registry
+}
+
+// Profiler owns the run lanes of one profiling session. Lanes are
+// allocated deterministically (sequential IDs from 1) so the exported
+// trace does not depend on goroutine scheduling. A nil Profiler hands out
+// nil lanes, so callers need no enabled check.
+type Profiler struct {
+	target    time.Duration
+	factor    int
+	limit     time.Duration // target × factor; the stall threshold
+	maxEvents int
+	stallCtr  *telemetry.Counter
+
+	mu    sync.Mutex
+	lanes []*Recorder
+}
+
+// New returns a profiler with the given options (zero fields defaulted).
+func New(opts Options) *Profiler {
+	if opts.GapTarget <= 0 {
+		opts.GapTarget = DefaultGapTarget
+	}
+	if opts.StallFactor < 1 {
+		opts.StallFactor = DefaultStallFactor
+	}
+	if opts.MaxLaneEvents <= 0 {
+		opts.MaxLaneEvents = DefaultMaxLaneEvents
+	}
+	return &Profiler{
+		target:    opts.GapTarget,
+		factor:    opts.StallFactor,
+		limit:     opts.GapTarget * time.Duration(opts.StallFactor),
+		maxEvents: opts.MaxLaneEvents,
+		stallCtr:  opts.Telemetry.Counter(telemetry.MetricSLOStalls),
+	}
+}
+
+// GapTarget returns the SLO target in effect (0 on a nil profiler).
+func (p *Profiler) GapTarget() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.target
+}
+
+// StallLimit returns the watchdog threshold, GapTarget × StallFactor.
+func (p *Profiler) StallLimit() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.limit
+}
+
+// Lane allocates one new lane. Nil profiler returns a nil (no-op) lane.
+func (p *Profiler) Lane(name string) *Recorder {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.newLaneLocked(name)
+}
+
+// Lanes allocates a contiguous block of n lanes named "prefix i". Blocks
+// are handed out in call order, so allocating all lanes before dispatching
+// work (fleet.MapTimeline does) pins lane IDs to sample indexes and keeps
+// the trace byte-identical between serial and parallel runs. A nil
+// profiler returns nil.
+func (p *Profiler) Lanes(prefix string, n int) []*Recorder {
+	if p == nil || n <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Recorder, n)
+	for i := range out {
+		out[i] = p.newLaneLocked(fmt.Sprintf("%s %d", prefix, i))
+	}
+	return out
+}
+
+func (p *Profiler) newLaneLocked(name string) *Recorder {
+	r := &Recorder{
+		id:       int64(len(p.lanes)) + 1,
+		name:     name,
+		limit:    p.limit,
+		max:      p.maxEvents,
+		stallCtr: p.stallCtr,
+	}
+	p.lanes = append(p.lanes, r)
+	return r
+}
+
+// snapshot returns the lane list (IDs are stable; lane contents are read
+// under each lane's own lock by the caller).
+func (p *Profiler) snapshot() []*Recorder {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Recorder(nil), p.lanes...)
+}
+
+// Recorder records one lane — one analysis run (or one analyst session).
+// Every emission takes an explicit instant from the run's own clock; the
+// recorder never reads wall time. All methods are safe on a nil receiver
+// (single pointer test) and safe for concurrent use.
+type Recorder struct {
+	id       int64
+	name     string
+	limit    time.Duration
+	max      int
+	stallCtr *telemetry.Counter
+
+	mu      sync.Mutex
+	events  []Event
+	dropped int
+
+	runStart time.Time
+	started  bool
+	alert    event.EventID
+
+	anchor   time.Time // the instant the watchdog measures the gap from
+	anchored bool
+
+	pauseStart time.Time
+	pausedOpen bool
+
+	// pending* accumulate store-charged cost between ObserveQueryCost and
+	// the Query() emission that claims it.
+	pendingRows    int64
+	pendingBuckets int64
+	pendingCost    time.Duration
+
+	heavy     Event // heaviest query since the last update (stall offender)
+	haveHeavy bool
+
+	updates  int
+	queries  int
+	worstGap time.Duration
+	stalls   []Stall
+}
+
+// LaneID returns the lane's trace tid (0 on a nil recorder).
+func (r *Recorder) LaneID() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.id
+}
+
+func (r *Recorder) appendLocked(ev Event) {
+	if len(r.events) >= r.max {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// RunStart opens the run: the watchdog anchor starts here, so a run that
+// never updates still stalls (time-to-first-update is part of the SLO).
+func (r *Recorder) RunStart(at time.Time, alert event.EventID) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.runStart, r.started = at, true
+	r.alert = alert
+	r.anchor, r.anchored = at, true
+	r.haveHeavy = false
+	r.mu.Unlock()
+}
+
+// RunEnd closes the run: the tail gap is checked (a run may stall by
+// ending long after its last update), any open pause is closed, and the
+// whole run becomes one "X" span carrying the stop reason.
+func (r *Recorder) RunEnd(at time.Time, reason string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.pausedOpen {
+		r.appendLocked(Event{Kind: KindPause, Start: r.pauseStart, Dur: at.Sub(r.pauseStart)})
+		r.pausedOpen = false
+	}
+	if r.anchored && at.After(r.anchor) {
+		r.checkGapLocked(at)
+	}
+	start := r.runStart
+	if !r.started {
+		start = at
+	}
+	r.appendLocked(Event{Kind: KindRun, Start: start, Dur: at.Sub(start), Alert: r.alert, Detail: reason})
+	r.anchored = false
+	r.mu.Unlock()
+}
+
+// Update marks a graph update batch. Updates sharing one clock instant
+// (edges of a single retrieval) are one update, mirroring the executor's
+// inter-update-gap histogram; the watchdog measures gaps between distinct
+// instants and fires a stall when one exceeds the limit.
+func (r *Recorder) Update(at time.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.updates++
+	if r.anchored && !at.After(r.anchor) {
+		r.mu.Unlock()
+		return
+	}
+	if r.anchored {
+		r.checkGapLocked(at)
+	}
+	r.anchor, r.anchored = at, true
+	r.haveHeavy = false
+	r.appendLocked(Event{Kind: KindUpdate, Start: at})
+	r.mu.Unlock()
+}
+
+// checkGapLocked runs the watchdog for the gap [r.anchor, at]: it tracks
+// the worst gap and records a stall — a trace span covering the whole gap,
+// a report entry naming the heaviest query inside it, and the
+// aptrace_slo_stall_total counter — when the gap exceeds the limit.
+func (r *Recorder) checkGapLocked(at time.Time) {
+	gap := at.Sub(r.anchor)
+	if gap > r.worstGap {
+		r.worstGap = gap
+	}
+	if r.limit <= 0 || gap <= r.limit {
+		return
+	}
+	st := Stall{Lane: r.id, LaneName: r.name, At: r.anchor, Gap: gap}
+	ev := Event{Kind: KindStall, Start: r.anchor, Dur: gap}
+	if r.haveHeavy {
+		st.Obj, st.Begin, st.Finish = r.heavy.Obj, r.heavy.Begin, r.heavy.Finish
+		st.Rows, st.Cost, st.HasWindow = r.heavy.Rows, r.heavy.Cost, true
+		ev.Obj, ev.Begin, ev.Finish = st.Obj, st.Begin, st.Finish
+		ev.Rows, ev.Buckets, ev.Cost = st.Rows, r.heavy.Buckets, st.Cost
+		ev.HasWindow = true
+	}
+	r.stalls = append(r.stalls, st)
+	r.appendLocked(ev)
+	r.stallCtr.Inc()
+}
+
+// Enqueued marks a window entering the queue; card is the index-only
+// cardinality estimate priced at enqueue time.
+func (r *Recorder) Enqueued(at time.Time, obj event.ObjID, begin, finish int64, card int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.appendLocked(Event{Kind: KindEnqueue, Start: at, Obj: obj, Begin: begin, Finish: finish, Rows: card, HasWindow: true})
+	r.mu.Unlock()
+}
+
+// Resplit marks a window split in half instead of queried; card is the
+// estimate that exceeded the per-retrieval cap.
+func (r *Recorder) Resplit(at time.Time, obj event.ObjID, begin, finish int64, card int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.appendLocked(Event{Kind: KindResplit, Start: at, Obj: obj, Begin: begin, Finish: finish, Rows: card, HasWindow: true})
+	r.mu.Unlock()
+}
+
+// Query records one bounded window query as a span [start, end], claiming
+// whatever cost ObserveQueryCost accumulated since the previous claim. The
+// heaviest query since the last update is remembered as the watchdog's
+// stall offender.
+func (r *Recorder) Query(start, end time.Time, obj event.ObjID, begin, finish int64, rows int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.queries++
+	ev := Event{
+		Kind: KindQuery, Start: start, Dur: end.Sub(start),
+		Obj: obj, Begin: begin, Finish: finish, Rows: rows,
+		Buckets: r.pendingBuckets, Cost: r.pendingCost, HasWindow: true,
+	}
+	r.pendingRows, r.pendingBuckets, r.pendingCost = 0, 0, 0
+	if !r.haveHeavy || ev.Cost > r.heavy.Cost ||
+		(ev.Cost == r.heavy.Cost && ev.Rows > r.heavy.Rows) {
+		r.heavy, r.haveHeavy = ev, true
+	}
+	r.appendLocked(ev)
+	r.mu.Unlock()
+}
+
+// ObserveQueryCost accumulates store-charged cost (rows examined, posting
+// buckets walked, modeled duration) until the next Query() claims it. Its
+// signature matches store.CostObserver so a recorder can be attached
+// directly via Store.SetCostObserver.
+func (r *Recorder) ObserveQueryCost(rows, buckets int64, cost time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.pendingRows += rows
+	r.pendingBuckets += buckets
+	r.pendingCost += cost
+	r.mu.Unlock()
+}
+
+// Abandoned marks a window still queued when the run ended early.
+func (r *Recorder) Abandoned(at time.Time, obj event.ObjID, begin, finish int64, reason string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.appendLocked(Event{Kind: KindAbandon, Start: at, Obj: obj, Begin: begin, Finish: finish, Detail: reason, HasWindow: true})
+	r.mu.Unlock()
+}
+
+// Pause opens an analyst pause; Resume (or RunEnd) closes it.
+func (r *Recorder) Pause(at time.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if !r.pausedOpen {
+		r.pauseStart, r.pausedOpen = at, true
+	}
+	r.mu.Unlock()
+}
+
+// Resume closes the open pause and restarts the watchdog clock: paused
+// time is analyst-chosen, not an executor stall, so the anchor moves to
+// the resume instant.
+func (r *Recorder) Resume(at time.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.pausedOpen {
+		r.appendLocked(Event{Kind: KindPause, Start: r.pauseStart, Dur: at.Sub(r.pauseStart)})
+		r.pausedOpen = false
+		if r.anchored {
+			r.anchor = at
+		}
+	}
+	r.mu.Unlock()
+}
+
+// PlanUpdate marks a mid-run BDL script swap; detail carries the diff
+// summary the session journal records.
+func (r *Recorder) PlanUpdate(at time.Time, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.appendLocked(Event{Kind: KindPlan, Start: at, Detail: detail})
+	r.mu.Unlock()
+}
