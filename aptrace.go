@@ -45,6 +45,7 @@ import (
 	"aptrace/internal/fleet"
 	"aptrace/internal/graph"
 	"aptrace/internal/refiner"
+	"aptrace/internal/serve"
 	"aptrace/internal/session"
 	"aptrace/internal/simclock"
 	"aptrace/internal/store"
@@ -428,6 +429,39 @@ func PathFromStart(g *Graph, target ObjID, forward bool) ([]Event, bool) {
 func TrainRareChildRule(st *Store, from, to int64, maxSeen int) (*RareChildRule, error) {
 	return alerts.TrainRareChildRule(st, from, to, maxSeen)
 }
+
+// Triage service: the always-on deployment shape (cmd/apserve wraps this).
+type (
+	// TriageServer is the long-running daemon tying ingest, incremental
+	// detection, auto-launched backtracking, and the JSON/SSE API together.
+	TriageServer = serve.Server
+	// TriageConfig assembles a TriageServer.
+	TriageConfig = serve.Config
+	// TriageQuota is the per-tenant session admission quota.
+	TriageQuota = serve.Quota
+	// TriageRun is one managed backtracking session (auto-launched or
+	// analyst-submitted).
+	TriageRun = serve.Run
+	// TriageSummary is the API-facing snapshot of a TriageRun.
+	TriageSummary = serve.Summary
+	// TriageAlert is one detector hit as the triage API reports it.
+	TriageAlert = serve.AlertRecord
+)
+
+// NewTriageServer assembles the always-on triage daemon. Start launches the
+// detection loop, Serve binds the HTTP API, Drain shuts down gracefully.
+func NewTriageServer(cfg TriageConfig) (*TriageServer, error) { return serve.New(cfg) }
+
+// TriageScript builds the bounded auto-backtrack BDL script the triage
+// daemon launches per alert: the start node typed after the event's flow
+// destination, a hop ceiling, and (when budget > 0) an analysis time budget.
+func TriageScript(e Event, st *Store, hops int, budget time.Duration) string {
+	return serve.ScriptForEvent(e, st, hops, budget)
+}
+
+// StaticTriageSource adapts a sealed store as a triage Source — read-only
+// deployments and load tests (no ingest, fixed history).
+func StaticTriageSource(st *Store) serve.Source { return serve.StaticSource(st) }
 
 // ExportAudit writes a sealed store's events to w in the given wire format.
 func ExportAudit(st *Store, w io.Writer, f AuditFormat) (int, error) {

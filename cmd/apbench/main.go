@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	apbench [-exp all|severity|fig4|table1|table2|fig6|timeline|ablation-k|ablation-policy|perf]
+//	apbench [-exp all|severity|fig4|table1|table2|fig6|timeline|ablation-k|ablation-policy|perf|serve]
 //	        [-hosts 12] [-days 10] [-density 1.5] [-samples 200] [-cap 2h] [-k 8]
 //	        [-parallel 1] [-json dir] [-metrics addr] [-pprof addr] [-timeline trace.json]
 //
@@ -38,6 +38,12 @@
 //	ablation-*      -> design-choice ablations from DESIGN.md
 //	perf            -> real-CPU benchmarks of the query engine hot loops
 //	                   (testing.Benchmark; BENCH_perf.json with -json)
+//	serve           -> triage-daemon load test: an in-process serve.Server
+//	                   driven over loopback HTTP by concurrent clients
+//	                   (submit BDL, consume SSE), reporting submit-to-first-
+//	                   update p50/p95, updates/sec, the 429 rejection rate
+//	                   at saturation, and drain cleanliness
+//	                   (BENCH_serve.json with -json)
 package main
 
 import (
@@ -153,9 +159,10 @@ func main() {
 		"ablation-policy": func() (any, error) {
 			return experiments.RunAblationPolicy(env, cfg, os.Stdout)
 		},
-		"perf": func() (any, error) { return experiments.RunPerf(env, cfg, os.Stdout) },
+		"perf":  func() (any, error) { return experiments.RunPerf(env, cfg, os.Stdout) },
+		"serve": func() (any, error) { return experiments.RunServe(env, cfg, os.Stdout) },
 	}
-	order := []string{"severity", "fig4", "table1", "table2", "fig6", "refiner", "explain", "timeline", "ablation-k", "ablation-policy", "perf"}
+	order := []string{"severity", "fig4", "table1", "table2", "fig6", "refiner", "explain", "timeline", "ablation-k", "ablation-policy", "perf", "serve"}
 
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {

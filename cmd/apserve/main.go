@@ -1,0 +1,180 @@
+// Command apserve is the always-on triage daemon: the deployment shape of
+// the paper's system. It ingests audit event streams into a WAL-durable
+// live store, runs the anomaly detectors incrementally on the live tail,
+// auto-launches a backtracking investigation per alert on the analysis
+// fleet, and serves the JSON/SSE triage API.
+//
+// Usage:
+//
+//	apserve -addr :8080 -store ./livedata [-tail audit.log] [-detect 2s]
+//	        [-auto] [-hops 10] [-auto-budget 0] [-workers 0]
+//	        [-max-active 4] [-max-queued 8]
+//	        [-queue 64] [-k 8] [-retry-after 2s] [-drain-timeout 10s]
+//	        [-sample] [-sample-hosts 4] [-sample-days 3] [-sample-density 0.5]
+//	        [-metrics addr] [-pprof]
+//
+// With -sample, a synthetic enterprise workload is generated and streamed
+// through the ingest path at startup, so the daemon is immediately
+// explorable (this is what the CI smoke test drives). SIGTERM/SIGINT
+// triggers the graceful drain: stop accepting sessions, stop active
+// analyses (their partial graphs finalize), flush the WAL, report, exit 0.
+//
+// API (also mounted: /metrics, /debug/telemetry, and -pprof's /debug/pprof):
+//
+//	POST /api/v1/ingest                  NDJSON audit records (ETW/auditd)
+//	POST /api/v1/sessions                {"tenant","script","event_id"}
+//	GET  /api/v1/sessions                list sessions
+//	GET  /api/v1/sessions/{id}/updates   graph deltas as SSE
+//	GET  /api/v1/sessions/{id}/explain   decision records
+//	GET  /api/v1/sessions/{id}/timeline  Chrome trace-event JSON
+//	POST /api/v1/sessions/{id}/pause|resume|stop
+//	GET  /api/v1/alerts, GET /healthz
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aptrace"
+	"aptrace/internal/serve"
+	"aptrace/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		addr     = flag.String("addr", ":8080", "API listen address")
+		dir      = flag.String("store", "", "live store directory (default: a temp dir)")
+		tailF    = flag.String("tail", "", "follow this audit log file (ETW/auditd lines)")
+		detect   = flag.Duration("detect", 2*time.Second, "detection pass interval (0 disables)")
+		auto     = flag.Bool("auto", true, "auto-launch a backtracking session per alert")
+		hops     = flag.Int("hops", 10, "hop budget for auto-launched scripts")
+		budget   = flag.Duration("auto-budget", 0, "analysis time budget for auto-launched scripts (0 = hop-bounded only)")
+		workers  = flag.Int("workers", 0, "concurrent analyses (0 = all cores)")
+		maxAct   = flag.Int("max-active", 4, "per-tenant max concurrent sessions")
+		maxQ     = flag.Int("max-queued", 8, "per-tenant max queued sessions")
+		queue    = flag.Int("queue", 64, "global session queue capacity")
+		k        = flag.Int("k", aptrace.DefaultWindows, "execution-window count")
+		retry    = flag.Duration("retry-after", 2*time.Second, "Retry-After hint on 429")
+		drainT   = flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget on SIGTERM")
+		sample   = flag.Bool("sample", false, "bootstrap with a generated sample workload")
+		sHosts   = flag.Int("sample-hosts", 4, "sample workload: hosts")
+		sDays    = flag.Int("sample-days", 3, "sample workload: days")
+		sDensity = flag.Float64("sample-density", 0.5, "sample workload: density")
+		metricsA = flag.String("metrics", "", "also serve /metrics on this separate address")
+		pprofF   = flag.Bool("pprof", false, "mount /debug/pprof on the API mux")
+	)
+	flag.Parse()
+
+	reg := aptrace.NewTelemetry()
+	if *pprofF {
+		reg.RegisterPprof()
+	}
+
+	if *dir == "" {
+		tmp, err := os.MkdirTemp("", "apserve-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		*dir = tmp
+	}
+	live, err := store.OpenLive(*dir, nil, store.WithTelemetry(reg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer live.Close()
+
+	srv, err := serve.New(serve.Config{
+		Live:          live,
+		DetectEvery:   *detect,
+		AutoBacktrack: *auto,
+		AutoHops:      *hops,
+		AutoBudget:    *budget,
+		Workers:       *workers,
+		QueueCap:      *queue,
+		Quota:         serve.Quota{MaxActive: *maxAct, MaxQueued: *maxQ},
+		RetryAfter:    *retry,
+		Windows:       *k,
+		Telemetry:     reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *sample {
+		ds, err := aptrace.Generate(aptrace.WorkloadConfig{
+			Seed: 2, Hosts: *sHosts, Days: *sDays, Density: *sDensity,
+		}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var wire bytes.Buffer
+		if _, err := aptrace.ExportAudit(ds.Store, &wire, aptrace.FormatAuditd); err != nil {
+			log.Fatal(err)
+		}
+		stats, err := srv.IngestReader(&wire)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := live.Checkpoint(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("apserve: sample workload ingested: %d records (%d rejected)\n",
+			stats.Ingested, stats.Rejected)
+	}
+
+	httpSrv, bound, err := srv.Serve(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("apserve: listening on http://%s (store %s)\n", bound, *dir)
+	if *metricsA != "" {
+		_, maddr, err := aptrace.ServeTelemetry(*metricsA, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("apserve: metrics on http://%s\n", maddr)
+	}
+
+	tailCtx, cancelTail := context.WithCancel(context.Background())
+	tailErr := make(chan error, 1)
+	if *tailF != "" {
+		go func() { tailErr <- srv.Tail(tailCtx, *tailF, 0) }()
+		fmt.Printf("apserve: tailing %s\n", *tailF)
+	}
+
+	srv.Start()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		fmt.Printf("apserve: %s: draining (budget %s)\n", s, *drainT)
+	case err := <-tailErr:
+		if err != nil {
+			log.Printf("apserve: tail failed: %v; draining", err)
+		}
+	}
+
+	cancelTail()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	rep := srv.Drain(ctx)
+	httpSrv.Shutdown(ctx)
+	fmt.Printf("apserve: drained: %d active stopped, %d queued aborted, clean=%v in %s\n",
+		rep.Stopped, rep.Aborted, rep.Clean, rep.Took.Round(time.Millisecond))
+	if err := live.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if !rep.Clean {
+		os.Exit(1)
+	}
+}

@@ -1,25 +1,29 @@
-// Live collection pipeline: the deployment shape of the paper's system.
-// Agents stream ETW/auditd records in; the live store makes them durable
-// through a write-ahead log; the detector — including the learned
-// rare-parentage rule — watches snapshots; an alert triggers a backtracking
-// investigation over a consistent snapshot while collection continues.
+// Live triage pipeline on the serve components: the deployment shape of
+// the paper's system, driven in-process. Agents stream ETW/auditd records
+// into the triage server's WAL-durable live store; the detector — including
+// the learned rare-parentage rule — runs incrementally over the live tail;
+// every alert auto-launches a bounded backtracking investigation on the
+// analysis fleet; and the explored graphs feed heuristic suggestions for
+// the analyst's next script version. cmd/apserve wraps the same components
+// behind the JSON/SSE API; this example calls them directly.
 //
 // With -metrics, the whole pipeline publishes telemetry — WAL appends and
-// fsyncs, per-query store metrics, executor window scheduling — served at
-// /metrics (Prometheus text) and /debug/telemetry (JSON) and dumped as a
-// JSON snapshot when the run finishes.
+// fsyncs, ingest decode errors, session admissions, SSE drop accounting —
+// served at /metrics (Prometheus text) and /debug/telemetry (JSON) and
+// dumped as a JSON snapshot when the run finishes.
 //
 //	go run ./examples/live [-metrics :9090]
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
+	"time"
 
 	"aptrace"
 )
@@ -56,7 +60,10 @@ func main() {
 	}
 	fmt.Printf("collector wire: %d raw auditd records\n", n)
 
-	// Stream into a live store (WAL-durable).
+	// The triage server owns the rest of the pipeline: a WAL-durable live
+	// store for ingest, incremental detection, and an auto-backtrack fleet
+	// with per-tenant admission control. Auto-runs are hop- and
+	// time-bounded so an unattended alert cannot explode.
 	dir, err := os.MkdirTemp("", "aptrace-live-*")
 	if err != nil {
 		log.Fatal(err)
@@ -67,85 +74,110 @@ func main() {
 		log.Fatal(err)
 	}
 	defer live.Close()
-	stats, err := aptrace.IngestAuditLive(live, &wire)
+	srv, err := aptrace.NewTriageServer(aptrace.TriageConfig{
+		Live:          live,
+		AutoBacktrack: true,
+		AutoHops:      10,
+		AutoBudget:    time.Minute,
+		Quota:         aptrace.TriageQuota{MaxActive: 4, MaxQueued: 64},
+		Telemetry:     reg,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ingested %d records (%d rejected); WAL at %s\n",
-		stats.Ingested, stats.Rejected, filepath.Join(dir, "wal.log"))
 
-	// Checkpoint: fold the tail into immutable segments.
+	// Stream the wire through the server's ingest path (the engine behind
+	// POST /api/v1/ingest), then checkpoint the tail into sealed segments.
+	stats, err := srv.IngestReader(&wire)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := live.Checkpoint(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("checkpointed: %d events in sealed segments, %d pending\n",
-		live.BaseEvents(), live.PendingEvents())
+	fmt.Printf("ingested %d records (%d rejected); %d events sealed, %d pending\n",
+		stats.Ingested, stats.Rejected, live.BaseEvents(), live.PendingEvents())
 
-	// Analysis runs against a consistent snapshot.
-	snap, err := live.Snapshot()
+	// Train the learned rule on the (assumed benign) first half and swap
+	// the server's rule set — the retraining hook deployments use once
+	// enough history accumulates.
+	snap, err := srv.Snapshot()
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Train the learned rule on the (assumed benign) first half, then scan
-	// the second half with the full rule set.
 	min, max, _ := snap.TimeRange()
 	mid := min + (max-min)/2
 	rare, err := aptrace.TrainRareChildRule(snap, min, mid, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	det := aptrace.NewDetector(append(aptrace.DefaultRules(), rare)...)
-	alerts, err := det.Scan(snap, mid, max+1)
+	srv.SetDetector(aptrace.NewDetector(append(aptrace.DefaultRules(), rare)...))
+
+	// One incremental detection pass (the background loop, run by hand):
+	// every alert auto-launches a bounded backtracking session.
+	count, err := srv.DetectNow()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ndetector: %d alerts in the live window; first five:\n", len(alerts))
-	for i, a := range alerts {
+	fmt.Printf("\ndetector: %d alerts in the live window; first five:\n", count)
+	for i, a := range srv.Alerts() {
 		if i == 5 {
 			break
 		}
 		fmt.Printf("  [%s/%s] %s\n", a.Rule, a.Severity, a.Message)
 	}
 
-	// Investigate the highest-value alert with a quick bounded backtrack,
-	// then ask for heuristic suggestions for the next round.
-	var pick aptrace.Alert
-	for _, a := range alerts {
-		if a.Rule == "large-upload" {
-			pick = a
-			break
+	// The fleet is already investigating. Not every alert gets a session:
+	// auto-runs are charged to the detector's own tenant, so a noisy rule
+	// saturates its own quota instead of starving analysts.
+	launched := 0
+	for _, a := range srv.Alerts() {
+		if a.SessionID != "" {
+			launched++
 		}
 	}
-	if pick.Event.ID == 0 {
-		pick = alerts[0]
-	}
-	fmt.Printf("\ninvestigating: %s\n", pick.Message)
-	script := fmt.Sprintf(`
-backward ip a[event_time = %q] -> *
-where hop <= 10`, pick.Event.When().Format("01/02/2006:15:04:05"))
-	sess := aptrace.NewSession(snap, aptrace.ExecOptions{Telemetry: reg})
-	if err := sess.Start(script, &pick.Event); err != nil {
-		// The alert may not be a socket event; fall back to a proc start.
-		script = fmt.Sprintf(`backward proc p[event_time = %q] -> * where hop <= 10`,
-			pick.Event.When().Format("01/02/2006:15:04:05"))
-		if err := sess.Start(script, &pick.Event); err != nil {
-			log.Fatal(err)
-		}
-	}
-	res, err := sess.Wait()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("dependency graph: %d events, %d nodes\n", res.Graph.NumEdges(), res.Graph.NumNodes())
+	fmt.Printf("\nfleet: %d of %d alerts admitted within the detector quota\n",
+		launched, count)
 
-	sugs := aptrace.SuggestHeuristics(res.Graph, snap, 4)
+	// Wait for every auto-run and keep the one that explored the most
+	// causality.
+	var best *aptrace.TriageRun
+	var bestSum aptrace.TriageSummary
+	runs := srv.Manager().Runs()
+	for _, run := range runs {
+		sum := run.Wait()
+		if sum.State != "done" {
+			fmt.Printf("  run %s (%s): %s — %s\n", sum.ID, sum.Rule, sum.State, sum.Error)
+			continue
+		}
+		if best == nil || sum.Edges > bestSum.Edges {
+			best, bestSum = run, sum
+		}
+	}
+	fmt.Printf("fleet: %d auto-launched investigations finished\n", len(runs))
+	if best == nil {
+		log.Fatal("no investigation finished cleanly")
+	}
+	fmt.Printf("largest graph: run %s [%s] — %d events, %d nodes, %d streamed updates\n",
+		bestSum.ID, bestSum.Rule, bestSum.Edges, bestSum.Nodes, bestSum.Updates)
+
+	// Heuristic suggestions from the explored graph: the agile-refinement
+	// loop's input for the analyst's next script version.
+	sugs := aptrace.SuggestHeuristics(best.Graph(), best.View(), 4)
 	if len(sugs) > 0 {
 		fmt.Println("\nsuggested heuristics for the next script version:")
 		for _, s := range sugs {
 			fmt.Printf("  %-38s -- %s\n", s.Clause, s.Reason)
 		}
 	}
+
+	// Graceful drain, exactly as apserve does on SIGTERM: stop the
+	// detection loop, stop analyses, flush the WAL, report.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rep := srv.Drain(ctx)
+	fmt.Printf("\ndrained: %d active stopped, %d queued aborted, clean=%v in %s\n",
+		rep.Stopped, rep.Aborted, rep.Clean, rep.Took.Round(time.Millisecond))
 
 	if reg != nil {
 		fmt.Println("\ntelemetry snapshot:")

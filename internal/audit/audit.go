@@ -16,6 +16,7 @@ import (
 
 	"aptrace/internal/event"
 	"aptrace/internal/store"
+	"aptrace/internal/telemetry"
 )
 
 // Record is one normalized audit record, the common denominator of both
@@ -126,27 +127,138 @@ func Encode(w io.Writer, r Record, f Format) error {
 	return err
 }
 
+// DecodeError is the typed error every undecodable audit line surfaces:
+// which wire format the parser attempted, the underlying reason, and a
+// bounded excerpt of the offending line. Garbage on the wire must never
+// panic the collection pipeline; it becomes one of these (and a tick of
+// the aptrace_ingest_decode_errors_total counter) instead.
+type DecodeError struct {
+	Format string // "etw", "auditd", or "" when no format was recognized
+	Line   string // offending line, truncated to maxDecodeErrorExcerpt
+	Err    error  // parser-level cause; nil for empty/unrecognized lines
+}
+
+// maxDecodeErrorExcerpt bounds how much of a garbage line a DecodeError
+// carries, so a multi-megabyte binary blob cannot balloon error messages.
+const maxDecodeErrorExcerpt = 80
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	format := e.Format
+	if format == "" {
+		format = "unrecognized format"
+	}
+	if e.Err != nil {
+		return fmt.Sprintf("audit: decode (%s): %v", format, e.Err)
+	}
+	return fmt.Sprintf("audit: decode (%s): %.*q", format, maxDecodeErrorExcerpt, e.Line)
+}
+
+// Unwrap exposes the parser-level cause to errors.Is/As.
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// decodeError builds the typed error with a bounded line excerpt.
+func decodeError(format, line string, err error) *DecodeError {
+	if len(line) > maxDecodeErrorExcerpt {
+		line = line[:maxDecodeErrorExcerpt]
+	}
+	return &DecodeError{Format: format, Line: line, Err: err}
+}
+
 // ParseLine parses one line in either format, auto-detected: ETW lines start
-// with '<', auditd lines with "type=".
+// with '<', auditd lines with "type=". Every failure is a *DecodeError.
 func ParseLine(line string) (Record, error) {
 	trimmed := strings.TrimSpace(line)
 	switch {
 	case trimmed == "":
-		return Record{}, fmt.Errorf("audit: empty line")
+		return Record{}, decodeError("", "(empty line)", nil)
 	case strings.HasPrefix(trimmed, "<"):
-		return parseETW(trimmed)
+		rec, err := parseETW(trimmed)
+		if err != nil {
+			return Record{}, decodeError("etw", trimmed, err)
+		}
+		return rec, nil
 	case strings.HasPrefix(trimmed, "type="):
-		return parseAuditd(trimmed)
+		rec, err := parseAuditd(trimmed)
+		if err != nil {
+			return Record{}, decodeError("auditd", trimmed, err)
+		}
+		return rec, nil
 	default:
-		return Record{}, fmt.Errorf("audit: unrecognized record format: %.40q", trimmed)
+		return Record{}, decodeError("", trimmed, nil)
 	}
 }
 
 // IngestStats reports what an Ingest pass did.
 type IngestStats struct {
-	Lines    int // lines read (excluding blanks)
-	Ingested int // records stored
-	Rejected int // lines that failed to parse or validate
+	Lines    int `json:"lines"`    // lines read (excluding blanks)
+	Ingested int `json:"ingested"` // records stored
+	Rejected int `json:"rejected"` // lines that failed to parse or validate
+	// Decode and Invalid split Rejected by failure stage: lines the wire
+	// parsers could not decode vs records that decoded but failed
+	// structural validation.
+	Decode  int `json:"decode_errors"`
+	Invalid int `json:"invalid_records"`
+}
+
+// ingestCounters caches the telemetry instruments one ingest pass ticks.
+// A nil registry yields nil instruments, which are free no-ops.
+type ingestCounters struct {
+	records *telemetry.Counter
+	decode  *telemetry.Counter
+	invalid *telemetry.Counter
+}
+
+func newIngestCounters(reg *telemetry.Registry) ingestCounters {
+	return ingestCounters{
+		records: reg.Counter(telemetry.MetricIngestRecords),
+		decode:  reg.Counter(telemetry.MetricIngestDecodeErrors),
+		invalid: reg.Counter(telemetry.MetricIngestInvalid),
+	}
+}
+
+// ingestLine classifies and stores one non-empty line; add persists the
+// decoded record. Malformed lines are counted, not fatal; only add errors
+// (sealed store and the like — caller bugs) abort.
+func (c ingestCounters) ingestLine(line string, stats *IngestStats, add func(Record) error) error {
+	stats.Lines++
+	rec, err := ParseLine(line)
+	if err != nil {
+		stats.Rejected++
+		stats.Decode++
+		c.decode.Inc()
+		return nil
+	}
+	if err := rec.Validate(); err != nil {
+		stats.Rejected++
+		stats.Invalid++
+		c.invalid.Inc()
+		return nil
+	}
+	if err := add(rec); err != nil {
+		return err
+	}
+	stats.Ingested++
+	c.records.Inc()
+	return nil
+}
+
+// ingest is the shared scanning loop behind Ingest and IngestLive.
+func ingest(r io.Reader, reg *telemetry.Registry, add func(Record) error) (IngestStats, error) {
+	var stats IngestStats
+	counters := newIngestCounters(reg)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := counters.ingestLine(line, &stats, add); err != nil {
+			return stats, err
+		}
+	}
+	return stats, sc.Err()
 }
 
 // Ingest reads newline-delimited audit records from r (formats may be
@@ -154,60 +266,38 @@ type IngestStats struct {
 // are counted and skipped rather than aborting the stream — collection
 // pipelines drop garbage, they do not stop. The store must not be sealed.
 func Ingest(st *store.Store, r io.Reader) (IngestStats, error) {
-	var stats IngestStats
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		stats.Lines++
-		rec, err := ParseLine(line)
-		if err != nil {
-			stats.Rejected++
-			continue
-		}
-		if err := rec.Validate(); err != nil {
-			stats.Rejected++
-			continue
-		}
-		if _, err := rec.add(st); err != nil {
-			return stats, err // sealed store or similar: a caller bug
-		}
-		stats.Ingested++
-	}
-	return stats, sc.Err()
+	return ingest(r, st.Telemetry(), func(rec Record) error {
+		_, err := rec.add(st)
+		return err
+	})
 }
 
 // IngestLive streams newline-delimited audit records into a live store,
 // appending each valid record durably (WAL) as it arrives — the collection
 // pipeline of a deployed system. Malformed lines are counted and skipped.
 func IngestLive(l *store.Live, r io.Reader) (IngestStats, error) {
+	return ingest(r, l.Telemetry(), func(rec Record) error {
+		_, err := l.Append(rec.Time, rec.Subject, rec.Object, rec.Action, rec.Dir, rec.Amount)
+		return err
+	})
+}
+
+// IngestLiveLine ingests a single already-framed line into the live store —
+// the per-line form of IngestLive used by file-tailing collectors that frame
+// lines themselves. Blank lines are ignored. The returned stats describe
+// just this line; malformed input is reported in the stats (and telemetry),
+// not as an error.
+func IngestLiveLine(l *store.Live, line string) (IngestStats, error) {
 	var stats IngestStats
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		stats.Lines++
-		rec, err := ParseLine(line)
-		if err != nil {
-			stats.Rejected++
-			continue
-		}
-		if err := rec.Validate(); err != nil {
-			stats.Rejected++
-			continue
-		}
-		if _, err := l.Append(rec.Time, rec.Subject, rec.Object, rec.Action, rec.Dir, rec.Amount); err != nil {
-			return stats, err
-		}
-		stats.Ingested++
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return stats, nil
 	}
-	return stats, sc.Err()
+	err := newIngestCounters(l.Telemetry()).ingestLine(line, &stats, func(rec Record) error {
+		_, err := l.Append(rec.Time, rec.Subject, rec.Object, rec.Action, rec.Dir, rec.Amount)
+		return err
+	})
+	return stats, err
 }
 
 // Export writes every event of a sealed store to w in the given format,

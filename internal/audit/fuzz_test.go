@@ -1,6 +1,10 @@
 package audit
 
-import "testing"
+import (
+	"errors"
+	"strings"
+	"testing"
+)
 
 // FuzzParseLine fuzzes both wire-format parsers through the auto-detecting
 // entry point. Records that parse must survive an encode/parse round trip.
@@ -20,9 +24,32 @@ func FuzzParseLine(f *testing.F) {
 	}
 	f.Add("type=APTRACE msg=audit(1.000:0): action=read dir=in")
 	f.Add("<Event/>")
+	// Error-path seeds: one per DecodeError branch, so the corpus walks the
+	// failure classification (unrecognized, ETW parse, auditd parse) and
+	// the excerpt-bounding code, not just the happy round trip.
+	f.Add("")
+	f.Add("   \t  ")
+	f.Add("no recognizable prefix at all")
+	f.Add("<Event notxml")
+	f.Add(`<Event Time="bogus" Action="read" Dir="in" ObjType="file" Path="/x"/>`)
+	f.Add(`<Event Time="2019-04-16T06:15:14Z" Action="frob" Dir="in" ObjType="file" Path="/x"/>`)
+	f.Add(`type=APTRACE action=read dir=in obj=file path="/x"`)
+	f.Add(`type=APTRACE msg=audit(notanumber:0): action=read dir=in obj=file path="/x"`)
+	f.Add(`type=APTRACE msg=audit(5.000:0): action=read dir=in obj=file path="unterminated`)
+	f.Add(`type=APTRACE msg=audit(5.000:0): action=read dir=in obj=blob`)
+	f.Add("<" + strings.Repeat("A", 4096))
+	f.Add("type=" + strings.Repeat("B", 4096))
 	f.Fuzz(func(t *testing.T, line string) {
 		rec, err := ParseLine(line)
 		if err != nil {
+			// Every failure must be the typed error with a bounded excerpt.
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("ParseLine error is %T, want *DecodeError", err)
+			}
+			if len(de.Line) > maxDecodeErrorExcerpt {
+				t.Fatalf("excerpt length %d exceeds bound", len(de.Line))
+			}
 			return
 		}
 		if rec.Validate() != nil {

@@ -1,0 +1,335 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"aptrace/internal/event"
+	"aptrace/internal/serve"
+	"aptrace/internal/simclock"
+)
+
+// ServeResult is the outcome of the triage-daemon load test: an in-process
+// serve.Server is driven over real HTTP by concurrent clients that submit
+// BDL scripts and consume the SSE update streams, then a second server with
+// a deliberately tiny quota measures admission control at saturation, and
+// finally the main server drains gracefully. Latencies are real wall-clock
+// (this is a service benchmark, not a modeled-cost experiment), so absolute
+// numbers vary by machine; the shape — sub-second first updates, zero
+// drops with an attentive consumer, hard 429s at saturation, a clean
+// drain — is what must reproduce.
+type ServeResult struct {
+	Sessions int `json:"sessions"`
+	Clients  int `json:"clients"`
+	Updates  int `json:"updates_total"`
+	// Dropped counts updates lost to full subscriber buffers — zero when
+	// every client keeps reading.
+	Dropped int `json:"updates_dropped"`
+
+	SubmitToFirstUpdateP50Ms float64 `json:"submit_to_first_update_p50_ms"`
+	SubmitToFirstUpdateP95Ms float64 `json:"submit_to_first_update_p95_ms"`
+	UpdatesPerSec            float64 `json:"updates_per_sec"`
+	WallSeconds              float64 `json:"wall_seconds"`
+
+	// Saturation phase: submissions hammered at a server whose only worker
+	// is held, with quota MaxActive+MaxQueued = SaturationInFlight. Exactly
+	// that many are admitted; every later submission must be a 429.
+	SaturationSubmitted     int     `json:"saturation_submitted"`
+	SaturationInFlight      int     `json:"saturation_in_flight"`
+	SaturationAccepted      int     `json:"saturation_accepted"`
+	SaturationRejected      int     `json:"saturation_rejected"`
+	SaturationRejectionRate float64 `json:"saturation_rejection_rate"`
+	RetryAfterPresent       bool    `json:"retry_after_present"`
+
+	DrainClean   bool    `json:"drain_clean"`
+	DrainAborted int     `json:"drain_aborted"`
+	DrainMs      float64 `json:"drain_ms"`
+}
+
+// serveClientStats is one client's aggregate over its sessions.
+type serveClientStats struct {
+	firstUpdate []time.Duration
+	updates     int
+	dropped     int
+}
+
+// RunServe load-tests the always-on triage daemon end to end over loopback
+// HTTP. cfg.Samples bounds the number of submitted sessions and
+// cfg.Parallel sizes both the server's fleet and the client pool.
+func RunServe(env *Env, cfg Config, w io.Writer) (*ServeResult, error) {
+	sessions := cfg.Samples
+	if sessions < 1 {
+		sessions = 1
+	}
+	workers := cfg.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	clients := workers * 2
+	if clients < 2 {
+		clients = 2
+	}
+	if clients > sessions {
+		clients = sessions
+	}
+
+	events := env.sampleEvents(sessions, cfg.Seed)
+	res := &ServeResult{Sessions: len(events), Clients: clients}
+
+	// Phase 1: throughput and latency with generous quotas (no rejections;
+	// each client is its own tenant).
+	srv, err := serve.New(serve.Config{
+		Source:   serve.StaticSource(env.Dataset.Store),
+		Workers:  workers,
+		QueueCap: len(events) + 16,
+		Quota:    serve.Quota{MaxActive: len(events), MaxQueued: len(events)},
+		Windows:  cfg.Windows,
+		// Large enough to hold any hop-bounded run's full update stream,
+		// so the measured drop count reflects client attentiveness, not
+		// scheduling luck (race-instrumented builds read slowly).
+		SubscriberBuffer: 1 << 14,
+		Telemetry:        cfg.Telemetry,
+		ViewClock:        func() simclock.Clock { return simclock.NewSimulated(time.Time{}) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	httpSrv, addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	base := "http://" + addr
+
+	header(w, "Serve — triage daemon load test")
+	fmt.Fprintf(w, "%d sessions, %d concurrent clients, %d analysis workers\n",
+		len(events), clients, workers)
+
+	wall := time.Now()
+	// The queue is pre-filled and closed up front so a client that dies on
+	// an error can never strand the feeder mid-send.
+	jobs := make(chan int, len(events))
+	for i := range events {
+		jobs <- i
+	}
+	close(jobs)
+	stats := make([]serveClientStats, clients)
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			errs <- serveClient(base, fmt.Sprintf("client-%d", c), env, cfg, jobs, events, &stats[c])
+		}(c)
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+	res.WallSeconds = time.Since(wall).Seconds()
+
+	var lat []time.Duration
+	for _, st := range stats {
+		lat = append(lat, st.firstUpdate...)
+		res.Updates += st.updates
+		res.Dropped += st.dropped
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if len(lat) > 0 {
+		res.SubmitToFirstUpdateP50Ms = float64(lat[len(lat)/2].Microseconds()) / 1000
+		res.SubmitToFirstUpdateP95Ms = float64(lat[len(lat)*95/100].Microseconds()) / 1000
+	}
+	if res.WallSeconds > 0 {
+		res.UpdatesPerSec = float64(res.Updates) / res.WallSeconds
+	}
+	fmt.Fprintf(w, "submit -> first update: p50 %.1f ms, p95 %.1f ms over %d sessions\n",
+		res.SubmitToFirstUpdateP50Ms, res.SubmitToFirstUpdateP95Ms, len(lat))
+	fmt.Fprintf(w, "updates consumed: %d (%.0f/s), dropped by subscribers: %d\n",
+		res.Updates, res.UpdatesPerSec, res.Dropped)
+
+	// Phase 2: admission control at saturation. One worker, held at the
+	// ViewClock hook; quota admits exactly MaxActive+MaxQueued in-flight
+	// runs, so every further submission is a deterministic 429.
+	release := make(chan struct{})
+	sat, err := serve.New(serve.Config{
+		Source:   serve.StaticSource(env.Dataset.Store),
+		Workers:  1,
+		QueueCap: 64,
+		Quota:    serve.Quota{MaxActive: 1, MaxQueued: 2},
+		Windows:  cfg.Windows,
+		ViewClock: func() simclock.Clock {
+			<-release
+			return simclock.NewSimulated(time.Time{})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	satHTTP, satAddr, err := sat.Serve("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	res.SaturationSubmitted = 64
+	res.SaturationInFlight = 3 // MaxActive 1 + MaxQueued 2
+	script := serve.ScriptForEvent(events[0], env.Dataset.Store, 4, 10*time.Minute)
+	for i := 0; i < res.SaturationSubmitted; i++ {
+		status, retryAfter, err := submitSession(
+			"http://"+satAddr, "hammer", script, uint64(events[0].ID), nil)
+		if err != nil {
+			return nil, err
+		}
+		switch status {
+		case http.StatusAccepted:
+			res.SaturationAccepted++
+		case http.StatusTooManyRequests:
+			res.SaturationRejected++
+			if retryAfter != "" {
+				res.RetryAfterPresent = true
+			}
+		default:
+			return nil, fmt.Errorf("serve: saturation submit returned %d", status)
+		}
+	}
+	res.SaturationRejectionRate =
+		float64(res.SaturationRejected) / float64(res.SaturationSubmitted)
+	close(release)
+	for _, run := range sat.Manager().Runs() {
+		run.Wait()
+	}
+	satCtx, satCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	sat.Drain(satCtx)
+	satHTTP.Shutdown(satCtx)
+	satCancel()
+	fmt.Fprintf(w, "saturation: %d submitted, %d accepted (quota %d), %d rejected (%.0f%%), Retry-After present: %v\n",
+		res.SaturationSubmitted, res.SaturationAccepted, res.SaturationInFlight,
+		res.SaturationRejected, 100*res.SaturationRejectionRate, res.RetryAfterPresent)
+
+	// Phase 3: graceful drain of the main server (everything already
+	// finished, so the report must be clean with nothing aborted).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	drainStart := time.Now()
+	rep := srv.Drain(ctx)
+	httpSrv.Shutdown(ctx)
+	res.DrainClean = rep.Clean
+	res.DrainAborted = rep.Aborted
+	res.DrainMs = float64(time.Since(drainStart).Microseconds()) / 1000
+	fmt.Fprintf(w, "drain: clean=%v, %d aborted, %.1f ms\n",
+		res.DrainClean, res.DrainAborted, res.DrainMs)
+	return res, nil
+}
+
+// submitSession POSTs one session and reports (status, Retry-After header).
+// When accepted and idOut is non-nil, the session ID is written there.
+func submitSession(base, tenant, script string, eventID uint64, idOut *string) (int, string, error) {
+	body, err := json.Marshal(map[string]any{
+		"tenant": tenant, "script": script, "event_id": eventID,
+	})
+	if err != nil {
+		return 0, "", err
+	}
+	resp, err := http.Post(base+"/api/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted && idOut != nil {
+		var sum struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+			return 0, "", err
+		}
+		*idOut = sum.ID
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, resp.Header.Get("Retry-After"), nil
+}
+
+// serveClient runs one load-test client: submit a session per job index,
+// then consume its whole SSE stream, timing submit-to-first-update.
+func serveClient(base, tenant string, env *Env, cfg Config,
+	jobs <-chan int, events []event.Event, st *serveClientStats) error {
+	for i := range jobs {
+		ev := events[i]
+		// Hop- and (modeled) time-bounded, like a deployed auto-run: the
+		// load test measures service latency, not dependency explosion.
+		script := serve.ScriptForEvent(ev, env.Dataset.Store, 6, 10*time.Minute)
+		start := time.Now()
+		var id string
+		status, _, err := submitSession(base, tenant, script, uint64(ev.ID), &id)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusAccepted {
+			return fmt.Errorf("serve: client submit returned %d", status)
+		}
+		resp, err := http.Get(base + "/api/v1/sessions/" + id + "/updates")
+		if err != nil {
+			return err
+		}
+		first := true
+		r := bufio.NewReader(resp.Body)
+		for {
+			frame, data, err := readFrame(r)
+			if err != nil {
+				resp.Body.Close()
+				return fmt.Errorf("serve: SSE stream for %s ended early: %w", id, err)
+			}
+			if frame == "update" {
+				if first {
+					st.firstUpdate = append(st.firstUpdate, time.Since(start))
+					first = false
+				}
+				st.updates++
+				continue
+			}
+			if frame == "done" {
+				var done struct {
+					State          string `json:"state"`
+					Error          string `json:"error"`
+					DroppedUpdates int    `json:"dropped_updates"`
+				}
+				if err := json.Unmarshal([]byte(data), &done); err != nil {
+					resp.Body.Close()
+					return err
+				}
+				if done.State != "done" {
+					resp.Body.Close()
+					return fmt.Errorf("serve: session %s ended %s: %s", id, done.State, done.Error)
+				}
+				st.dropped += done.DroppedUpdates
+				break
+			}
+		}
+		resp.Body.Close()
+	}
+	return nil
+}
+
+// readFrame parses one SSE frame (event name, data payload) off the stream.
+func readFrame(r *bufio.Reader) (string, string, error) {
+	var name, data string
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return "", "", err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && name != "":
+			return name, data, nil
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunServe(t *testing.T) {
+	env := testEnv(t)
+	cfg := testCfg()
+	cfg.Samples = 12
+	cfg.Parallel = 2
+
+	var out bytes.Buffer
+	res, err := RunServe(env, cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != 12 || res.Clients < 2 {
+		t.Fatalf("shape = %d sessions, %d clients", res.Sessions, res.Clients)
+	}
+	if res.Updates == 0 {
+		t.Fatal("no SSE updates consumed")
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("attentive clients dropped %d updates", res.Dropped)
+	}
+	if res.SubmitToFirstUpdateP50Ms <= 0 ||
+		res.SubmitToFirstUpdateP95Ms < res.SubmitToFirstUpdateP50Ms {
+		t.Fatalf("latency percentiles = p50 %.3f, p95 %.3f",
+			res.SubmitToFirstUpdateP50Ms, res.SubmitToFirstUpdateP95Ms)
+	}
+	if res.UpdatesPerSec <= 0 {
+		t.Fatal("updates/sec not measured")
+	}
+
+	// The held-worker construction makes saturation exact: quota-many
+	// admitted, everything else 429 with the Retry-After hint.
+	if res.SaturationAccepted != res.SaturationInFlight {
+		t.Fatalf("saturation accepted %d, want %d",
+			res.SaturationAccepted, res.SaturationInFlight)
+	}
+	if res.SaturationRejected != res.SaturationSubmitted-res.SaturationInFlight {
+		t.Fatalf("saturation rejected %d of %d",
+			res.SaturationRejected, res.SaturationSubmitted)
+	}
+	if res.SaturationRejectionRate <= 0.9 {
+		t.Fatalf("rejection rate = %.2f", res.SaturationRejectionRate)
+	}
+	if !res.RetryAfterPresent {
+		t.Fatal("429 responses lacked Retry-After")
+	}
+
+	if !res.DrainClean || res.DrainAborted != 0 {
+		t.Fatalf("drain = clean %v, aborted %d", res.DrainClean, res.DrainAborted)
+	}
+
+	// The result is the BENCH_serve.json schema: it must round-trip with
+	// every documented field present.
+	buf, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(buf, &fields); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"sessions", "clients", "updates_total", "updates_dropped",
+		"submit_to_first_update_p50_ms", "submit_to_first_update_p95_ms",
+		"updates_per_sec", "wall_seconds",
+		"saturation_submitted", "saturation_in_flight", "saturation_accepted",
+		"saturation_rejected", "saturation_rejection_rate", "retry_after_present",
+		"drain_clean", "drain_aborted", "drain_ms",
+	} {
+		if _, ok := fields[key]; !ok {
+			t.Fatalf("BENCH_serve.json missing field %q", key)
+		}
+	}
+
+	for _, want := range []string{"triage daemon load test", "saturation:", "drain:"} {
+		if !bytes.Contains(out.Bytes(), []byte(want)) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -122,6 +122,76 @@ func ForEach(p *Pool, n int, job func(int) error) error {
 	return err
 }
 
+// Runner executes individually submitted jobs on the pool's worker budget —
+// the always-on counterpart to Map's batch shape. A daemon submits one job
+// per arriving session; the Runner bounds both concurrency (the pool's
+// worker count) and backlog (the queue capacity), so saturation surfaces as
+// a failed TrySubmit the service layer can turn into admission control
+// (HTTP 429) instead of unbounded queue growth.
+type Runner struct {
+	p    *Pool
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Runner starts the pool's workers consuming a bounded submission queue of
+// the given capacity (minimum 1). Close releases the workers.
+func (p *Pool) Runner(queue int) *Runner {
+	if queue < 1 {
+		queue = 1
+	}
+	r := &Runner{p: p, jobs: make(chan func(), queue)}
+	for w := 0; w < p.workers; w++ {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			for job := range r.jobs {
+				r.p.queued.Add(-1)
+				r.p.active.Add(1)
+				job()
+				r.p.active.Add(-1)
+				r.p.runs.Inc()
+			}
+		}()
+	}
+	return r
+}
+
+// TrySubmit enqueues job for execution, returning false without blocking
+// when the queue is full or the runner is closed. Jobs own their error
+// handling: a job that needs to report failure does so through its own
+// captured state.
+func (r *Runner) TrySubmit(job func()) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false
+	}
+	r.p.queued.Add(1)
+	select {
+	case r.jobs <- job:
+		return true
+	default:
+		r.p.queued.Add(-1)
+		return false
+	}
+}
+
+// Close stops intake and blocks until every already-accepted job — running
+// or still queued — has finished. Safe to call more than once.
+func (r *Runner) Close() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.jobs)
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
 // MapTimeline is Map with one profiler lane per job. Lanes are allocated
 // as one contiguous block — named "name i" with IDs pinned to job indexes —
 // before any job runs, so the exported trace is identical no matter how

@@ -151,3 +151,87 @@ func TestPoolTelemetry(t *testing.T) {
 		t.Fatalf("active gauge = %d after failed batch", g)
 	}
 }
+
+func TestRunnerExecutesSubmittedJobs(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := New(3, reg)
+	r := p.Runner(8)
+	var ran atomic.Int64
+	for i := 0; i < 20; i++ {
+		for !r.TrySubmit(func() { ran.Add(1) }) {
+			time.Sleep(time.Millisecond) // queue full: workers will drain it
+		}
+	}
+	r.Close()
+	if got := ran.Load(); got != 20 {
+		t.Fatalf("ran %d jobs, want 20", got)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[telemetry.MetricFleetRuns]; got != 20 {
+		t.Fatalf("runs counter = %d, want 20", got)
+	}
+	if g := snap.Gauges[telemetry.MetricFleetActive]; g != 0 {
+		t.Fatalf("active gauge = %d after Close", g)
+	}
+	if g := snap.Gauges[telemetry.MetricFleetQueued]; g != 0 {
+		t.Fatalf("queued gauge = %d after Close", g)
+	}
+}
+
+// TestRunnerBackpressure pins the admission-control contract: with every
+// worker blocked and the queue full, TrySubmit refuses without blocking and
+// without perturbing the queued gauge.
+func TestRunnerBackpressure(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := New(1, reg)
+	r := p.Runner(1)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if !r.TrySubmit(func() { close(started); <-release }) {
+		t.Fatal("first submit refused")
+	}
+	<-started // the only worker is now held; the queue is empty
+	if !r.TrySubmit(func() {}) {
+		t.Fatal("second submit should occupy the queue slot")
+	}
+	if r.TrySubmit(func() { t.Error("overflow job must never run") }) {
+		t.Fatal("third submit should be refused: worker busy, queue full")
+	}
+	if g := reg.Snapshot().Gauges[telemetry.MetricFleetQueued]; g != 1 {
+		t.Fatalf("queued gauge = %d with one queued job", g)
+	}
+	close(release)
+	r.Close()
+	if g := reg.Snapshot().Gauges[telemetry.MetricFleetQueued]; g != 0 {
+		t.Fatalf("queued gauge = %d after drain", g)
+	}
+}
+
+// TestRunnerClose pins the shutdown contract: Close waits for accepted jobs,
+// refuses later submissions, and is idempotent.
+func TestRunnerClose(t *testing.T) {
+	p := New(2, nil)
+	r := p.Runner(4)
+	var done atomic.Bool
+	release := make(chan struct{})
+	if !r.TrySubmit(func() { <-release; done.Store(true) }) {
+		t.Fatal("submit refused")
+	}
+	closed := make(chan struct{})
+	go func() { r.Close(); close(closed) }()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while an accepted job was still running")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	<-closed
+	if !done.Load() {
+		t.Fatal("accepted job did not finish before Close returned")
+	}
+	if r.TrySubmit(func() {}) {
+		t.Fatal("TrySubmit after Close must refuse")
+	}
+	r.Close() // idempotent
+}

@@ -1,0 +1,371 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"aptrace/internal/event"
+	"aptrace/internal/graph"
+	"aptrace/internal/store"
+	"aptrace/internal/telemetry"
+)
+
+// submitRequest is the POST /api/v1/sessions body.
+type submitRequest struct {
+	// Tenant attributes the session for quota purposes ("default" when
+	// empty — admission control is per tenant).
+	Tenant string `json:"tenant"`
+	// Script is the BDL source to run.
+	Script string `json:"script"`
+	// EventID, when nonzero, pins the starting event (the alert); zero
+	// lets the plan locate its own start by scanning.
+	EventID uint64 `json:"event_id"`
+}
+
+// errorResponse is every non-2xx JSON body.
+type errorResponse struct {
+	Error      string `json:"error"`
+	RetryAfter int    `json:"retry_after_seconds,omitempty"`
+}
+
+// Handler returns the daemon's full HTTP surface:
+//
+//	POST /api/v1/ingest                  NDJSON audit records -> live store
+//	POST /api/v1/sessions                submit BDL, 202 {id} | 429 | 503
+//	GET  /api/v1/sessions                list sessions
+//	GET  /api/v1/sessions/{id}           one session's summary
+//	GET  /api/v1/sessions/{id}/updates   graph deltas as SSE
+//	GET  /api/v1/sessions/{id}/explain   decision records + prune frontier
+//	GET  /api/v1/sessions/{id}/timeline  Chrome trace-event JSON
+//	POST /api/v1/sessions/{id}/pause|resume|stop
+//	GET  /api/v1/alerts                  detector hits
+//	GET  /healthz                        liveness + drain state
+//	GET  /metrics, /debug/*              the telemetry registry's mux
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /api/v1/ingest", s.timed("ingest", s.handleIngest))
+	mux.Handle("POST /api/v1/sessions", s.timed("sessions_submit", s.handleSubmit))
+	mux.Handle("GET /api/v1/sessions", s.timed("sessions_list", s.handleList))
+	mux.Handle("GET /api/v1/sessions/{id}", s.timed("sessions_get", s.handleGet))
+	mux.Handle("GET /api/v1/sessions/{id}/updates", http.HandlerFunc(s.handleUpdates))
+	mux.Handle("GET /api/v1/sessions/{id}/explain", s.timed("sessions_explain", s.handleExplain))
+	mux.Handle("GET /api/v1/sessions/{id}/timeline", s.timed("sessions_timeline", s.handleTimeline))
+	mux.Handle("POST /api/v1/sessions/{id}/pause", s.timed("sessions_pause", s.lifecycle((*Run).Pause)))
+	mux.Handle("POST /api/v1/sessions/{id}/resume", s.timed("sessions_resume", s.lifecycle((*Run).Resume)))
+	mux.Handle("POST /api/v1/sessions/{id}/stop", s.timed("sessions_stop", s.lifecycle((*Run).Stop)))
+	mux.Handle("GET /api/v1/alerts", s.timed("alerts", s.handleAlerts))
+	mux.Handle("GET /healthz", s.timed("healthz", s.handleHealthz))
+	reg := s.reg.Handler()
+	mux.Handle("/metrics", reg)
+	mux.Handle("/debug/", reg)
+	return mux
+}
+
+// timed wraps a handler with a per-endpoint latency histogram
+// (aptrace_http_<name>_seconds). SSE streams are excluded — their duration
+// is the client's attention span, not a service latency.
+func (s *Server) timed(name string, h http.HandlerFunc) http.Handler {
+	hist := s.reg.Histogram("aptrace_http_"+name+"_seconds", telemetry.LatencyBuckets)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(start).Seconds())
+	})
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError maps manager errors to their HTTP shape.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		retry := int(s.cfg.RetryAfter.Seconds())
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error(), RetryAfter: retry})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrNotFound):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	stats, err := s.IngestReader(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	var alert *event.Event
+	if req.EventID != 0 {
+		snap, err := s.Snapshot()
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			return
+		}
+		e, ok := snap.EventByID(event.EventID(req.EventID))
+		if !ok {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("event %d not found", req.EventID)})
+			return
+		}
+		alert = &e
+	}
+	run, err := s.mgr.Submit(req.Tenant, req.Script, alert, false, "")
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, run.Summary())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	runs := s.mgr.Runs()
+	out := make([]Summary, len(runs))
+	for i, run := range runs {
+		out[i] = run.Summary()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+func (s *Server) run(w http.ResponseWriter, r *http.Request) (*Run, bool) {
+	run, err := s.mgr.Run(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return nil, false
+	}
+	return run, true
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if run, ok := s.run(w, r); ok {
+		writeJSON(w, http.StatusOK, run.Summary())
+	}
+}
+
+// lifecycle adapts Pause/Resume/Stop to a handler.
+func (s *Server) lifecycle(op func(*Run) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		run, ok := s.run(w, r)
+		if !ok {
+			return
+		}
+		if err := op(run); err != nil {
+			writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, run.Summary())
+	}
+}
+
+// updateEvent is one SSE "update" payload: a graph delta.
+type updateEvent struct {
+	Seq     int    `json:"seq"`
+	EventID uint64 `json:"event_id"`
+	Subject string `json:"subject"`
+	Object  string `json:"object"`
+	Action  string `json:"action"`
+	NewNode bool   `json:"new_node"`
+	Edges   int    `json:"edges"`
+	At      string `json:"at"`
+}
+
+// doneEvent is the terminal SSE payload.
+type doneEvent struct {
+	Summary
+	DroppedUpdates int `json:"dropped_updates"`
+}
+
+// objLabel names an object for the update stream.
+func objLabel(o event.Object) string {
+	switch o.Type {
+	case event.ObjFile:
+		return o.Path
+	case event.ObjSocket:
+		return fmt.Sprintf("%s:%d", o.DstIP, o.DstPort)
+	default:
+		return o.Exe
+	}
+}
+
+// sseUpdate renders one update as an SSE frame.
+func sseUpdate(w http.ResponseWriter, st *store.Store, seq int, u graph.Update) {
+	ev := updateEvent{
+		Seq:     seq,
+		EventID: uint64(u.Event.ID),
+		Action:  u.Event.Action.String(),
+		NewNode: u.NewNode,
+		Edges:   u.Edges,
+		At:      u.At.UTC().Format(time.RFC3339Nano),
+	}
+	if st != nil {
+		ev.Subject = objLabel(st.Object(u.Event.Subject))
+		ev.Object = objLabel(st.Object(u.Event.Object))
+	}
+	buf, _ := json.Marshal(ev)
+	fmt.Fprintf(w, "event: update\ndata: %s\n\n", buf)
+}
+
+// handleUpdates streams a session's graph deltas as Server-Sent Events:
+// the backlog first, then live updates as the executor's OnUpdate hook
+// publishes them, and finally one "done" event carrying the run summary and
+// this subscriber's drop count. The stream ends when the run finishes or
+// the client disconnects; a canceled client can never block the analysis
+// (publication is non-blocking into this subscriber's bounded buffer).
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.run(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	backlog, sub := run.hub.subscribe(s.cfg.SubscriberBuffer)
+	defer run.hub.unsubscribe(sub)
+	st := run.View()
+	seq := 0
+	for _, u := range backlog {
+		seq++
+		sseUpdate(w, st, seq, u)
+	}
+	flusher.Flush()
+
+	finish := func() {
+		if st == nil {
+			st = run.View() // the run may have started since subscribe
+		}
+		// Drain whatever the buffer still holds before the terminal frame.
+		if sub != nil {
+			for {
+				select {
+				case u := <-sub.ch:
+					seq++
+					sseUpdate(w, st, seq, u)
+					continue
+				default:
+				}
+				break
+			}
+		}
+		dropped := run.hub.unsubscribe(sub)
+		buf, _ := json.Marshal(doneEvent{Summary: run.Summary(), DroppedUpdates: dropped})
+		fmt.Fprintf(w, "event: done\ndata: %s\n\n", buf)
+		flusher.Flush()
+	}
+
+	if sub == nil { // already finished: the backlog was complete
+		finish()
+		return
+	}
+	for {
+		select {
+		case u := <-sub.ch:
+			if st == nil {
+				st = run.View()
+			}
+			seq++
+			sseUpdate(w, st, seq, u)
+			flusher.Flush()
+		case <-run.hub.done:
+			finish()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.run(w, r)
+	if !ok {
+		return
+	}
+	rec := run.Explain()
+	if rec == nil {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: "session has not started"})
+		return
+	}
+	// The recorder's own debug handler already renders records + frontier
+	// as JSON; reuse it so the two surfaces cannot drift.
+	rec.Handler().ServeHTTP(w, r)
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.run(w, r)
+	if !ok {
+		return
+	}
+	tl := run.Timeline()
+	if tl == nil {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: "session has not started"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	tl.WriteTrace(w)
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"alerts": s.Alerts()})
+}
+
+// healthResponse is the GET /healthz body.
+type healthResponse struct {
+	Status   string `json:"status"`
+	Events   int    `json:"events"`
+	Pending  int    `json:"pending_events"`
+	Active   int    `json:"sessions_active"`
+	Queued   int    `json:"sessions_queued"`
+	Sessions int    `json:"sessions_total"`
+	Alerts   int    `json:"alerts_total"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	active, queued, total := s.mgr.Counts()
+	resp := healthResponse{
+		Status: "ok", Active: active, Queued: queued, Sessions: total,
+		Alerts: len(s.Alerts()),
+	}
+	if s.Draining() {
+		resp.Status = "draining"
+	}
+	if snap, err := s.Snapshot(); err == nil && snap != nil {
+		resp.Events = snap.NumEvents()
+	}
+	if s.cfg.Live != nil {
+		resp.Pending = s.cfg.Live.PendingEvents()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

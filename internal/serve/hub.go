@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"sync"
+
+	"aptrace/internal/graph"
+	"aptrace/internal/telemetry"
+)
+
+// hub fans one session's graph updates out to any number of subscribers.
+//
+// The publisher is the executor's OnUpdate hook, which runs synchronously
+// inside the analysis loop — it must NEVER block, or a slow SSE consumer
+// would stall the analysis and deadlock Pause/Stop (which wait for the run
+// loop to park). So publish is strictly non-blocking: each subscriber gets a
+// bounded buffer, and when it is full the update is dropped for that
+// subscriber and accounted (per-subscriber and in
+// aptrace_serve_updates_dropped_total). Late subscribers receive the full
+// history first; because subscribe copies history and registers the channel
+// under one lock, the replay and the live stream never miss or duplicate an
+// update.
+type hub struct {
+	dropped *telemetry.Counter // shared slow-consumer drop counter
+
+	mu      sync.Mutex
+	history []graph.Update
+	subs    map[*subscriber]struct{}
+	closed  bool
+	done    chan struct{} // closed exactly once, when the session finishes
+}
+
+// subscriber is one attached update consumer.
+type subscriber struct {
+	ch      chan graph.Update
+	dropped int // updates discarded because ch was full (guarded by hub.mu)
+}
+
+func newHub(dropped *telemetry.Counter) *hub {
+	return &hub{
+		dropped: dropped,
+		subs:    make(map[*subscriber]struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// publish records the update and offers it to every subscriber without
+// blocking. Full buffers drop the update for that subscriber only.
+func (h *hub) publish(u graph.Update) {
+	h.mu.Lock()
+	h.history = append(h.history, u)
+	for s := range h.subs {
+		select {
+		case s.ch <- u:
+		default:
+			s.dropped++
+			h.dropped.Inc()
+		}
+	}
+	h.mu.Unlock()
+}
+
+// subscribe returns the update history so far plus a registered subscriber
+// whose channel carries everything published after the returned backlog.
+// After the hub has closed, the backlog is complete and sub is nil.
+func (h *hub) subscribe(buffer int) (backlog []graph.Update, sub *subscriber) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	backlog = append([]graph.Update(nil), h.history...)
+	if h.closed {
+		return backlog, nil
+	}
+	sub = &subscriber{ch: make(chan graph.Update, buffer)}
+	h.subs[sub] = struct{}{}
+	return backlog, sub
+}
+
+// unsubscribe detaches sub and returns how many updates it lost to a full
+// buffer. Safe to call with nil or an already-removed subscriber.
+func (h *hub) unsubscribe(sub *subscriber) int {
+	if sub == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.subs, sub)
+	return sub.dropped
+}
+
+// close marks the stream complete and wakes every subscriber (the done
+// channel). Updates already sitting in subscriber buffers stay readable.
+func (h *hub) close() {
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		close(h.done)
+	}
+	h.mu.Unlock()
+}
+
+// updates returns a copy of the full history.
+func (h *hub) updates() []graph.Update {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]graph.Update(nil), h.history...)
+}

@@ -1,0 +1,518 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"aptrace/internal/core"
+	"aptrace/internal/event"
+	"aptrace/internal/explain"
+	"aptrace/internal/fleet"
+	"aptrace/internal/graph"
+	"aptrace/internal/refiner"
+	"aptrace/internal/session"
+	"aptrace/internal/simclock"
+	"aptrace/internal/store"
+	"aptrace/internal/telemetry"
+	"aptrace/internal/timeline"
+)
+
+// Admission-control errors. The API layer maps ErrSaturated to HTTP 429
+// (with Retry-After), ErrDraining to 503, and ErrNotFound to 404.
+var (
+	ErrSaturated = errors.New("serve: saturated: session quota or queue full")
+	ErrDraining  = errors.New("serve: draining: not accepting new sessions")
+	ErrNotFound  = errors.New("serve: no such session")
+)
+
+// Quota bounds one tenant's in-flight sessions: at most MaxActive running
+// plus MaxQueued awaiting a fleet worker. A submission that would exceed
+// MaxActive+MaxQueued in-flight sessions is rejected with ErrSaturated.
+type Quota struct {
+	MaxActive int
+	MaxQueued int
+}
+
+// DefaultQuota allows a small interactive workload per tenant.
+var DefaultQuota = Quota{MaxActive: 4, MaxQueued: 8}
+
+// RunState is a session's lifecycle position.
+type RunState uint8
+
+const (
+	// RunQueued: admitted, waiting for a fleet worker.
+	RunQueued RunState = iota
+	// RunActive: the backtracking analysis is executing.
+	RunActive
+	// RunDone: finished (completed, budget expired, or stopped).
+	RunDone
+	// RunFailed: the analysis errored (bad starting point and the like).
+	RunFailed
+	// RunAborted: drained from the queue before a worker picked it up.
+	RunAborted
+)
+
+// String names the state.
+func (s RunState) String() string {
+	switch s {
+	case RunQueued:
+		return "queued"
+	case RunActive:
+		return "active"
+	case RunDone:
+		return "done"
+	case RunFailed:
+		return "failed"
+	default:
+		return "aborted"
+	}
+}
+
+// Run is one managed investigation: a queued-then-executing session plus
+// everything the API serves about it (update stream, explain recorder,
+// timeline profiler).
+type Run struct {
+	ID     string
+	Tenant string
+	Script string
+	// Auto marks detector-launched runs; Rule carries the alert rule name.
+	Auto bool
+	Rule string
+	// AlertID is the starting event, when the submission pinned one.
+	AlertID event.EventID
+
+	hub  *hub
+	done chan struct{} // closed when the run reaches a terminal state
+
+	mu       sync.Mutex
+	state    RunState
+	sess     *session.Session
+	view     *store.Store
+	rec      *explain.Recorder
+	tl       *timeline.Profiler
+	err      error
+	reason   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// Summary is the API-facing snapshot of a run.
+type Summary struct {
+	ID       string    `json:"id"`
+	Tenant   string    `json:"tenant"`
+	State    string    `json:"state"`
+	Auto     bool      `json:"auto,omitempty"`
+	Rule     string    `json:"rule,omitempty"`
+	AlertID  uint64    `json:"alert_id,omitempty"`
+	Script   string    `json:"script"`
+	Edges    int       `json:"edges"`
+	Nodes    int       `json:"nodes"`
+	Updates  int       `json:"updates"`
+	Reason   string    `json:"reason,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created_at"`
+	Started  time.Time `json:"started_at"`
+	Finished time.Time `json:"finished_at"`
+}
+
+// Summary snapshots the run for the API.
+func (r *Run) Summary() Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Summary{
+		ID: r.ID, Tenant: r.Tenant, State: r.state.String(),
+		Auto: r.Auto, Rule: r.Rule, AlertID: uint64(r.AlertID),
+		Script: r.Script, Reason: r.reason,
+		Created: r.created, Started: r.started, Finished: r.finished,
+	}
+	if r.err != nil {
+		s.Error = r.err.Error()
+	}
+	if r.sess != nil {
+		if g := r.sess.Graph(); g != nil {
+			s.Edges, s.Nodes = g.NumEdges(), g.NumNodes()
+		}
+	}
+	s.Updates = len(r.hub.updates())
+	return s
+}
+
+// State returns the current lifecycle state.
+func (r *Run) State() RunState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// Wait blocks until the run reaches a terminal state.
+func (r *Run) Wait() Summary {
+	<-r.done
+	return r.Summary()
+}
+
+// Done exposes the terminal-state channel (closed when finished).
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Graph returns the dependency graph explored so far — partial while the
+// run is active, final after it finishes, nil while still queued.
+func (r *Run) Graph() *graph.Graph {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sess == nil {
+		return nil
+	}
+	return r.sess.Graph()
+}
+
+// session returns the live session, or nil while queued/terminal.
+func (r *Run) session() *session.Session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sess
+}
+
+// Pause suspends the analysis (no-op unless active).
+func (r *Run) Pause() error {
+	s := r.session()
+	if s == nil {
+		return fmt.Errorf("serve: session %s is not active", r.ID)
+	}
+	s.Pause()
+	return nil
+}
+
+// Resume continues a paused analysis.
+func (r *Run) Resume() error {
+	s := r.session()
+	if s == nil {
+		return fmt.Errorf("serve: session %s is not active", r.ID)
+	}
+	s.Resume()
+	return nil
+}
+
+// Stop terminates the analysis; the partial graph is preserved.
+func (r *Run) Stop() error {
+	s := r.session()
+	if s == nil {
+		return fmt.Errorf("serve: session %s is not active", r.ID)
+	}
+	s.Stop()
+	return nil
+}
+
+// Explain returns the run's decision recorder (nil while queued).
+func (r *Run) Explain() *explain.Recorder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rec
+}
+
+// Timeline returns the run's profiler (nil while queued).
+func (r *Run) Timeline() *timeline.Profiler {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tl
+}
+
+// View returns the sealed store view the run analyzes (nil while queued).
+func (r *Run) View() *store.Store {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.view
+}
+
+// tenantCount tracks one tenant's in-flight sessions.
+type tenantCount struct {
+	active int
+	queued int
+}
+
+// Manager owns session admission and execution: it enforces per-tenant
+// quotas at submit time, hands admitted runs to the fleet runner (whose
+// bounded queue is the global backstop), and tracks every run for the API.
+type Manager struct {
+	runner   *fleet.Runner
+	quota    Quota
+	windows  int
+	reg      *telemetry.Registry
+	snapshot func() (*store.Store, error)
+	// viewClock, when set, supplies each run's private query-cost clock;
+	// nil inherits the snapshot's clock (real time in deployments).
+	viewClock func() simclock.Clock
+
+	mu       sync.Mutex
+	runs     map[string]*Run
+	order    []string
+	tenants  map[string]*tenantCount
+	draining bool
+	nextID   int
+
+	telActive   *telemetry.Gauge
+	telQueued   *telemetry.Gauge
+	telSessions *telemetry.Counter
+	telRejected *telemetry.Counter
+	telDropped  *telemetry.Counter
+}
+
+// newManager wires a manager over a fleet pool. queue bounds the global
+// submission backlog across all tenants.
+func newManager(pool *fleet.Pool, queue int, quota Quota, windows int,
+	reg *telemetry.Registry, snapshot func() (*store.Store, error),
+	viewClock func() simclock.Clock) *Manager {
+	if quota.MaxActive <= 0 {
+		quota.MaxActive = DefaultQuota.MaxActive
+	}
+	if quota.MaxQueued <= 0 {
+		quota.MaxQueued = DefaultQuota.MaxQueued
+	}
+	return &Manager{
+		runner:      pool.Runner(queue),
+		quota:       quota,
+		windows:     windows,
+		reg:         reg,
+		snapshot:    snapshot,
+		viewClock:   viewClock,
+		runs:        make(map[string]*Run),
+		tenants:     make(map[string]*tenantCount),
+		telActive:   reg.Gauge(telemetry.MetricServeSessionsActive),
+		telQueued:   reg.Gauge(telemetry.MetricServeSessionsQueued),
+		telSessions: reg.Counter(telemetry.MetricServeSessions),
+		telRejected: reg.Counter(telemetry.MetricServeSessionsRejected),
+		telDropped:  reg.Counter(telemetry.MetricServeUpdatesDropped),
+	}
+}
+
+// Submit admits, records, and enqueues one investigation. The script is
+// compiled here so syntax errors surface as a 400 at the API instead of a
+// failed run; alert, when non-nil, pins the starting event.
+//
+// Admission invariants:
+//   - a draining manager accepts nothing (ErrDraining);
+//   - a tenant holds at most MaxActive+MaxQueued in-flight runs
+//     (ErrSaturated beyond that);
+//   - the global fleet queue bounds total backlog regardless of tenant mix
+//     (ErrSaturated when full).
+func (m *Manager) Submit(tenant, script string, alert *event.Event, auto bool, rule string) (*Run, error) {
+	if _, err := refiner.ParseAndCompile(script); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	tc := m.tenants[tenant]
+	if tc == nil {
+		tc = &tenantCount{}
+		m.tenants[tenant] = tc
+	}
+	if tc.active+tc.queued >= m.quota.MaxActive+m.quota.MaxQueued {
+		m.telRejected.Inc()
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w (tenant %s: %d active, %d queued)", ErrSaturated, tenant, tc.active, tc.queued)
+	}
+	m.nextID++
+	run := &Run{
+		ID:      fmt.Sprintf("s-%d", m.nextID),
+		Tenant:  tenant,
+		Script:  script,
+		Auto:    auto,
+		Rule:    rule,
+		hub:     newHub(m.telDropped),
+		done:    make(chan struct{}),
+		created: time.Now(),
+	}
+	if alert != nil {
+		run.AlertID = alert.ID
+	}
+	var alertCopy *event.Event
+	if alert != nil {
+		a := *alert
+		alertCopy = &a
+	}
+	tc.queued++
+	m.telQueued.Add(1)
+	m.runs[run.ID] = run
+	m.order = append(m.order, run.ID)
+	m.mu.Unlock()
+
+	if !m.runner.TrySubmit(func() { m.execute(run, alertCopy) }) {
+		// Global queue full (or runner closed): roll the admission back.
+		m.mu.Lock()
+		tc.queued--
+		m.telQueued.Add(-1)
+		delete(m.runs, run.ID)
+		m.order = m.order[:len(m.order)-1]
+		m.telRejected.Inc()
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w (global queue full)", ErrSaturated)
+	}
+	m.telSessions.Inc()
+	return run, nil
+}
+
+// execute runs one admitted session on a fleet worker.
+func (m *Manager) execute(run *Run, alert *event.Event) {
+	m.mu.Lock()
+	tc := m.tenants[run.Tenant]
+	tc.queued--
+	m.telQueued.Add(-1)
+	if m.draining {
+		m.mu.Unlock()
+		run.finish(RunAborted, nil, ErrDraining, "")
+		return
+	}
+	tc.active++
+	m.telActive.Add(1)
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		tc.active--
+		m.mu.Unlock()
+		m.telActive.Add(-1)
+	}()
+
+	snap, err := m.snapshot()
+	if err == nil {
+		var clk simclock.Clock
+		if m.viewClock != nil {
+			clk = m.viewClock()
+		}
+		snap, err = snap.View(clk)
+	}
+	if err != nil {
+		run.finish(RunFailed, nil, err, "")
+		return
+	}
+	rec := explain.New(0, m.reg)
+	tl := timeline.New(timeline.Options{Telemetry: m.reg})
+	lane := tl.Lane(run.ID)
+	sess := session.New(snap, core.Options{
+		Windows:   m.windows,
+		OnUpdate:  run.hub.publish,
+		Telemetry: m.reg,
+		Explain:   rec,
+		Timeline:  lane,
+	})
+
+	run.mu.Lock()
+	run.state = RunActive
+	run.sess = sess
+	run.view = snap
+	run.rec = rec
+	run.tl = tl
+	run.started = time.Now()
+	run.mu.Unlock()
+
+	if err := sess.Start(run.Script, alert); err != nil {
+		run.finish(RunFailed, sess, err, "")
+		return
+	}
+	res, err := sess.Wait()
+	if err != nil {
+		run.finish(RunFailed, sess, err, "")
+		return
+	}
+	run.finish(RunDone, sess, nil, res.Reason.String())
+}
+
+// finish moves the run to a terminal state and closes its update stream.
+func (r *Run) finish(state RunState, sess *session.Session, err error, reason string) {
+	r.mu.Lock()
+	r.state = state
+	r.sess = sess
+	r.err = err
+	r.reason = reason
+	r.finished = time.Now()
+	r.mu.Unlock()
+	r.hub.close()
+	close(r.done)
+}
+
+// Run looks a session up by ID.
+func (m *Manager) Run(id string) (*Run, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	run, ok := m.runs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return run, nil
+}
+
+// Runs returns every tracked run in submission order.
+func (m *Manager) Runs() []*Run {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Run, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.runs[id])
+	}
+	return out
+}
+
+// Counts reports (active, queued, total) sessions.
+func (m *Manager) Counts() (active, queued, total int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, tc := range m.tenants {
+		active += tc.active
+		queued += tc.queued
+	}
+	return active, queued, len(m.runs)
+}
+
+// DrainReport summarizes a graceful shutdown.
+type DrainReport struct {
+	Stopped int           `json:"stopped"` // active runs asked to stop
+	Aborted int           `json:"aborted"` // queued runs drained unexecuted
+	Clean   bool          `json:"clean"`   // every worker finished in time
+	Took    time.Duration `json:"took"`
+}
+
+// Drain performs the graceful-shutdown protocol: refuse new submissions,
+// stop active analyses (their partial graphs and update streams finalize
+// normally), let queued runs fall through as aborted, and wait — bounded by
+// ctx — for every fleet worker to park.
+func (m *Manager) Drain(ctx context.Context) DrainReport {
+	start := time.Now()
+	m.mu.Lock()
+	m.draining = true
+	var active []*Run
+	for _, id := range m.order {
+		run := m.runs[id]
+		if run.State() == RunActive {
+			active = append(active, run)
+		}
+	}
+	m.mu.Unlock()
+
+	var rep DrainReport
+	for _, run := range active {
+		if run.Stop() == nil {
+			rep.Stopped++
+		}
+	}
+	closed := make(chan struct{})
+	go func() {
+		m.runner.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		rep.Clean = true
+	case <-ctx.Done():
+	}
+	for _, run := range m.Runs() {
+		if run.State() == RunAborted {
+			rep.Aborted++
+		}
+	}
+	rep.Took = time.Since(start)
+	return rep
+}

@@ -1,0 +1,438 @@
+// Package serve is the always-on triage service: the deployment shape of
+// the paper's system, where collection, detection, and investigation run
+// continuously instead of as one-shot CLI sessions.
+//
+// A Server ties the existing subsystems into one long-running daemon:
+//
+//   - ingest: newline-delimited audit records (ETW-style or auditd-style,
+//     via the internal/audit codecs) stream in over HTTP POST or file tail
+//     into a WAL-durable live store;
+//   - detection: the internal/alerts rule set runs incrementally over the
+//     live tail — each pass scans only events newer than the last;
+//   - investigation: every alert auto-launches a backtracking session on
+//     the internal/fleet worker pool, and analysts submit their own BDL
+//     scripts through the JSON API;
+//   - serving: graph updates stream to subscribers as Server-Sent Events,
+//     and EXPLAIN/timeline views of any run are one GET away.
+//
+// The session Manager is the admission-control core: per-tenant quotas,
+// 429-with-Retry-After when the fleet saturates, bounded per-subscriber
+// update buffers with slow-consumer drop accounting, and a graceful drain
+// that stops analyses, flushes the WAL, and reports. cmd/apserve is the
+// thin CLI over this package.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"aptrace/internal/alerts"
+	"aptrace/internal/audit"
+	"aptrace/internal/event"
+	"aptrace/internal/fleet"
+	"aptrace/internal/simclock"
+	"aptrace/internal/store"
+	"aptrace/internal/telemetry"
+)
+
+// Source yields consistent sealed snapshots for detection and analysis.
+// *store.Live implements it; StaticSource adapts an already sealed store.
+type Source interface {
+	Snapshot() (*store.Store, error)
+}
+
+// staticSource serves one immutable sealed store.
+type staticSource struct{ st *store.Store }
+
+func (s staticSource) Snapshot() (*store.Store, error) { return s.st, nil }
+
+// StaticSource adapts a sealed store as a Source — the shape load tests and
+// read-only deployments use (no ingest, fixed history).
+func StaticSource(st *store.Store) Source { return staticSource{st} }
+
+// Config assembles a Server.
+type Config struct {
+	// Source provides snapshots (required). Pass the *store.Live used for
+	// ingest, or StaticSource for a fixed history.
+	Source Source
+	// Live additionally enables the ingest endpoints; normally the same
+	// value as Source.
+	Live *store.Live
+	// Rules is the detector rule set; nil selects alerts.DefaultRules.
+	Rules []alerts.Rule
+	// DetectEvery is the background detection cadence; 0 disables the
+	// loop (DetectNow still works, which is what tests drive).
+	DetectEvery time.Duration
+	// AutoBacktrack launches a backtracking session for every alert.
+	AutoBacktrack bool
+	// AutoHops bounds auto-launched scripts (default 10).
+	AutoHops int
+	// AutoBudget, when positive, adds an analysis time budget to
+	// auto-launched scripts ("time <= Ns"); zero leaves them hop-bounded
+	// only.
+	AutoBudget time.Duration
+	// AutoTenant is the tenant auto-launched runs are charged to
+	// (default "detector") — so a noisy detector saturates its own quota,
+	// never an analyst's.
+	AutoTenant string
+	// Workers bounds concurrent analyses (<=0: all cores).
+	Workers int
+	// QueueCap bounds the global session backlog (default 64).
+	QueueCap int
+	// Quota is the per-tenant admission bound (zero fields take
+	// DefaultQuota).
+	Quota Quota
+	// RetryAfter is the hint returned with 429 responses (default 2s).
+	RetryAfter time.Duration
+	// Windows is the executor's window count k (0: core default).
+	Windows int
+	// SubscriberBuffer bounds each SSE subscriber's update buffer
+	// (default 256); a full buffer drops updates for that subscriber only.
+	SubscriberBuffer int
+	// Telemetry receives every metric; nil creates a private registry so
+	// the service is always observable.
+	Telemetry *telemetry.Registry
+	// ViewClock, when set, supplies each run's private query-cost clock
+	// (load tests use fresh simulated clocks); nil shares the snapshot's
+	// clock — real time in deployments.
+	ViewClock func() simclock.Clock
+}
+
+// AlertRecord is one detector hit as the API reports it.
+type AlertRecord struct {
+	Seq       int       `json:"seq"`
+	Rule      string    `json:"rule"`
+	Severity  string    `json:"severity"`
+	Message   string    `json:"message"`
+	EventID   uint64    `json:"event_id"`
+	EventTime int64     `json:"event_time"`
+	SessionID string    `json:"session_id,omitempty"` // auto-launched run
+	At        time.Time `json:"at"`
+}
+
+// Server is the triage daemon: ingest, continuous detection, the session
+// manager, and the HTTP API.
+type Server struct {
+	cfg Config
+	reg *telemetry.Registry
+	mgr *Manager
+
+	mu      sync.Mutex
+	det     *alerts.Detector
+	snap    *store.Store // latest snapshot (detection + session substrate)
+	scanned int64        // first second not yet scanned by detection
+	alerts  []AlertRecord
+	stop    chan struct{} // closes the detect loop
+	stopped chan struct{} // detect loop confirms exit
+	drained bool
+
+	telAlerts   *telemetry.Counter
+	telAutoRuns *telemetry.Counter
+}
+
+// New assembles a server. It takes an initial snapshot so the API can
+// answer immediately; the detection loop (if enabled) must be started with
+// Start.
+func New(cfg Config) (*Server, error) {
+	if cfg.Source == nil && cfg.Live != nil {
+		cfg.Source = cfg.Live
+	}
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("serve: Config.Source is required")
+	}
+	if cfg.AutoHops <= 0 {
+		cfg.AutoHops = 10
+	}
+	if cfg.AutoTenant == "" {
+		cfg.AutoTenant = "detector"
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 2 * time.Second
+	}
+	if cfg.SubscriberBuffer <= 0 {
+		cfg.SubscriberBuffer = 256
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	s := &Server{
+		cfg:         cfg,
+		reg:         cfg.Telemetry,
+		det:         alerts.NewDetector(cfg.Rules...),
+		telAlerts:   cfg.Telemetry.Counter(telemetry.MetricServeAlerts),
+		telAutoRuns: cfg.Telemetry.Counter(telemetry.MetricServeAutoRuns),
+	}
+	pool := fleet.New(cfg.Workers, s.reg)
+	s.mgr = newManager(pool, cfg.QueueCap, cfg.Quota, cfg.Windows, s.reg, s.Snapshot, cfg.ViewClock)
+	snap, err := cfg.Source.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("serve: initial snapshot: %w", err)
+	}
+	s.mu.Lock()
+	s.snap = snap
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Telemetry returns the server's registry.
+func (s *Server) Telemetry() *telemetry.Registry { return s.reg }
+
+// Manager returns the session manager.
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// SetDetector replaces the rule set — deployments retrain learned rules
+// (e.g. rare parentage) after enough history accumulates.
+func (s *Server) SetDetector(det *alerts.Detector) {
+	s.mu.Lock()
+	s.det = det
+	s.mu.Unlock()
+}
+
+// Snapshot returns the latest sealed snapshot.
+func (s *Server) Snapshot() (*store.Store, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap, nil
+}
+
+// refreshSnapshot takes a fresh snapshot from the source and caches it.
+func (s *Server) refreshSnapshot() (*store.Store, error) {
+	snap, err := s.cfg.Source.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.snap = snap
+	s.mu.Unlock()
+	return snap, nil
+}
+
+// Start launches the background detection loop (no-op when
+// Config.DetectEvery is zero).
+func (s *Server) Start() {
+	if s.cfg.DetectEvery <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.stop != nil || s.drained {
+		s.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	stopped := make(chan struct{})
+	s.stop, s.stopped = stop, stopped
+	s.mu.Unlock()
+	go func() {
+		defer close(stopped)
+		tick := time.NewTicker(s.cfg.DetectEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				s.DetectNow()
+			}
+		}
+	}()
+}
+
+// DetectNow runs one incremental detection pass: snapshot the source, scan
+// only events newer than the previous pass, record alerts, and — with
+// AutoBacktrack — launch a backtracking session per alert on the fleet.
+// It returns the number of new alerts.
+func (s *Server) DetectNow() (int, error) {
+	snap, err := s.refreshSnapshot()
+	if err != nil {
+		return 0, err
+	}
+	min, max, ok := snap.TimeRange()
+	if !ok {
+		return 0, nil
+	}
+	s.mu.Lock()
+	from := s.scanned
+	det := s.det
+	s.mu.Unlock()
+	if from == 0 {
+		from = min
+	}
+	if from > max {
+		return 0, nil
+	}
+	hits, err := det.Scan(snap, from, max+1)
+	if err != nil {
+		return 0, err
+	}
+	now := time.Now()
+	records := make([]AlertRecord, 0, len(hits))
+	for _, a := range hits {
+		s.telAlerts.Inc()
+		rec := AlertRecord{
+			Rule:      a.Rule,
+			Severity:  a.Severity.String(),
+			Message:   a.Message,
+			EventID:   uint64(a.Event.ID),
+			EventTime: a.Event.Time,
+			At:        now,
+		}
+		if s.cfg.AutoBacktrack {
+			script := ScriptForEvent(a.Event, snap, s.cfg.AutoHops, s.cfg.AutoBudget)
+			alert := a.Event
+			if run, err := s.mgr.Submit(s.cfg.AutoTenant, script, &alert, true, a.Rule); err == nil {
+				rec.SessionID = run.ID
+				s.telAutoRuns.Inc()
+			}
+			// A saturated fleet drops the auto-run (counted in
+			// aptrace_serve_sessions_rejected_total); the alert itself
+			// is still recorded for the analyst.
+		}
+		records = append(records, rec)
+	}
+	s.mu.Lock()
+	s.scanned = max + 1
+	for i := range records {
+		records[i].Seq = len(s.alerts) + 1
+		s.alerts = append(s.alerts, records[i])
+	}
+	s.mu.Unlock()
+	return len(records), nil
+}
+
+// Alerts returns every recorded alert in detection order.
+func (s *Server) Alerts() []AlertRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]AlertRecord(nil), s.alerts...)
+}
+
+// ScriptForEvent builds the auto-backtrack BDL script for an alert event.
+// The starting node is typed after the event's flow destination — the
+// object the executor seeds backtracking from (the subject for inbound
+// flows, the object for outbound ones) — pinned to the event's second, and
+// bounded by a hop budget so an auto-run cannot explode unattended. A
+// positive budget additionally bounds the analysis time ("time <= Ns").
+func ScriptForEvent(e event.Event, st *store.Store, hops int, budget time.Duration) string {
+	node := "proc p"
+	switch st.Object(e.Dst()).Type {
+	case event.ObjSocket:
+		node = "ip a"
+	case event.ObjFile:
+		node = "file f"
+	}
+	when := e.When().Format("01/02/2006:15:04:05")
+	where := fmt.Sprintf("hop <= %d", hops)
+	if budget > 0 {
+		secs := int64(budget / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		where += fmt.Sprintf(" and time <= %ds", secs)
+	}
+	return fmt.Sprintf("backward %s[event_time = %q] -> *\nwhere %s", node, when, where)
+}
+
+// IngestReader streams newline-delimited audit records into the live store
+// (the HTTP ingest endpoint's engine). Requires Config.Live.
+func (s *Server) IngestReader(r io.Reader) (audit.IngestStats, error) {
+	if s.cfg.Live == nil {
+		return audit.IngestStats{}, fmt.Errorf("serve: ingest requires a live store")
+	}
+	return audit.IngestLive(s.cfg.Live, r)
+}
+
+// Tail follows an audit log file, ingesting complete lines as they are
+// appended — the file-replay collector. It polls (the portable choice) and
+// returns when ctx is canceled; a vanished file is an error.
+func (s *Server) Tail(ctx context.Context, path string, poll time.Duration) error {
+	if s.cfg.Live == nil {
+		return fmt.Errorf("serve: tail requires a live store")
+	}
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("serve: tail: %w", err)
+	}
+	defer f.Close()
+	var partial []byte
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := f.Read(buf)
+		if n > 0 {
+			partial = append(partial, buf[:n]...)
+			for {
+				i := bytes.IndexByte(partial, '\n')
+				if i < 0 {
+					break
+				}
+				line := string(partial[:i])
+				partial = partial[i+1:]
+				if _, err := audit.IngestLiveLine(s.cfg.Live, line); err != nil {
+					return err
+				}
+			}
+			continue // drain the file before sleeping
+		}
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("serve: tail: %w", err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Drain executes graceful shutdown: stop the detection loop, drain the
+// session manager (active analyses stop and finalize, queued ones abort),
+// and flush the live store's WAL. Bounded by ctx.
+func (s *Server) Drain(ctx context.Context) DrainReport {
+	s.mu.Lock()
+	stop, stopped := s.stop, s.stopped
+	s.stop, s.stopped = nil, nil
+	s.drained = true
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-stopped
+	}
+	rep := s.mgr.Drain(ctx)
+	if s.cfg.Live != nil {
+		if err := s.cfg.Live.Sync(); err != nil {
+			rep.Clean = false
+		}
+	}
+	return rep
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drained
+}
+
+// Serve mounts the API on addr in a background goroutine, returning the
+// server and bound address (useful with ":0"). The caller owns shutdown.
+func (s *Server) Serve(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

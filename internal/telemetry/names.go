@@ -35,6 +35,25 @@ const (
 	MetricFleetRuns     = "aptrace_fleet_runs_total"
 	MetricFleetFailures = "aptrace_fleet_failures_total"
 
+	// Audit ingest (collection side). decode errors count lines the wire
+	// parsers rejected (typed DecodeError), invalid records count lines
+	// that parsed but failed structural validation.
+	MetricIngestRecords      = "aptrace_ingest_records_total"
+	MetricIngestDecodeErrors = "aptrace_ingest_decode_errors_total"
+	MetricIngestInvalid      = "aptrace_ingest_invalid_records_total"
+
+	// Triage service (internal/serve): session admission and streaming.
+	// rejected counts submissions turned away by admission control (429);
+	// updates_dropped counts graph updates discarded because an SSE
+	// subscriber's bounded buffer was full (slow-consumer accounting).
+	MetricServeSessionsActive   = "aptrace_serve_sessions_active"
+	MetricServeSessionsQueued   = "aptrace_serve_sessions_queued"
+	MetricServeSessions         = "aptrace_serve_sessions_total"
+	MetricServeSessionsRejected = "aptrace_serve_sessions_rejected_total"
+	MetricServeUpdatesDropped   = "aptrace_serve_updates_dropped_total"
+	MetricServeAlerts           = "aptrace_serve_alerts_total"
+	MetricServeAutoRuns         = "aptrace_serve_autoruns_total"
+
 	// Explain (decision flight recorder). records counts every decision
 	// emitted; dropped counts records overwritten by ring overflow, so a
 	// truncated flight recording is visible instead of silent.
