@@ -10,6 +10,7 @@
 //	        [-auto] [-hops 10] [-auto-budget 0] [-workers 0]
 //	        [-max-active 4] [-max-queued 8]
 //	        [-queue 64] [-k 8] [-retry-after 2s] [-drain-timeout 10s]
+//	        [-retain-sessions 512] [-retain-alerts 4096]
 //	        [-sample] [-sample-hosts 4] [-sample-days 3] [-sample-density 0.5]
 //	        [-metrics addr] [-pprof]
 //
@@ -63,6 +64,8 @@ func main() {
 		queue    = flag.Int("queue", 64, "global session queue capacity")
 		k        = flag.Int("k", aptrace.DefaultWindows, "execution-window count")
 		retry    = flag.Duration("retry-after", 2*time.Second, "Retry-After hint on 429")
+		retainS  = flag.Int("retain-sessions", 512, "finished sessions kept queryable (-1 = unlimited)")
+		retainA  = flag.Int("retain-alerts", 4096, "alerts kept in the log (-1 = unlimited)")
 		drainT   = flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget on SIGTERM")
 		sample   = flag.Bool("sample", false, "bootstrap with a generated sample workload")
 		sHosts   = flag.Int("sample-hosts", 4, "sample workload: hosts")
@@ -93,17 +96,19 @@ func main() {
 	defer live.Close()
 
 	srv, err := serve.New(serve.Config{
-		Live:          live,
-		DetectEvery:   *detect,
-		AutoBacktrack: *auto,
-		AutoHops:      *hops,
-		AutoBudget:    *budget,
-		Workers:       *workers,
-		QueueCap:      *queue,
-		Quota:         serve.Quota{MaxActive: *maxAct, MaxQueued: *maxQ},
-		RetryAfter:    *retry,
-		Windows:       *k,
-		Telemetry:     reg,
+		Live:           live,
+		DetectEvery:    *detect,
+		AutoBacktrack:  *auto,
+		AutoHops:       *hops,
+		AutoBudget:     *budget,
+		Workers:        *workers,
+		QueueCap:       *queue,
+		Quota:          serve.Quota{MaxActive: *maxAct, MaxQueued: *maxQ},
+		RetryAfter:     *retry,
+		RetainSessions: *retainS,
+		RetainAlerts:   *retainA,
+		Windows:        *k,
+		Telemetry:      reg,
 	})
 	if err != nil {
 		log.Fatal(err)

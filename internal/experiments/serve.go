@@ -96,6 +96,9 @@ func RunServe(env *Env, cfg Config, w io.Writer) (*ServeResult, error) {
 		// so the measured drop count reflects client attentiveness, not
 		// scheduling luck (race-instrumented builds read slowly).
 		SubscriberBuffer: 1 << 14,
+		// Every session's SSE stream must stay replayable for the whole
+		// measurement regardless of -samples, so retention is off here.
+		RetainSessions: -1,
 		Telemetry:        cfg.Telemetry,
 		ViewClock:        func() simclock.Clock { return simclock.NewSimulated(time.Time{}) },
 	})

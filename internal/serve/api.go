@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"aptrace/internal/audit"
 	"aptrace/internal/event"
 	"aptrace/internal/graph"
 	"aptrace/internal/store"
@@ -105,10 +107,25 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	}
 }
 
+// ingestErrorResponse is the non-2xx ingest body. Ingest is not atomic —
+// records before the failing line are already durably stored — so the
+// error carries the stats of what went in before the stream aborted.
+type ingestErrorResponse struct {
+	Error string            `json:"error"`
+	Stats audit.IngestStats `json:"stats"`
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	stats, err := s.IngestReader(r.Body)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		// A line exceeding the scanner's frame bound is the client's fault
+		// (400); store/WAL failures are the server's (500). Malformed lines
+		// never error — they are counted in stats and skipped.
+		status := http.StatusInternalServerError
+		if errors.Is(err, bufio.ErrTooLong) {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, ingestErrorResponse{Error: err.Error(), Stats: stats})
 		return
 	}
 	writeJSON(w, http.StatusOK, stats)
@@ -356,7 +373,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	active, queued, total := s.mgr.Counts()
 	resp := healthResponse{
 		Status: "ok", Active: active, Queued: queued, Sessions: total,
-		Alerts: len(s.Alerts()),
+		Alerts: s.AlertsTotal(),
 	}
 	if s.Draining() {
 		resp.Status = "draining"

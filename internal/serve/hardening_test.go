@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"aptrace/internal/store"
+)
+
+// TestSubmitRollbackConcurrent is the regression test for the rollback
+// race: when TrySubmit fails, the admission must remove the rejected run's
+// own ID from the order — not the tail, which a concurrent Submit may have
+// appended to. The wrong-ID rollback left order entries pointing at deleted
+// runs, so Runs() returned nils and Summary() panicked.
+func TestSubmitRollbackConcurrent(t *testing.T) {
+	ds := dataset(t)
+	g := newGate()
+	srv, err := New(Config{
+		Source:    StaticSource(ds.Store),
+		Workers:   1,
+		QueueCap:  1,
+		Quota:     Quota{MaxActive: 1000, MaxQueued: 1000},
+		ViewClock: g.clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := srv.Manager()
+	script := ds.Attacks[0].Scripts[0]
+
+	if _, err := mgr.Submit("seed", script, nil, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	<-g.entered // the worker holds the seed run; one global queue slot left
+
+	// Hammer the saturated queue from many tenants: one submission wins the
+	// slot, the rest roll back while others append concurrently.
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				mgr.Submit(fmt.Sprintf("t%d", n), script, nil, false, "")
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	runs := mgr.Runs()
+	for _, run := range runs {
+		if run == nil {
+			t.Fatal("Runs() returned nil: rollback removed another run's ID")
+		}
+		run.Summary() // must not nil-deref
+	}
+	if len(runs) != 2 {
+		t.Fatalf("tracked %d runs, want 2 (seed + the one queue slot)", len(runs))
+	}
+
+	close(g.release)
+	for _, run := range runs {
+		run.Wait()
+	}
+}
+
+// TestDetectNowConcurrent pins detection-pass serialization: concurrent
+// DetectNow calls (the background ticker racing the API) must not scan the
+// same window twice and double-record its alerts.
+func TestDetectNowConcurrent(t *testing.T) {
+	ds := dataset(t)
+	srv, err := New(Config{Source: StaticSource(ds.Store), ViewClock: simClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := srv.DetectNow(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// A fresh server's single pass over the same store is the ground truth.
+	ref, err := New(Config{Source: StaticSource(ds.Store), ViewClock: simClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.DetectNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(srv.Alerts()); got != want {
+		t.Fatalf("concurrent passes recorded %d alerts, one pass records %d", got, want)
+	}
+}
+
+// TestSessionRetention: terminal runs beyond RetainSessions are evicted —
+// oldest first, histories and all — while the newest stay queryable.
+func TestSessionRetention(t *testing.T) {
+	ds := dataset(t)
+	srv, err := New(Config{
+		Source:         StaticSource(ds.Store),
+		Workers:        1,
+		RetainSessions: 2,
+		ViewClock:      simClock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := srv.Manager()
+	script := ds.Attacks[0].Scripts[0]
+	var ids []string
+	for i := 0; i < 5; i++ {
+		run, err := mgr.Submit("ops", script, nil, false, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.Wait()
+		ids = append(ids, run.ID)
+	}
+
+	// Eviction runs on the worker goroutine just after the run finalizes;
+	// poll until it settles on the two newest runs.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runs := mgr.Runs()
+		if len(runs) == 2 && runs[0].ID == ids[3] && runs[1].ID == ids[4] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retention never settled: %d runs tracked", len(runs))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := mgr.Run(ids[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("evicted run lookup err = %v, want ErrNotFound", err)
+	}
+	if _, err := mgr.Run(ids[4]); err != nil {
+		t.Fatalf("retained run lookup err = %v", err)
+	}
+}
+
+// TestAlertRetention: the alert log keeps only the newest RetainAlerts
+// records, but Seq and AlertsTotal keep counting across evictions.
+func TestAlertRetention(t *testing.T) {
+	ds := dataset(t)
+	srv, err := New(Config{Source: StaticSource(ds.Store), RetainAlerts: 3, ViewClock: simClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := srv.DetectNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 3 {
+		t.Fatalf("dataset produced only %d alerts; retention untestable", n)
+	}
+	alerts := srv.Alerts()
+	if len(alerts) != 3 {
+		t.Fatalf("retained %d alerts, want 3", len(alerts))
+	}
+	if alerts[0].Seq != n-2 || alerts[2].Seq != n {
+		t.Fatalf("retained Seq range [%d, %d], want [%d, %d]",
+			alerts[0].Seq, alerts[2].Seq, n-2, n)
+	}
+	if got := srv.AlertsTotal(); got != n {
+		t.Fatalf("AlertsTotal() = %d, want %d", got, n)
+	}
+}
+
+// TestIngestOversizedLine: a line exceeding the scanner's 1MB frame bound
+// is the client's fault — 400, not 500 — and the error body reports the
+// records durably ingested before the stream aborted (ingest is not atomic).
+func TestIngestOversizedLine(t *testing.T) {
+	ds := dataset(t)
+	live, err := store.OpenLive(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	srv, err := New(Config{Live: live, ViewClock: simClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	wire := auditWire(t, ds)
+	firstLine := wire[:bytes.IndexByte(wire, '\n')+1]
+	body := append(append([]byte{}, firstLine...), bytes.Repeat([]byte("x"), 2<<20)...)
+	resp, err := http.Post(ts.URL+"/api/v1/ingest", "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized-line ingest status = %d, want 400", resp.StatusCode)
+	}
+	got := decodeBody[ingestErrorResponse](t, resp)
+	if got.Error == "" {
+		t.Fatal("400 body carries no error")
+	}
+	if got.Stats.Ingested != 1 {
+		t.Fatalf("stats before failure = %+v, want the 1 valid leading line ingested", got.Stats)
+	}
+}
+
+// TestDrainTimeoutCountsQueued: when the drain budget expires before the
+// fleet empties its queue, runs still waiting for a worker are doomed (no
+// new work executes while draining) and must be counted as aborted instead
+// of silently dropped from the report.
+func TestDrainTimeoutCountsQueued(t *testing.T) {
+	ds := dataset(t)
+	g := newGate()
+	srv, err := New(Config{
+		Source:    StaticSource(ds.Store),
+		Workers:   1,
+		QueueCap:  8,
+		ViewClock: g.clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := srv.Manager()
+	script := ds.Attacks[0].Scripts[0]
+	runA, err := mgr.Submit("ops", script, nil, false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-g.entered // the worker has claimed runA
+	runB, err := mgr.Submit("ops", script, nil, false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired budget: the drain cannot wait the worker out
+	rep := srv.Drain(ctx)
+	if rep.Clean {
+		t.Fatal("drain with an expired budget reported clean")
+	}
+	if rep.Aborted != 1 {
+		t.Fatalf("Aborted = %d, want 1 (runB never reached a worker)", rep.Aborted)
+	}
+
+	close(g.release)
+	if sum := runA.Wait(); sum.State != "done" {
+		t.Fatalf("runA ended %s: %s", sum.State, sum.Error)
+	}
+	if sum := runB.Wait(); sum.State != "aborted" {
+		t.Fatalf("runB ended %s, want aborted", sum.State)
+	}
+}

@@ -55,6 +55,11 @@ const (
 	RunAborted
 )
 
+// terminal reports whether the state is final (done, failed, or aborted).
+func (s RunState) terminal() bool {
+	return s == RunDone || s == RunFailed || s == RunAborted
+}
+
 // String names the state.
 func (s RunState) String() string {
 	switch s {
@@ -239,6 +244,7 @@ type Manager struct {
 	runner   *fleet.Runner
 	quota    Quota
 	windows  int
+	retain   int // max terminal runs kept for the API (<0: unlimited)
 	reg      *telemetry.Registry
 	snapshot func() (*store.Store, error)
 	// viewClock, when set, supplies each run's private query-cost clock;
@@ -260,8 +266,9 @@ type Manager struct {
 }
 
 // newManager wires a manager over a fleet pool. queue bounds the global
-// submission backlog across all tenants.
-func newManager(pool *fleet.Pool, queue int, quota Quota, windows int,
+// submission backlog across all tenants; retain bounds how many terminal
+// runs stay queryable (<0: unlimited).
+func newManager(pool *fleet.Pool, queue int, quota Quota, windows, retain int,
 	reg *telemetry.Registry, snapshot func() (*store.Store, error),
 	viewClock func() simclock.Clock) *Manager {
 	if quota.MaxActive <= 0 {
@@ -274,6 +281,7 @@ func newManager(pool *fleet.Pool, queue int, quota Quota, windows int,
 		runner:      pool.Runner(queue),
 		quota:       quota,
 		windows:     windows,
+		retain:      retain,
 		reg:         reg,
 		snapshot:    snapshot,
 		viewClock:   viewClock,
@@ -343,11 +351,18 @@ func (m *Manager) Submit(tenant, script string, alert *event.Event, auto bool, r
 
 	if !m.runner.TrySubmit(func() { m.execute(run, alertCopy) }) {
 		// Global queue full (or runner closed): roll the admission back.
+		// The lock was released in between, so a concurrent Submit may have
+		// appended after us — remove our ID wherever it is, never the tail.
 		m.mu.Lock()
 		tc.queued--
 		m.telQueued.Add(-1)
 		delete(m.runs, run.ID)
-		m.order = m.order[:len(m.order)-1]
+		for i := len(m.order) - 1; i >= 0; i-- {
+			if m.order[i] == run.ID {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
 		m.telRejected.Inc()
 		m.mu.Unlock()
 		return nil, fmt.Errorf("%w (global queue full)", ErrSaturated)
@@ -358,6 +373,7 @@ func (m *Manager) Submit(tenant, script string, alert *event.Event, auto bool, r
 
 // execute runs one admitted session on a fleet worker.
 func (m *Manager) execute(run *Run, alert *event.Event) {
+	defer m.evictTerminal()
 	m.mu.Lock()
 	tc := m.tenants[run.Tenant]
 	tc.queued--
@@ -370,6 +386,13 @@ func (m *Manager) execute(run *Run, alert *event.Event) {
 	tc.active++
 	m.telActive.Add(1)
 	m.mu.Unlock()
+	// Mark the run active the moment the worker claims it, so State() agrees
+	// with the tenant's active count (Drain relies on this to tell claimed
+	// runs from ones still waiting in the fleet queue).
+	run.mu.Lock()
+	run.state = RunActive
+	run.started = time.Now()
+	run.mu.Unlock()
 	defer func() {
 		m.mu.Lock()
 		tc.active--
@@ -401,12 +424,10 @@ func (m *Manager) execute(run *Run, alert *event.Event) {
 	})
 
 	run.mu.Lock()
-	run.state = RunActive
 	run.sess = sess
 	run.view = snap
 	run.rec = rec
 	run.tl = tl
-	run.started = time.Now()
 	run.mu.Unlock()
 
 	if err := sess.Start(run.Script, alert); err != nil {
@@ -432,6 +453,39 @@ func (r *Run) finish(state RunState, sess *session.Session, err error, reason st
 	r.mu.Unlock()
 	r.hub.close()
 	close(r.done)
+}
+
+// evictTerminal enforces the retention cap: when more than retain runs are
+// terminal, the oldest terminal runs are dropped from the tracked set —
+// their update histories (and hubs) go with them, bounding an always-on
+// daemon's memory by the retention window instead of by total sessions ever
+// run. Active and queued runs are never evicted.
+func (m *Manager) evictTerminal() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.retain < 0 {
+		return
+	}
+	terminal := 0
+	for _, id := range m.order {
+		if m.runs[id].State().terminal() {
+			terminal++
+		}
+	}
+	drop := terminal - m.retain
+	if drop <= 0 {
+		return
+	}
+	keep := m.order[:0]
+	for _, id := range m.order {
+		if drop > 0 && m.runs[id].State().terminal() {
+			delete(m.runs, id)
+			drop--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	m.order = keep
 }
 
 // Run looks a session up by ID.
@@ -483,11 +537,14 @@ func (m *Manager) Drain(ctx context.Context) DrainReport {
 	start := time.Now()
 	m.mu.Lock()
 	m.draining = true
-	var active []*Run
+	var active, queued []*Run
 	for _, id := range m.order {
 		run := m.runs[id]
-		if run.State() == RunActive {
+		switch run.State() {
+		case RunActive:
 			active = append(active, run)
+		case RunQueued, RunAborted:
+			queued = append(queued, run)
 		}
 	}
 	m.mu.Unlock()
@@ -508,8 +565,12 @@ func (m *Manager) Drain(ctx context.Context) DrainReport {
 		rep.Clean = true
 	case <-ctx.Done():
 	}
-	for _, run := range m.Runs() {
-		if run.State() == RunAborted {
+	// Count aborted from the queued-at-drain-start set (pointers survive
+	// retention eviction): a run still RunQueued here never reached a worker
+	// before ctx expired and will abort the moment one claims it, so it
+	// counts too — Clean=false already flags the overrun.
+	for _, run := range queued {
+		if st := run.State(); st == RunQueued || st == RunAborted {
 			rep.Aborted++
 		}
 	}

@@ -96,6 +96,14 @@ type Config struct {
 	// SubscriberBuffer bounds each SSE subscriber's update buffer
 	// (default 256); a full buffer drops updates for that subscriber only.
 	SubscriberBuffer int
+	// RetainSessions bounds how many finished (done/failed/aborted) runs —
+	// and their full update histories — stay queryable; the oldest terminal
+	// runs are evicted beyond it. Active and queued runs never count against
+	// it. Default 512; negative disables eviction.
+	RetainSessions int
+	// RetainAlerts bounds the recorded alert log (oldest evicted; Seq keeps
+	// counting across evictions). Default 4096; negative keeps everything.
+	RetainAlerts int
 	// Telemetry receives every metric; nil creates a private registry so
 	// the service is always observable.
 	Telemetry *telemetry.Registry
@@ -124,14 +132,20 @@ type Server struct {
 	reg *telemetry.Registry
 	mgr *Manager
 
-	mu      sync.Mutex
-	det     *alerts.Detector
-	snap    *store.Store // latest snapshot (detection + session substrate)
-	scanned int64        // first second not yet scanned by detection
-	alerts  []AlertRecord
-	stop    chan struct{} // closes the detect loop
-	stopped chan struct{} // detect loop confirms exit
-	drained bool
+	// detectMu serializes detection passes end to end, so the background
+	// ticker and explicit DetectNow calls never scan the same window twice
+	// (which would duplicate alerts and auto-launch duplicate sessions).
+	detectMu sync.Mutex
+
+	mu       sync.Mutex
+	det      *alerts.Detector
+	snap     *store.Store // latest snapshot (detection + session substrate)
+	scanned  int64        // first second not yet scanned by detection
+	alerts   []AlertRecord
+	alertSeq int           // total alerts ever recorded (survives eviction)
+	stop     chan struct{} // closes the detect loop
+	stopped  chan struct{} // detect loop confirms exit
+	drained  bool
 
 	telAlerts   *telemetry.Counter
 	telAutoRuns *telemetry.Counter
@@ -162,6 +176,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SubscriberBuffer <= 0 {
 		cfg.SubscriberBuffer = 256
 	}
+	if cfg.RetainSessions == 0 {
+		cfg.RetainSessions = 512
+	}
+	if cfg.RetainAlerts == 0 {
+		cfg.RetainAlerts = 4096
+	}
 	if cfg.Telemetry == nil {
 		cfg.Telemetry = telemetry.NewRegistry()
 	}
@@ -173,7 +193,7 @@ func New(cfg Config) (*Server, error) {
 		telAutoRuns: cfg.Telemetry.Counter(telemetry.MetricServeAutoRuns),
 	}
 	pool := fleet.New(cfg.Workers, s.reg)
-	s.mgr = newManager(pool, cfg.QueueCap, cfg.Quota, cfg.Windows, s.reg, s.Snapshot, cfg.ViewClock)
+	s.mgr = newManager(pool, cfg.QueueCap, cfg.Quota, cfg.Windows, cfg.RetainSessions, s.reg, s.Snapshot, cfg.ViewClock)
 	snap, err := cfg.Source.Snapshot()
 	if err != nil {
 		return nil, fmt.Errorf("serve: initial snapshot: %w", err)
@@ -250,8 +270,12 @@ func (s *Server) Start() {
 // DetectNow runs one incremental detection pass: snapshot the source, scan
 // only events newer than the previous pass, record alerts, and — with
 // AutoBacktrack — launch a backtracking session per alert on the fleet.
-// It returns the number of new alerts.
+// It returns the number of new alerts. Passes are serialized: a concurrent
+// call (the background ticker vs. an API-driven pass) waits its turn and
+// then scans only what the first pass left, never the same window twice.
 func (s *Server) DetectNow() (int, error) {
+	s.detectMu.Lock()
+	defer s.detectMu.Unlock()
 	snap, err := s.refreshSnapshot()
 	if err != nil {
 		return 0, err
@@ -302,18 +326,31 @@ func (s *Server) DetectNow() (int, error) {
 	s.mu.Lock()
 	s.scanned = max + 1
 	for i := range records {
-		records[i].Seq = len(s.alerts) + 1
+		s.alertSeq++
+		records[i].Seq = s.alertSeq
 		s.alerts = append(s.alerts, records[i])
+	}
+	if n := s.cfg.RetainAlerts; n > 0 && len(s.alerts) > n {
+		s.alerts = append([]AlertRecord(nil), s.alerts[len(s.alerts)-n:]...)
 	}
 	s.mu.Unlock()
 	return len(records), nil
 }
 
-// Alerts returns every recorded alert in detection order.
+// Alerts returns the retained alerts in detection order (the newest
+// Config.RetainAlerts; Seq exposes each alert's position in the full log).
 func (s *Server) Alerts() []AlertRecord {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]AlertRecord(nil), s.alerts...)
+}
+
+// AlertsTotal reports how many alerts were ever recorded, including any
+// already evicted by retention.
+func (s *Server) AlertsTotal() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alertSeq
 }
 
 // ScriptForEvent builds the auto-backtrack BDL script for an alert event.
