@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	apbench [-exp all|severity|fig4|table1|table2|fig6|timeline|ablation-k|ablation-policy|perf|serve]
+//	apbench [-exp all|severity|fig4|table1|table2|fig6|timeline|ablation-k|ablation-policy|perf|serve|memo]
 //	        [-hosts 12] [-days 10] [-density 1.5] [-samples 200] [-cap 2h] [-k 8]
 //	        [-parallel 1] [-json dir] [-metrics addr] [-pprof addr] [-timeline trace.json]
+//	        [-benchtime 3x]
 //
 // With -json, each experiment's structured result is also written as
 // BENCH_<exp>.json in the given directory, so perf trajectories can be
@@ -44,6 +45,11 @@
 //	                   update p50/p95, updates/sec, the 429 rejection rate
 //	                   at saturation, and drain cleanliness
 //	                   (BENCH_serve.json with -json)
+//	memo            -> cross-alert backward-closure memoization: wall-clock
+//	                   speedup of the batch triage fan-out with the shared
+//	                   memo cache on vs off, with per-alert byte-identity
+//	                   checked on every sample (BENCH_memo.json with -json;
+//	                   -benchtime Nx sets repetitions per mode)
 package main
 
 import (
@@ -76,8 +82,13 @@ func main() {
 		pprofA    = flag.String("pprof", "", "serve net/http/pprof on this address (shares the -metrics mux when the addresses match)")
 		timelineF = flag.String("timeline", "", "profile every analysis into a run timeline; write the Chrome trace-event JSON to this path")
 		gap       = flag.Duration("slo", aptrace.DefaultGapTarget, "SLO inter-update gap target for the -timeline watchdog")
+		benchtime = flag.String("benchtime", "3x", "wall-clock repetitions per mode for the memo experiment, as Nx")
 	)
 	flag.Parse()
+	iters, err := parseBenchtime(*benchtime)
+	if err != nil {
+		fatal(err)
+	}
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
 	}
@@ -136,7 +147,7 @@ func main() {
 		env.Dataset.Store.NumEvents(), env.Dataset.Store.NumObjects(),
 		len(env.Dataset.Attacks), time.Since(wall).Seconds())
 
-	cfg := experiments.Config{Samples: *samples, Cap: *cap_, Windows: *k, Seed: 42, Parallel: *parallel, Telemetry: reg, Timeline: tl}
+	cfg := experiments.Config{Samples: *samples, Cap: *cap_, Windows: *k, Seed: 42, Parallel: *parallel, Telemetry: reg, Timeline: tl, BenchIters: iters}
 	if *parallel > 1 {
 		// Stderr, so stdout stays byte-comparable against a serial run.
 		fmt.Fprintf(os.Stderr, "parallel analyses per experiment: %d\n", *parallel)
@@ -161,8 +172,9 @@ func main() {
 		},
 		"perf":  func() (any, error) { return experiments.RunPerf(env, cfg, os.Stdout) },
 		"serve": func() (any, error) { return experiments.RunServe(env, cfg, os.Stdout) },
+		"memo":  func() (any, error) { return experiments.RunMemo(env, cfg, os.Stdout) },
 	}
-	order := []string{"severity", "fig4", "table1", "table2", "fig6", "refiner", "explain", "timeline", "ablation-k", "ablation-policy", "perf", "serve"}
+	order := []string{"severity", "fig4", "table1", "table2", "fig6", "refiner", "explain", "timeline", "ablation-k", "ablation-policy", "perf", "serve", "memo"}
 
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {
@@ -211,17 +223,13 @@ func main() {
 	}
 }
 
-// writeJSON atomically persists one experiment's structured result.
-func writeJSON(path string, v any) error {
-	buf, err := json.MarshalIndent(v, "", "  ")
-	if err != nil {
-		return err
+// parseBenchtime accepts the go-test style iteration form "Nx".
+func parseBenchtime(s string) (int, error) {
+	var n int
+	if _, err := fmt.Sscanf(s, "%dx", &n); err != nil || n < 1 {
+		return 0, fmt.Errorf("-benchtime wants the form Nx with N >= 1, got %q", s)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return n, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// writeJSON atomically persists one experiment's structured result. The
+// bytes land in a uniquely named temp file in the destination directory
+// (os.CreateTemp, so concurrent apbench runs writing sibling BENCH_*.json
+// files can never collide on a shared temp name), and the rename happens
+// only after a successful write and close — an error on any step removes
+// the temp file and leaves a pre-existing destination untouched.
+func writeJSON(path string, v any) (err error) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(append(buf, '\n')); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Chmod(tmp, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readJSON(t *testing.T, path string) map[string]any {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("%s is not valid JSON: %v", path, err)
+	}
+	return m
+}
+
+// tempLitter counts leftover *.tmp files — an atomic writer must never
+// leave any behind, success or failure.
+func tempLitter(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestWriteJSONOverwritesOnlyItsOwnFile: re-running one experiment must
+// replace only that experiment's BENCH file; siblings stay byte-identical.
+func TestWriteJSONOverwritesOnlyItsOwnFile(t *testing.T) {
+	dir := t.TempDir()
+	memoPath := filepath.Join(dir, "BENCH_memo.json")
+	perfPath := filepath.Join(dir, "BENCH_perf.json")
+
+	if err := writeJSON(perfPath, map[string]int{"perf": 1}); err != nil {
+		t.Fatal(err)
+	}
+	perfBytes, err := os.ReadFile(perfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := writeJSON(memoPath, map[string]int{"run": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSON(memoPath, map[string]int{"run": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readJSON(t, memoPath)["run"]; got != float64(2) {
+		t.Fatalf("re-run should overwrite its own file, got run=%v", got)
+	}
+	after, err := os.ReadFile(perfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(perfBytes) {
+		t.Fatal("writing BENCH_memo.json clobbered BENCH_perf.json")
+	}
+	if n := tempLitter(t, dir); n != 0 {
+		t.Fatalf("successful writes left %d temp files behind", n)
+	}
+}
+
+// TestWriteJSONErrorLeavesTargetIntact: a failed write must leave the
+// previous destination untouched and clean up its temp file — a partial
+// result may never replace a complete one.
+func TestWriteJSONErrorLeavesTargetIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_memo.json")
+	if err := writeJSON(path, map[string]int{"good": 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Marshal failure: channels are not serializable.
+	if err := writeJSON(path, map[string]any{"bad": make(chan int)}); err == nil {
+		t.Fatal("marshaling a channel should fail")
+	}
+	if got := readJSON(t, path)["good"]; got != float64(1) {
+		t.Fatalf("failed write corrupted the destination: %v", got)
+	}
+	if n := tempLitter(t, dir); n != 0 {
+		t.Fatalf("failed write left %d temp files behind", n)
+	}
+}
+
+// TestWriteJSONMissingDir: temp-file creation failure surfaces as an error
+// without creating anything.
+func TestWriteJSONMissingDir(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no-such-subdir", "BENCH_memo.json")
+	if err := writeJSON(path, map[string]int{"x": 1}); err == nil {
+		t.Fatal("writing into a missing directory should fail")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("nothing should exist at %s: %v", path, err)
+	}
+}

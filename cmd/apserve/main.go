@@ -44,9 +44,22 @@ import (
 	"time"
 
 	"aptrace"
+	"aptrace/internal/memo"
 	"aptrace/internal/serve"
 	"aptrace/internal/store"
 )
+
+// memoBudget resolves the -memo/-memo-bytes pair into a serve.Config
+// budget: 0 keeps the cache off, -memo alone takes the package default.
+func memoBudget(on bool, bytes int64) int64 {
+	if !on && bytes <= 0 {
+		return 0
+	}
+	if bytes <= 0 {
+		return memo.DefaultMaxBytes
+	}
+	return bytes
+}
 
 func main() {
 	log.SetFlags(0)
@@ -73,6 +86,8 @@ func main() {
 		sDensity = flag.Float64("sample-density", 0.5, "sample workload: density")
 		metricsA = flag.String("metrics", "", "also serve /metrics on this separate address")
 		pprofF   = flag.Bool("pprof", false, "mount /debug/pprof on the API mux")
+		memoOn   = flag.Bool("memo", false, "share a backward-closure memo cache across sessions (reset on reseal; charged cost unchanged)")
+		memoB    = flag.Int64("memo-bytes", 0, "memo cache byte budget (0 with -memo = 64 MiB default)")
 	)
 	flag.Parse()
 
@@ -108,6 +123,7 @@ func main() {
 		RetainSessions: *retainS,
 		RetainAlerts:   *retainA,
 		Windows:        *k,
+		MemoBytes:      memoBudget(*memoOn, *memoB),
 		Telemetry:      reg,
 	})
 	if err != nil {

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aptrace"
+)
+
+func testDataset(t *testing.T) *aptrace.Dataset {
+	t.Helper()
+	ds, err := aptrace.Generate(aptrace.WorkloadConfig{Seed: 3, Hosts: 2, Days: 1, Density: 0.3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestBatchZeroStarts: a detector rule with no hits is a normal outcome —
+// exit clean with a clear message, write no per-alert DOT files.
+func TestBatchZeroStarts(t *testing.T) {
+	ds := testDataset(t)
+	dir := t.TempDir()
+	src := fmt.Sprintf(`backward proc p[exename = "no-such-binary-xyz"] -> *
+output = %q`, filepath.Join(dir, "graph.dot"))
+
+	var out bytes.Buffer
+	if err := runBatch(&out, ds.Store, src, 8, 2, true, nil, "", nil, nil); err != nil {
+		t.Fatalf("zero matching starts must not be an error, got: %v", err)
+	}
+	if !strings.Contains(out.String(), "0 starting events") {
+		t.Fatalf("stdout should say so explicitly, got: %q", out.String())
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("no DOT files may be written for an empty batch, found %d", len(ents))
+	}
+}
+
+// TestDotPathsCollision: duplicate event IDs must be rejected before any
+// file is written, not silently overwrite each other's graphs.
+func TestDotPathsCollision(t *testing.T) {
+	starts := []aptrace.Event{{ID: 1}, {ID: 2}, {ID: 1}}
+	if _, err := dotPaths("out.dot", starts); err == nil {
+		t.Fatal("colliding event IDs should error")
+	} else if !strings.Contains(err.Error(), "out.dot.1") {
+		t.Fatalf("error should name the colliding path, got: %v", err)
+	}
+
+	paths, err := dotPaths("out.dot", starts[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paths[0] != "out.dot.1" || paths[1] != "out.dot.2" {
+		t.Fatalf("unexpected paths: %v", paths)
+	}
+}
+
+// TestBatchMemoByteIdentical is the CLI-level slice of the charged-cost
+// invariant: the summary table on stdout and every per-alert DOT file must
+// be byte-identical with the memo cache on and off (simulated clock, so the
+// elapsed column is deterministic).
+func TestBatchMemoByteIdentical(t *testing.T) {
+	ds := testDataset(t)
+
+	run := func(cache *aptrace.MemoCache) (string, map[string]string) {
+		dir := t.TempDir()
+		src := fmt.Sprintf(`backward proc p[exename = "explorer*"] -> *
+where file.path != "*.dll" and time <= 30mins
+output = %q`, filepath.Join(dir, "graph.dot"))
+		var out bytes.Buffer
+		if err := runBatch(&out, ds.Store, src, 8, 4, true, nil, "", nil, cache); err != nil {
+			t.Fatal(err)
+		}
+		dots := make(map[string]string)
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dots[e.Name()] = string(b)
+		}
+		return out.String(), dots
+	}
+
+	plainOut, plainDots := run(nil)
+	if len(plainDots) == 0 {
+		t.Fatal("fixture error: the batch should produce per-alert DOT files")
+	}
+	cache := aptrace.NewMemoCache(0, nil)
+	memoOut, memoDots := run(cache)
+
+	if plainOut != memoOut {
+		t.Fatalf("stdout diverged with memo on:\n--- off ---\n%s\n--- on ---\n%s", plainOut, memoOut)
+	}
+	if len(plainDots) != len(memoDots) {
+		t.Fatalf("DOT file count diverged: %d vs %d", len(plainDots), len(memoDots))
+	}
+	for name, want := range plainDots {
+		if got, ok := memoDots[name]; !ok || got != want {
+			t.Fatalf("DOT %s diverged with memo on", name)
+		}
+	}
+	if cs := cache.Stats(); cs.Hits+cs.Misses == 0 {
+		t.Fatalf("cache never consulted: %+v", cs)
+	}
+}

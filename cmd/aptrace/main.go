@@ -62,6 +62,8 @@ func main() {
 		metrics   = flag.String("metrics", "", "serve /metrics (Prometheus) and /debug/telemetry (JSON) on this address, e.g. :9090")
 		batch     = flag.Bool("batch", false, "run the script from every matching starting event (see -parallel)")
 		parallel  = flag.Int("parallel", 1, "concurrent analyses in -batch mode (0 = all cores)")
+		memoOn    = flag.Bool("memo", false, "share a cross-alert result cache across -batch analyses (identical output, less real CPU)")
+		memoBytes = flag.Int64("memo-bytes", 0, "byte budget of the -memo cache (0 = 64 MiB default)")
 		explArg   = flag.String("explain", "", "record every analysis decision and explain the result: an object ID, \"all\" (every graph node), \"frontier\" (pruned candidates), or \"on\" (record only, for -interactive); explanations go to stderr")
 		pprofA    = flag.String("pprof", "", "serve net/http/pprof on this address (shares the -metrics mux when the addresses match)")
 		timelineF = flag.String("timeline", "", "profile the run(s) into a timeline; write the Chrome trace-event JSON to this path")
@@ -150,7 +152,13 @@ func main() {
 		if *parallel <= 0 {
 			*parallel = runtime.GOMAXPROCS(0)
 		}
-		runBatch(st, string(raw), *k, *parallel, *simulate, reg, *explArg, tl)
+		var cache *aptrace.MemoCache
+		if *memoOn {
+			cache = aptrace.NewMemoCache(*memoBytes, reg)
+		}
+		if err := runBatch(os.Stdout, st, string(raw), *k, *parallel, *simulate, reg, *explArg, tl, cache); err != nil {
+			fatal(err)
+		}
 	} else {
 		runScript(st, string(raw), *k, *quiet, *doSug, reg, rec, *explArg, tl)
 	}
@@ -185,15 +193,17 @@ func writeTimeline(tl *aptrace.TimelineProfiler, path string, rec *aptrace.Expla
 // fanning the analyses over a bounded pool. Each run gets a private read
 // view of the store (own clock and counters, shared event log), so the runs
 // neither contend nor interfere; the summary table is printed in event
-// order, independent of scheduling.
-func runBatch(st *aptrace.Store, src string, k, workers int, simulate bool, reg *aptrace.Telemetry, explArg string, tl *aptrace.TimelineProfiler) {
+// order, independent of scheduling. A non-nil cache is shared by every run
+// of the batch: closures one alert's backtrack computes are reused by the
+// next, with identical charged cost either way.
+func runBatch(stdout io.Writer, st *aptrace.Store, src string, k, workers int, simulate bool, reg *aptrace.Telemetry, explArg string, tl *aptrace.TimelineProfiler, cache *aptrace.MemoCache) error {
 	plan, err := aptrace.CompileScript(src)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	min, max, ok := st.TimeRange()
 	if !ok {
-		fatal(fmt.Errorf("store is empty"))
+		return fmt.Errorf("store is empty")
 	}
 	from, to := plan.Range(min, max)
 	var starts []aptrace.Event
@@ -209,13 +219,27 @@ func runBatch(st *aptrace.Store, src string, k, workers int, simulate bool, reg 
 		}
 		return true
 	}); err != nil {
-		fatal(err)
+		return err
 	}
 	if matchErr != nil {
-		fatal(matchErr)
+		return matchErr
 	}
 	if len(starts) == 0 {
-		fatal(fmt.Errorf("no event matches the script's starting point"))
+		// An empty triage batch is a normal outcome (the detector rule
+		// simply has no hits today), not an error: say so, write nothing,
+		// exit clean.
+		fmt.Fprintln(stdout, "batch: 0 starting events match the script's starting point; nothing to do")
+		return nil
+	}
+	// The per-alert DOT naming scheme is <output>.<event-id>; event IDs are
+	// unique within one store, but fail loudly before running anything —
+	// rather than silently overwriting a graph — if that assumption is
+	// ever violated.
+	var paths []string
+	if plan.Output != "" {
+		if paths, err = dotPaths(plan.Output, starts); err != nil {
+			return err
+		}
 	}
 
 	pool := aptrace.NewFleet(workers, reg)
@@ -255,7 +279,7 @@ func runBatch(st *aptrace.Store, src string, k, workers int, simulate bool, reg 
 		if explArg != "" {
 			rec = aptrace.NewExplainRecorder(0, reg)
 		}
-		x, err := aptrace.NewExecutor(view, p, aptrace.ExecOptions{Windows: k, Telemetry: reg, Explain: rec, Timeline: lane})
+		x, err := aptrace.NewExecutor(view, p, aptrace.ExecOptions{Windows: k, Telemetry: reg, Explain: rec, Timeline: lane, Memo: cache})
 		if err != nil {
 			return outcome{}, err
 		}
@@ -274,17 +298,24 @@ func runBatch(st *aptrace.Store, src string, k, workers int, simulate bool, reg 
 		}, nil
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Printf("%-22s %-9s %-22s %8s %8s %8s %10s\n",
+	fmt.Fprintf(stdout, "%-22s %-9s %-22s %8s %8s %8s %10s\n",
 		"time (UTC)", "event id", "reason", "events", "nodes", "windows", "elapsed")
 	for i, r := range runs {
-		fmt.Printf("%-22s %-9d %-22s %8d %8d %8d %10s\n",
+		fmt.Fprintf(stdout, "%-22s %-9d %-22s %8d %8d %8d %10s\n",
 			starts[i].When().Format("2006-01-02 15:04:05"), starts[i].ID,
 			r.reason, r.edges, r.nodes, r.windows, r.elapsed.Round(time.Millisecond))
 	}
 	fmt.Fprintf(os.Stderr, "%d analyses in %.1fs wall\n", len(runs), time.Since(wall).Seconds())
+	if cache != nil {
+		// Cache effectiveness goes to stderr: stdout must stay
+		// byte-identical with the memo on or off.
+		cs := cache.Stats()
+		fmt.Fprintf(os.Stderr, "memo: %d hits, %d misses (%.1f%% hit rate), %d bytes held, %d evictions\n",
+			cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Bytes, cs.Evictions)
+	}
 
 	if explArg != "" {
 		for i, r := range runs {
@@ -295,10 +326,9 @@ func runBatch(st *aptrace.Store, src string, k, workers int, simulate bool, reg 
 
 	if plan.Output != "" {
 		for i, r := range runs {
-			path := fmt.Sprintf("%s.%d", plan.Output, starts[i].ID)
-			f, err := os.Create(path)
+			f, err := os.Create(paths[i])
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			// With -explain the DOT carries the prune frontier: dashed gray
 			// nodes for the candidates the analysis decided against.
@@ -310,14 +340,32 @@ func runBatch(st *aptrace.Store, src string, k, workers int, simulate bool, reg 
 			}
 			if werr != nil {
 				f.Close()
-				fatal(werr)
+				return werr
 			}
 			if err := f.Close(); err != nil {
-				fatal(err)
+				return err
 			}
 		}
 		fmt.Fprintf(os.Stderr, "%d graphs written to %s.<event-id>\n", len(runs), plan.Output)
 	}
+	return nil
+}
+
+// dotPaths derives the per-alert DOT output path for every starting event
+// and errors if any two collide (duplicate event IDs would silently
+// overwrite one another's graphs otherwise).
+func dotPaths(output string, starts []aptrace.Event) ([]string, error) {
+	paths := make([]string, len(starts))
+	seen := make(map[string]aptrace.EventID, len(starts))
+	for i, ev := range starts {
+		p := fmt.Sprintf("%s.%d", output, ev.ID)
+		if prev, dup := seen[p]; dup {
+			return nil, fmt.Errorf("DOT output path %s collides: starting events %d and %d map to the same file", p, prev, ev.ID)
+		}
+		seen[p] = ev.ID
+		paths[i] = p
+	}
+	return paths, nil
 }
 
 // dumpTelemetry writes the end-of-run metrics snapshot to stderr as JSON so

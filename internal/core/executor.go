@@ -11,6 +11,7 @@ import (
 	"aptrace/internal/explain"
 	"aptrace/internal/graph"
 	"aptrace/internal/maintainer"
+	"aptrace/internal/memo"
 	"aptrace/internal/refiner"
 	"aptrace/internal/simclock"
 	"aptrace/internal/store"
@@ -97,6 +98,14 @@ type Options struct {
 	// and its SLO watchdog measures the inter-update gap. Nil disables
 	// profiling at the cost of one pointer test per emission site.
 	Timeline *timeline.Recorder
+	// Memo, if set, is a shared cross-alert result cache: window row
+	// closures and computed-attribute evaluations are served from it when
+	// another run over the same sealed content already computed them. A
+	// hit replays the identical charged cost (rows + latency on the
+	// analysis clock), so results, stats deltas, and all experiment output
+	// are byte-identical with the cache on or off — only real CPU changes.
+	// Nil disables caching.
+	Memo *memo.Cache
 }
 
 // DefaultMaxWindowRows is the default per-window retrieval cap. At the
@@ -111,6 +120,11 @@ type Executor struct {
 	st   *store.Store
 	clk  simclock.Clock
 	opts Options
+	// env is what charged evaluations (where filters, prioritize rules,
+	// maintainer flow queries, start matching) run against: the memo view
+	// when Options.Memo is set, the store itself otherwise.
+	env refiner.Env
+	mv  *memo.View // non-nil iff Options.Memo is set
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -185,6 +199,15 @@ func New(st *store.Store, plan *refiner.Plan, opts Options) (*Executor, error) {
 	x.tracer = opts.Telemetry.Tracer()
 	x.rec = opts.Explain
 	x.rec.SetClock(st.Clock())
+	x.env = st
+	if opts.Memo != nil {
+		mv, err := opts.Memo.Bind(st, plan.FilterFingerprint(), x.rec)
+		if err != nil {
+			return nil, err
+		}
+		x.mv = mv
+		x.env = mv
+	}
 	x.tl = opts.Timeline
 	if x.tl != nil {
 		// Per-window cost attribution: the store reports every charged
@@ -296,7 +319,17 @@ func (x *Executor) UpdatePlan(plan *refiner.Plan, action refiner.ResumeAction) e
 	min, max, _ := x.st.TimeRange()
 	x.from, x.to = plan.Range(min, max)
 	x.budget = plan.TimeBudget
-	x.maint = maintainer.New(plan, x.st, x.from, x.to)
+	if x.mv != nil {
+		// The filter fingerprint keys the cache; rebind under the new
+		// plan's so closures cached under the old filter cannot serve it.
+		mv, err := x.opts.Memo.Bind(x.st, plan.FilterFingerprint(), x.rec)
+		if err != nil {
+			return err
+		}
+		x.mv = mv
+		x.env = mv
+	}
+	x.maint = maintainer.New(plan, x.env, x.from, x.to)
 	// New filters may admit objects dropped under the old plan.
 	x.dropped = make(map[event.ObjID]bool)
 	if action == refiner.Repropagate && x.g != nil {
@@ -310,7 +343,7 @@ func (x *Executor) UpdatePlan(plan *refiner.Plan, action refiner.ResumeAction) e
 // The alert must satisfy the plan's starting point (callers that already
 // verified this can pass verifyStart=false via RunUnchecked).
 func (x *Executor) Run(alert event.Event) (*Result, error) {
-	ok, err := x.plan.MatchStart(alert, x.st)
+	ok, err := x.plan.MatchStart(alert, x.env)
 	if err != nil {
 		return nil, err
 	}
@@ -345,7 +378,7 @@ func (x *Executor) Prepare(alert event.Event) error {
 	x.budget = x.plan.TimeBudget
 	x.fwd = x.plan.Forward
 	x.g = graph.New(alert)
-	x.maint = maintainer.New(x.plan, x.st, x.from, x.to)
+	x.maint = maintainer.New(x.plan, x.env, x.from, x.to)
 	x.maint.Seed(x.g)
 	x.covered = make(map[event.ObjID]int64)
 	x.dropped = make(map[event.ObjID]bool)
@@ -589,8 +622,17 @@ func (x *Executor) count(obj event.ObjID, from, to int64) (int, error) {
 	return x.st.CountBackward(obj, from, to)
 }
 
-// query is the direction-resolved window fetch, appending into buf.
+// query is the direction-resolved window fetch, appending into buf. With a
+// memo bound it consults the shared closure cache first; hit or miss, the
+// charged cost is identical (counts stay index-only and uncached either
+// way — they never charge).
 func (x *Executor) query(buf []event.Event, obj event.ObjID, from, to int64) ([]event.Event, error) {
+	if x.mv != nil {
+		if x.fwd {
+			return x.mv.AppendForward(buf, obj, from, to)
+		}
+		return x.mv.AppendBackward(buf, obj, from, to)
+	}
 	if x.fwd {
 		return x.st.AppendForward(buf, obj, from, to)
 	}
@@ -729,14 +771,14 @@ func (x *Executor) processWindow(w ExecWindow) error {
 		// Where statement: objects failing it are deleted from the
 		// analysis without further exploration.
 		if x.plan.Where != nil {
-			keep, err := x.plan.Where.Keep(dep, src, x.st, x.from, x.to)
+			keep, err := x.plan.Where.Keep(dep, src, x.env, x.from, x.to)
 			if err != nil {
 				return err
 			}
 			if !keep {
 				x.dropped[src] = true
 				if x.rec != nil {
-					clause, pos := x.plan.Where.FailingClause(dep, src, x.st, x.from, x.to)
+					clause, pos := x.plan.Where.FailingClause(dep, src, x.env, x.from, x.to)
 					x.rec.EdgeWhereRejected(dep.ID, src, known, clause, pos)
 				}
 				continue
@@ -803,10 +845,10 @@ func (x *Executor) processWindow(w ExecWindow) error {
 // generating event.
 func (x *Executor) boostFor(dep event.Event, w ExecWindow) int {
 	for _, rule := range x.plan.Prioritize {
-		if rule.Down.Match(dep, x.st) {
+		if rule.Down.Match(dep, x.env) {
 			return 1
 		}
-		if w.Boost > 0 && rule.BoostEdge(dep, w.E, x.st) {
+		if w.Boost > 0 && rule.BoostEdge(dep, w.E, x.env) {
 			return 1
 		}
 	}

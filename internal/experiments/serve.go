@@ -99,8 +99,8 @@ func RunServe(env *Env, cfg Config, w io.Writer) (*ServeResult, error) {
 		// Every session's SSE stream must stay replayable for the whole
 		// measurement regardless of -samples, so retention is off here.
 		RetainSessions: -1,
-		Telemetry:        cfg.Telemetry,
-		ViewClock:        func() simclock.Clock { return simclock.NewSimulated(time.Time{}) },
+		Telemetry:      cfg.Telemetry,
+		ViewClock:      func() simclock.Clock { return simclock.NewSimulated(time.Time{}) },
 	})
 	if err != nil {
 		return nil, err

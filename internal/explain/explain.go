@@ -83,6 +83,14 @@ const (
 	KindResume
 	// KindFinalize: tracking-statement path pruning removed Card edges.
 	KindFinalize
+	// KindMemoHit and KindMemoMiss record cross-alert memo cache verdicts:
+	// Node is the queried object, Begin/Finish the window, Card the row
+	// count served (hit) or computed (miss), Detail the cached query kind
+	// (backward rows, forward rows, or a computed attribute). A hit changes
+	// no charged cost — only real CPU — so these records are how a trace
+	// shows where the cache intervened.
+	KindMemoHit
+	KindMemoMiss
 )
 
 var kindNames = [...]string{
@@ -102,6 +110,8 @@ var kindNames = [...]string{
 	KindPause:             "pause",
 	KindResume:            "resume",
 	KindFinalize:          "finalize",
+	KindMemoHit:           "memo-hit",
+	KindMemoMiss:          "memo-miss",
 }
 
 // String names the kind.
@@ -305,6 +315,21 @@ func (r *Recorder) WindowQueried(node event.ObjID, wb, wf int64, rows int) {
 		return
 	}
 	r.add(Record{Kind: KindWindowQueried, Node: node, Begin: wb, Finish: wf, Card: rows})
+}
+
+// MemoVerdict records a memo-cache lookup: hit says whether the cached
+// closure was served, what names the cached query kind ("backward",
+// "forward", "readonly", "write-through", "file-times"), node/wb/wf identify
+// the (object, window) key, and rows is the row count served or computed.
+func (r *Recorder) MemoVerdict(hit bool, what string, node event.ObjID, wb, wf int64, rows int) {
+	if r == nil {
+		return
+	}
+	k := KindMemoMiss
+	if hit {
+		k = KindMemoHit
+	}
+	r.add(Record{Kind: k, Node: node, Begin: wb, Finish: wf, Card: rows, Detail: what})
 }
 
 // WindowAbandoned records a window still queued when the run ended; reason

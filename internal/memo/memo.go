@@ -1,0 +1,309 @@
+// Package memo is the cross-alert backward-closure cache: a shared,
+// immutable, size-bounded cache of sealed-store query results, keyed by
+// (object, time window, plan-filter fingerprint, store content signature).
+//
+// Batch triage re-runs hundreds of independent backtracks over one sealed
+// store, and dependency explosion (paper E1: up to 35k events per backtrack)
+// means the same heavy-hitter objects — explorer.exe, hot DLLs — are
+// re-expanded in nearly every run. The memo lets later runs reuse the
+// posting walks earlier runs already did: window row closures
+// (AppendBackward/AppendForward) and the computed object attributes BDL
+// heuristics evaluate per candidate edge (IsReadOnlyFile, IsWriteThrough,
+// FileTimes).
+//
+// The load-bearing invariant is the one PR 4 established for the SoA
+// indexes: ACCELERATION NEVER CHANGES CHARGED COST. A cache hit replays the
+// logical query's simulated cost through store.ChargeReplay — same stats
+// counters, same telemetry, same cost-observer callbacks, same analysis-
+// clock advance — so every experiment table, batch summary, and DOT file is
+// byte-identical cached, uncached, serial, and parallel. A hit saves real
+// CPU only; its effect is visible exclusively in the aptrace_memo_* counters
+// and in memo-hit/memo-miss explain records.
+//
+// Correctness guards in the key:
+//   - the plan-filter fingerprint (refiner.Plan.FilterFingerprint) keeps a
+//     closure computed under one filter from ever serving a run compiled
+//     from a different script;
+//   - the store content signature (store.ContentSignature) invalidates every
+//     entry the moment a live store is resealed with new events — stale
+//     entries simply stop matching and age out of the LRU.
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"aptrace/internal/event"
+	"aptrace/internal/telemetry"
+)
+
+// DefaultMaxBytes is the cache's byte budget when the caller passes 0.
+const DefaultMaxBytes = 64 << 20
+
+// numShards spreads the LRU lock; must be a power of two.
+const numShards = 64
+
+// kind tags which logical query an entry caches. Distinct kinds with the
+// same (object, window) are distinct entries.
+type kind uint8
+
+const (
+	kindBackward kind = iota
+	kindForward
+	kindReadOnly
+	kindWriteThrough
+	kindFileTimes
+)
+
+var kindNames = [...]string{
+	kindBackward:     "backward",
+	kindForward:      "forward",
+	kindReadOnly:     "readonly",
+	kindWriteThrough: "write-through",
+	kindFileTimes:    "file-times",
+}
+
+// key identifies one cached closure. sig is the sealed store's content
+// signature, fp the plan-filter fingerprint of the run that computed the
+// entry.
+type key struct {
+	sig      uint64
+	fp       string
+	obj      event.ObjID
+	from, to int64
+	kind     kind
+}
+
+var eventSize = int64(unsafe.Sizeof(event.Event{}))
+
+// entryOverhead approximates the fixed per-entry cost: the entry struct,
+// its map slot, and the key (the fp string is shared across entries from
+// one bind, so only the header is counted).
+const entryOverhead = 160
+
+type entry struct {
+	key    key
+	rows   []event.Event // kindBackward / kindForward closures
+	flag   bool          // kindReadOnly / kindWriteThrough verdicts
+	t1, t2 int64         // kindFileTimes: creation, lastMod
+	t3     int64         // kindFileTimes: lastAccess
+	charge int64         // rows to replay on a hit (store.NoCharge possible)
+	size   int64
+	uses   atomic.Int64 // hit count, drives sampled LRU promotion
+
+	prev, next *entry // shard LRU list; head = most recent
+}
+
+type shard struct {
+	mu         sync.RWMutex
+	entries    map[key]*entry
+	head, tail *entry
+	bytes      int64
+}
+
+// Cache is a concurrent, byte-bounded LRU of sealed-store query results.
+// One Cache serves one store lineage (a sealed store and its views, or a
+// live store across reseals); shards keep contention off the batch fleet's
+// hot path.
+type Cache struct {
+	maxPerShard int64
+	shards      [numShards]shard
+
+	hits, misses, evictions atomic.Int64
+	bytes                   atomic.Int64
+
+	telHits, telMisses, telEvictions *telemetry.Counter
+	telBytes                         *telemetry.Gauge
+}
+
+// New builds a cache with the given byte budget (0 means DefaultMaxBytes).
+// reg may be nil; the aptrace_memo_* instruments become no-ops.
+func New(maxBytes int64, reg *telemetry.Registry) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	perShard := maxBytes / numShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{
+		maxPerShard:  perShard,
+		telHits:      reg.Counter(telemetry.MetricMemoHits),
+		telMisses:    reg.Counter(telemetry.MetricMemoMisses),
+		telEvictions: reg.Counter(telemetry.MetricMemoEvictions),
+		telBytes:     reg.Gauge(telemetry.MetricMemoBytes),
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[key]*entry)
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Bytes     int64 `json:"bytes"`
+	Entries   int64 `json:"entries"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 with no lookups.
+func (s Stats) HitRate() float64 {
+	if n := s.Hits + s.Misses; n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+// Stats snapshots the counters. Safe on a nil cache (all zeros).
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	s := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Bytes:     c.bytes.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += int64(len(sh.entries))
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// Reset drops every entry, counting them as evictions. Serve calls this
+// when a live store reseals with new content: the signature in the key
+// already keeps stale entries from matching, Reset reclaims their memory
+// immediately instead of waiting for the LRU to age them out.
+func (c *Cache) Reset() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		dropped := int64(len(sh.entries))
+		freed := sh.bytes
+		sh.entries = make(map[key]*entry)
+		sh.head, sh.tail = nil, nil
+		sh.bytes = 0
+		sh.mu.Unlock()
+		if dropped > 0 {
+			c.evictions.Add(dropped)
+			c.telEvictions.Add(dropped)
+		}
+		c.bytes.Add(-freed)
+	}
+	c.telBytes.Set(c.bytes.Load())
+}
+
+func (c *Cache) shard(k key) *shard {
+	h := uint64(k.obj)*0x9E3779B97F4A7C15 ^ uint64(k.from)*0xC2B2AE3D27D4EB4F ^ uint64(k.to) ^ uint64(k.kind)<<56 ^ k.sig
+	return &c.shards[h&(numShards-1)]
+}
+
+// get returns the cached entry for k. The returned entry is immutable;
+// callers must not modify its rows.
+//
+// The hit path takes only the shard's read lock: batch triage hammers a
+// few heavy-hitter keys from every worker at once, and an exclusive lock
+// per hit serializes the whole fleet on those entries. LRU promotion is
+// sampled instead — every promoteEvery-th hit on an entry takes the write
+// lock and moves it to the front, which preserves eviction order for the
+// hot entries that matter while keeping the common hit uncontended.
+func (c *Cache) get(k key) (*entry, bool) {
+	sh := c.shard(k)
+	sh.mu.RLock()
+	e, ok := sh.entries[k]
+	sh.mu.RUnlock()
+	if !ok {
+		c.misses.Add(1)
+		c.telMisses.Inc()
+		return nil, false
+	}
+	if e.uses.Add(1)%promoteEvery == 1 {
+		sh.mu.Lock()
+		// The entry may have been evicted or Reset away since the read
+		// lock dropped; promote only if it still owns its map slot.
+		if cur, live := sh.entries[k]; live && cur == e && sh.head != e {
+			sh.unlink(e)
+			sh.pushFront(e)
+		}
+		sh.mu.Unlock()
+	}
+	c.hits.Add(1)
+	c.telHits.Inc()
+	return e, true
+}
+
+// promoteEvery samples LRU promotion on the read-locked hit path: the
+// first hit on an entry always promotes (uses goes 0 -> 1), then every
+// 16th after that.
+const promoteEvery = 16
+
+// put inserts a freshly computed entry. First writer wins: if the key is
+// already present (two workers computed the same closure concurrently), the
+// existing entry stays and the new one is discarded — both are equal by
+// construction. Entries larger than a whole shard's budget are not cached.
+func (c *Cache) put(k key, e *entry) {
+	e.key = k
+	e.size += entryOverhead
+	if e.size > c.maxPerShard {
+		return
+	}
+	sh := c.shard(k)
+	var evicted int64
+	sh.mu.Lock()
+	if _, dup := sh.entries[k]; !dup {
+		sh.entries[k] = e
+		sh.pushFront(e)
+		sh.bytes += e.size
+		c.bytes.Add(e.size)
+		for sh.bytes > c.maxPerShard && sh.tail != nil && sh.tail != e {
+			victim := sh.tail
+			sh.unlink(victim)
+			delete(sh.entries, victim.key)
+			sh.bytes -= victim.size
+			c.bytes.Add(-victim.size)
+			evicted++
+		}
+	}
+	sh.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+		c.telEvictions.Add(evicted)
+	}
+	c.telBytes.Set(c.bytes.Load())
+}
+
+func (sh *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

@@ -1,0 +1,307 @@
+package memo
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"aptrace/internal/event"
+	"aptrace/internal/simclock"
+	"aptrace/internal/store"
+)
+
+// buildStore seals a small history: three processes chained through two
+// files and a socket, plus a read-only file and a write-through helper so
+// every cached attribute kind has a nontrivial answer.
+func buildStore(t testing.TB, clk simclock.Clock) *store.Store {
+	t.Helper()
+	s := store.New(clk)
+	bash := event.Process("h1", "bash", 1, 50)
+	cat := event.Process("h1", "cat", 2, 150)
+	helper := event.Process("h1", "helper", 4, 160)
+	scp := event.Process("h1", "scp", 3, 350)
+	fa := event.File("h1", "/tmp/a")
+	fb := event.File("h1", "/tmp/b")
+	ro := event.File("h1", "/lib/ro.so")
+	sock := event.Socket("h1", "10.0.0.1", 4000, "8.8.8.8", 443)
+
+	add := func(tm int64, sub, obj event.Object, a event.Action, d event.Direction, amt int64) {
+		if _, err := s.AddEvent(tm, sub, obj, a, d, amt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(100, bash, fa, event.ActWrite, event.FlowOut, 10)
+	add(150, bash, ro, event.ActLoad, event.FlowIn, 0)
+	add(160, cat, ro, event.ActLoad, event.FlowIn, 0)
+	add(200, cat, fa, event.ActRead, event.FlowIn, 10)
+	add(250, bash, helper, event.ActStart, event.FlowOut, 0)
+	add(300, cat, fb, event.ActWrite, event.FlowOut, 20)
+	add(400, scp, fb, event.ActRead, event.FlowIn, 20)
+	add(500, scp, sock, event.ActSend, event.FlowOut, 20)
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func view(t testing.TB, s *store.Store) *store.Store {
+	t.Helper()
+	v, err := s.View(simclock.NewSimulated(time.Time{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func objID(t testing.TB, s *store.Store, o event.Object) event.ObjID {
+	t.Helper()
+	id, ok := s.Lookup(o)
+	if !ok {
+		t.Fatalf("object %v not in store", o)
+	}
+	return id
+}
+
+// TestHitMatchesMissExactly drives every cached query kind twice through
+// separate views of the same store and asserts the hit returns the same
+// values AND the same charged-cost delta (queries, rows, buckets, clock) as
+// the miss. This is the charged-cost invariant at its smallest scale.
+func TestHitMatchesMissExactly(t *testing.T) {
+	base := buildStore(t, simclock.NewSimulated(time.Time{}))
+	c := New(0, nil)
+	fa := objID(t, base, event.File("h1", "/tmp/a"))
+	ro := objID(t, base, event.File("h1", "/lib/ro.so"))
+	helper := objID(t, base, event.Process("h1", "helper", 4, 160))
+	bash := objID(t, base, event.Process("h1", "bash", 1, 50))
+
+	type probe struct {
+		name string
+		run  func(v *View) (string, error)
+	}
+	probes := []probe{
+		{"backward", func(v *View) (string, error) {
+			rows, err := v.AppendBackward(nil, fa, 0, 1000)
+			return fmt.Sprint(rows), err
+		}},
+		{"forward", func(v *View) (string, error) {
+			rows, err := v.AppendForward(nil, fa, 0, 1000)
+			return fmt.Sprint(rows), err
+		}},
+		{"readonly", func(v *View) (string, error) {
+			ok, err := v.IsReadOnlyFile(ro, 0, 1000)
+			return fmt.Sprint(ok), err
+		}},
+		{"write-through", func(v *View) (string, error) {
+			ok, err := v.IsWriteThrough(helper, 0, 1000)
+			return fmt.Sprint(ok), err
+		}},
+		{"file-times", func(v *View) (string, error) {
+			a, b, cc, err := v.FileTimes(fa, 0, 1000)
+			return fmt.Sprint(a, b, cc), err
+		}},
+		// Type-guard short circuits: no charge may be replayed on a hit.
+		{"readonly-nonfile", func(v *View) (string, error) {
+			ok, err := v.IsReadOnlyFile(bash, 0, 1000)
+			return fmt.Sprint(ok), err
+		}},
+		{"write-through-nonproc", func(v *View) (string, error) {
+			ok, err := v.IsWriteThrough(fa, 0, 1000)
+			return fmt.Sprint(ok), err
+		}},
+	}
+
+	for _, p := range probes {
+		t.Run(p.name, func(t *testing.T) {
+			var vals [2]string
+			var stats [2]store.Stats
+			var elapsed [2]time.Duration
+			for i := 0; i < 2; i++ {
+				sv := view(t, base)
+				mv, err := c.Bind(sv, "fp", nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t0 := sv.Clock().Now()
+				vals[i], err = p.run(mv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stats[i] = sv.Stats()
+				elapsed[i] = sv.Clock().Now().Sub(t0)
+			}
+			if vals[0] != vals[1] {
+				t.Fatalf("hit value %q != miss value %q", vals[1], vals[0])
+			}
+			if stats[0] != stats[1] {
+				t.Fatalf("charged stats diverged: miss %+v, hit %+v", stats[0], stats[1])
+			}
+			if elapsed[0] != elapsed[1] {
+				t.Fatalf("simulated clock diverged: miss %v, hit %v", elapsed[0], elapsed[1])
+			}
+		})
+	}
+	if s := c.Stats(); s.Hits == 0 || s.Misses == 0 {
+		t.Fatalf("expected both hits and misses, got %+v", s)
+	}
+}
+
+// TestFingerprintPoisoning is the satellite-4 poisoning test: a run bound
+// under a different plan-filter fingerprint must never be served a closure
+// cached under another, even for the identical (object, window).
+func TestFingerprintPoisoning(t *testing.T) {
+	base := buildStore(t, simclock.NewSimulated(time.Time{}))
+	c := New(0, nil)
+	fa := objID(t, base, event.File("h1", "/tmp/a"))
+
+	a, err := c.Bind(view(t, base), `backward|in=|where=file.path != "*.dll"`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AppendBackward(nil, fa, 0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("priming run: %+v", s)
+	}
+
+	b, err := c.Bind(view(t, base), `backward|in=|where=`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AppendBackward(nil, fa, 0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 2 {
+		t.Fatalf("fingerprint mismatch served a cached closure: %+v", s)
+	}
+
+	// Same fingerprint does share.
+	a2, err := c.Bind(view(t, base), `backward|in=|where=file.path != "*.dll"`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a2.AppendBackward(nil, fa, 0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Hits != 1 {
+		t.Fatalf("identical fingerprint should hit: %+v", s)
+	}
+}
+
+// TestContentSignatureIsolation: two sealed stores with different content
+// sharing one cache must never serve each other's closures.
+func TestContentSignatureIsolation(t *testing.T) {
+	s1 := buildStore(t, simclock.NewSimulated(time.Time{}))
+	s2 := store.New(simclock.NewSimulated(time.Time{}))
+	p := event.Process("h1", "bash", 1, 50)
+	f := event.File("h1", "/tmp/a")
+	if _, err := s2.AddEvent(111, p, f, event.ActWrite, event.FlowOut, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(0, nil)
+	fa1 := objID(t, s1, f)
+	v1, err := c.Bind(view(t, s1), "fp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows1, err := v1.AppendBackward(nil, fa1, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fa2 := objID(t, s2, f)
+	v2, err := c.Bind(view(t, s2), "fp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows2, err := v2.AppendBackward(nil, fa2, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 2 {
+		t.Fatalf("stores with different signatures shared entries: %+v", s)
+	}
+	if len(rows1) != 1 || len(rows2) != 1 || rows1[0].Time == rows2[0].Time {
+		t.Fatalf("each store must serve its own closure: %v vs %v", rows1, rows2)
+	}
+}
+
+// TestEvictionBudget: the cache stays within its byte budget and reports
+// evictions once closures are displaced.
+func TestEvictionBudget(t *testing.T) {
+	base := buildStore(t, simclock.NewSimulated(time.Time{}))
+	fa := objID(t, base, event.File("h1", "/tmp/a"))
+	const budget = numShards * (entryOverhead + 256)
+	c := New(budget, nil)
+	v, err := c.Bind(view(t, base), "fp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct windows make distinct keys; enough of them must evict.
+	for i := int64(0); i < 500; i++ {
+		if _, err := v.AppendBackward(nil, fa, i, 1000+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Bytes > budget {
+		t.Fatalf("resident bytes %d exceed budget %d", s.Bytes, budget)
+	}
+	if s.Evictions == 0 {
+		t.Fatalf("expected evictions under a %d-byte budget: %+v", budget, s)
+	}
+	if s.Entries == 0 {
+		t.Fatal("cache should retain recent entries after eviction")
+	}
+}
+
+// TestReset drops everything and accounts the drops as evictions.
+func TestReset(t *testing.T) {
+	base := buildStore(t, simclock.NewSimulated(time.Time{}))
+	fa := objID(t, base, event.File("h1", "/tmp/a"))
+	c := New(0, nil)
+	v, err := c.Bind(view(t, base), "fp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.AppendBackward(nil, fa, 0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	pre := c.Stats()
+	if pre.Entries == 0 || pre.Bytes == 0 {
+		t.Fatalf("expected a resident entry: %+v", pre)
+	}
+	c.Reset()
+	post := c.Stats()
+	if post.Entries != 0 || post.Bytes != 0 {
+		t.Fatalf("reset left residue: %+v", post)
+	}
+	if post.Evictions != pre.Entries {
+		t.Fatalf("reset should count %d evictions, got %d", pre.Entries, post.Evictions)
+	}
+}
+
+// TestNilCache: binding a nil cache means "memo off".
+func TestNilCache(t *testing.T) {
+	var c *Cache
+	v, err := c.Bind(nil, "fp", nil)
+	if err != nil || v != nil {
+		t.Fatalf("nil cache bind = (%v, %v), want (nil, nil)", v, err)
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v", s)
+	}
+	c.Reset() // must not panic
+}
+
+// TestUnsealedBindFails: the memo is defined over sealed content only.
+func TestUnsealedBindFails(t *testing.T) {
+	s := store.New(simclock.NewSimulated(time.Time{}))
+	if _, err := New(0, nil).Bind(s, "fp", nil); err == nil {
+		t.Fatal("binding an unsealed store should fail")
+	}
+}

@@ -2,6 +2,7 @@ package refiner
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"aptrace/internal/bdl"
@@ -118,6 +119,32 @@ func (p *Plan) HostAllowed(host string) bool {
 		}
 	}
 	return false
+}
+
+// FilterFingerprint returns a canonical rendering of every plan component
+// that decides which candidates survive edge evaluation: tracking direction,
+// host patterns, and the compiled where-filter text (budgets excluded — they
+// stop a run but never change a per-candidate verdict). Two plans with equal
+// fingerprints make identical filter decisions for the same (object, window)
+// query; result caches key on this string so a cached closure computed under
+// one filter is never served to a run using a different one.
+func (p *Plan) FilterFingerprint() string {
+	var sb strings.Builder
+	if p.Forward {
+		sb.WriteString("forward")
+	} else {
+		sb.WriteString("backward")
+	}
+	sb.WriteString("|in=")
+	for i, h := range p.Hosts {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(h.String())
+	}
+	sb.WriteString("|where=")
+	sb.WriteString(p.Where.Source())
+	return sb.String()
 }
 
 // Range resolves the plan's time range against the store's history bounds.

@@ -234,6 +234,17 @@ func (w *WhereFilter) FailingClause(e event.Event, obj event.ObjID, env Env, fro
 	return bdl.FormatExpr(x.src), x.src.Pos()
 }
 
+// Source returns the canonical BDL text of the compiled filter tree (budget
+// clauses excluded — they were split off at compile time). Two filters with
+// equal Source make identical keep/delete decisions, which is what result
+// caches fingerprint on. A nil or budget-only filter renders as "".
+func (w *WhereFilter) Source() string {
+	if w == nil || w.root == nil || w.root.src == nil {
+		return ""
+	}
+	return bdl.FormatExpr(w.root.src)
+}
+
 // Keep decides whether the candidate object reached through connecting
 // event e should stay in the analysis. from/to bound computed-attribute
 // queries to the analysis range.

@@ -100,6 +100,10 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error(), RetryAfter: retry})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrEvicted):
+		// 410, not 404: the session existed and retention dropped it, so a
+		// client holding the ID should stop polling instead of retrying.
+		writeJSON(w, http.StatusGone, errorResponse{Error: err.Error()})
 	case errors.Is(err, ErrNotFound):
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
 	default:

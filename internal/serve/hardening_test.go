@@ -11,7 +11,9 @@ import (
 	"testing"
 	"time"
 
+	"aptrace/internal/simclock"
 	"aptrace/internal/store"
+	"aptrace/internal/workload"
 )
 
 // TestSubmitRollbackConcurrent is the regression test for the rollback
@@ -144,8 +146,11 @@ func TestSessionRetention(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if _, err := mgr.Run(ids[0]); !errors.Is(err, ErrNotFound) {
-		t.Fatalf("evicted run lookup err = %v, want ErrNotFound", err)
+	if _, err := mgr.Run(ids[0]); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("evicted run lookup err = %v, want ErrEvicted", err)
+	}
+	if _, err := mgr.Run("s-999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("never-submitted run lookup err = %v, want ErrNotFound", err)
 	}
 	if _, err := mgr.Run(ids[4]); err != nil {
 		t.Fatalf("retained run lookup err = %v", err)
@@ -260,5 +265,166 @@ func TestDrainTimeoutCountsQueued(t *testing.T) {
 	}
 	if sum := runB.Wait(); sum.State != "aborted" {
 		t.Fatalf("runB ended %s, want aborted", sum.State)
+	}
+}
+
+// evictedFixture builds a server with RetainSessions 1, runs three sessions
+// to completion, waits for retention to evict the two oldest, and returns
+// the server plus (evicted ID, retained ID).
+func evictedFixture(t *testing.T, memoBytes int64) (*Server, string, string) {
+	t.Helper()
+	ds := dataset(t)
+	srv, err := New(Config{
+		Source:         StaticSource(ds.Store),
+		Workers:        1,
+		RetainSessions: 1,
+		MemoBytes:      memoBytes,
+		ViewClock:      simClock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := srv.Manager()
+	script := ds.Attacks[0].Scripts[0]
+	var ids []string
+	for i := 0; i < 3; i++ {
+		run, err := mgr.Submit("ops", script, nil, false, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.Wait()
+		ids = append(ids, run.ID)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(mgr.Runs()) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("retention never settled: %d runs tracked", len(mgr.Runs()))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return srv, ids[0], ids[2]
+}
+
+// TestEvictedRunEndpoints is the regression test for the evicted-ID status
+// seam: every per-session endpoint — updates (SSE), explain, timeline,
+// summary, lifecycle — must answer an evicted run ID with a prompt, clean
+// 410 Gone, distinct from the 404 a never-submitted ID gets. Before the
+// watermark existed, both cases collapsed to 404, so clients could not tell
+// "stop polling, it's gone" from "wrong ID". Run under -race in CI.
+func TestEvictedRunEndpoints(t *testing.T) {
+	srv, evicted, retained := evictedFixture(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A hung SSE handler would stall the whole test; bound every request.
+	client := &http.Client{Timeout: 10 * time.Second}
+	endpoints := []struct {
+		method, path string
+	}{
+		{http.MethodGet, "/api/v1/sessions/%s"},
+		{http.MethodGet, "/api/v1/sessions/%s/updates"},
+		{http.MethodGet, "/api/v1/sessions/%s/explain"},
+		{http.MethodGet, "/api/v1/sessions/%s/timeline"},
+		{http.MethodPost, "/api/v1/sessions/%s/stop"},
+	}
+	for _, ep := range endpoints {
+		for _, tc := range []struct {
+			id   string
+			want int
+		}{
+			{evicted, http.StatusGone},
+			{"s-999999", http.StatusNotFound},
+			{"no-such-id", http.StatusNotFound},
+		} {
+			req, err := http.NewRequest(ep.method, ts.URL+fmt.Sprintf(ep.path, tc.id), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				t.Fatalf("%s %s: %v", ep.method, ep.path, err)
+			}
+			body := decodeBody[errorResponse](t, resp)
+			if resp.StatusCode != tc.want {
+				t.Fatalf("%s %s with id %s = %d, want %d", ep.method, ep.path, tc.id, resp.StatusCode, tc.want)
+			}
+			if body.Error == "" {
+				t.Fatalf("%s %s: error body is empty", ep.method, ep.path)
+			}
+		}
+	}
+
+	// The retained run still answers normally.
+	resp, err := client.Get(ts.URL + "/api/v1/sessions/" + retained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum := decodeBody[Summary](t, resp); sum.ID != retained {
+		t.Fatalf("retained run summary ID = %q, want %q", sum.ID, retained)
+	}
+}
+
+// TestServeMemoIdenticalResults: sessions running over the manager's shared
+// memo cache must report the same graphs as a memo-less server — the cache
+// is a CPU optimization, never a result change — and repeated identical
+// scripts must actually hit it.
+func TestServeMemoIdenticalResults(t *testing.T) {
+	plain, _, plainID := evictedFixture(t, 0)
+	memod, _, memoID := evictedFixture(t, 32<<20)
+
+	p, err := plain.Manager().Run(plainID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := memod.Manager().Run(memoID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, ms := p.Summary(), m.Summary()
+	if ps.Edges != ms.Edges || ps.Nodes != ms.Nodes || ps.Updates != ms.Updates || ps.Reason != ms.Reason {
+		t.Fatalf("memo changed session results:\n  off: %d edges %d nodes %d updates %q\n   on: %d edges %d nodes %d updates %q",
+			ps.Edges, ps.Nodes, ps.Updates, ps.Reason, ms.Edges, ms.Nodes, ms.Updates, ms.Reason)
+	}
+	if cs := memod.memo.Stats(); cs.Hits == 0 {
+		t.Fatalf("three identical sessions never hit the shared cache: %+v", cs)
+	}
+}
+
+// dataset2 is a dataset with different content than dataset — a stand-in
+// for a live store that resealed after more ingest.
+func dataset2(t testing.TB) *workload.Dataset {
+	t.Helper()
+	ds, err := workload.Generate(workload.Config{Seed: 11, Hosts: 3, Days: 2, Density: 0.4}, simclock.NewSimulated(time.Time{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestServeMemoResealInvalidation: when the source reseals with new content
+// (live ingest between detection passes), the next snapshot refresh must
+// reset the shared cache — the signature in every key already guards
+// correctness; the reset reclaims the dead entries' memory.
+func TestServeMemoResealInvalidation(t *testing.T) {
+	srv, _, _ := evictedFixture(t, 32<<20)
+	if cs := srv.memo.Stats(); cs.Entries == 0 {
+		t.Fatalf("fixture never populated the cache: %+v", cs)
+	}
+
+	// Same content: refresh must keep the entries (signature unchanged).
+	if _, err := srv.refreshSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if cs := srv.memo.Stats(); cs.Entries == 0 {
+		t.Fatal("refresh with unchanged content dropped the cache")
+	}
+
+	// New content: swap the source for a differently sealed store.
+	srv.cfg.Source = StaticSource(dataset2(t).Store)
+	if _, err := srv.refreshSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if cs := srv.memo.Stats(); cs.Entries != 0 {
+		t.Fatalf("reseal left %d stale entries resident", cs.Entries)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"aptrace/internal/explain"
 	"aptrace/internal/fleet"
 	"aptrace/internal/graph"
+	"aptrace/internal/memo"
 	"aptrace/internal/refiner"
 	"aptrace/internal/session"
 	"aptrace/internal/simclock"
@@ -21,11 +22,15 @@ import (
 )
 
 // Admission-control errors. The API layer maps ErrSaturated to HTTP 429
-// (with Retry-After), ErrDraining to 503, and ErrNotFound to 404.
+// (with Retry-After), ErrDraining to 503, ErrNotFound to 404, and
+// ErrEvicted to 410 — a session that existed but was dropped by the
+// retention cap is gone, not unknown, and clients polling an old run ID
+// need to tell the two apart.
 var (
 	ErrSaturated = errors.New("serve: saturated: session quota or queue full")
 	ErrDraining  = errors.New("serve: draining: not accepting new sessions")
 	ErrNotFound  = errors.New("serve: no such session")
+	ErrEvicted   = errors.New("serve: session evicted by retention")
 )
 
 // Quota bounds one tenant's in-flight sessions: at most MaxActive running
@@ -246,6 +251,7 @@ type Manager struct {
 	windows  int
 	retain   int // max terminal runs kept for the API (<0: unlimited)
 	reg      *telemetry.Registry
+	memo     *memo.Cache // shared across every run; nil = memo off
 	snapshot func() (*store.Store, error)
 	// viewClock, when set, supplies each run's private query-cost clock;
 	// nil inherits the snapshot's clock (real time in deployments).
@@ -257,6 +263,10 @@ type Manager struct {
 	tenants  map[string]*tenantCount
 	draining bool
 	nextID   int
+	// evictedMax is the highest numeric session sequence dropped by
+	// retention. Session IDs are monotonic ("s-<n>"), so a missing ID at or
+	// below the watermark was evicted (410), one above it never existed (404).
+	evictedMax int
 
 	telActive   *telemetry.Gauge
 	telQueued   *telemetry.Gauge
@@ -269,7 +279,7 @@ type Manager struct {
 // submission backlog across all tenants; retain bounds how many terminal
 // runs stay queryable (<0: unlimited).
 func newManager(pool *fleet.Pool, queue int, quota Quota, windows, retain int,
-	reg *telemetry.Registry, snapshot func() (*store.Store, error),
+	reg *telemetry.Registry, memoCache *memo.Cache, snapshot func() (*store.Store, error),
 	viewClock func() simclock.Clock) *Manager {
 	if quota.MaxActive <= 0 {
 		quota.MaxActive = DefaultQuota.MaxActive
@@ -283,6 +293,7 @@ func newManager(pool *fleet.Pool, queue int, quota Quota, windows, retain int,
 		windows:     windows,
 		retain:      retain,
 		reg:         reg,
+		memo:        memoCache,
 		snapshot:    snapshot,
 		viewClock:   viewClock,
 		runs:        make(map[string]*Run),
@@ -421,6 +432,7 @@ func (m *Manager) execute(run *Run, alert *event.Event) {
 		Telemetry: m.reg,
 		Explain:   rec,
 		Timeline:  lane,
+		Memo:      m.memo,
 	})
 
 	run.mu.Lock()
@@ -480,6 +492,9 @@ func (m *Manager) evictTerminal() {
 	for _, id := range m.order {
 		if drop > 0 && m.runs[id].State().terminal() {
 			delete(m.runs, id)
+			if n, ok := sessionSeq(id); ok && n > m.evictedMax {
+				m.evictedMax = n
+			}
 			drop--
 			continue
 		}
@@ -488,12 +503,26 @@ func (m *Manager) evictTerminal() {
 	m.order = keep
 }
 
-// Run looks a session up by ID.
+// sessionSeq extracts the numeric sequence from an "s-<n>" session ID.
+func sessionSeq(id string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(id, "s-%d", &n); err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Run looks a session up by ID. A missing ID at or below the eviction
+// watermark belonged to a session retention already dropped (ErrEvicted);
+// anything else missing never existed here (ErrNotFound).
 func (m *Manager) Run(id string) (*Run, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	run, ok := m.runs[id]
 	if !ok {
+		if n, isSeq := sessionSeq(id); isSeq && n <= m.evictedMax {
+			return nil, fmt.Errorf("%w (session %s)", ErrEvicted, id)
+		}
 		return nil, ErrNotFound
 	}
 	return run, nil

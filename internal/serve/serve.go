@@ -37,6 +37,7 @@ import (
 	"aptrace/internal/audit"
 	"aptrace/internal/event"
 	"aptrace/internal/fleet"
+	"aptrace/internal/memo"
 	"aptrace/internal/simclock"
 	"aptrace/internal/store"
 	"aptrace/internal/telemetry"
@@ -104,6 +105,15 @@ type Config struct {
 	// RetainAlerts bounds the recorded alert log (oldest evicted; Seq keeps
 	// counting across evictions). Default 4096; negative keeps everything.
 	RetainAlerts int
+	// MemoBytes, when positive, shares one backward-closure memo cache
+	// (internal/memo) of that byte budget across every session the manager
+	// runs. Hits replay the charged cost of the query they elide, so graphs,
+	// update streams, and explain/timeline output are byte-identical with
+	// the cache on or off — only real CPU changes. The cache is reset
+	// whenever a live store reseals with new content (the content signature
+	// in every key already keeps stale entries from matching; the reset
+	// reclaims their memory immediately). Zero disables the cache.
+	MemoBytes int64
 	// Telemetry receives every metric; nil creates a private registry so
 	// the service is always observable.
 	Telemetry *telemetry.Registry
@@ -137,9 +147,12 @@ type Server struct {
 	// (which would duplicate alerts and auto-launch duplicate sessions).
 	detectMu sync.Mutex
 
+	memo *memo.Cache // shared session memo cache; nil = disabled
+
 	mu       sync.Mutex
 	det      *alerts.Detector
 	snap     *store.Store // latest snapshot (detection + session substrate)
+	memoSig  uint64       // content signature the memo cache was filled under
 	scanned  int64        // first second not yet scanned by detection
 	alerts   []AlertRecord
 	alertSeq int           // total alerts ever recorded (survives eviction)
@@ -192,8 +205,11 @@ func New(cfg Config) (*Server, error) {
 		telAlerts:   cfg.Telemetry.Counter(telemetry.MetricServeAlerts),
 		telAutoRuns: cfg.Telemetry.Counter(telemetry.MetricServeAutoRuns),
 	}
+	if cfg.MemoBytes > 0 {
+		s.memo = memo.New(cfg.MemoBytes, s.reg)
+	}
 	pool := fleet.New(cfg.Workers, s.reg)
-	s.mgr = newManager(pool, cfg.QueueCap, cfg.Quota, cfg.Windows, cfg.RetainSessions, s.reg, s.Snapshot, cfg.ViewClock)
+	s.mgr = newManager(pool, cfg.QueueCap, cfg.Quota, cfg.Windows, cfg.RetainSessions, s.reg, s.memo, s.Snapshot, cfg.ViewClock)
 	snap, err := cfg.Source.Snapshot()
 	if err != nil {
 		return nil, fmt.Errorf("serve: initial snapshot: %w", err)
@@ -201,7 +217,30 @@ func New(cfg Config) (*Server, error) {
 	s.mu.Lock()
 	s.snap = snap
 	s.mu.Unlock()
+	s.invalidateMemo(snap)
 	return s, nil
+}
+
+// invalidateMemo resets the shared memo cache when the snapshot's content
+// signature moves — a live store resealed with new events. Correctness does
+// not depend on this (the signature in every cache key keeps stale closures
+// from matching); the reset reclaims their memory instead of letting dead
+// entries age out of the LRU.
+func (s *Server) invalidateMemo(snap *store.Store) {
+	if s.memo == nil || snap == nil {
+		return
+	}
+	sig, err := snap.ContentSignature()
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	changed := sig != s.memoSig
+	s.memoSig = sig
+	s.mu.Unlock()
+	if changed {
+		s.memo.Reset()
+	}
 }
 
 // Telemetry returns the server's registry.
@@ -225,7 +264,8 @@ func (s *Server) Snapshot() (*store.Store, error) {
 	return s.snap, nil
 }
 
-// refreshSnapshot takes a fresh snapshot from the source and caches it.
+// refreshSnapshot takes a fresh snapshot from the source and caches it,
+// resetting the shared memo cache if the content moved.
 func (s *Server) refreshSnapshot() (*store.Store, error) {
 	snap, err := s.cfg.Source.Snapshot()
 	if err != nil {
@@ -234,6 +274,7 @@ func (s *Server) refreshSnapshot() (*store.Store, error) {
 	s.mu.Lock()
 	s.snap = snap
 	s.mu.Unlock()
+	s.invalidateMemo(snap)
 	return snap, nil
 }
 

@@ -12,15 +12,32 @@ import (
 // These are modeled as index-backed aggregate queries and charge the cost
 // model for the posting entries they examine.
 
+// NoCharge is the row count the *Rows attribute variants return when a type
+// guard short-circuited the evaluation before any posting rows were examined
+// and therefore no charge was made. Distinguishing it from a zero-row charge
+// matters to callers that replay charges from a cache: charging zero rows
+// still bills one seek, while NoCharge bills nothing.
+const NoCharge int64 = -1
+
 // IsReadOnlyFile reports whether obj is a file that received no mutating
 // event (write, create, delete, rename, chmod) within [from, to).
 // Non-file objects are never read-only.
 func (s *Store) IsReadOnlyFile(obj event.ObjID, from, to int64) (bool, error) {
+	v, _, err := s.IsReadOnlyFileRows(obj, from, to)
+	return v, err
+}
+
+// IsReadOnlyFileRows is IsReadOnlyFile plus the number of posting rows the
+// evaluation examined — the rows already charged to the cost model, or
+// NoCharge when the type guard returned before any charge. Callers that
+// cache the verdict need this to replay the identical charge (or its
+// absence) on a cache hit.
+func (s *Store) IsReadOnlyFileRows(obj event.ObjID, from, to int64) (bool, int64, error) {
 	if !s.sealed {
-		return false, ErrNotSealed
+		return false, NoCharge, ErrNotSealed
 	}
 	if s.objects[obj].Type != event.ObjFile {
-		return false, nil
+		return false, NoCharge, nil
 	}
 	list, times := s.byDst.list(obj)
 	lo, hi := postingRange(times, from, to)
@@ -37,7 +54,7 @@ func (s *Store) IsReadOnlyFile(obj event.ObjID, from, to int64) (bool, error) {
 		}
 	}
 	s.charge(rows, from, to)
-	return readOnly, nil
+	return readOnly, rows, nil
 }
 
 // IsWriteThrough reports whether obj is a "write-through" helper process
@@ -45,11 +62,19 @@ func (s *Store) IsReadOnlyFile(obj event.ObjID, from, to int64) (bool, error) {
 // its own libraries) is with process objects, i.e. it only shuttles data
 // between its parent and children without touching files or the network.
 func (s *Store) IsWriteThrough(obj event.ObjID, from, to int64) (bool, error) {
+	v, _, err := s.IsWriteThroughRows(obj, from, to)
+	return v, err
+}
+
+// IsWriteThroughRows is IsWriteThrough plus the charged row count (NoCharge
+// when the type guard made no charge), for callers that replay charges from
+// a cache.
+func (s *Store) IsWriteThroughRows(obj event.ObjID, from, to int64) (bool, int64, error) {
 	if !s.sealed {
-		return false, ErrNotSealed
+		return false, NoCharge, ErrNotSealed
 	}
 	if s.objects[obj].Type != event.ObjProcess {
-		return false, nil
+		return false, NoCharge, nil
 	}
 	rows := int64(0)
 	seen := false
@@ -75,7 +100,7 @@ func (s *Store) IsWriteThrough(obj event.ObjID, from, to int64) (bool, error) {
 		check(s.bySrc, func(e event.Event) event.ObjID { return e.Dst() })
 	}
 	s.charge(rows, from, to)
-	return seen && through, nil
+	return seen && through, rows, nil
 }
 
 // FlowAmount returns the total byte amount of events from src flowing into
@@ -103,12 +128,19 @@ func (s *Store) FlowAmount(src, dst event.ObjID, from, to int64) (int64, error) 
 // time (last mutating event), and last access time (last read). A zero value
 // means "no such event in range".
 func (s *Store) FileTimes(obj event.ObjID, from, to int64) (creation, lastMod, lastAccess int64, err error) {
+	creation, lastMod, lastAccess, _, err = s.FileTimesRows(obj, from, to)
+	return creation, lastMod, lastAccess, err
+}
+
+// FileTimesRows is FileTimes plus the charged row count, for callers that
+// replay charges from a cache. FileTimes has no type guard, so rows is
+// always >= 0 on success.
+func (s *Store) FileTimesRows(obj event.ObjID, from, to int64) (creation, lastMod, lastAccess, rows int64, err error) {
 	if !s.sealed {
-		return 0, 0, 0, ErrNotSealed
+		return 0, 0, 0, NoCharge, ErrNotSealed
 	}
 	list, times := s.byDst.list(obj)
 	lo, hi := postingRange(times, from, to)
-	rows := int64(0)
 	for _, idx := range list[lo:hi] {
 		rows++
 		e := s.events[idx]
@@ -132,5 +164,5 @@ func (s *Store) FileTimes(obj event.ObjID, from, to int64) (creation, lastMod, l
 		}
 	}
 	s.charge(rows, from, to)
-	return creation, lastMod, lastAccess, nil
+	return creation, lastMod, lastAccess, rows, nil
 }

@@ -1,0 +1,56 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// ChargeReplay bills the cost model for a logical query without executing
+// it: rows examined plus the bucket span of [from, to), exactly as charge()
+// would for a real posting walk. It drives the same stats counters, the same
+// telemetry, the same cost observer, and the same simulated-clock advance.
+//
+// This is the hook result caches sit on: a cache hit must still pay the
+// logical query's simulated cost so that acceleration never changes charged
+// cost (the PR 4 invariant). A rows value of NoCharge is a no-op, mirroring
+// attribute evaluations whose type guard returned before any charge.
+func (s *Store) ChargeReplay(rows, from, to int64) error {
+	if !s.sealed {
+		return ErrNotSealed
+	}
+	if rows == NoCharge {
+		return nil
+	}
+	s.charge(rows, from, to)
+	return nil
+}
+
+// ContentSignature returns a cheap fingerprint of the sealed event log:
+// event count, object count, time range, and the first and last event IDs.
+// Views share their parent's log, so a view's signature equals its parent's.
+//
+// Within one store lineage — a live store resealed as it ingests, or any
+// append-only pipeline — the signature changes whenever the sealed content
+// changes, which is what result caches key on to invalidate across reseals.
+// It is not a collision-resistant hash across unrelated datasets; a cache
+// must only ever be shared among stores from one lineage.
+func (s *Store) ContentSignature() (uint64, error) {
+	if !s.sealed {
+		return 0, ErrNotSealed
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(len(s.events)))
+	put(uint64(len(s.objects)))
+	put(uint64(s.minTime))
+	put(uint64(s.maxTime))
+	if n := len(s.events); n > 0 {
+		put(uint64(s.events[0].ID))
+		put(uint64(s.events[n-1].ID))
+	}
+	return h.Sum64(), nil
+}

@@ -63,6 +63,16 @@ const (
 	// Timeline SLO watchdog: fired once per detected stall (no graph
 	// update within StallFactor × GapTarget).
 	MetricSLOStalls = "aptrace_slo_stall_total"
+
+	// Cross-alert memo cache (internal/memo). hits/misses count cache
+	// verdicts, evictions counts entries displaced by the byte budget, and
+	// bytes is the resident size of all cached closures. A hit saves only
+	// real CPU: charged cost is replayed identically, so these counters are
+	// the ONLY place cache effectiveness is visible.
+	MetricMemoHits      = "aptrace_memo_hits_total"
+	MetricMemoMisses    = "aptrace_memo_misses_total"
+	MetricMemoEvictions = "aptrace_memo_evictions_total"
+	MetricMemoBytes     = "aptrace_memo_bytes"
 )
 
 // Span names recorded by the tracer.
