@@ -261,6 +261,12 @@ func OpenStore(dir string, clk Clock, opts ...StoreOption) (*Store, error) {
 // ExecOptions.Telemetry.
 func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
 
+// RegisterRuntimeMetrics adds Go runtime vitals to the registry —
+// goroutine count, heap in-use, GC cycle counter, and a GC pause
+// histogram — refreshed lazily at scrape/snapshot time so an idle process
+// pays nothing between scrapes. Nil-safe no-op.
+func RegisterRuntimeMetrics(reg *Telemetry) { telemetry.RegisterRuntime(reg) }
+
 // NewMemoCache builds a cross-alert result cache with the given byte budget
 // (0 means the 64 MiB default). Share one cache across every run of a batch
 // (or a triage daemon's fleet) via ExecOptions.Memo; reg may be nil, or a

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	apbench [-exp all|severity|fig4|table1|table2|fig6|timeline|ablation-k|ablation-policy|perf|serve|memo]
+//	apbench [-exp all|severity|fig4|table1|table2|fig6|timeline|ablation-k|ablation-policy|perf|serve|memo|obs]
 //	        [-hosts 12] [-days 10] [-density 1.5] [-samples 200] [-cap 2h] [-k 8]
 //	        [-parallel 1] [-json dir] [-metrics addr] [-pprof addr] [-timeline trace.json]
 //	        [-benchtime 3x]
@@ -50,6 +50,11 @@
 //	                   memo cache on vs off, with per-alert byte-identity
 //	                   checked on every sample (BENCH_memo.json with -json;
 //	                   -benchtime Nx sets repetitions per mode)
+//	obs             -> alert-lifecycle journal: nil/gated/enabled emission
+//	                   cost (ns/op), byte-identity of the full pipeline
+//	                   journal on vs off, per-correlation-ID chain
+//	                   completeness, and the five pipeline-latency SLIs
+//	                   (BENCH_obs.json with -json)
 package main
 
 import (
@@ -103,6 +108,7 @@ func main() {
 		tl = aptrace.NewTimeline(aptrace.TimelineOptions{GapTarget: *gap, Telemetry: reg})
 	}
 	if *metrics != "" {
+		aptrace.RegisterRuntimeMetrics(reg)
 		if *pprofA == *metrics {
 			// Mount before ServeTelemetry builds the mux.
 			reg.RegisterPprof()
@@ -173,8 +179,9 @@ func main() {
 		"perf":  func() (any, error) { return experiments.RunPerf(env, cfg, os.Stdout) },
 		"serve": func() (any, error) { return experiments.RunServe(env, cfg, os.Stdout) },
 		"memo":  func() (any, error) { return experiments.RunMemo(env, cfg, os.Stdout) },
+		"obs":   func() (any, error) { return experiments.RunObs(env, cfg, os.Stdout) },
 	}
-	order := []string{"severity", "fig4", "table1", "table2", "fig6", "refiner", "explain", "timeline", "ablation-k", "ablation-policy", "perf", "serve", "memo"}
+	order := []string{"severity", "fig4", "table1", "table2", "fig6", "refiner", "explain", "timeline", "ablation-k", "ablation-policy", "perf", "serve", "memo", "obs"}
 
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {

@@ -13,6 +13,17 @@
 //	        [-retain-sessions 512] [-retain-alerts 4096]
 //	        [-sample] [-sample-hosts 4] [-sample-days 3] [-sample-density 0.5]
 //	        [-metrics addr] [-pprof]
+//	        [-journal out.ndjson] [-journal-level info] [-journal-sample 16]
+//	        [-ops-rules "quota_429_rate>0.5,..."] [-watchdog 5s]
+//
+// -journal enables the correlated alert-lifecycle journal: every ingest
+// batch mints a correlation ID that threads through detection, the
+// auto-launched session, its executor milestones, SSE delivery, and
+// eviction — queryable live at GET /debug/journal?corr=... and written as
+// NDJSON to the given path ("-" for stdout). -ops-rules configures the
+// self-watchdog's SLO rules ("off" disables them); violations land in the
+// journal and aptrace_ops_alerts_total. GET /readyz reports per-component
+// readiness and GET /ops the operator summary (SLIs, watchdog, subscribers).
 //
 // With -sample, a synthetic enterprise workload is generated and streamed
 // through the ingest path at startup, so the daemon is immediately
@@ -37,6 +48,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -45,6 +57,7 @@ import (
 
 	"aptrace"
 	"aptrace/internal/memo"
+	"aptrace/internal/obs"
 	"aptrace/internal/serve"
 	"aptrace/internal/store"
 )
@@ -88,12 +101,51 @@ func main() {
 		pprofF   = flag.Bool("pprof", false, "mount /debug/pprof on the API mux")
 		memoOn   = flag.Bool("memo", false, "share a backward-closure memo cache across sessions (reset on reseal; charged cost unchanged)")
 		memoB    = flag.Int64("memo-bytes", 0, "memo cache byte budget (0 with -memo = 64 MiB default)")
+		journalF = flag.String("journal", "", "write the alert-lifecycle journal (NDJSON) to this path (\"-\" = stdout; empty disables)")
+		jLevel   = flag.String("journal-level", "info", "journal level: debug|info|warn|error")
+		jSample  = flag.Int("journal-sample", 0, "keep 1-in-N debug entries per stage after the burst (0 = default 16)")
+		opsRules = flag.String("ops-rules", "", "watchdog SLO rules, e.g. \"quota_429_rate>0.5,detect_stall>30s\" (empty = defaults, \"off\" disables)")
+		watchdog = flag.Duration("watchdog", 5*time.Second, "self-watchdog evaluation interval (0 disables)")
 	)
 	flag.Parse()
 
 	reg := aptrace.NewTelemetry()
+	// An always-on daemon wants its own runtime vitals on every scrape.
+	aptrace.RegisterRuntimeMetrics(reg)
 	if *pprofF {
 		reg.RegisterPprof()
+	}
+
+	var journal *obs.Journal
+	if *journalF != "" {
+		level, err := obs.ParseLevel(*jLevel)
+		if err != nil {
+			log.Fatalf("apserve: -journal-level: %v", err)
+		}
+		out := io.Writer(os.Stdout)
+		if *journalF != "-" {
+			f, err := os.Create(*journalF)
+			if err != nil {
+				log.Fatalf("apserve: -journal: %v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		journal = obs.New(obs.Options{
+			Level:       level,
+			Out:         out,
+			SampleEvery: *jSample,
+			Telemetry:   reg,
+		})
+	}
+	rules, err := obs.ParseRules(*opsRules)
+	if err != nil {
+		log.Fatalf("apserve: -ops-rules: %v", err)
+	}
+	if rules == nil {
+		// "off": keep the watchdog baseline ticking with zero rules
+		// (Config treats nil as "use the defaults").
+		rules = []obs.Rule{}
 	}
 
 	if *dir == "" {
@@ -125,6 +177,9 @@ func main() {
 		Windows:        *k,
 		MemoBytes:      memoBudget(*memoOn, *memoB),
 		Telemetry:      reg,
+		Journal:        journal,
+		OpsRules:       rules,
+		WatchdogEvery:  *watchdog,
 	})
 	if err != nil {
 		log.Fatal(err)

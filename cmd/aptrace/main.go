@@ -84,6 +84,7 @@ func main() {
 	var storeOpts []aptrace.StoreOption
 	if *metrics != "" {
 		reg = aptrace.NewTelemetry()
+		aptrace.RegisterRuntimeMetrics(reg)
 	}
 	var rec *aptrace.ExplainRecorder
 	if *explArg != "" {

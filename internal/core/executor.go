@@ -12,6 +12,7 @@ import (
 	"aptrace/internal/graph"
 	"aptrace/internal/maintainer"
 	"aptrace/internal/memo"
+	"aptrace/internal/obs"
 	"aptrace/internal/refiner"
 	"aptrace/internal/simclock"
 	"aptrace/internal/store"
@@ -106,6 +107,15 @@ type Options struct {
 	// are byte-identical with the cache on or off — only real CPU changes.
 	// Nil disables caching.
 	Memo *memo.Cache
+	// Obs, if set, is the run's lifecycle-journal scope (bound to the
+	// triage daemon's correlation ID and run ID). The executor does not
+	// add emission sites of its own: window milestones reach the journal
+	// through the Timeline lane's observer, memo verdicts through the
+	// bound memo view — the same hooks the profiler and EXPLAIN layers
+	// already use. The journal stamps wall-clock time only, never the
+	// analysis clock, so enabling it cannot change any charged cost or
+	// graph output. Nil (and a nil scope is valid) journals nothing.
+	Obs *obs.Scope
 }
 
 // DefaultMaxWindowRows is the default per-window retrieval cap. At the
@@ -207,8 +217,23 @@ func New(st *store.Store, plan *refiner.Plan, opts Options) (*Executor, error) {
 		}
 		x.mv = mv
 		x.env = mv
+		x.mv.SetObs(opts.Obs)
 	}
 	x.tl = opts.Timeline
+	if x.tl != nil && opts.Obs != nil {
+		// Mirror the lane's window milestones and graph updates into the
+		// lifecycle journal: one emission site (the lane), two sinks.
+		// Stalls are operator-relevant, so they journal at Warn; the rest
+		// is Debug and subject to the journal's deterministic sampling.
+		scope := opts.Obs
+		x.tl.SetObserver(func(ev timeline.Event) {
+			lvl := obs.Debug
+			if ev.Kind == timeline.KindStall {
+				lvl = obs.Warn
+			}
+			scope.Emit(lvl, ev.Kind.String(), ev.Detail, int64(ev.Rows), ev.Dur)
+		})
+	}
 	if x.tl != nil {
 		// Per-window cost attribution: the store reports every charged
 		// query's rows/buckets/cost, which the lane folds into the next
@@ -328,6 +353,7 @@ func (x *Executor) UpdatePlan(plan *refiner.Plan, action refiner.ResumeAction) e
 		}
 		x.mv = mv
 		x.env = mv
+		x.mv.SetObs(x.opts.Obs)
 	}
 	x.maint = maintainer.New(plan, x.env, x.from, x.to)
 	// New filters may admit objects dropped under the old plan.

@@ -1,0 +1,392 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"aptrace/internal/audit"
+	"aptrace/internal/graph"
+	"aptrace/internal/obs"
+	"aptrace/internal/serve"
+	"aptrace/internal/simclock"
+	"aptrace/internal/store"
+	"aptrace/internal/telemetry"
+)
+
+// obsIngestChunks is how many ingest batches the identity pipelines split
+// the audit wire into — each batch mints its own correlation ID, so the
+// chain-completeness check exercises the batch→alert range mapping rather
+// than one trivial whole-wire correlation.
+const obsIngestChunks = 32
+
+// ObsSLI is one pipeline-latency histogram reduced to volume + quantiles.
+type ObsSLI struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+}
+
+// ObsResult is the structured result behind BENCH_obs.json. The emission
+// costs are host-machine wall clock; Identical and ChainsComplete are
+// invariants the experiment enforces (a violation fails the run instead of
+// shipping a tainted report).
+type ObsResult struct {
+	// Emission cost (ns/op): a nil journal must be a pointer test, a
+	// level-gated emission one comparison more, and the full enabled path
+	// (sampling + ring + NDJSON encode to a discarding writer) bounded.
+	NilEmitNs     float64 `json:"nil_emit_ns_op"`
+	GatedEmitNs   float64 `json:"gated_emit_ns_op"`
+	EnabledEmitNs float64 `json:"enabled_emit_ns_op"`
+
+	// Identity pipeline: the same audit wire ingested batch-by-batch into
+	// two daemons — journal on (Debug) vs journal off — every alert and
+	// every auto-run's graph fingerprint must match byte for byte.
+	Batches   int  `json:"ingest_batches"`
+	Alerts    int  `json:"alerts"`
+	AutoRuns  int  `json:"auto_runs"`
+	Identical bool `json:"identical_journal_on_off"`
+
+	// Chain completeness on the journal-on daemon: auto-runs whose whole
+	// lifecycle (ingest→alert→queued→active[→first-update]→terminal)
+	// reconstructs from one correlation ID.
+	ChainsComplete int `json:"chains_complete"`
+
+	JournalKept    uint64 `json:"journal_kept"`
+	JournalDropped uint64 `json:"journal_sampled_out"`
+
+	SLIs map[string]ObsSLI `json:"slis"`
+}
+
+// obsSLINames maps the registry histogram names to BENCH_obs.json keys.
+var obsSLINames = map[string]string{
+	telemetry.MetricSLIIngestToDetect:      "ingest_to_detect",
+	telemetry.MetricSLIDetectToLaunch:      "detect_to_launch",
+	telemetry.MetricSLILaunchToFirstUpdate: "launch_to_first_update",
+	telemetry.MetricSLISubmitToTerminal:    "submit_to_terminal",
+	telemetry.MetricSLIUpdateToSSEFlush:    "update_to_sse_flush",
+}
+
+// obsPipeline runs one full triage pipeline — chunked ingest into a fresh
+// live store, one detection pass with auto-backtrack, every run awaited —
+// and returns the daemon, a cleanup closure, and its batch count.
+func obsPipeline(env *Env, cfg Config, reg *telemetry.Registry, journal *obs.Journal) (*serve.Server, func(), int, error) {
+	dir, err := os.MkdirTemp("", "apbench-obs-*")
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	live, err := store.OpenLive(dir, nil, store.WithTelemetry(reg))
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, 0, err
+	}
+	fail := func(err error) (*serve.Server, func(), int, error) {
+		live.Close()
+		os.RemoveAll(dir)
+		return nil, nil, 0, err
+	}
+	workers := cfg.Parallel
+	if workers < 1 {
+		workers = 4
+	}
+	srv, err := serve.New(serve.Config{
+		Live:           live,
+		AutoBacktrack:  true,
+		AutoHops:       6,
+		AutoBudget:     10 * time.Minute,
+		Workers:        workers,
+		QueueCap:       1 << 12,
+		Quota:          serve.Quota{MaxActive: 1 << 11, MaxQueued: 1 << 11},
+		Windows:        cfg.Windows,
+		RetainSessions: -1,
+		Telemetry:      reg,
+		ViewClock:      func() simclock.Clock { return simclock.NewSimulated(time.Time{}) },
+		Journal:        journal,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	cleanup := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+		live.Close()
+		os.RemoveAll(dir)
+	}
+
+	var wire bytes.Buffer
+	if _, err := audit.Export(env.Dataset.Store, &wire, audit.FormatAuditd); err != nil {
+		cleanup()
+		return nil, nil, 0, err
+	}
+	lines := bytes.Split(bytes.TrimRight(wire.Bytes(), "\n"), []byte("\n"))
+	chunk := (len(lines) + obsIngestChunks - 1) / obsIngestChunks
+	batches := 0
+	for at := 0; at < len(lines); at += chunk {
+		end := at + chunk
+		if end > len(lines) {
+			end = len(lines)
+		}
+		payload := append(bytes.Join(lines[at:end], []byte("\n")), '\n')
+		if _, err := srv.IngestReader(bytes.NewReader(payload)); err != nil {
+			cleanup()
+			return nil, nil, 0, err
+		}
+		batches++
+	}
+	if _, err := srv.DetectNow(); err != nil {
+		cleanup()
+		return nil, nil, 0, err
+	}
+	for _, run := range srv.Manager().Runs() {
+		run.Wait()
+	}
+	return srv, cleanup, batches, nil
+}
+
+// pipelineFingerprints renders everything the identity invariant protects:
+// the alert log (rule, severity, event, auto-launched session ID) and each
+// run's terminal summary plus an FNV-64a hash of its rendered DOT graph.
+func pipelineFingerprints(srv *serve.Server) ([]string, error) {
+	var fps []string
+	for _, a := range srv.Alerts() {
+		fps = append(fps, fmt.Sprintf("alert seq=%d rule=%s sev=%s event=%d session=%s",
+			a.Seq, a.Rule, a.Severity, a.EventID, a.SessionID))
+	}
+	for _, run := range srv.Manager().Runs() {
+		sum := run.Summary()
+		h := fnv.New64a()
+		if g := run.Graph(); g != nil && run.View() != nil {
+			if err := graph.WriteDOT(h, g, run.View().Object); err != nil {
+				return nil, err
+			}
+		}
+		fps = append(fps, fmt.Sprintf("run id=%s auto=%v rule=%s alert=%d state=%s reason=%s updates=%d edges=%d nodes=%d dot=%016x",
+			sum.ID, sum.Auto, sum.Rule, sum.AlertID, sum.State, sum.Reason,
+			sum.Updates, sum.Edges, sum.Nodes, h.Sum64()))
+	}
+	return fps, nil
+}
+
+// chainComplete reports whether one auto-run's lifecycle reconstructs
+// gap-free from its correlation ID.
+func chainComplete(journal *obs.Journal, sum serve.Summary) bool {
+	stages := map[string]bool{}
+	for _, e := range journal.Query(obs.Filter{Corr: sum.Corr, Limit: 1 << 16}) {
+		stages[e.Stage] = true
+	}
+	need := []string{obs.StageIngest, obs.StageAlert, obs.StageRunQueued, obs.StageRunActive, obs.StageRunTerminal}
+	if sum.Updates > 0 {
+		need = append(need, obs.StageRunFirstUpdate)
+	}
+	for _, s := range need {
+		if !stages[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// sseFlushPhase populates the update→SSE-flush SLI deterministically: one
+// held run on a single-worker daemon, released only after a live SSE
+// subscriber is attached, so every update is a live flush rather than a
+// backlog replay. It shares reg (and journal) with the main pipeline so
+// the SLI lands in the same snapshot.
+func sseFlushPhase(env *Env, cfg Config, reg *telemetry.Registry, journal *obs.Journal) error {
+	release := make(chan struct{})
+	srv, err := serve.New(serve.Config{
+		Source:    serve.StaticSource(env.Dataset.Store),
+		Workers:   1,
+		Windows:   cfg.Windows,
+		Telemetry: reg,
+		Journal:   journal,
+		ViewClock: func() simclock.Clock {
+			<-release
+			return simclock.NewSimulated(time.Time{})
+		},
+	})
+	if err != nil {
+		return err
+	}
+	httpSrv, addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+
+	ev := env.sampleEvents(1, cfg.Seed)[0]
+	script := serve.ScriptForEvent(ev, env.Dataset.Store, 6, 10*time.Minute)
+	var id string
+	status, _, err := submitSession(base, "obs", script, uint64(ev.ID), &id)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusAccepted {
+		return fmt.Errorf("obs: sse phase submit returned %d", status)
+	}
+	resp, err := http.Get(base + "/api/v1/sessions/" + id + "/updates")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	close(release) // subscriber attached: run
+	r := bufio.NewReader(resp.Body)
+	for {
+		frame, data, err := readFrame(r)
+		if err != nil {
+			return fmt.Errorf("obs: sse phase stream ended early: %w", err)
+		}
+		if frame != "done" {
+			continue
+		}
+		var done struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(data), &done); err != nil {
+			return err
+		}
+		if done.State != "done" {
+			return fmt.Errorf("obs: sse phase run ended %s: %s", done.State, done.Error)
+		}
+		break
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	srv.Drain(ctx)
+	return httpSrv.Shutdown(ctx)
+}
+
+// RunObs benchmarks the lifecycle journal and proves its two contracts:
+// a disabled journal costs nanoseconds, and an enabled one changes nothing
+// about what the pipeline computes — detection output and every run's graph
+// are byte-identical journal on vs off. It also reconstructs each auto-run's
+// lifecycle chain from its correlation ID and reports the five pipeline SLIs.
+func RunObs(env *Env, cfg Config, w io.Writer) (*ObsResult, error) {
+	res := &ObsResult{SLIs: make(map[string]ObsSLI, len(obsSLINames))}
+
+	header(w, "Obs — alert-lifecycle journal: cost, identity, chain completeness")
+
+	// Phase 1: emission cost. Fixed-arg Emit keeps the nil and level-gated
+	// paths allocation-free; these bounds are what let every subsystem keep
+	// its journal hooks compiled in unconditionally.
+	nilBench := testing.Benchmark(func(b *testing.B) {
+		var j *obs.Journal
+		for i := 0; i < b.N; i++ {
+			j.Emit(obs.Debug, obs.StageIngest, "c", "r", "m", 1, time.Second)
+		}
+	})
+	res.NilEmitNs = float64(nilBench.NsPerOp())
+	gated := obs.New(obs.Options{Level: obs.Info, Ring: -1})
+	gatedBench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gated.Emit(obs.Debug, obs.StageIngest, "c", "r", "m", 1, time.Second)
+		}
+	})
+	res.GatedEmitNs = float64(gatedBench.NsPerOp())
+	enabled := obs.New(obs.Options{Level: obs.Debug, SampleEvery: 1, Out: bufio.NewWriter(io.Discard)})
+	enabledBench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			enabled.Emit(obs.Debug, obs.StageIngest, "c", "r", "m", 1, time.Second)
+		}
+	})
+	res.EnabledEmitNs = float64(enabledBench.NsPerOp())
+	fmt.Fprintf(w, "emit: nil %.1f ns/op, level-gated %.1f ns/op, enabled %.1f ns/op\n",
+		res.NilEmitNs, res.GatedEmitNs, res.EnabledEmitNs)
+
+	// Phase 2: identity. Two pipelines over the same wire; the journal-on
+	// one keeps Debug everything (ring large enough that sampling, not
+	// eviction, bounds it) so the executor milestones flow too.
+	journal := obs.New(obs.Options{Level: obs.Debug, Ring: 1 << 16, Seed: cfg.Seed})
+	regOn := telemetry.NewRegistry()
+	srvOn, cleanOn, batches, err := obsPipeline(env, cfg, regOn, journal)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanOn()
+	regOff := telemetry.NewRegistry()
+	srvOff, cleanOff, _, err := obsPipeline(env, cfg, regOff, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanOff()
+
+	on, err := pipelineFingerprints(srvOn)
+	if err != nil {
+		return nil, err
+	}
+	off, err := pipelineFingerprints(srvOff)
+	if err != nil {
+		return nil, err
+	}
+	if len(on) != len(off) {
+		return nil, fmt.Errorf("obs: journal on produced %d fingerprints, off %d", len(on), len(off))
+	}
+	for i := range on {
+		if on[i] != off[i] {
+			return nil, fmt.Errorf("obs: pipeline diverged with the journal on:\n  on:  %s\n  off: %s", on[i], off[i])
+		}
+	}
+	res.Identical = true
+	res.Batches = batches
+	res.Alerts = srvOn.AlertsTotal()
+
+	// Phase 3: chain completeness per auto-run.
+	for _, run := range srvOn.Manager().Runs() {
+		sum := run.Summary()
+		if !sum.Auto {
+			continue
+		}
+		res.AutoRuns++
+		if chainComplete(journal, sum) {
+			res.ChainsComplete++
+		}
+	}
+	if res.AutoRuns == 0 {
+		return nil, fmt.Errorf("obs: no auto-launched runs to verify")
+	}
+	if res.ChainsComplete != res.AutoRuns {
+		return nil, fmt.Errorf("obs: %d of %d lifecycle chains incomplete",
+			res.AutoRuns-res.ChainsComplete, res.AutoRuns)
+	}
+	st := journal.Stats()
+	res.JournalKept, res.JournalDropped = st.Kept, st.Dropped
+	fmt.Fprintf(w, "identity: %d batches, %d alerts, %d auto-runs — journal on/off byte-identical: %v\n",
+		res.Batches, res.Alerts, res.AutoRuns, res.Identical)
+	fmt.Fprintf(w, "chains: %d/%d complete from one correlation ID; journal kept %d, sampled out %d\n",
+		res.ChainsComplete, res.AutoRuns, res.JournalKept, res.JournalDropped)
+
+	// Phase 4: the SSE-flush SLI needs a live subscriber; the other four
+	// were observed by the identity pipeline already.
+	if err := sseFlushPhase(env, cfg, regOn, journal); err != nil {
+		return nil, err
+	}
+	snap := regOn.Snapshot()
+	for metric, key := range obsSLINames {
+		h := snap.Histograms[metric]
+		res.SLIs[key] = ObsSLI{
+			Count: h.Count,
+			P50Ms: h.Quantile(0.5) * 1000,
+			P95Ms: h.Quantile(0.95) * 1000,
+		}
+		fmt.Fprintf(w, "SLI %-24s n=%-6d p50 %8.3f ms  p95 %8.3f ms\n",
+			key, h.Count, h.Quantile(0.5)*1000, h.Quantile(0.95)*1000)
+	}
+	for metric, key := range obsSLINames {
+		if metric == telemetry.MetricSLIUpdateToSSEFlush {
+			continue // best-effort: a zero-update run has no live flushes
+		}
+		if res.SLIs[key].Count == 0 {
+			return nil, fmt.Errorf("obs: SLI %s never observed", key)
+		}
+	}
+	return res, nil
+}

@@ -180,6 +180,20 @@ func (r *Runner) TrySubmit(job func()) bool {
 	}
 }
 
+// Queue reports the runner's current queued-job count and queue capacity,
+// for readiness probes and the self-watchdog's saturation stat.
+func (r *Runner) Queue() (queued, capacity int) {
+	return len(r.jobs), cap(r.jobs)
+}
+
+// Accepting reports whether TrySubmit can still enqueue work (the runner
+// has not been closed; the queue may still be momentarily full).
+func (r *Runner) Accepting() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.closed
+}
+
 // Close stops intake and blocks until every already-accepted job — running
 // or still queued — has finished. Safe to call more than once.
 func (r *Runner) Close() {

@@ -1,8 +1,11 @@
 package memo
 
 import (
+	"fmt"
+
 	"aptrace/internal/event"
 	"aptrace/internal/explain"
+	"aptrace/internal/obs"
 	"aptrace/internal/store"
 )
 
@@ -22,6 +25,7 @@ type View struct {
 	fp  string
 	sig uint64
 	rec *explain.Recorder
+	obs *obs.Scope
 }
 
 // Bind couples a sealed store (usually a per-run store.View) to the cache
@@ -48,11 +52,29 @@ func (v *View) key(obj event.ObjID, from, to int64, k kind) key {
 	return key{sig: v.sig, fp: v.fp, obj: obj, from: from, to: to, kind: k}
 }
 
+// SetObs attaches a lifecycle-journal scope: every verdict then also
+// journals a Debug "memo.hit"/"memo.miss" entry under the run's corr ID.
+// Nil-safe on both sides; journaling reads only — charged cost and cache
+// state are untouched.
+func (v *View) SetObs(s *obs.Scope) {
+	if v == nil {
+		return
+	}
+	v.obs = s
+}
+
 func (v *View) verdict(hit bool, k kind, obj event.ObjID, from, to, rows int64) {
 	if rows < 0 {
 		rows = 0
 	}
 	v.rec.MemoVerdict(hit, kindNames[k], obj, from, to, int(rows))
+	if v.obs.Enabled(obs.Debug) {
+		stage := "memo.miss"
+		if hit {
+			stage = "memo.hit"
+		}
+		v.obs.Emit(obs.Debug, stage, fmt.Sprintf("%s obj=%d [%d,%d)", kindNames[k], obj, from, to), rows, 0)
+	}
 }
 
 // appendRows is the shared hit/miss path for the two closure kinds.

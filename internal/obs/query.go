@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Filter selects journal entries for Query. Zero fields match everything.
+type Filter struct {
+	// Corr matches entries with this correlation ID.
+	Corr string
+	// Run matches entries with this run (session) ID.
+	Run string
+	// Stage matches entries with this exact stage name.
+	Stage string
+	// Min is the minimum level returned.
+	Min Level
+	// Since keeps entries stamped strictly after this wall time.
+	Since time.Time
+	// SinceSeq keeps entries with Seq strictly greater than this.
+	SinceSeq uint64
+	// Limit caps the result (most recent entries win; 0 = DefaultQueryLimit).
+	Limit int
+}
+
+// DefaultQueryLimit bounds Query results when Filter.Limit is zero.
+const DefaultQueryLimit = 1000
+
+func (f Filter) match(e *Entry) bool {
+	if f.Corr != "" && e.Corr != f.Corr {
+		return false
+	}
+	if f.Run != "" && e.Run != f.Run {
+		return false
+	}
+	if f.Stage != "" && e.Stage != f.Stage {
+		return false
+	}
+	if e.lvl < f.Min {
+		return false
+	}
+	if !f.Since.IsZero() && !e.Time.After(f.Since) {
+		return false
+	}
+	if e.Seq <= f.SinceSeq {
+		return false
+	}
+	return true
+}
+
+// Query returns ring entries matching f in Seq order. Nil journals and
+// ring-less journals return nil.
+func (j *Journal) Query(f Filter) []Entry {
+	if j == nil {
+		return nil
+	}
+	limit := f.Limit
+	if limit <= 0 {
+		limit = DefaultQueryLimit
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.ringCap == 0 || len(j.ring) == 0 {
+		return nil
+	}
+	// Ring entries are stored at (Seq-1) % ringCap; walk oldest → newest.
+	start := 0
+	if len(j.ring) == j.ringCap {
+		start = int(j.seq % uint64(j.ringCap))
+	}
+	var out []Entry
+	for i := 0; i < len(j.ring); i++ {
+		e := &j.ring[(start+i)%len(j.ring)]
+		if f.match(e) {
+			out = append(out, *e)
+		}
+	}
+	if len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
+// queryResponse is the /debug/journal JSON shape.
+type queryResponse struct {
+	Entries []Entry `json:"entries"`
+	Count   int     `json:"count"`
+	Stats   Stats   `json:"stats"`
+}
+
+// Handler serves GET /debug/journal?corr=&run=&stage=&level=&since=&since_seq=&limit=
+// over the in-memory ring. since takes RFC 3339; level is a minimum
+// (debug|info|warn|error).
+func (j *Journal) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		f := Filter{
+			Corr:  q.Get("corr"),
+			Run:   q.Get("run"),
+			Stage: q.Get("stage"),
+		}
+		if s := q.Get("level"); s != "" {
+			l, err := ParseLevel(s)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			f.Min = l
+		}
+		if s := q.Get("since"); s != "" {
+			t, err := time.Parse(time.RFC3339Nano, s)
+			if err != nil {
+				http.Error(w, "since: want RFC 3339 time: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			f.Since = t
+		}
+		if s := q.Get("since_seq"); s != "" {
+			n, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "since_seq: want integer", http.StatusBadRequest)
+				return
+			}
+			f.SinceSeq = n
+		}
+		if s := q.Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "limit: want non-negative integer", http.StatusBadRequest)
+				return
+			}
+			f.Limit = n
+		}
+		entries := j.Query(f)
+		if entries == nil {
+			entries = []Entry{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(queryResponse{
+			Entries: entries,
+			Count:   len(entries),
+			Stats:   j.Stats(),
+		})
+	})
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"aptrace/internal/telemetry"
+)
+
+// SLIs are the five pipeline-latency service-level indicators, derived
+// from the same milestones the journal records but kept as first-class
+// telemetry histograms so Prometheus scrapes them without parsing the
+// journal. All timestamps are wall-clock (pipeline responsiveness), never
+// the analysis clock, so observing them cannot perturb any charged cost.
+//
+// A nil registry yields a struct full of nil histograms whose Observe is a
+// no-op, so callers never guard.
+type SLIs struct {
+	// IngestToDetect: audit batch arrival → the detection pass that
+	// raised an alert on one of its events.
+	IngestToDetect *telemetry.Histogram
+	// DetectToLaunch: session admission → a fleet worker claiming it.
+	DetectToLaunch *telemetry.Histogram
+	// LaunchToFirstUpdate: worker claim → the session's first graph
+	// update.
+	LaunchToFirstUpdate *telemetry.Histogram
+	// SubmitToTerminal: session admission → terminal state.
+	SubmitToTerminal *telemetry.Histogram
+	// UpdateToSSEFlush: update publication → the frame flushed to a live
+	// SSE subscriber (backlog replays excluded).
+	UpdateToSSEFlush *telemetry.Histogram
+}
+
+// NewSLIs registers (or re-fetches) the five histograms on reg.
+func NewSLIs(reg *telemetry.Registry) *SLIs {
+	return &SLIs{
+		IngestToDetect:      reg.Histogram(telemetry.MetricSLIIngestToDetect, telemetry.PipelineBuckets),
+		DetectToLaunch:      reg.Histogram(telemetry.MetricSLIDetectToLaunch, telemetry.PipelineBuckets),
+		LaunchToFirstUpdate: reg.Histogram(telemetry.MetricSLILaunchToFirstUpdate, telemetry.PipelineBuckets),
+		SubmitToTerminal:    reg.Histogram(telemetry.MetricSLISubmitToTerminal, telemetry.PipelineBuckets),
+		UpdateToSSEFlush:    reg.Histogram(telemetry.MetricSLIUpdateToSSEFlush, telemetry.PipelineBuckets),
+	}
+}

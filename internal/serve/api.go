@@ -12,6 +12,7 @@ import (
 	"aptrace/internal/audit"
 	"aptrace/internal/event"
 	"aptrace/internal/graph"
+	"aptrace/internal/obs"
 	"aptrace/internal/store"
 	"aptrace/internal/telemetry"
 )
@@ -46,6 +47,9 @@ type errorResponse struct {
 //	POST /api/v1/sessions/{id}/pause|resume|stop
 //	GET  /api/v1/alerts                  detector hits
 //	GET  /healthz                        liveness + drain state
+//	GET  /readyz                         readiness, per-component (200|503)
+//	GET  /ops                            operator summary: SLIs, watchdog, subscribers
+//	GET  /debug/journal                  lifecycle journal query (when enabled)
 //	GET  /metrics, /debug/*              the telemetry registry's mux
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -61,9 +65,15 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /api/v1/sessions/{id}/stop", s.timed("sessions_stop", s.lifecycle((*Run).Stop)))
 	mux.Handle("GET /api/v1/alerts", s.timed("alerts", s.handleAlerts))
 	mux.Handle("GET /healthz", s.timed("healthz", s.handleHealthz))
+	mux.Handle("GET /readyz", s.timed("readyz", s.handleReadyz))
+	mux.Handle("GET /ops", s.timed("ops", s.handleOps))
 	reg := s.reg.Handler()
 	mux.Handle("/metrics", reg)
 	mux.Handle("/debug/", reg)
+	if s.journal != nil {
+		// More specific than the registry's /debug/ catch-all, so it wins.
+		mux.Handle("GET /debug/journal", s.journal.Handler())
+	}
 	return mux
 }
 
@@ -158,7 +168,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		alert = &e
 	}
-	run, err := s.mgr.Submit(req.Tenant, req.Script, alert, false, "")
+	// Analyst submissions start their own correlation chain here.
+	run, err := s.mgr.SubmitCorr(s.newCorr(), req.Tenant, req.Script, alert, false, "")
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -217,10 +228,14 @@ type updateEvent struct {
 	At      string `json:"at"`
 }
 
-// doneEvent is the terminal SSE payload.
+// doneEvent is the terminal SSE payload. Subscriber and DeliveredUpdates
+// expose this subscriber's identity and delivery accounting so a client
+// can tell "I missed N updates" apart from "the run produced N fewer".
 type doneEvent struct {
 	Summary
-	DroppedUpdates int `json:"dropped_updates"`
+	Subscriber       int `json:"subscriber,omitempty"`
+	DeliveredUpdates int `json:"delivered_updates"`
+	DroppedUpdates   int `json:"dropped_updates"`
 }
 
 // objLabel names an object for the update stream.
@@ -276,6 +291,23 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 
 	backlog, sub := run.hub.subscribe(s.cfg.SubscriberBuffer)
 	defer run.hub.unsubscribe(sub)
+	attached := time.Now()
+	if sub != nil {
+		run.scope.Emit(obs.Info, obs.StageSSESubscribe,
+			fmt.Sprintf("subscriber %d: %d backlog", sub.id, len(backlog)), int64(len(backlog)), 0)
+	}
+	// closeEntry journals the subscriber's detachment. Call only after
+	// unsubscribe: the hub no longer touches sub, so its counters are
+	// stable (and the unsubscribe call's lock ordered those writes before
+	// this read).
+	closeEntry := func(reason string) {
+		if sub == nil {
+			return
+		}
+		run.scope.Emit(obs.Info, obs.StageSSEClose,
+			fmt.Sprintf("subscriber %d: %s, %d sent, %d dropped", sub.id, reason, sub.sent, sub.dropped),
+			int64(sub.dropped), time.Since(attached))
+	}
 	st := run.View()
 	seq := 0
 	for _, u := range backlog {
@@ -292,9 +324,9 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		if sub != nil {
 			for {
 				select {
-				case u := <-sub.ch:
+				case tu := <-sub.ch:
 					seq++
-					sseUpdate(w, st, seq, u)
+					sseUpdate(w, st, seq, tu.u)
 					continue
 				default:
 				}
@@ -302,9 +334,14 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		dropped := run.hub.unsubscribe(sub)
-		buf, _ := json.Marshal(doneEvent{Summary: run.Summary(), DroppedUpdates: dropped})
+		done := doneEvent{Summary: run.Summary(), DroppedUpdates: dropped}
+		if sub != nil {
+			done.Subscriber, done.DeliveredUpdates = sub.id, sub.sent
+		}
+		buf, _ := json.Marshal(done)
 		fmt.Fprintf(w, "event: done\ndata: %s\n\n", buf)
 		flusher.Flush()
+		closeEntry("done")
 	}
 
 	if sub == nil { // already finished: the backlog was complete
@@ -313,17 +350,22 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	}
 	for {
 		select {
-		case u := <-sub.ch:
+		case tu := <-sub.ch:
 			if st == nil {
 				st = run.View()
 			}
 			seq++
-			sseUpdate(w, st, seq, u)
+			sseUpdate(w, st, seq, tu.u)
 			flusher.Flush()
+			// Live deliveries only: backlog replay measures the client's
+			// arrival time, not pipeline latency.
+			s.slis.UpdateToSSEFlush.Observe(time.Since(tu.at).Seconds())
 		case <-run.hub.done:
 			finish()
 			return
 		case <-r.Context().Done():
+			run.hub.unsubscribe(sub)
+			closeEntry("client disconnected")
 			return
 		}
 	}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync"
+	"time"
 
 	"aptrace/internal/graph"
 	"aptrace/internal/telemetry"
@@ -25,14 +26,32 @@ type hub struct {
 	mu      sync.Mutex
 	history []graph.Update
 	subs    map[*subscriber]struct{}
+	nextSub int // subscriber ID sequence (first subscriber is 1)
 	closed  bool
 	done    chan struct{} // closed exactly once, when the session finishes
 }
 
+// timedUpdate pairs an update with its publish wall time so the SSE writer
+// can measure publish-to-flush latency per delivered frame.
+type timedUpdate struct {
+	u  graph.Update
+	at time.Time
+}
+
 // subscriber is one attached update consumer.
 type subscriber struct {
-	ch      chan graph.Update
+	id      int // stable per-hub subscriber number (for /ops and done frames)
+	ch      chan timedUpdate
+	sent    int // updates that fit the buffer (guarded by hub.mu)
 	dropped int // updates discarded because ch was full (guarded by hub.mu)
+}
+
+// subStat is one subscriber's delivery accounting, as exposed by /ops and
+// the SSE done frame.
+type subStat struct {
+	ID      int `json:"id"`
+	Sent    int `json:"sent"`
+	Dropped int `json:"dropped"`
 }
 
 func newHub(dropped *telemetry.Counter) *hub {
@@ -48,12 +67,16 @@ func newHub(dropped *telemetry.Counter) *hub {
 func (h *hub) publish(u graph.Update) {
 	h.mu.Lock()
 	h.history = append(h.history, u)
-	for s := range h.subs {
-		select {
-		case s.ch <- u:
-		default:
-			s.dropped++
-			h.dropped.Inc()
+	if len(h.subs) > 0 {
+		tu := timedUpdate{u: u, at: time.Now()}
+		for s := range h.subs {
+			select {
+			case s.ch <- tu:
+				s.sent++
+			default:
+				s.dropped++
+				h.dropped.Inc()
+			}
 		}
 	}
 	h.mu.Unlock()
@@ -72,9 +95,33 @@ func (h *hub) subscribe(buffer int) (backlog []graph.Update, sub *subscriber) {
 	if h.closed {
 		return backlog, nil
 	}
-	sub = &subscriber{ch: make(chan graph.Update, buffer)}
+	h.nextSub++
+	sub = &subscriber{id: h.nextSub, ch: make(chan timedUpdate, buffer)}
 	h.subs[sub] = struct{}{}
 	return backlog, sub
+}
+
+// stats snapshots every attached subscriber's delivery accounting, oldest
+// subscription first. Detached subscribers are not reported — their drop
+// totals already landed in the shared counter.
+func (h *hub) stats() []subStat {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]subStat, 0, len(h.subs))
+	for s := range h.subs {
+		out = append(out, subStat{ID: s.id, Sent: s.sent, Dropped: s.dropped})
+	}
+	sortSubStats(out)
+	return out
+}
+
+// sortSubStats orders by subscriber ID (insertion sort; the set is tiny).
+func sortSubStats(s []subStat) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1].ID > s[j].ID; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
 }
 
 // unsubscribe detaches sub and returns how many updates it lost to a full

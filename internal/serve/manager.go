@@ -13,6 +13,7 @@ import (
 	"aptrace/internal/fleet"
 	"aptrace/internal/graph"
 	"aptrace/internal/memo"
+	"aptrace/internal/obs"
 	"aptrace/internal/refiner"
 	"aptrace/internal/session"
 	"aptrace/internal/simclock"
@@ -93,21 +94,28 @@ type Run struct {
 	Rule string
 	// AlertID is the starting event, when the submission pinned one.
 	AlertID event.EventID
+	// Corr is the correlation ID threading this run back to the ingest
+	// batch and detection pass that launched it (or the API submission
+	// that created it). Immutable after admission.
+	Corr string
 
-	hub  *hub
-	done chan struct{} // closed when the run reaches a terminal state
+	hub   *hub
+	done  chan struct{} // closed when the run reaches a terminal state
+	scope *obs.Scope    // journal scope pre-bound to (Corr, ID); nil = journal off
+	slis  *obs.SLIs     // pipeline latency histograms (never nil; may be inert)
 
-	mu       sync.Mutex
-	state    RunState
-	sess     *session.Session
-	view     *store.Store
-	rec      *explain.Recorder
-	tl       *timeline.Profiler
-	err      error
-	reason   string
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	mu          sync.Mutex
+	state       RunState
+	sess        *session.Session
+	view        *store.Store
+	rec         *explain.Recorder
+	tl          *timeline.Profiler
+	err         error
+	reason      string
+	created     time.Time
+	started     time.Time
+	finished    time.Time
+	firstUpdate bool // LaunchToFirstUpdate observed (once per run)
 }
 
 // Summary is the API-facing snapshot of a run.
@@ -118,6 +126,7 @@ type Summary struct {
 	Auto     bool      `json:"auto,omitempty"`
 	Rule     string    `json:"rule,omitempty"`
 	AlertID  uint64    `json:"alert_id,omitempty"`
+	Corr     string    `json:"corr,omitempty"`
 	Script   string    `json:"script"`
 	Edges    int       `json:"edges"`
 	Nodes    int       `json:"nodes"`
@@ -136,7 +145,7 @@ func (r *Run) Summary() Summary {
 	s := Summary{
 		ID: r.ID, Tenant: r.Tenant, State: r.state.String(),
 		Auto: r.Auto, Rule: r.Rule, AlertID: uint64(r.AlertID),
-		Script: r.Script, Reason: r.reason,
+		Corr: r.Corr, Script: r.Script, Reason: r.reason,
 		Created: r.created, Started: r.started, Finished: r.finished,
 	}
 	if r.err != nil {
@@ -256,6 +265,8 @@ type Manager struct {
 	// viewClock, when set, supplies each run's private query-cost clock;
 	// nil inherits the snapshot's clock (real time in deployments).
 	viewClock func() simclock.Clock
+	journal   *obs.Journal // lifecycle journal; nil = journaling off
+	slis      *obs.SLIs    // pipeline latency histograms (never nil)
 
 	mu       sync.Mutex
 	runs     map[string]*Run
@@ -280,12 +291,15 @@ type Manager struct {
 // runs stay queryable (<0: unlimited).
 func newManager(pool *fleet.Pool, queue int, quota Quota, windows, retain int,
 	reg *telemetry.Registry, memoCache *memo.Cache, snapshot func() (*store.Store, error),
-	viewClock func() simclock.Clock) *Manager {
+	viewClock func() simclock.Clock, journal *obs.Journal, slis *obs.SLIs) *Manager {
 	if quota.MaxActive <= 0 {
 		quota.MaxActive = DefaultQuota.MaxActive
 	}
 	if quota.MaxQueued <= 0 {
 		quota.MaxQueued = DefaultQuota.MaxQueued
+	}
+	if slis == nil {
+		slis = obs.NewSLIs(nil)
 	}
 	return &Manager{
 		runner:      pool.Runner(queue),
@@ -296,6 +310,8 @@ func newManager(pool *fleet.Pool, queue int, quota Quota, windows, retain int,
 		memo:        memoCache,
 		snapshot:    snapshot,
 		viewClock:   viewClock,
+		journal:     journal,
+		slis:        slis,
 		runs:        make(map[string]*Run),
 		tenants:     make(map[string]*tenantCount),
 		telActive:   reg.Gauge(telemetry.MetricServeSessionsActive),
@@ -317,6 +333,14 @@ func newManager(pool *fleet.Pool, queue int, quota Quota, windows, retain int,
 //   - the global fleet queue bounds total backlog regardless of tenant mix
 //     (ErrSaturated when full).
 func (m *Manager) Submit(tenant, script string, alert *event.Event, auto bool, rule string) (*Run, error) {
+	return m.SubmitCorr("", tenant, script, alert, auto, rule)
+}
+
+// SubmitCorr is Submit with an explicit correlation ID threading the run
+// back to the ingest batch / detection pass (or API request) that caused
+// it. An empty corr leaves the run uncorrelated (journal entries still
+// carry the run ID).
+func (m *Manager) SubmitCorr(corr, tenant, script string, alert *event.Event, auto bool, rule string) (*Run, error) {
 	if _, err := refiner.ParseAndCompile(script); err != nil {
 		return nil, err
 	}
@@ -332,8 +356,10 @@ func (m *Manager) Submit(tenant, script string, alert *event.Event, auto bool, r
 	}
 	if tc.active+tc.queued >= m.quota.MaxActive+m.quota.MaxQueued {
 		m.telRejected.Inc()
+		rejected := fmt.Errorf("%w (tenant %s: %d active, %d queued)", ErrSaturated, tenant, tc.active, tc.queued)
 		m.mu.Unlock()
-		return nil, fmt.Errorf("%w (tenant %s: %d active, %d queued)", ErrSaturated, tenant, tc.active, tc.queued)
+		m.journal.Emit(obs.Warn, obs.StageRunRejected, corr, "", rejected.Error(), 0, 0)
+		return nil, rejected
 	}
 	m.nextID++
 	run := &Run{
@@ -342,10 +368,13 @@ func (m *Manager) Submit(tenant, script string, alert *event.Event, auto bool, r
 		Script:  script,
 		Auto:    auto,
 		Rule:    rule,
+		Corr:    corr,
+		slis:    m.slis,
 		hub:     newHub(m.telDropped),
 		done:    make(chan struct{}),
 		created: time.Now(),
 	}
+	run.scope = m.journal.Scope(corr, run.ID)
 	if alert != nil {
 		run.AlertID = alert.ID
 	}
@@ -376,9 +405,12 @@ func (m *Manager) Submit(tenant, script string, alert *event.Event, auto bool, r
 		}
 		m.telRejected.Inc()
 		m.mu.Unlock()
+		m.journal.Emit(obs.Warn, obs.StageRunRejected, corr, run.ID, "global queue full", 0, 0)
 		return nil, fmt.Errorf("%w (global queue full)", ErrSaturated)
 	}
 	m.telSessions.Inc()
+	run.scope.Emit(obs.Info, obs.StageRunQueued,
+		fmt.Sprintf("tenant=%s auto=%v rule=%s", tenant, auto, rule), int64(run.AlertID), 0)
 	return run, nil
 }
 
@@ -403,7 +435,12 @@ func (m *Manager) execute(run *Run, alert *event.Event) {
 	run.mu.Lock()
 	run.state = RunActive
 	run.started = time.Now()
+	wait := run.started.Sub(run.created)
 	run.mu.Unlock()
+	if run.Auto {
+		run.slis.DetectToLaunch.Observe(wait.Seconds())
+	}
+	run.scope.Emit(obs.Info, obs.StageRunActive, "worker claimed", 0, wait)
 	defer func() {
 		m.mu.Lock()
 		tc.active--
@@ -426,13 +463,21 @@ func (m *Manager) execute(run *Run, alert *event.Event) {
 	rec := explain.New(0, m.reg)
 	tl := timeline.New(timeline.Options{Telemetry: m.reg})
 	lane := tl.Lane(run.ID)
+	// noteFirstUpdate takes run.mu; safe here because core invokes OnUpdate
+	// outside x.mu (processWindow runs unlocked), so there is no cycle with
+	// Summary's run.mu → Graph() → x.mu ordering.
+	onUpdate := func(u graph.Update) {
+		run.noteFirstUpdate()
+		run.hub.publish(u)
+	}
 	sess := session.New(snap, core.Options{
 		Windows:   m.windows,
-		OnUpdate:  run.hub.publish,
+		OnUpdate:  onUpdate,
 		Telemetry: m.reg,
 		Explain:   rec,
 		Timeline:  lane,
 		Memo:      m.memo,
+		Obs:       run.scope,
 	})
 
 	run.mu.Lock()
@@ -454,6 +499,21 @@ func (m *Manager) execute(run *Run, alert *event.Event) {
 	run.finish(RunDone, sess, nil, res.Reason.String())
 }
 
+// noteFirstUpdate marks the run's first graph update: it observes the
+// launch-to-first-update SLI and journals the milestone, exactly once.
+func (r *Run) noteFirstUpdate() {
+	r.mu.Lock()
+	if r.firstUpdate {
+		r.mu.Unlock()
+		return
+	}
+	r.firstUpdate = true
+	lat := time.Since(r.started)
+	r.mu.Unlock()
+	r.slis.LaunchToFirstUpdate.Observe(lat.Seconds())
+	r.scope.Emit(obs.Info, obs.StageRunFirstUpdate, "first graph update", 0, lat)
+}
+
 // finish moves the run to a terminal state and closes its update stream.
 func (r *Run) finish(state RunState, sess *session.Session, err error, reason string) {
 	r.mu.Lock()
@@ -462,9 +522,23 @@ func (r *Run) finish(state RunState, sess *session.Session, err error, reason st
 	r.err = err
 	r.reason = reason
 	r.finished = time.Now()
+	total := r.finished.Sub(r.created)
 	r.mu.Unlock()
 	r.hub.close()
 	close(r.done)
+	if r.slis != nil {
+		r.slis.SubmitToTerminal.Observe(total.Seconds())
+	}
+	msg := state.String()
+	if reason != "" {
+		msg += ": " + reason
+	}
+	lvl := obs.Info
+	if err != nil {
+		lvl = obs.Warn
+		msg += ": " + err.Error()
+	}
+	r.scope.Emit(lvl, obs.StageRunTerminal, msg, 0, total)
 }
 
 // evictTerminal enforces the retention cap: when more than retain runs are
@@ -491,6 +565,7 @@ func (m *Manager) evictTerminal() {
 	keep := m.order[:0]
 	for _, id := range m.order {
 		if drop > 0 && m.runs[id].State().terminal() {
+			m.runs[id].scope.Emit(obs.Debug, obs.StageRunEvicted, "retention cap", 0, 0)
 			delete(m.runs, id)
 			if n, ok := sessionSeq(id); ok && n > m.evictedMax {
 				m.evictedMax = n
@@ -501,6 +576,21 @@ func (m *Manager) evictTerminal() {
 		keep = append(keep, id)
 	}
 	m.order = keep
+}
+
+// queue reports the fleet runner's backlog (queued jobs, queue capacity)
+// for readiness and watchdog saturation checks.
+func (m *Manager) queue() (queued, capacity int) {
+	return m.runner.Queue()
+}
+
+// accepting reports whether a new submission could be admitted: the
+// manager is not draining and the fleet runner still takes jobs.
+func (m *Manager) accepting() bool {
+	m.mu.Lock()
+	draining := m.draining
+	m.mu.Unlock()
+	return !draining && m.runner.Accepting()
 }
 
 // sessionSeq extracts the numeric sequence from an "s-<n>" session ID.

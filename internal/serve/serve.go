@@ -30,7 +30,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aptrace/internal/alerts"
@@ -38,6 +40,7 @@ import (
 	"aptrace/internal/event"
 	"aptrace/internal/fleet"
 	"aptrace/internal/memo"
+	"aptrace/internal/obs"
 	"aptrace/internal/simclock"
 	"aptrace/internal/store"
 	"aptrace/internal/telemetry"
@@ -121,6 +124,21 @@ type Config struct {
 	// (load tests use fresh simulated clocks); nil shares the snapshot's
 	// clock — real time in deployments.
 	ViewClock func() simclock.Clock
+	// Journal, when set, receives the correlated alert-lifecycle journal:
+	// a correlation ID is minted per ingest batch and threaded through
+	// detection, the auto-launched session, its executor milestones, SSE
+	// delivery, and eviction. The journal stamps wall-clock time only and
+	// never touches the analysis clock, so detection and graph output are
+	// byte-identical with it on or off (the obs experiment enforces
+	// this). Nil journals nothing at ~2 ns per emission site.
+	Journal *obs.Journal
+	// OpsRules are the self-watchdog's SLO rules; nil selects
+	// obs.DefaultRules, an empty (non-nil) slice disables every rule
+	// while keeping the watchdog's baseline ticking.
+	OpsRules []obs.Rule
+	// WatchdogEvery is the self-watchdog evaluation cadence; 0 disables
+	// the watchdog goroutine (Watchdog().Tick still works for tests).
+	WatchdogEvery time.Duration
 }
 
 // AlertRecord is one detector hit as the API reports it.
@@ -147,7 +165,21 @@ type Server struct {
 	// (which would duplicate alerts and auto-launch duplicate sessions).
 	detectMu sync.Mutex
 
+	// ingestMu serializes ingest batches so each batch covers a contiguous
+	// event-ID range — what maps an alert's event back to the ingest batch
+	// (and correlation ID) that carried it.
+	ingestMu sync.Mutex
+
 	memo *memo.Cache // shared session memo cache; nil = disabled
+
+	journal   *obs.Journal
+	slis      *obs.SLIs
+	watch     *obs.Watchdog
+	corrSeq   atomic.Uint64
+	startedAt time.Time
+	// lastDetect is the wall-clock end of the last detection pass
+	// (UnixNano; 0 = never), read by readiness and the watchdog.
+	lastDetect atomic.Int64
 
 	mu       sync.Mutex
 	det      *alerts.Detector
@@ -156,12 +188,42 @@ type Server struct {
 	scanned  int64        // first second not yet scanned by detection
 	alerts   []AlertRecord
 	alertSeq int           // total alerts ever recorded (survives eviction)
+	batches  []ingestBatch // recent ingest batches, oldest first
 	stop     chan struct{} // closes the detect loop
 	stopped  chan struct{} // detect loop confirms exit
 	drained  bool
 
 	telAlerts   *telemetry.Counter
 	telAutoRuns *telemetry.Counter
+	opsCounters opsCounters
+}
+
+// ingestBatch maps one serialized ingest batch's contiguous event-ID range
+// to its correlation ID. Live.Append assigns monotonically increasing IDs,
+// so "which batch carried event E" is a range lookup.
+type ingestBatch struct {
+	corr  string
+	first event.EventID
+	last  event.EventID
+	at    time.Time
+}
+
+// maxIngestBatches bounds the batch ring; alerts on events older than the
+// retained window mint a fresh correlation ID instead.
+const maxIngestBatches = 4096
+
+// opsCounters caches the registry instruments the watchdog and /ops
+// snapshot every tick.
+type opsCounters struct {
+	sessions    *telemetry.Counter
+	rejected    *telemetry.Counter
+	updates     *telemetry.Counter
+	sseDropped  *telemetry.Counter
+	ingestRecs  *telemetry.Counter
+	ingestDecs  *telemetry.Counter
+	ingestInval *telemetry.Counter
+	memoHits    *telemetry.Counter
+	memoMisses  *telemetry.Counter
 }
 
 // New assembles a server. It takes an initial snapshot so the API can
@@ -202,14 +264,33 @@ func New(cfg Config) (*Server, error) {
 		cfg:         cfg,
 		reg:         cfg.Telemetry,
 		det:         alerts.NewDetector(cfg.Rules...),
+		journal:     cfg.Journal,
+		slis:        obs.NewSLIs(cfg.Telemetry),
+		startedAt:   time.Now(),
 		telAlerts:   cfg.Telemetry.Counter(telemetry.MetricServeAlerts),
 		telAutoRuns: cfg.Telemetry.Counter(telemetry.MetricServeAutoRuns),
+	}
+	s.opsCounters = opsCounters{
+		sessions:    s.reg.Counter(telemetry.MetricServeSessions),
+		rejected:    s.reg.Counter(telemetry.MetricServeSessionsRejected),
+		updates:     s.reg.Counter(telemetry.MetricSessionUpdates),
+		sseDropped:  s.reg.Counter(telemetry.MetricServeUpdatesDropped),
+		ingestRecs:  s.reg.Counter(telemetry.MetricIngestRecords),
+		ingestDecs:  s.reg.Counter(telemetry.MetricIngestDecodeErrors),
+		ingestInval: s.reg.Counter(telemetry.MetricIngestInvalid),
+		memoHits:    s.reg.Counter(telemetry.MetricMemoHits),
+		memoMisses:  s.reg.Counter(telemetry.MetricMemoMisses),
 	}
 	if cfg.MemoBytes > 0 {
 		s.memo = memo.New(cfg.MemoBytes, s.reg)
 	}
 	pool := fleet.New(cfg.Workers, s.reg)
-	s.mgr = newManager(pool, cfg.QueueCap, cfg.Quota, cfg.Windows, cfg.RetainSessions, s.reg, s.memo, s.Snapshot, cfg.ViewClock)
+	s.mgr = newManager(pool, cfg.QueueCap, cfg.Quota, cfg.Windows, cfg.RetainSessions, s.reg, s.memo, s.Snapshot, cfg.ViewClock, cfg.Journal, s.slis)
+	rules := cfg.OpsRules
+	if rules == nil {
+		rules = obs.DefaultRules
+	}
+	s.watch = obs.NewWatchdog(cfg.Journal, s.reg, rules, s.opsCounts)
 	snap, err := cfg.Source.Snapshot()
 	if err != nil {
 		return nil, fmt.Errorf("serve: initial snapshot: %w", err)
@@ -249,6 +330,64 @@ func (s *Server) Telemetry() *telemetry.Registry { return s.reg }
 // Manager returns the session manager.
 func (s *Server) Manager() *Manager { return s.mgr }
 
+// Journal returns the lifecycle journal (nil when disabled).
+func (s *Server) Journal() *obs.Journal { return s.journal }
+
+// Watchdog returns the self-watchdog (always built; ticking only when
+// Config.WatchdogEvery is positive).
+func (s *Server) Watchdog() *obs.Watchdog { return s.watch }
+
+// newCorr mints the next correlation ID.
+func (s *Server) newCorr() string {
+	return "c-" + strconv.FormatUint(s.corrSeq.Add(1), 10)
+}
+
+// recordBatch remembers an ingest batch's ID range for corrForEvent.
+func (s *Server) recordBatch(b ingestBatch) {
+	s.mu.Lock()
+	s.batches = append(s.batches, b)
+	if len(s.batches) > maxIngestBatches {
+		s.batches = append([]ingestBatch(nil), s.batches[len(s.batches)-maxIngestBatches:]...)
+	}
+	s.mu.Unlock()
+}
+
+// corrForEvent finds the ingest batch that carried event id, returning its
+// correlation ID and arrival time. Newest-first search: alerts fire on the
+// live tail.
+func (s *Server) corrForEvent(id event.EventID) (string, time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.batches) - 1; i >= 0; i-- {
+		if b := s.batches[i]; id >= b.first && id <= b.last {
+			return b.corr, b.at, true
+		}
+	}
+	return "", time.Time{}, false
+}
+
+// opsCounts snapshots the daemon's cumulative counters for the watchdog
+// and the /ops summary.
+func (s *Server) opsCounts() obs.Counts {
+	qlen, qcap := s.mgr.queue()
+	c := obs.Counts{
+		Submissions:      s.opsCounters.sessions.Value(),
+		Rejected:         s.opsCounters.rejected.Value(),
+		UpdatesPublished: s.opsCounters.updates.Value(),
+		UpdatesDropped:   s.opsCounters.sseDropped.Value(),
+		IngestLines:      s.opsCounters.ingestRecs.Value() + s.opsCounters.ingestDecs.Value() + s.opsCounters.ingestInval.Value(),
+		DecodeErrors:     s.opsCounters.ingestDecs.Value(),
+		MemoHits:         s.opsCounters.memoHits.Value(),
+		MemoMisses:       s.opsCounters.memoMisses.Value(),
+		QueueLen:         qlen,
+		QueueCap:         qcap,
+	}
+	if ns := s.lastDetect.Load(); ns != 0 {
+		c.LastDetect = time.Unix(0, ns)
+	}
+	return c
+}
+
 // SetDetector replaces the rule set — deployments retrain learned rules
 // (e.g. rare parentage) after enough history accumulates.
 func (s *Server) SetDetector(det *alerts.Detector) {
@@ -279,8 +418,16 @@ func (s *Server) refreshSnapshot() (*store.Store, error) {
 }
 
 // Start launches the background detection loop (no-op when
-// Config.DetectEvery is zero).
+// Config.DetectEvery is zero) and the self-watchdog (no-op when
+// Config.WatchdogEvery is zero).
 func (s *Server) Start() {
+	s.mu.Lock()
+	drained := s.drained
+	s.mu.Unlock()
+	if drained {
+		return
+	}
+	s.watch.Start(s.cfg.WatchdogEvery)
 	if s.cfg.DetectEvery <= 0 {
 		return
 	}
@@ -317,12 +464,14 @@ func (s *Server) Start() {
 func (s *Server) DetectNow() (int, error) {
 	s.detectMu.Lock()
 	defer s.detectMu.Unlock()
+	started := time.Now()
 	snap, err := s.refreshSnapshot()
 	if err != nil {
 		return 0, err
 	}
 	min, max, ok := snap.TimeRange()
 	if !ok {
+		s.lastDetect.Store(time.Now().UnixNano())
 		return 0, nil
 	}
 	s.mu.Lock()
@@ -333,6 +482,7 @@ func (s *Server) DetectNow() (int, error) {
 		from = min
 	}
 	if from > max {
+		s.lastDetect.Store(time.Now().UnixNano())
 		return 0, nil
 	}
 	hits, err := det.Scan(snap, from, max+1)
@@ -351,16 +501,29 @@ func (s *Server) DetectNow() (int, error) {
 			EventTime: a.Event.Time,
 			At:        now,
 		}
+		// Inherit the correlation ID of the ingest batch that carried the
+		// alerting event, closing the ingest→detect segment of the
+		// lifecycle; alerts on events outside the retained batch window
+		// (e.g. a pre-seeded store) start their chain here.
+		corr, ingestedAt, fromBatch := s.corrForEvent(a.Event.ID)
+		if fromBatch {
+			s.slis.IngestToDetect.Observe(now.Sub(ingestedAt).Seconds())
+		} else {
+			corr = s.newCorr()
+		}
+		s.journal.Emit(obs.Info, obs.StageAlert, corr, "",
+			fmt.Sprintf("%s (%s): %s", a.Rule, rec.Severity, a.Message), int64(a.Event.ID), 0)
 		if s.cfg.AutoBacktrack {
 			script := ScriptForEvent(a.Event, snap, s.cfg.AutoHops, s.cfg.AutoBudget)
 			alert := a.Event
-			if run, err := s.mgr.Submit(s.cfg.AutoTenant, script, &alert, true, a.Rule); err == nil {
+			if run, err := s.mgr.SubmitCorr(corr, s.cfg.AutoTenant, script, &alert, true, a.Rule); err == nil {
 				rec.SessionID = run.ID
 				s.telAutoRuns.Inc()
 			}
 			// A saturated fleet drops the auto-run (counted in
-			// aptrace_serve_sessions_rejected_total); the alert itself
-			// is still recorded for the analyst.
+			// aptrace_serve_sessions_rejected_total and journaled as
+			// run.rejected); the alert itself is still recorded for the
+			// analyst.
 		}
 		records = append(records, rec)
 	}
@@ -375,6 +538,10 @@ func (s *Server) DetectNow() (int, error) {
 		s.alerts = append([]AlertRecord(nil), s.alerts[len(s.alerts)-n:]...)
 	}
 	s.mu.Unlock()
+	end := time.Now()
+	s.lastDetect.Store(end.UnixNano())
+	s.journal.Emit(obs.Debug, obs.StageDetect, "", "",
+		fmt.Sprintf("scanned [%d,%d], %d alerts", from, max, len(records)), int64(len(records)), end.Sub(started))
 	return len(records), nil
 }
 
@@ -421,12 +588,44 @@ func ScriptForEvent(e event.Event, st *store.Store, hops int, budget time.Durati
 }
 
 // IngestReader streams newline-delimited audit records into the live store
-// (the HTTP ingest endpoint's engine). Requires Config.Live.
+// (the HTTP ingest endpoint's engine). Requires Config.Live. Each call is
+// one ingest batch: batches are serialized so the events they append form
+// a contiguous ID range, and each batch mints the correlation ID every
+// downstream lifecycle stage inherits.
 func (s *Server) IngestReader(r io.Reader) (audit.IngestStats, error) {
 	if s.cfg.Live == nil {
 		return audit.IngestStats{}, fmt.Errorf("serve: ingest requires a live store")
 	}
-	return audit.IngestLive(s.cfg.Live, r)
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	before := s.cfg.Live.BaseEvents() + s.cfg.Live.PendingEvents()
+	stats, err := audit.IngestLive(s.cfg.Live, r)
+	s.noteBatch(before, stats, err)
+	return stats, err
+}
+
+// noteBatch records a completed ingest batch: maps its event-ID range to a
+// fresh correlation ID and journals the arrival. Caller holds ingestMu.
+func (s *Server) noteBatch(before int, stats audit.IngestStats, err error) {
+	if stats.Lines == 0 && err == nil {
+		return
+	}
+	corr := s.newCorr()
+	at := time.Now()
+	if stats.Ingested > 0 {
+		s.recordBatch(ingestBatch{
+			corr:  corr,
+			first: event.EventID(before + 1),
+			last:  event.EventID(before + stats.Ingested),
+			at:    at,
+		})
+	}
+	lvl, msg := obs.Info, fmt.Sprintf("%d lines: %d ingested, %d rejected (%d decode, %d invalid)",
+		stats.Lines, stats.Ingested, stats.Rejected, stats.Decode, stats.Invalid)
+	if err != nil {
+		lvl, msg = obs.Warn, msg+": "+err.Error()
+	}
+	s.journal.Emit(lvl, obs.StageIngest, corr, "", msg, int64(stats.Ingested), 0)
 }
 
 // Tail follows an audit log file, ingesting complete lines as they are
@@ -445,6 +644,7 @@ func (s *Server) Tail(ctx context.Context, path string, poll time.Duration) erro
 	}
 	defer f.Close()
 	var partial []byte
+	var lines []string
 	buf := make([]byte, 64*1024)
 	for {
 		n, err := f.Read(buf)
@@ -455,16 +655,21 @@ func (s *Server) Tail(ctx context.Context, path string, poll time.Duration) erro
 				if i < 0 {
 					break
 				}
-				line := string(partial[:i])
+				lines = append(lines, string(partial[:i]))
 				partial = partial[i+1:]
-				if _, err := audit.IngestLiveLine(s.cfg.Live, line); err != nil {
-					return err
-				}
 			}
 			continue // drain the file before sleeping
 		}
 		if err != nil && err != io.EOF {
 			return fmt.Errorf("serve: tail: %w", err)
+		}
+		// EOF: everything read since the last pause is one ingest batch —
+		// one correlation ID per drain cycle.
+		if len(lines) > 0 {
+			if err := s.ingestLines(lines); err != nil {
+				return err
+			}
+			lines = lines[:0]
 		}
 		select {
 		case <-ctx.Done():
@@ -472,6 +677,30 @@ func (s *Server) Tail(ctx context.Context, path string, poll time.Duration) erro
 		case <-time.After(poll):
 		}
 	}
+}
+
+// ingestLines ingests one batch of already-split audit lines under the
+// batch lock (the tail path's equivalent of IngestReader).
+func (s *Server) ingestLines(lines []string) error {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	before := s.cfg.Live.BaseEvents() + s.cfg.Live.PendingEvents()
+	var stats audit.IngestStats
+	var err error
+	for _, line := range lines {
+		var st audit.IngestStats
+		st, err = audit.IngestLiveLine(s.cfg.Live, line)
+		stats.Lines += st.Lines
+		stats.Ingested += st.Ingested
+		stats.Rejected += st.Rejected
+		stats.Decode += st.Decode
+		stats.Invalid += st.Invalid
+		if err != nil {
+			break
+		}
+	}
+	s.noteBatch(before, stats, err)
+	return err
 }
 
 // Drain executes graceful shutdown: stop the detection loop, drain the
@@ -483,6 +712,7 @@ func (s *Server) Drain(ctx context.Context) DrainReport {
 	s.stop, s.stopped = nil, nil
 	s.drained = true
 	s.mu.Unlock()
+	s.watch.Stop()
 	if stop != nil {
 		close(stop)
 		<-stopped
@@ -493,6 +723,8 @@ func (s *Server) Drain(ctx context.Context) DrainReport {
 			rep.Clean = false
 		}
 	}
+	s.journal.Emit(obs.Info, obs.StageDrain, "", "",
+		fmt.Sprintf("drained: %d stopped, %d aborted, clean=%v", rep.Stopped, rep.Aborted, rep.Clean), 0, rep.Took)
 	return rep
 }
 

@@ -713,9 +713,9 @@ func TestHubSemantics(t *testing.T) {
 	}
 	h.publish(update(5))
 	select {
-	case u := <-sub.ch:
-		if u.Event.ID != 5 {
-			t.Fatalf("live update = %+v", u)
+	case tu := <-sub.ch:
+		if tu.u.Event.ID != 5 {
+			t.Fatalf("live update = %+v", tu.u)
 		}
 	default:
 		t.Fatal("live update not delivered")

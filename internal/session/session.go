@@ -21,6 +21,7 @@ import (
 	"aptrace/internal/explain"
 	"aptrace/internal/graph"
 	"aptrace/internal/maintainer"
+	"aptrace/internal/obs"
 	"aptrace/internal/refiner"
 	"aptrace/internal/store"
 	"aptrace/internal/telemetry"
@@ -242,6 +243,7 @@ func (s *Session) Pause() {
 		s.rec.Pause()
 		s.tl.Pause(s.st.Clock().Now())
 		s.log(JournalEntry{Action: "pause"})
+		s.opts.Obs.Emit(obs.Info, obs.StageSession, "pause", 0, 0)
 	}
 }
 
@@ -257,6 +259,7 @@ func (s *Session) Resume() {
 		s.rec.Resume()
 		s.tl.Resume(s.st.Clock().Now())
 		s.log(JournalEntry{Action: "resume"})
+		s.opts.Obs.Emit(obs.Info, obs.StageSession, "resume", 0, 0)
 	}
 }
 
@@ -269,6 +272,7 @@ func (s *Session) Stop() {
 	if x != nil {
 		x.Stop()
 		s.log(JournalEntry{Action: "stop"})
+		s.opts.Obs.Emit(obs.Info, obs.StageSession, "stop", 0, 0)
 	}
 }
 
@@ -316,6 +320,7 @@ func (s *Session) UpdateScript(scriptSrc string) (refiner.ResumeAction, error) {
 	}
 	s.rec.PlanUpdate(action.String(), delta)
 	s.tl.PlanUpdate(s.st.Clock().Now(), action.String()+": "+delta)
+	s.opts.Obs.Emit(obs.Info, obs.StageSession, "update-script: "+action.String()+": "+delta, 0, 0)
 	if s.journal != nil {
 		e := JournalEntry{Action: "update-script", Script: scriptSrc, Decision: action.String(), Detail: delta, AnalysisAt: s.st.Clock().Now()}
 		if g := s.x.Graph(); g != nil {

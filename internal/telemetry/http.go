@@ -18,6 +18,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	r.runScrapeHooks()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, name := range sortedNames(r.counters, r.order) {

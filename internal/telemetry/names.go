@@ -73,6 +73,25 @@ const (
 	MetricMemoMisses    = "aptrace_memo_misses_total"
 	MetricMemoEvictions = "aptrace_memo_evictions_total"
 	MetricMemoBytes     = "aptrace_memo_bytes"
+
+	// Alert-lifecycle observability (internal/obs): journal accounting,
+	// the five pipeline-latency SLIs (wall-clock, never the analysis
+	// clock), and the self-watchdog's fired-alert counter.
+	MetricObsJournalEntries      = "aptrace_obs_journal_entries_total"
+	MetricObsJournalDropped      = "aptrace_obs_journal_dropped_total"
+	MetricOpsAlerts              = "aptrace_ops_alerts_total"
+	MetricSLIIngestToDetect      = "aptrace_sli_ingest_to_detect_seconds"
+	MetricSLIDetectToLaunch      = "aptrace_sli_detect_to_launch_seconds"
+	MetricSLILaunchToFirstUpdate = "aptrace_sli_launch_to_first_update_seconds"
+	MetricSLISubmitToTerminal    = "aptrace_sli_submit_to_terminal_seconds"
+	MetricSLIUpdateToSSEFlush    = "aptrace_sli_update_to_sse_flush_seconds"
+
+	// Go runtime process health (RegisterRuntime), refreshed at scrape
+	// time so dashboards see goroutine/heap/GC state next to app counters.
+	MetricRuntimeGoroutines = "aptrace_runtime_goroutines"
+	MetricRuntimeHeapInuse  = "aptrace_runtime_heap_inuse_bytes"
+	MetricRuntimeGCCount    = "aptrace_runtime_gc_total"
+	MetricRuntimeGCPause    = "aptrace_runtime_gc_pause_seconds"
 )
 
 // Span names recorded by the tracer.
@@ -93,8 +112,14 @@ const DefaultSpanCapacity = 1024
 // range (the paper reports a baseline p95 of ~10 minutes vs APTrace's
 // seconds); RowBuckets cover per-query retrieval sizes around the
 // re-splitting cap of 8 rows.
+// PipelineBuckets cover the triage pipeline's wall-clock latencies, from
+// sub-millisecond SSE flushes up to multi-minute end-to-end analyses.
+// GCPauseBuckets cover Go stop-the-world pauses (microseconds to tens of
+// milliseconds).
 var (
-	LatencyBuckets = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300, 1800}
-	GapBuckets     = []float64{0.1, 0.5, 1, 2, 4, 8, 16, 30, 60, 120, 300, 600, 1200, 3600}
-	RowBuckets     = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}
+	LatencyBuckets  = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300, 1800}
+	GapBuckets      = []float64{0.1, 0.5, 1, 2, 4, 8, 16, 30, 60, 120, 300, 600, 1200, 3600}
+	RowBuckets      = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}
+	PipelineBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300}
+	GCPauseBuckets  = []float64{1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1}
 )

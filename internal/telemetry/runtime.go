@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RegisterRuntime wires Go process-health metrics into the registry:
+// goroutine count and heap-in-use gauges, a GC cycle counter, and a GC
+// pause histogram. Values refresh lazily via a scrape hook — reading
+// runtime.MemStats stops the world briefly, so it happens once per scrape
+// rather than on a timer. Safe to call more than once (each call adds an
+// independent hook over the same instruments; call once). No-op on a nil
+// registry.
+func RegisterRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	goroutines := r.Gauge(MetricRuntimeGoroutines)
+	heap := r.Gauge(MetricRuntimeHeapInuse)
+	gcCount := r.Counter(MetricRuntimeGCCount)
+	gcPause := r.Histogram(MetricRuntimeGCPause, GCPauseBuckets)
+
+	var mu sync.Mutex
+	var lastGC uint32
+	r.AddScrapeHook(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heap.Set(int64(ms.HeapInuse))
+		// PauseNs is a 256-entry ring indexed by cycle number; if more
+		// than 256 GCs ran between scrapes, the overwritten pauses are
+		// counted but not observed.
+		from := lastGC
+		if ms.NumGC-from > uint32(len(ms.PauseNs)) {
+			from = ms.NumGC - uint32(len(ms.PauseNs))
+		}
+		for n := lastGC; n < ms.NumGC; n++ {
+			gcCount.Inc()
+			if n >= from {
+				gcPause.Observe(float64(ms.PauseNs[n%uint32(len(ms.PauseNs))]) / 1e9)
+			}
+		}
+		lastGC = ms.NumGC
+	})
+}

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntime(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+	runtime.GC()
+	runtime.GC()
+	snap := reg.Snapshot()
+	if snap.Gauges[MetricRuntimeGoroutines] < 1 {
+		t.Fatalf("goroutines = %d", snap.Gauges[MetricRuntimeGoroutines])
+	}
+	if snap.Gauges[MetricRuntimeHeapInuse] <= 0 {
+		t.Fatalf("heap inuse = %d", snap.Gauges[MetricRuntimeHeapInuse])
+	}
+	if snap.Counters[MetricRuntimeGCCount] < 2 {
+		t.Fatalf("gc count = %d, want >= 2 after two forced GCs", snap.Counters[MetricRuntimeGCCount])
+	}
+	h, ok := snap.Histograms[MetricRuntimeGCPause]
+	if !ok || h.Count < 2 {
+		t.Fatalf("gc pause histogram = %+v", h)
+	}
+
+	// A second scrape must not re-observe old GC cycles.
+	before := reg.Snapshot().Counters[MetricRuntimeGCCount]
+	after := reg.Snapshot().Counters[MetricRuntimeGCCount]
+	if after < before {
+		t.Fatalf("gc counter went backwards: %d -> %d", before, after)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{MetricRuntimeGoroutines, MetricRuntimeHeapInuse, MetricRuntimeGCPause} {
+		if !strings.Contains(sb.String(), name) {
+			t.Fatalf("Prometheus exposition missing %s", name)
+		}
+	}
+}
+
+func TestRegisterRuntimeNil(t *testing.T) {
+	RegisterRuntime(nil) // must not panic
+	var r *Registry
+	r.AddScrapeHook(func() {})
+	r.runScrapeHooks()
+}
+
+func TestScrapeHookRunsBeforeSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("hooked")
+	n := int64(0)
+	reg.AddScrapeHook(func() { n++; g.Set(n) })
+	if v := reg.Snapshot().Gauges["hooked"]; v != 1 {
+		t.Fatalf("snapshot saw %d, want 1", v)
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "hooked 2") {
+		t.Fatalf("exposition missing refreshed gauge: %s", sb.String())
+	}
+}

@@ -191,8 +191,37 @@ type Registry struct {
 	next  int
 	// debug holds extra HTTP endpoints mounted by Handler (RegisterDebug).
 	debug map[string]http.Handler
+	// hooks run before every Snapshot/WritePrometheus, outside r.mu, so
+	// scrape-time collectors (Go runtime stats) can refresh instruments.
+	hooks []func()
 
 	tracer *Tracer
+}
+
+// AddScrapeHook registers f to run at the start of every Snapshot and
+// WritePrometheus call, before the registry locks. Hooks refresh
+// scrape-time instruments (e.g. Go runtime gauges) and may therefore call
+// Counter/Gauge/Histogram methods freely. No-op on a nil registry.
+func (r *Registry) AddScrapeHook(f func()) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, f)
+}
+
+// runScrapeHooks invokes the registered hooks without holding r.mu.
+func (r *Registry) runScrapeHooks() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
 }
 
 // NewRegistry returns an enabled registry with a span recorder holding the
@@ -341,6 +370,7 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
+	r.runScrapeHooks()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for name, c := range r.counters {

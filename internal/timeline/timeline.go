@@ -257,6 +257,7 @@ type Recorder struct {
 	limit    time.Duration
 	max      int
 	stallCtr *telemetry.Counter
+	observer func(Event)
 
 	mu      sync.Mutex
 	events  []Event
@@ -295,7 +296,25 @@ func (r *Recorder) LaneID() int64 {
 	return r.id
 }
 
+// SetObserver registers a callback invoked for every event the lane
+// records (even ones the bounded buffer then drops), letting an external
+// journal mirror window milestones without a second emission site in the
+// executor. The observer runs under the lane mutex and must not call back
+// into the recorder. Call before the run starts; nil clears. No-op on a
+// nil recorder.
+func (r *Recorder) SetObserver(f func(Event)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observer = f
+}
+
 func (r *Recorder) appendLocked(ev Event) {
+	if r.observer != nil {
+		r.observer(ev)
+	}
 	if len(r.events) >= r.max {
 		r.dropped++
 		return
