@@ -282,6 +282,21 @@ func WithTelemetry(reg *Telemetry) StoreOption { return store.WithTelemetry(reg)
 // bit-identical indexes.
 func WithSealWorkers(n int) StoreOption { return store.WithSealWorkers(n) }
 
+// WithShards partitions the store into n host×time shards that seal in
+// parallel and answer queries by scatter-gather (1 keeps the flat layout,
+// and overrides a persisted shard count at OpenStore time). Sharding is
+// real-CPU-only acceleration: every query result, charged cost, and
+// experiment table is byte-identical to the flat store for any n.
+func WithShards(n int) StoreOption { return store.WithShards(n) }
+
+// WithShardEpoch sets the time-bucket width, in seconds, of the host×time
+// shard routing key (0 keeps the default of one segment span). Only
+// meaningful together with WithShards.
+func WithShardEpoch(seconds int64) StoreOption { return store.WithShardEpoch(seconds) }
+
+// ShardInfo describes one shard's extent (apquery -stats prints these).
+type ShardInfo = store.ShardInfo
+
 // ServeTelemetry serves the registry's /metrics (Prometheus text) and
 // /debug/telemetry (JSON) endpoints on addr in a background goroutine,
 // returning the server and its bound address (useful with ":0").

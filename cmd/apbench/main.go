@@ -4,10 +4,10 @@
 //
 // Usage:
 //
-//	apbench [-exp all|severity|fig4|table1|table2|fig6|timeline|ablation-k|ablation-policy|perf|serve|memo|obs]
+//	apbench [-exp all|severity|fig4|table1|table2|fig6|timeline|ablation-k|ablation-policy|perf|serve|memo|obs|shard]
 //	        [-hosts 12] [-days 10] [-density 1.5] [-samples 200] [-cap 2h] [-k 8]
-//	        [-parallel 1] [-json dir] [-metrics addr] [-pprof addr] [-timeline trace.json]
-//	        [-benchtime 3x]
+//	        [-parallel 1] [-shards 1] [-json dir] [-metrics addr] [-pprof addr]
+//	        [-timeline trace.json] [-benchtime 3x]
 //
 // With -json, each experiment's structured result is also written as
 // BENCH_<exp>.json in the given directory, so perf trajectories can be
@@ -55,6 +55,15 @@
 //	                   journal on vs off, per-correlation-ID chain
 //	                   completeness, and the five pipeline-latency SLIs
 //	                   (BENCH_obs.json with -json)
+//	shard           -> host×time store sharding: parallel-seal and batch-
+//	                   backtrack wall plus critical-path time at 1/2/4/8
+//	                   shards, with per-alert byte-identity enforced across
+//	                   every shard count (BENCH_shard.json with -json)
+//
+// -shards N runs every experiment against an N-shard store (the shard
+// experiment ignores it and sweeps its own configs). Because sharding is
+// real-CPU-only acceleration, every table is byte-identical to -shards 1 —
+// CI diffs exactly that.
 package main
 
 import (
@@ -82,6 +91,7 @@ func main() {
 		cap_      = flag.Duration("cap", 2*time.Hour, "execution cap for unoptimized runs")
 		k         = flag.Int("k", aptrace.DefaultWindows, "execution-window count")
 		parallel  = flag.Int("parallel", 1, "concurrent analyses per experiment (0 = all cores)")
+		shards    = flag.Int("shards", 1, "host×time store shards for the dataset (1 = flat; output is byte-identical either way)")
 		jsonDir   = flag.String("json", "", "also write each experiment's result as BENCH_<exp>.json into this directory")
 		metrics   = flag.String("metrics", "", "serve /metrics and /debug/telemetry on this address during the run")
 		pprofA    = flag.String("pprof", "", "serve net/http/pprof on this address (shares the -metrics mux when the addresses match)")
@@ -141,7 +151,7 @@ func main() {
 		*hosts, *days, *density, *seed)
 	wall := time.Now()
 	env, err := experiments.NewEnv(aptrace.WorkloadConfig{
-		Seed: *seed, Hosts: *hosts, Days: *days, Density: *density,
+		Seed: *seed, Hosts: *hosts, Days: *days, Density: *density, Shards: *shards,
 	})
 	if err != nil {
 		fatal(err)
@@ -180,8 +190,9 @@ func main() {
 		"serve": func() (any, error) { return experiments.RunServe(env, cfg, os.Stdout) },
 		"memo":  func() (any, error) { return experiments.RunMemo(env, cfg, os.Stdout) },
 		"obs":   func() (any, error) { return experiments.RunObs(env, cfg, os.Stdout) },
+		"shard": func() (any, error) { return experiments.RunShard(env, cfg, os.Stdout) },
 	}
-	order := []string{"severity", "fig4", "table1", "table2", "fig6", "refiner", "explain", "timeline", "ablation-k", "ablation-policy", "perf", "serve", "memo", "obs"}
+	order := []string{"severity", "fig4", "table1", "table2", "fig6", "refiner", "explain", "timeline", "ablation-k", "ablation-policy", "perf", "serve", "memo", "obs", "shard"}
 
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {

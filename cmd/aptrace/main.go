@@ -15,10 +15,16 @@
 //
 // With -batch, the script runs from EVERY event matching its starting point
 // — the enterprise triage posture, where one detector rule fires many alerts
-// a day. The analyses fan out across -parallel workers (0 = all cores), each
-// over its own read view of the shared store, and a per-alert summary table
-// goes to stdout in event order. If the script names an output path, each
-// alert's graph is written as DOT to <output>.<event-id>.
+// a day. The starting-point scan itself scatters across the store's shards
+// (when the store was generated with apgen -shards) before the analyses fan
+// out across -parallel workers (0 = all cores), each over its own read view
+// of the shared store, and a per-alert summary table goes to stdout in event
+// order. If the script names an output path, each alert's graph is written
+// as DOT to <output>.<event-id>.
+//
+// -shards overrides the persisted shard layout at open time: 1 flattens a
+// sharded store, N re-partitions a flat one. Either way every result is
+// byte-identical — sharding only changes real CPU time.
 //
 // -simulate attaches the query cost model to a virtual clock, reporting
 // analysis time in modeled database-latency terms; without it, timings are
@@ -68,6 +74,7 @@ func main() {
 		pprofA    = flag.String("pprof", "", "serve net/http/pprof on this address (shares the -metrics mux when the addresses match)")
 		timelineF = flag.String("timeline", "", "profile the run(s) into a timeline; write the Chrome trace-event JSON to this path")
 		gap       = flag.Duration("slo", aptrace.DefaultGapTarget, "SLO inter-update gap target for the -timeline watchdog")
+		shards    = flag.Int("shards", 0, "override the store's persisted host×time shard count at open (0 = keep, 1 = flatten)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -121,11 +128,18 @@ func main() {
 	} else if *pprofA != "" {
 		fmt.Fprintf(os.Stderr, "pprof: sharing the -metrics mux at /debug/pprof\n")
 	}
+	if *shards > 0 {
+		storeOpts = append(storeOpts, aptrace.WithShards(*shards))
+	}
 	st, err := aptrace.OpenStore(*storeDir, clk, storeOpts...)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "opened store: %d events, %d objects\n", st.NumEvents(), st.NumObjects())
+	if n := st.ShardCount(); n > 1 {
+		fmt.Fprintf(os.Stderr, "opened store: %d events, %d objects, %d host×time shards\n", st.NumEvents(), st.NumObjects(), n)
+	} else {
+		fmt.Fprintf(os.Stderr, "opened store: %d events, %d objects\n", st.NumEvents(), st.NumObjects())
+	}
 
 	if *alerts {
 		listAlerts(st)
@@ -207,23 +221,22 @@ func runBatch(stdout io.Writer, st *aptrace.Store, src string, k, workers int, s
 		return fmt.Errorf("store is empty")
 	}
 	from, to := plan.Range(min, max)
-	var starts []aptrace.Event
-	var matchErr error
-	if err := st.Scan(from, to, func(e aptrace.Event) bool {
-		ok, err := plan.MatchStart(e, st)
-		if err != nil {
-			matchErr = err
-			return false
+	// CollectMatches scatters the starting-point scan across the store's
+	// shards (each scan task gets its own compiled plan, since plan state is
+	// per scan) and merges the hits back into global event order — on a flat
+	// store it degenerates to the plain serial scan. Charged cost and match
+	// list are byte-identical either way.
+	starts, err := st.CollectMatches(from, to, func() func(aptrace.Event) (bool, error) {
+		p, perr := aptrace.CompileScript(src)
+		return func(e aptrace.Event) (bool, error) {
+			if perr != nil {
+				return false, perr
+			}
+			return p.MatchStart(e, st)
 		}
-		if ok {
-			starts = append(starts, e)
-		}
-		return true
-	}); err != nil {
+	})
+	if err != nil {
 		return err
-	}
-	if matchErr != nil {
-		return matchErr
 	}
 	if len(starts) == 0 {
 		// An empty triage batch is a normal outcome (the detector rule

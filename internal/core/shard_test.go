@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"aptrace/internal/event"
+	"aptrace/internal/graph"
+	"aptrace/internal/simclock"
+	"aptrace/internal/store"
+)
+
+// shardedPair builds a flat store and an N-shard store from one identical
+// random ingestion stream (multi-host, so host×time routing actually
+// spreads events), each with its own simulated clock.
+func shardedPair(t testing.TB, seed int64, n, shards int) (flat, sharded *store.Store) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	type rec struct {
+		tm       int64
+		sub, obj event.Object
+		act      event.Action
+		dir      event.Direction
+		amt      int64
+	}
+	var stream []rec
+	hosts := []string{"h1", "h2", "h3", "h4"}
+	for i := 0; i < n; i++ {
+		h := hosts[rng.Intn(len(hosts))]
+		sub := event.Process(h, fmt.Sprintf("p%02d", rng.Intn(10)), int32(rng.Intn(10)+1), int64(rng.Intn(50)))
+		var obj event.Object
+		var act event.Action
+		var dir event.Direction
+		switch rng.Intn(6) {
+		case 0:
+			obj = event.Process(h, fmt.Sprintf("c%02d", rng.Intn(6)), int32(rng.Intn(6)+100), 1)
+			act, dir = event.ActStart, event.FlowOut
+		case 1:
+			obj = event.File(h, fmt.Sprintf("/f/%02d", rng.Intn(12)))
+			act, dir = event.ActWrite, event.FlowOut
+		case 2, 3:
+			obj = event.File(h, fmt.Sprintf("/f/%02d", rng.Intn(12)))
+			act, dir = event.ActRead, event.FlowIn
+		case 4:
+			obj = event.Socket(h, "10.0.0.1", uint16(1000+rng.Intn(4)), "9.9.9.9", 443)
+			act, dir = event.ActSend, event.FlowOut
+		case 5:
+			obj = event.Socket(h, "10.0.0.1", uint16(1000+rng.Intn(4)), "9.9.9.9", 443)
+			act, dir = event.ActRecv, event.FlowIn
+		}
+		stream = append(stream, rec{rng.Int63n(100_000), sub, obj, act, dir, rng.Int63n(4096)})
+	}
+	build := func(opts ...store.Option) *store.Store {
+		s := store.New(simclock.NewSimulated(time.Time{}), opts...)
+		for _, r := range stream {
+			if _, err := s.AddEvent(r.tm, r.sub, r.obj, r.act, r.dir, r.amt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	return build(), build(store.WithShards(shards))
+}
+
+// TestExecutorDifferentialSharded is the end-to-end charged-cost invariant:
+// a full backtracking session — graph, DOT bytes, update count, stop
+// reason, store stats, simulated elapsed — is byte-identical on a flat and
+// a sharded store, for several shard counts and window policies. This is
+// what guarantees Table II stdout and experiment output cannot move when a
+// deployment turns sharding on.
+func TestExecutorDifferentialSharded(t *testing.T) {
+	for _, shards := range []int{2, 4, 7} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			flat, sharded := shardedPair(t, int64(1000+shards), 2500, shards)
+			rng := rand.New(rand.NewSource(5))
+			alerts := flat.RandomEvents(4, rng)
+			alerts2 := sharded.RandomEvents(4, rand.New(rand.NewSource(5)))
+			for i := range alerts {
+				if alerts[i] != alerts2[i] {
+					t.Fatalf("sampled alerts diverged: %+v vs %+v", alerts[i], alerts2[i])
+				}
+			}
+			run := func(s *store.Store, alert event.Event, opts Options) (string, store.Stats, time.Duration) {
+				t.Helper()
+				v, err := s.View(simclock.NewSimulated(time.Time{}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				x, err := New(v, wildcardPlan(t, ""), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := x.RunUnchecked(alert)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var dot strings.Builder
+				if err := graph.WriteDOT(&dot, res.Graph, v.Object); err != nil {
+					t.Fatal(err)
+				}
+				return fmt.Sprintf("reason=%v updates=%d windows=%d dot=%s",
+					res.Reason, res.Updates, res.Windows, dot.String()), v.Stats(), res.Elapsed
+			}
+			for ai, alert := range alerts {
+				opts := Options{Windows: 1 + ai*3, UniformWindows: ai%2 == 0}
+				fOut, fStats, fElapsed := run(flat, alert, opts)
+				sOut, sStats, sElapsed := run(sharded, alert, opts)
+				if fOut != sOut {
+					t.Fatalf("alert %d: session output diverged\nflat:    %.300s\nsharded: %.300s", ai, fOut, sOut)
+				}
+				if fStats != sStats {
+					t.Fatalf("alert %d: store stats diverged: %+v vs %+v", ai, fStats, sStats)
+				}
+				if fElapsed != sElapsed {
+					t.Fatalf("alert %d: simulated elapsed diverged: %v vs %v", ai, fElapsed, sElapsed)
+				}
+			}
+		})
+	}
+}

@@ -305,3 +305,71 @@ func TestUnsealedBindFails(t *testing.T) {
 		t.Fatal("binding an unsealed store should fail")
 	}
 }
+
+// TestReshardPoisoning: the same events partitioned into different shard
+// counts must never share cache entries — a closure computed under one
+// partitioning could otherwise replay against a reshard whose signature,
+// by satellite contract, has to differ (store.ContentSignature folds in the
+// shard composition). Results must still be identical, served by fresh
+// misses, because sharding is real-CPU-only acceleration.
+func TestReshardPoisoning(t *testing.T) {
+	buildSharded := func(n int) *store.Store {
+		s := store.New(simclock.NewSimulated(time.Time{}), store.WithShards(n))
+		bash := event.Process("h1", "bash", 1, 50)
+		web := event.Process("h2", "web", 2, 60)
+		fa := event.File("h1", "/tmp/a")
+		fb := event.File("h2", "/srv/b")
+		add := func(tm int64, sub, obj event.Object, a event.Action, d event.Direction, amt int64) {
+			if _, err := s.AddEvent(tm, sub, obj, a, d, amt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		add(100, bash, fa, event.ActWrite, event.FlowOut, 10)
+		add(200, web, fb, event.ActWrite, event.FlowOut, 20)
+		add(300, bash, fb, event.ActRead, event.FlowIn, 20)
+		add(400, web, fa, event.ActRead, event.FlowIn, 10)
+		if err := s.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	two, three := buildSharded(2), buildSharded(3)
+	sig2, err := two.ContentSignature()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig3, err := three.ContentSignature()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig2 == sig3 {
+		t.Fatal("reshard kept the content signature; stale closures would replay")
+	}
+
+	c := New(0, nil)
+	fb2 := objID(t, two, event.File("h2", "/srv/b"))
+	v2, err := c.Bind(view(t, two), "fp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows2, err := v2.AppendBackward(nil, fb2, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fb3 := objID(t, three, event.File("h2", "/srv/b"))
+	v3, err := c.Bind(view(t, three), "fp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows3, err := v3.AppendBackward(nil, fb3, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 2 {
+		t.Fatalf("resharded stores shared cache entries: %+v", s)
+	}
+	if fmt.Sprintf("%v", rows2) != fmt.Sprintf("%v", rows3) {
+		t.Fatalf("reshard changed query results:\n%v\nvs\n%v", rows2, rows3)
+	}
+}

@@ -33,6 +33,9 @@ func (s *Store) IsReadOnlyFile(obj event.ObjID, from, to int64) (bool, error) {
 // cache the verdict need this to replay the identical charge (or its
 // absence) on a cache hit.
 func (s *Store) IsReadOnlyFileRows(obj event.ObjID, from, to int64) (bool, int64, error) {
+	if s.sh != nil {
+		return s.shardIsReadOnlyFileRows(obj, from, to)
+	}
 	if !s.sealed {
 		return false, NoCharge, ErrNotSealed
 	}
@@ -70,6 +73,9 @@ func (s *Store) IsWriteThrough(obj event.ObjID, from, to int64) (bool, error) {
 // when the type guard made no charge), for callers that replay charges from
 // a cache.
 func (s *Store) IsWriteThroughRows(obj event.ObjID, from, to int64) (bool, int64, error) {
+	if s.sh != nil {
+		return s.shardIsWriteThroughRows(obj, from, to)
+	}
 	if !s.sealed {
 		return false, NoCharge, ErrNotSealed
 	}
@@ -107,6 +113,9 @@ func (s *Store) IsWriteThroughRows(obj event.ObjID, from, to int64) (bool, int64
 // dst within [from, to). It backs quantity-based heuristics (paper
 // Program 2: prioritize uploads at least as large as the sensitive read).
 func (s *Store) FlowAmount(src, dst event.ObjID, from, to int64) (int64, error) {
+	if s.sh != nil {
+		return s.shardFlowAmount(src, dst, from, to)
+	}
 	if !s.sealed {
 		return 0, ErrNotSealed
 	}
@@ -136,6 +145,9 @@ func (s *Store) FileTimes(obj event.ObjID, from, to int64) (creation, lastMod, l
 // replay charges from a cache. FileTimes has no type guard, so rows is
 // always >= 0 on success.
 func (s *Store) FileTimesRows(obj event.ObjID, from, to int64) (creation, lastMod, lastAccess, rows int64, err error) {
+	if s.sh != nil {
+		return s.shardFileTimesRows(obj, from, to)
+	}
 	if !s.sealed {
 		return 0, 0, 0, NoCharge, ErrNotSealed
 	}

@@ -268,9 +268,27 @@ func (l *Live) snapshotLocked() (*Store, error) {
 	for k, v := range l.base.byKey {
 		snap.byKey[k] = v
 	}
-	snap.events = make([]event.Event, 0, len(l.base.events)+len(l.mem))
-	snap.events = append(snap.events, l.base.events...)
-	snap.events = append(snap.events, l.mem...)
+	// Inherit the base's shard layout, so a live store over a sharded base
+	// snapshots (and checkpoints) into the same partitioning.
+	if l.base.sh != nil {
+		if err := snap.configureShards(l.base.sh.n, l.base.epochSeconds()); err != nil {
+			return nil, err
+		}
+		for _, e := range l.base.appendAllEvents(nil) {
+			if err := snap.addRaw(e); err != nil {
+				return nil, err
+			}
+		}
+		for _, e := range l.mem {
+			if err := snap.addRaw(e); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		snap.events = make([]event.Event, 0, len(l.base.events)+len(l.mem))
+		snap.events = append(snap.events, l.base.events...)
+		snap.events = append(snap.events, l.mem...)
+	}
 	if err := snap.Seal(); err != nil {
 		return nil, err
 	}

@@ -34,6 +34,12 @@ func (s *Store) ChargeReplay(rows, from, to int64) error {
 // changes, which is what result caches key on to invalidate across reseals.
 // It is not a collision-resistant hash across unrelated datasets; a cache
 // must only ever be shared among stores from one lineage.
+//
+// A sharded store additionally folds in the shard composition — shard
+// count, routing epoch, and every shard's (count, extent) — so resharding
+// the same events produces a different signature and a result cache can
+// never replay a closure computed under a different partitioning. A flat
+// store's signature is unchanged from earlier releases.
 func (s *Store) ContentSignature() (uint64, error) {
 	if !s.sealed {
 		return 0, ErrNotSealed
@@ -44,13 +50,23 @@ func (s *Store) ContentSignature() (uint64, error) {
 		binary.LittleEndian.PutUint64(buf[:], v)
 		h.Write(buf[:])
 	}
-	put(uint64(len(s.events)))
+	n := s.NumEvents()
+	put(uint64(n))
 	put(uint64(len(s.objects)))
 	put(uint64(s.minTime))
 	put(uint64(s.maxTime))
-	if n := len(s.events); n > 0 {
-		put(uint64(s.events[0].ID))
-		put(uint64(s.events[n-1].ID))
+	if n > 0 {
+		put(uint64(s.eventAtGlobal(0).ID))
+		put(uint64(s.eventAtGlobal(n - 1).ID))
+	}
+	if sh := s.sh; sh != nil {
+		put(uint64(sh.n))
+		put(uint64(s.epochSeconds()))
+		for _, p := range sh.parts {
+			put(uint64(len(p.events)))
+			put(uint64(p.minTime))
+			put(uint64(p.maxTime))
+		}
 	}
 	return h.Sum64(), nil
 }

@@ -30,29 +30,33 @@ func (s *Store) Seal() error {
 	if s.sealed {
 		return ErrSealed
 	}
+	n := s.NumEvents()
 	workers := s.sealWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
-		if len(s.events) < sealParallelCutoff {
+		if n < sealParallelCutoff {
 			workers = 1
 		}
 	}
-	if workers > len(s.events) {
-		workers = len(s.events)
+	if workers > n {
+		workers = n
 	}
 	if workers < 1 {
 		workers = 1
 	}
 
-	sortEventsStable(s.events, workers)
-	s.byDst, s.bySrc = buildPostings(s.events, len(s.objects), workers)
-	s.buildEventIDIndex(workers)
-
-	if len(s.events) > 0 {
-		s.minTime = s.events[0].Time
-		s.maxTime = s.events[len(s.events)-1].Time
+	if s.sh != nil {
+		s.sealSharded(workers)
+	} else {
+		sortEventsStable(s.events, workers)
+		s.byDst, s.bySrc = buildPostings(s.events, len(s.objects), workers)
+		s.buildEventIDIndex(workers)
+		if n > 0 {
+			s.minTime = s.events[0].Time
+			s.maxTime = s.events[n-1].Time
+		}
 	}
-	s.stats.Events = len(s.events)
+	s.stats.Events = n
 	s.stats.Objects = len(s.objects)
 	s.sealed = true
 	return nil

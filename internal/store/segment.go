@@ -43,11 +43,18 @@ var (
 
 // manifest is the JSON index of a persisted store directory.
 type manifest struct {
-	Version       int           `json:"version"`
-	BucketSeconds int64         `json:"bucket_seconds"`
-	Events        int           `json:"events"`
-	Objects       int           `json:"objects"`
-	Segments      []segmentMeta `json:"segments"`
+	Version       int   `json:"version"`
+	BucketSeconds int64 `json:"bucket_seconds"`
+	Events        int   `json:"events"`
+	Objects       int   `json:"objects"`
+	// Shards records the host×time shard layout the store was built with
+	// (0 or 1 = flat). Open re-creates the same layout unless the caller
+	// overrides it with WithShards. Segment files themselves are laid out in
+	// global time order regardless of sharding, so a store saved with any
+	// shard count produces byte-identical segment files.
+	Shards            int           `json:"shards,omitempty"`
+	ShardEpochSeconds int64         `json:"shard_epoch_seconds,omitempty"`
+	Segments          []segmentMeta `json:"segments"`
 }
 
 type segmentMeta struct {
@@ -103,22 +110,36 @@ func (s *Store) Save(dir string) error {
 		return err
 	}
 
-	// Event segments, partitioned by time span.
+	// Event segments, partitioned by time span; a sharded store walks its
+	// global time-order directory, so segment bytes are identical to a flat
+	// store's over the same events.
+	total := s.NumEvents()
 	man := manifest{
 		Version:       formatVersion,
 		BucketSeconds: s.bucketSeconds,
-		Events:        len(s.events),
+		Events:        total,
 		Objects:       len(s.objects),
+	}
+	if s.sh != nil {
+		man.Shards = s.sh.n
+		man.ShardEpochSeconds = s.epochSeconds()
 	}
 	span := s.bucketSeconds * segmentBuckets
 	i := 0
-	for i < len(s.events) {
-		segStart := s.events[i].Time - (s.events[i].Time % span)
+	for i < total {
+		first := s.eventAtGlobal(i)
+		segStart := first.Time - (first.Time % span)
 		segEnd := segStart + span // exclusive
 		j := i
 		var payload []byte
-		for j < len(s.events) && s.events[j].Time < segEnd {
-			payload = event.AppendEvent(payload, s.events[j])
+		var last event.Event
+		for j < total {
+			e := s.eventAtGlobal(j)
+			if e.Time >= segEnd {
+				break
+			}
+			payload = event.AppendEvent(payload, e)
+			last = e
 			j++
 		}
 		name := fmt.Sprintf("seg-%05d.dat", len(man.Segments))
@@ -127,8 +148,8 @@ func (s *Store) Save(dir string) error {
 		}
 		man.Segments = append(man.Segments, segmentMeta{
 			File:    name,
-			MinTime: s.events[i].Time,
-			MaxTime: s.events[j-1].Time,
+			MinTime: first.Time,
+			MaxTime: last.Time,
 			Count:   j - i,
 		})
 		i = j
@@ -169,6 +190,14 @@ func Open(dir string, clk simclock.Clock, opts ...Option) (*Store, error) {
 
 	st := New(clk, opts...)
 	st.bucketSeconds = man.BucketSeconds
+	// Re-create the persisted shard layout unless the caller overrode it
+	// with WithShards (which also covers "reshard on open" and "flatten on
+	// open" — the store's contents are identical either way).
+	if !st.shardSet && man.Shards > 1 {
+		if err := st.configureShards(man.Shards, man.ShardEpochSeconds); err != nil {
+			return nil, fmt.Errorf("store: manifest shards: %w", err)
+		}
+	}
 
 	// Object table.
 	raw, err := os.ReadFile(filepath.Join(dir, objectsFile))
@@ -194,7 +223,9 @@ func Open(dir string, clk simclock.Clock, opts ...Option) (*Store, error) {
 	}
 
 	// Segments.
-	st.events = make([]event.Event, 0, man.Events)
+	if st.sh == nil {
+		st.events = make([]event.Event, 0, man.Events)
+	}
 	for _, seg := range man.Segments {
 		raw, err := os.ReadFile(filepath.Join(dir, seg.File))
 		if err != nil {
@@ -220,8 +251,8 @@ func Open(dir string, clk simclock.Clock, opts ...Option) (*Store, error) {
 			}
 		}
 	}
-	if len(st.events) != man.Events {
-		return nil, fmt.Errorf("store: manifest says %d events, segments held %d", man.Events, len(st.events))
+	if st.NumEvents() != man.Events {
+		return nil, fmt.Errorf("store: manifest says %d events, segments held %d", man.Events, st.NumEvents())
 	}
 	if err := st.Seal(); err != nil {
 		return nil, err

@@ -1,0 +1,1126 @@
+package store
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aptrace/internal/event"
+)
+
+// Shard router: horizontal partitioning of the sealed store by host × time
+// epoch, the layout the paper's deployment uses for its 256-host, 13 TB
+// PostgreSQL substrate (time-partitioned tables, one collection pipeline per
+// host group).
+//
+// Each shard is a fully independent copy of the flat engine: its own
+// contiguous event log and its own SoA/CSR posting indexes, built by the same
+// bit-deterministic Seal machinery. The router on top
+//
+//   - assigns every ingested event to a shard by (subject host, time epoch),
+//   - seals all shards in parallel,
+//   - serves queries by scattering to only the shards whose time extent
+//     intersects the probe and merging per-shard results back into the
+//     single-shard global order, and
+//   - charges the cost model exactly once per logical query, for exactly the
+//     rows and buckets the flat store would have charged.
+//
+// The load-bearing invariant is that sharding is real-CPU-only acceleration:
+// simulated cost, Stats deltas, telemetry counters, experiment stdout, and
+// DOT graphs are byte-identical between a flat store and an N-shard store for
+// any N and any GOMAXPROCS. The global order that makes merges deterministic
+// is (time, arrival sequence): every event carries its global ingestion index
+// in a per-shard seq column, so ties between shards resolve exactly as the
+// flat store's stable sort resolves them.
+//
+// Flat operation is the degenerate N=1 case and keeps its original code path
+// untouched (s.sh == nil).
+
+// MaxShards bounds the shard count: the router's scatter state is stack-cheap
+// and merge fan-in stays small. 64 shards already exceeds any core count this
+// embedded store targets.
+const MaxShards = 64
+
+// shardScatterCutoff is the per-query row total below which scatter tasks run
+// inline without timing: goroutine fan-out and clock reads cost more than
+// they could save on a window-sized probe.
+const shardScatterCutoff = 2048
+
+// sharded is the router state hanging off a Store when WithShards(n>1) is in
+// effect. After Seal it is immutable and shared by every View.
+type sharded struct {
+	n     int
+	parts []*shardPart
+	total int // events across all parts
+
+	// dir is the global time-order directory, built at Seal: dir[i] packs
+	// (shard<<32 | position) of the i-th event in (time, seq) order. It is
+	// what keeps Scan, EventAt, Save, and sampling byte-identical to the
+	// flat store.
+	dir []uint64
+
+	// idPos is the dense EventID index (idPos[id-1] = packed ref + 1), with
+	// byID the fallback for non-dense IDs, mirroring the flat store.
+	idPos []uint64
+	byID  map[event.EventID]uint64
+
+	// Real-CPU observability, shared across views (tooling only — never part
+	// of charged cost): how many scatters ran, the summed busy time of timed
+	// scatter tasks, and how much of that a perfectly parallel run would
+	// shed (zero when the tasks already ran concurrently).
+	scatters       atomic.Int64
+	scatterBusyNs  atomic.Int64
+	scatterSaveNs  atomic.Int64
+	sealDurs       []time.Duration // per-part seal wall, in shard order
+	sealSavableNs  int64           // sum-max when parts sealed serially
+	sealWall       time.Duration   // whole sharded-seal wall clock
+	sealConcurrent bool            // parts actually overlapped
+}
+
+// shardPart is one shard: a flat engine over its slice of the history.
+type shardPart struct {
+	events []event.Event // time-sorted after Seal
+	seq    []uint32      // global arrival index, permuted alongside events
+	byDst  *postings
+	bySrc  *postings
+	hosts  map[string]struct{}
+
+	minTime, maxTime int64
+
+	// Per-shard routing observability (real CPU only).
+	queries atomic.Int64
+	rows    atomic.Int64
+}
+
+// WithShards partitions the store into n independent shards by host × time
+// epoch. n <= 1 keeps the flat single-shard layout. Sharding changes only
+// real CPU: charged cost, Stats, and every query result are byte-identical
+// to the flat store. The option must be applied at New/Open time, before any
+// event is added; it also overrides the shard count recorded in a persisted
+// store's manifest when used with Open.
+func WithShards(n int) Option {
+	return func(st *Store) {
+		st.shardSet = true
+		if err := st.configureShards(n, st.shardEpoch); err != nil {
+			// Options run inside New, before any events can exist; the only
+			// reachable error is a bad count.
+			panic("store: " + err.Error())
+		}
+	}
+}
+
+// WithShardEpoch sets the width, in seconds, of the time slice in the
+// host × time shard-assignment key. Zero (the default) uses one segment span
+// (bucketSeconds × 24, i.e. one day at default settings), so a host's day of
+// activity lands in one shard and consecutive days stripe across shards.
+func WithShardEpoch(seconds int64) Option {
+	return func(st *Store) {
+		if seconds > 0 {
+			st.shardEpoch = seconds
+		}
+	}
+}
+
+// configureShards (re)initializes the router. It must run before any event
+// is added.
+func (s *Store) configureShards(n int, epoch int64) error {
+	if s.sealed {
+		return ErrSealed
+	}
+	if s.NumEvents() != 0 {
+		return fmt.Errorf("shards must be configured before events are added")
+	}
+	if epoch > 0 {
+		s.shardEpoch = epoch
+	}
+	if n <= 1 {
+		s.sh = nil
+		s.tel.shards.Set(1)
+		return nil
+	}
+	if n > MaxShards {
+		return fmt.Errorf("shard count %d exceeds MaxShards (%d)", n, MaxShards)
+	}
+	sh := &sharded{n: n, parts: make([]*shardPart, n)}
+	for i := range sh.parts {
+		sh.parts[i] = &shardPart{hosts: make(map[string]struct{})}
+	}
+	s.sh = sh
+	// Open attaches telemetry before the manifest configures shards, so
+	// refresh the layout gauge here as well as in SetTelemetry.
+	s.tel.shards.Set(int64(n))
+	return nil
+}
+
+// epochSeconds resolves the routing epoch lazily, so a manifest- or
+// option-supplied bucket width set after New is still honored.
+func (s *Store) epochSeconds() int64 {
+	if s.shardEpoch > 0 {
+		return s.shardEpoch
+	}
+	s.shardEpoch = s.bucketSeconds * segmentBuckets
+	return s.shardEpoch
+}
+
+// fnvHost is FNV-32a over the host name, allocation-free.
+func fnvHost(host string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(host); i++ {
+		h ^= uint32(host[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// floorDiv is integer division rounding toward negative infinity, so epoch
+// cells are well-defined for pre-1970 timestamps too.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// route picks the shard for an event: host hash plus time-epoch index, so
+// one host's activity stripes across shards day by day (host × time cells,
+// not whole hosts — a noisy host cannot hot-spot a single shard forever).
+func (s *Store) route(host string, t int64) int {
+	cell := uint64(fnvHost(host)) + uint64(floorDiv(t, s.epochSeconds()))
+	return int(cell % uint64(s.sh.n))
+}
+
+// shardAdd appends an event to its shard, stamping the global arrival index
+// that later makes cross-shard merges reproduce flat ingestion order.
+func (s *Store) shardAdd(e event.Event, host string) {
+	p := s.sh.parts[s.route(host, e.Time)]
+	p.events = append(p.events, e)
+	p.seq = append(p.seq, uint32(s.sh.total))
+	p.hosts[host] = struct{}{}
+	s.sh.total++
+}
+
+// pack/unpack encode a (shard, position) event reference in one word.
+func packRef(shard, pos int) uint64 { return uint64(shard)<<32 | uint64(uint32(pos)) }
+
+func (sh *sharded) at(ref uint64) *event.Event {
+	return &sh.parts[ref>>32].events[uint32(ref)]
+}
+
+func (sh *sharded) seqAt(ref uint64) uint32 {
+	return sh.parts[ref>>32].seq[uint32(ref)]
+}
+
+// --- Seal ---------------------------------------------------------------
+
+// sealSharded seals every shard in parallel — each with the same machinery
+// the flat store uses — then builds the global directory and event-ID index.
+// Shard-level concurrency is min(shards, GOMAXPROCS); innerWorkers (from
+// WithSealWorkers, split across concurrent parts) drives each part's own
+// posting build. Any combination produces bit-identical shards.
+func (s *Store) sealSharded(workers int) {
+	sh := s.sh
+	start := time.Now()
+	conc := len(sh.parts)
+	if g := runtime.GOMAXPROCS(0); conc > g {
+		conc = g
+	}
+	inner := workers / len(sh.parts)
+	if inner < 1 {
+		inner = 1
+	}
+	numObjects := len(s.objects)
+	sh.sealDurs = make([]time.Duration, len(sh.parts))
+	if conc <= 1 {
+		for i, p := range sh.parts {
+			t0 := time.Now()
+			p.seal(numObjects, inner)
+			sh.sealDurs[i] = time.Since(t0)
+		}
+		var sum, max time.Duration
+		for _, d := range sh.sealDurs {
+			sum += d
+			if d > max {
+				max = d
+			}
+		}
+		sh.sealSavableNs = int64(sum - max)
+	} else {
+		sh.sealConcurrent = true
+		sem := make(chan struct{}, conc)
+		var wg sync.WaitGroup
+		for i, p := range sh.parts {
+			wg.Add(1)
+			go func(i int, p *shardPart) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				t0 := time.Now()
+				p.seal(numObjects, inner)
+				sh.sealDurs[i] = time.Since(t0)
+			}(i, p)
+		}
+		wg.Wait()
+	}
+
+	sh.dir = sh.buildDirectory()
+	sh.buildIDIndex()
+	if sh.total > 0 {
+		s.minTime = sh.at(sh.dir[0]).Time
+		s.maxTime = sh.at(sh.dir[sh.total-1]).Time
+	}
+	sh.sealWall = time.Since(start)
+}
+
+// seal sorts one shard's events into (time, arrival) order and builds its
+// posting indexes with the shared CSR builder. The sort is an index-
+// permutation sort keyed on (time, original position): original position is
+// a strict tiebreak, so the result equals a stable sort and is identical for
+// any worker split.
+func (p *shardPart) seal(numObjects, workers int) {
+	n := len(p.events)
+	if n > 0 {
+		ord := make([]int32, n)
+		for i := range ord {
+			ord[i] = int32(i)
+		}
+		ev := p.events
+		sort.Slice(ord, func(i, j int) bool {
+			a, b := ord[i], ord[j]
+			if ev[a].Time != ev[b].Time {
+				return ev[a].Time < ev[b].Time
+			}
+			return a < b
+		})
+		ev2 := make([]event.Event, n)
+		seq2 := make([]uint32, n)
+		for i, o := range ord {
+			ev2[i] = p.events[o]
+			seq2[i] = p.seq[o]
+		}
+		p.events = ev2
+		p.seq = seq2
+		p.minTime = ev2[0].Time
+		p.maxTime = ev2[n-1].Time
+	}
+	p.byDst, p.bySrc = buildPostings(p.events, numObjects, workers)
+}
+
+// buildDirectory merges the sorted shards into the global (time, seq) order
+// directory by pairwise parallel merge rounds — the same shape as the flat
+// store's parallel sort merge, with packed references instead of events.
+func (sh *sharded) buildDirectory() []uint64 {
+	k := len(sh.parts)
+	ents := make([]uint64, sh.total)
+	bounds := make([]int, k+1)
+	off := 0
+	for si, p := range sh.parts {
+		bounds[si] = off
+		for pos := range p.events {
+			ents[off] = packRef(si, pos)
+			off++
+		}
+	}
+	bounds[k] = off
+
+	less := func(a, b uint64) bool {
+		ea, eb := sh.at(a), sh.at(b)
+		if ea.Time != eb.Time {
+			return ea.Time < eb.Time
+		}
+		return sh.seqAt(a) < sh.seqAt(b)
+	}
+	buf := make([]uint64, sh.total)
+	src, dst := ents, buf
+	for width := 1; width < k; width *= 2 {
+		var wg sync.WaitGroup
+		for lo := 0; lo < k; lo += 2 * width {
+			a := bounds[lo]
+			mid := bounds[min(lo+width, k)]
+			b := bounds[min(lo+2*width, k)]
+			wg.Add(1)
+			go func(out, x, y []uint64) {
+				defer wg.Done()
+				i, j, w := 0, 0, 0
+				for i < len(x) && j < len(y) {
+					if less(y[j], x[i]) {
+						out[w] = y[j]
+						j++
+					} else {
+						out[w] = x[i]
+						i++
+					}
+					w++
+				}
+				w += copy(out[w:], x[i:])
+				copy(out[w:], y[j:])
+			}(dst[a:b], src[a:mid], src[mid:b])
+		}
+		wg.Wait()
+		src, dst = dst, src
+	}
+	return src
+}
+
+// buildIDIndex mirrors the flat buildEventIDIndex over packed references:
+// dense 1..n IDs get a pigeonhole array, anything else the map fallback
+// built in global time order (so duplicate IDs resolve as the flat store
+// resolves them: last in time order wins).
+func (sh *sharded) buildIDIndex() {
+	n := sh.total
+	dense := true
+scan:
+	for _, p := range sh.parts {
+		for i := range p.events {
+			if id := p.events[i].ID; id < 1 || id > event.EventID(n) {
+				dense = false
+				break scan
+			}
+		}
+	}
+	if dense {
+		idPos := make([]uint64, n)
+		var wg sync.WaitGroup
+		for si, p := range sh.parts {
+			wg.Add(1)
+			go func(si int, p *shardPart) {
+				defer wg.Done()
+				for pos := range p.events {
+					idPos[p.events[pos].ID-1] = packRef(si, pos) + 1
+				}
+			}(si, p)
+		}
+		wg.Wait()
+		for _, v := range idPos {
+			if v == 0 {
+				dense = false
+				break
+			}
+		}
+		if dense {
+			sh.idPos = idPos
+			sh.byID = nil
+			return
+		}
+	}
+	sh.idPos = nil
+	sh.byID = make(map[event.EventID]uint64, n)
+	for _, ref := range sh.dir {
+		sh.byID[sh.at(ref).ID] = ref
+	}
+}
+
+// --- Scatter ------------------------------------------------------------
+
+// scatter runs one task per touched shard. Small probes run inline; above
+// the cutoff, tasks run concurrently when cores allow, serially (but timed)
+// otherwise. The timing feeds the savable-nanos counter: how much wall a
+// perfectly parallel scatter would shed versus what actually ran. On a
+// multi-core host the saving is realized directly and the counter stays
+// near zero; on a single core it is the measured critical-path projection
+// the shard benchmark reports. Results must not depend on execution order:
+// every task owns its slot.
+func (sh *sharded) scatter(totalRows int, tasks []func()) {
+	switch {
+	case len(tasks) == 0:
+		return
+	case len(tasks) == 1 || totalRows < shardScatterCutoff:
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	sh.scatters.Add(1)
+	durs := make([]time.Duration, len(tasks))
+	if runtime.GOMAXPROCS(0) > 1 {
+		var wg sync.WaitGroup
+		for i, t := range tasks {
+			wg.Add(1)
+			go func(i int, t func()) {
+				defer wg.Done()
+				t0 := time.Now()
+				t()
+				durs[i] = time.Since(t0)
+			}(i, t)
+		}
+		wg.Wait()
+		var busy time.Duration
+		for _, d := range durs {
+			busy += d
+		}
+		sh.scatterBusyNs.Add(int64(busy))
+		return
+	}
+	var busy, max time.Duration
+	for i, t := range tasks {
+		t0 := time.Now()
+		t()
+		durs[i] = time.Since(t0)
+		busy += durs[i]
+		if durs[i] > max {
+			max = durs[i]
+		}
+	}
+	sh.scatterBusyNs.Add(int64(busy))
+	sh.scatterSaveNs.Add(int64(busy - max))
+}
+
+// scatterRuns is the attribute-walk fast path of scatter: one shared work
+// function indexed by run, no per-run closures. Small probes run inline and
+// untimed; big ones fan out across cores, or — single-core — run serially
+// with the same busy/savable accounting as scatter.
+func (sh *sharded) scatterRuns(totalRows, nruns int, work func(ri int)) {
+	if nruns == 0 {
+		return
+	}
+	if nruns == 1 || totalRows < shardScatterCutoff {
+		for ri := 0; ri < nruns; ri++ {
+			work(ri)
+		}
+		return
+	}
+	sh.scatters.Add(1)
+	if runtime.GOMAXPROCS(0) > 1 {
+		var wg sync.WaitGroup
+		var busy atomic.Int64
+		for ri := 0; ri < nruns; ri++ {
+			wg.Add(1)
+			go func(ri int) {
+				defer wg.Done()
+				t0 := time.Now()
+				work(ri)
+				busy.Add(int64(time.Since(t0)))
+			}(ri)
+		}
+		wg.Wait()
+		sh.scatterBusyNs.Add(busy.Load())
+		return
+	}
+	var busy, max time.Duration
+	for ri := 0; ri < nruns; ri++ {
+		t0 := time.Now()
+		work(ri)
+		d := time.Since(t0)
+		busy += d
+		if d > max {
+			max = d
+		}
+	}
+	sh.scatterBusyNs.Add(int64(busy))
+	sh.scatterSaveNs.Add(int64(busy - max))
+}
+
+// --- Query routing ------------------------------------------------------
+
+// shardRun is one shard's slice of a posting probe: the posting sublist of
+// the window, plus the part it lives in. The trailing fields are per-query
+// scratch the attribute walks write their per-shard partials into — keeping
+// results inside the runs slice means a scattered attribute query allocates
+// one slice and one closure, not a result buffer and a closure per shard
+// (the walks are hot enough that those allocations dominated the router's
+// overhead).
+type shardRun struct {
+	part   *shardPart
+	idx    []int32
+	times  []int64
+	lo, hi int
+
+	src bool // FileTimes: this run walks the source-endpoint index
+
+	hit                           shardHit // early-exit walks: local first disqualifier
+	nonLoad                       bool     // write-through: any non-load event seen
+	sum                           int64    // FlowAmount partial
+	creation, lastMod, lastAccess int64    // FileTimes partials
+}
+
+// collectRuns scatters a posting probe: for every shard whose time extent
+// intersects [from, to), binary-search the window bounds on its posting
+// list. It returns the per-shard runs, the summed posting length across all
+// shards (the flat store's len(idx), deciding the hit/miss telemetry), and
+// the summed window rows (the flat store's charged rows).
+func (s *Store) collectRuns(obj event.ObjID, forward bool, from, to int64) (runs []shardRun, totalLen, rows int) {
+	return s.collectRunsInto(make([]shardRun, 0, s.sh.n), obj, forward, from, to)
+}
+
+// collectRunsInto appends runs to dst so callers walking both endpoint
+// indexes of one object (FileTimes) can share a single slice allocation.
+// totalLen and rows cover only the runs appended by this call.
+func (s *Store) collectRunsInto(dst []shardRun, obj event.ObjID, forward bool, from, to int64) (runs []shardRun, totalLen, rows int) {
+	sh := s.sh
+	runs = dst
+	for _, p := range sh.parts {
+		pl := p.byDst
+		if forward {
+			pl = p.bySrc
+		}
+		n := pl.count(obj)
+		totalLen += n
+		if n == 0 || len(p.events) == 0 || p.maxTime < from || p.minTime >= to {
+			continue
+		}
+		idx, times := pl.list(obj)
+		lo, hi := postingRange(times, from, to)
+		if lo == hi {
+			continue
+		}
+		runs = append(runs, shardRun{part: p, idx: idx, times: times, lo: lo, hi: hi})
+		rows += hi - lo
+	}
+	return runs, totalLen, rows
+}
+
+// notePosting emits the single posting hit/miss the flat store's posting()
+// lookup would emit, and updates per-shard routing counters.
+func (s *Store) notePosting(runs []shardRun, totalLen, rows int) {
+	if totalLen > 0 {
+		s.tel.postingHits.Inc()
+	} else {
+		s.tel.postingMisses.Inc()
+	}
+	for i := range runs {
+		runs[i].part.queries.Add(1)
+		runs[i].part.rows.Add(int64(runs[i].hi - runs[i].lo))
+	}
+}
+
+// runSeq returns the global arrival index of posting entry j of a run.
+func (r *shardRun) runSeq(j int) uint32 { return r.part.seq[r.idx[j]] }
+
+// shardAppendPosting is the sharded appendPosting: scatter the window probe,
+// then k-way merge the per-shard runs back into (time, seq) order — exactly
+// the order the flat store's single posting list holds — and charge once for
+// the summed rows.
+func (s *Store) shardAppendPosting(buf []event.Event, obj event.ObjID, forward bool, from, to int64) ([]event.Event, error) {
+	if !s.sealed {
+		return buf, ErrNotSealed
+	}
+	runs, totalLen, rows := s.collectRuns(obj, forward, from, to)
+	s.notePosting(runs, totalLen, rows)
+	if need := len(buf) + rows; need > cap(buf) {
+		grown := make([]event.Event, len(buf), need)
+		copy(grown, buf)
+		buf = grown
+	}
+	switch len(runs) {
+	case 0:
+	case 1:
+		r := runs[0]
+		for _, q := range r.idx[r.lo:r.hi] {
+			buf = append(buf, r.part.events[q])
+		}
+	default:
+		for n := 0; n < rows; n++ {
+			best := -1
+			var bt int64
+			var bs uint32
+			for ri := range runs {
+				r := &runs[ri]
+				if r.lo >= r.hi {
+					continue
+				}
+				t, sq := r.times[r.lo], r.runSeq(r.lo)
+				if best < 0 || t < bt || (t == bt && sq < bs) {
+					best, bt, bs = ri, t, sq
+				}
+			}
+			r := &runs[best]
+			buf = append(buf, r.part.events[r.idx[r.lo]])
+			r.lo++
+		}
+	}
+	s.charge(int64(rows), from, to)
+	return buf, nil
+}
+
+// shardCountPosting is the sharded countPosting: per-shard window counts
+// summed, no materialization, no charge — the same index-only estimate, with
+// the same single hit/miss emission. Its totals feed the executor's re-split
+// logic unchanged.
+func (s *Store) shardCountPosting(obj event.ObjID, forward bool, from, to int64) (int, error) {
+	if !s.sealed {
+		return 0, ErrNotSealed
+	}
+	runs, totalLen, rows := s.collectRuns(obj, forward, from, to)
+	s.notePosting(runs, totalLen, rows)
+	return rows, nil
+}
+
+// firstKey finds, per run, the first entry at or after the global key
+// (t, sq), by binary search on time then a short seq walk across the
+// equal-time span (posting entries are (time, seq)-sorted within a shard).
+func (r *shardRun) firstKey(t int64, sq uint32) int {
+	j := r.lo + searchTimes(r.times[r.lo:r.hi], t)
+	for j < r.hi && r.times[j] == t && r.runSeq(j) < sq {
+		j++
+	}
+	return j
+}
+
+// --- Global-order iteration --------------------------------------------
+
+// eventAtGlobal returns the i-th event in global time order.
+func (s *Store) eventAtGlobal(i int) event.Event {
+	if s.sh != nil {
+		return *s.sh.at(s.sh.dir[i])
+	}
+	return s.events[i]
+}
+
+// searchGlobal returns the first global position with Time >= t.
+func (s *Store) searchGlobal(t int64) int {
+	if s.sh != nil {
+		sh := s.sh
+		return sort.Search(sh.total, func(i int) bool { return sh.at(sh.dir[i]).Time >= t })
+	}
+	return sort.Search(len(s.events), func(i int) bool { return s.events[i].Time >= t })
+}
+
+// appendAllEvents appends every stored event in global time order.
+func (s *Store) appendAllEvents(buf []event.Event) []event.Event {
+	if s.sh == nil {
+		return append(buf, s.events...)
+	}
+	for _, ref := range s.sh.dir {
+		buf = append(buf, *s.sh.at(ref))
+	}
+	return buf
+}
+
+// CollectMatches scans [from, to) in global time order and returns the
+// events for which a predicate holds, in that order. newPred builds one
+// predicate instance per partition walker — batch triage hands it a
+// privately compiled plan matcher, which is what lets a sharded store run
+// the walk on every shard concurrently while a flat store walks serially.
+//
+// Charged cost is that of the equivalent full Scan: every row in the range,
+// plus the window's buckets, in one charge — identical flat vs sharded. If
+// any predicate errors, the error reported is the one at the earliest global
+// position (deterministic for any shard layout); the rows charged on the
+// error path are those actually visited, which an aborted batch never
+// compares anyway.
+func (s *Store) CollectMatches(from, to int64, newPred func() func(event.Event) (bool, error)) ([]event.Event, error) {
+	if !s.sealed {
+		return nil, ErrNotSealed
+	}
+	if s.sh == nil {
+		pred := newPred()
+		var out []event.Event
+		rows := int64(0)
+		var perr error
+		lo := s.searchGlobal(from)
+		for i := lo; i < len(s.events) && s.events[i].Time < to; i++ {
+			rows++
+			ok, err := pred(s.events[i])
+			if err != nil {
+				perr = err
+				break
+			}
+			if ok {
+				out = append(out, s.events[i])
+			}
+		}
+		s.charge(rows, from, to)
+		return out, perr
+	}
+
+	sh := s.sh
+	type partMatch struct {
+		events []event.Event
+		seqs   []uint32
+		rows   int64
+		err    error
+		errT   int64
+		errSeq uint32
+	}
+	var tasks []func()
+	results := make([]partMatch, 0, sh.n)
+	total := 0
+	for _, p := range sh.parts {
+		if len(p.events) == 0 || p.maxTime < from || p.minTime >= to {
+			continue
+		}
+		ev := p.events
+		lo := sort.Search(len(ev), func(i int) bool { return ev[i].Time >= from })
+		hi := lo + sort.Search(len(ev)-lo, func(i int) bool { return ev[lo+i].Time >= to })
+		if lo == hi {
+			continue
+		}
+		total += hi - lo
+		results = append(results, partMatch{})
+		res := &results[len(results)-1]
+		part := p
+		tasks = append(tasks, func() {
+			pred := newPred()
+			for i := lo; i < hi; i++ {
+				res.rows++
+				ok, err := pred(part.events[i])
+				if err != nil {
+					res.err = err
+					res.errT = part.events[i].Time
+					res.errSeq = part.seq[i]
+					return
+				}
+				if ok {
+					res.events = append(res.events, part.events[i])
+					res.seqs = append(res.seqs, part.seq[i])
+				}
+			}
+		})
+	}
+	sh.scatter(total, tasks)
+
+	var rows int64
+	var perr error
+	var errT int64
+	var errSeq uint32
+	for i := range results {
+		rows += results[i].rows
+		if results[i].err != nil {
+			if perr == nil || results[i].errT < errT || (results[i].errT == errT && results[i].errSeq < errSeq) {
+				perr, errT, errSeq = results[i].err, results[i].errT, results[i].errSeq
+			}
+		}
+	}
+	s.charge(rows, from, to)
+	if perr != nil {
+		return nil, perr
+	}
+
+	// k-way merge of the per-shard match lists by (time, seq).
+	n := 0
+	for i := range results {
+		n += len(results[i].events)
+	}
+	out := make([]event.Event, 0, n)
+	cur := make([]int, len(results))
+	for len(out) < n {
+		best := -1
+		var bt int64
+		var bs uint32
+		for i := range results {
+			if cur[i] >= len(results[i].events) {
+				continue
+			}
+			t, sq := results[i].events[cur[i]].Time, results[i].seqs[cur[i]]
+			if best < 0 || t < bt || (t == bt && sq < bs) {
+				best, bt, bs = i, t, sq
+			}
+		}
+		out = append(out, results[best].events[cur[best]])
+		cur[best]++
+	}
+	return out, nil
+}
+
+// --- Sharded attribute evaluations -------------------------------------
+//
+// The attribute walks must charge exactly the rows the flat store's ordered
+// walk examines. Full-range aggregates (FlowAmount, FileTimes) are order-
+// independent and combine per-shard partials; the early-exit predicates
+// (read-only, write-through) stop the flat walk at the first disqualifying
+// event in global order, so the sharded versions find each shard's first
+// disqualifier, take the global (time, seq) minimum, and count the rows
+// preceding it across every shard — the exact prefix the flat walk visited.
+// Per-shard walks may examine more rows than they charge (a shard keeps
+// scanning past another shard's earlier disqualifier); that is real CPU
+// only, and is what the scatter can parallelize.
+
+func (s *Store) shardIsReadOnlyFileRows(obj event.ObjID, from, to int64) (bool, int64, error) {
+	if !s.sealed {
+		return false, NoCharge, ErrNotSealed
+	}
+	if s.objects[obj].Type != event.ObjFile {
+		return false, NoCharge, nil
+	}
+	runs, _, total := s.collectRuns(obj, false, from, to)
+	s.sh.scatterRuns(total, len(runs), func(ri int) {
+		// Hoist slice headers out of the loop: writes through r would
+		// otherwise force a reload of r.part/r.idx every iteration.
+		r := &runs[ri]
+		events, idx := r.part.events, r.idx
+		for j := r.lo; j < r.hi; j++ {
+			switch events[idx[j]].Action {
+			case event.ActWrite, event.ActCreate, event.ActDelete, event.ActRename, event.ActChmod:
+				r.hit = shardHit{found: true, t: r.times[j], seq: r.runSeq(j)}
+				return
+			}
+		}
+	})
+
+	rows := int64(total)
+	readOnly := true
+	if first, ok := minHit(runs); ok {
+		readOnly = false
+		rows = 1
+		for ri := range runs {
+			rows += int64(runs[ri].firstKey(runs[first].hit.t, runs[first].hit.seq) - runs[ri].lo)
+		}
+	}
+	s.charge(rows, from, to)
+	s.noteAttr(runs)
+	return readOnly, rows, nil
+}
+
+func (s *Store) shardIsWriteThroughRows(obj event.ObjID, from, to int64) (bool, int64, error) {
+	if !s.sealed {
+		return false, NoCharge, ErrNotSealed
+	}
+	if s.objects[obj].Type != event.ObjProcess {
+		return false, NoCharge, nil
+	}
+	var rows int64
+	seen := false
+	through := true
+	// phase replicates the flat check() over one endpoint index: walk every
+	// shard's window, find the global-first disqualifier (a non-load event
+	// whose counterpart is not a process), and charge the prefix up to and
+	// including it — or the full range when none exists.
+	phase := func(forward bool, counterpartOf func(event.Event) event.ObjID) {
+		runs, _, total := s.collectRuns(obj, forward, from, to)
+		s.sh.scatterRuns(total, len(runs), func(ri int) {
+			r := &runs[ri]
+			events, idx, objects := r.part.events, r.idx, s.objects
+			nonLoad := false
+			for j := r.lo; j < r.hi; j++ {
+				e := events[idx[j]]
+				if e.Action == event.ActLoad {
+					continue
+				}
+				nonLoad = true
+				if objects[counterpartOf(e)].Type != event.ObjProcess {
+					r.nonLoad = true
+					r.hit = shardHit{found: true, t: r.times[j], seq: r.runSeq(j)}
+					return
+				}
+			}
+			r.nonLoad = nonLoad
+		})
+		if first, ok := minHit(runs); ok {
+			ft, fs := runs[first].hit.t, runs[first].hit.seq
+			rows++
+			for ri := range runs {
+				rows += int64(runs[ri].firstKey(ft, fs) - runs[ri].lo)
+			}
+			seen = true // the disqualifier itself is a non-load event
+			through = false
+		} else {
+			rows += int64(total)
+			for i := range runs {
+				if runs[i].nonLoad {
+					seen = true
+				}
+			}
+		}
+		s.noteAttr(runs)
+	}
+	phase(false, func(e event.Event) event.ObjID { return e.Src() })
+	if through {
+		phase(true, func(e event.Event) event.ObjID { return e.Dst() })
+	}
+	s.charge(rows, from, to)
+	return seen && through, rows, nil
+}
+
+func (s *Store) shardFlowAmount(src, dst event.ObjID, from, to int64) (int64, error) {
+	if !s.sealed {
+		return 0, ErrNotSealed
+	}
+	runs, _, total := s.collectRuns(dst, false, from, to)
+	s.sh.scatterRuns(total, len(runs), func(ri int) {
+		r := &runs[ri]
+		events, idx := r.part.events, r.idx
+		var sum int64
+		for j := r.lo; j < r.hi; j++ {
+			if e := events[idx[j]]; e.Src() == src {
+				sum += e.Amount
+			}
+		}
+		r.sum = sum
+	})
+	var totalAmt int64
+	for i := range runs {
+		totalAmt += runs[i].sum
+	}
+	s.charge(int64(total), from, to)
+	s.noteAttr(runs)
+	return totalAmt, nil
+}
+
+func (s *Store) shardFileTimesRows(obj event.ObjID, from, to int64) (creation, lastMod, lastAccess, rows int64, err error) {
+	if !s.sealed {
+		return 0, 0, 0, NoCharge, ErrNotSealed
+	}
+	// Both endpoint walks share one runs slice (src-index runs flagged), so
+	// the whole query costs one slice and one closure regardless of fan-out.
+	runs, _, dstTotal := s.collectRuns(obj, false, from, to)
+	nDst := len(runs)
+	runs, _, srcTotal := s.collectRunsInto(runs, obj, true, from, to)
+	for ri := nDst; ri < len(runs); ri++ {
+		runs[ri].src = true
+	}
+	s.sh.scatterRuns(dstTotal+srcTotal, len(runs), func(ri int) {
+		// Accumulate into locals and write back once: storing through r
+		// inside the loop would alias r.part/r.idx and force the slice
+		// headers to be reloaded on every row.
+		r := &runs[ri]
+		events, idx := r.part.events, r.idx
+		if r.src {
+			var access int64
+			for j := r.lo; j < r.hi; j++ {
+				if e := events[idx[j]]; e.Action == event.ActRead || e.Action == event.ActLoad {
+					access = e.Time
+				}
+			}
+			r.lastAccess = access
+			return
+		}
+		var created, modified int64
+		for j := r.lo; j < r.hi; j++ {
+			e := events[idx[j]]
+			switch e.Action {
+			case event.ActCreate:
+				if created == 0 {
+					created = e.Time
+				}
+				modified = e.Time
+			case event.ActWrite, event.ActRename, event.ActChmod, event.ActDelete:
+				modified = e.Time
+			}
+		}
+		r.creation, r.lastMod = created, modified
+	})
+	// Combine: per-shard walks are ascending in time, so the flat walk's
+	// "first create" is the minimum nonzero creation and the "last X" are
+	// maxima; ties carry identical time values either way.
+	for i := range runs {
+		p := &runs[i]
+		if p.creation != 0 && (creation == 0 || p.creation < creation) {
+			creation = p.creation
+		}
+		if p.lastMod > lastMod {
+			lastMod = p.lastMod
+		}
+		if p.lastAccess > lastAccess {
+			lastAccess = p.lastAccess
+		}
+	}
+	rows = int64(dstTotal + srcTotal)
+	s.charge(rows, from, to)
+	s.noteAttr(runs)
+	return creation, lastMod, lastAccess, rows, nil
+}
+
+// shardHit is one shard's earliest in-window hit of a scattered early-exit
+// predicate, in global (time, seq) coordinates.
+type shardHit struct {
+	found bool
+	t     int64
+	seq   uint32
+}
+
+// minHit returns the run index holding the smallest (t, seq) hit, if any.
+func minHit(runs []shardRun) (int, bool) {
+	best := -1
+	for i := range runs {
+		if !runs[i].hit.found {
+			continue
+		}
+		if best < 0 || runs[i].hit.t < runs[best].hit.t ||
+			(runs[i].hit.t == runs[best].hit.t && runs[i].hit.seq < runs[best].hit.seq) {
+			best = i
+		}
+	}
+	return best, best >= 0
+}
+
+// noteAttr updates per-shard routing counters for an attribute scatter.
+func (s *Store) noteAttr(runs []shardRun) {
+	for i := range runs {
+		runs[i].part.queries.Add(1)
+		runs[i].part.rows.Add(int64(runs[i].hi - runs[i].lo))
+	}
+}
+
+// --- Introspection ------------------------------------------------------
+
+// ShardInfo describes one shard of a sealed store, for apquery -stats and
+// capacity planning. Queries/RowsServed are real-CPU routing counters shared
+// across views — observability, never charged cost.
+type ShardInfo struct {
+	Shard      int           `json:"shard"`
+	Events     int           `json:"events"`
+	Hosts      int           `json:"hosts"`
+	MinTime    int64         `json:"min_time"`
+	MaxTime    int64         `json:"max_time"`
+	Queries    int64         `json:"queries"`
+	RowsServed int64         `json:"rows_served"`
+	SealWall   time.Duration `json:"seal_wall_ns"`
+}
+
+// ShardCount returns the number of shards; 1 for a flat store.
+func (s *Store) ShardCount() int {
+	if s.sh == nil {
+		return 1
+	}
+	return s.sh.n
+}
+
+// ShardEpochSeconds returns the host × time routing epoch width; 0 for a
+// flat store.
+func (s *Store) ShardEpochSeconds() int64 {
+	if s.sh == nil {
+		return 0
+	}
+	return s.epochSeconds()
+}
+
+// ShardInfos returns per-shard extents and routing counters, nil for a flat
+// store.
+func (s *Store) ShardInfos() []ShardInfo {
+	if s.sh == nil {
+		return nil
+	}
+	infos := make([]ShardInfo, s.sh.n)
+	for i, p := range s.sh.parts {
+		infos[i] = ShardInfo{
+			Shard:      i,
+			Events:     len(p.events),
+			Hosts:      len(p.hosts),
+			MinTime:    p.minTime,
+			MaxTime:    p.maxTime,
+			Queries:    p.queries.Load(),
+			RowsServed: p.rows.Load(),
+		}
+		if s.sh.sealDurs != nil {
+			infos[i].SealWall = s.sh.sealDurs[i]
+		}
+	}
+	return infos
+}
+
+// ShardScatterStats reports the router's cumulative real-CPU scatter
+// accounting: scatters timed, their summed per-shard busy time, and the
+// portion a perfectly parallel run would shed (zero when the scatters
+// already ran concurrently — the saving is then realized in wall clock
+// directly). The shard benchmark uses the savable figure to report the
+// critical-path wall a multi-core host observes.
+func (s *Store) ShardScatterStats() (scatters, busyNanos, savableNanos int64) {
+	if s.sh == nil {
+		return 0, 0, 0
+	}
+	return s.sh.scatters.Load(), s.sh.scatterBusyNs.Load(), s.sh.scatterSaveNs.Load()
+}
+
+// SealShardStats reports the sharded seal's wall clock, the per-shard seal
+// durations, the savable nanos (sum minus max when parts sealed serially on
+// a saturated host; zero when they overlapped), and whether parts ran
+// concurrently. Zero values for a flat store.
+func (s *Store) SealShardStats() (wall time.Duration, perShard []time.Duration, savableNanos int64, concurrent bool) {
+	if s.sh == nil {
+		return 0, nil, 0, false
+	}
+	return s.sh.sealWall, s.sh.sealDurs, s.sh.sealSavableNs, s.sh.sealConcurrent
+}

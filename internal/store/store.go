@@ -22,7 +22,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync/atomic"
 	"time"
 
@@ -72,6 +71,12 @@ type Store struct {
 
 	sealWorkers int // fixed Seal worker count; 0 = auto (see WithSealWorkers)
 
+	// sh is the shard router when WithShards(n>1) is in effect; nil keeps
+	// every flat code path untouched (the degenerate single-shard case).
+	sh         *sharded
+	shardSet   bool  // WithShards was applied (overrides manifest shards)
+	shardEpoch int64 // host×time routing epoch seconds; 0 = one segment span
+
 	minTime, maxTime int64 // inclusive bounds over stored events
 
 	// stats counters are updated atomically: a sealed store promises safe
@@ -100,6 +105,7 @@ type storeMetrics struct {
 	postingMisses *telemetry.Counter
 	queryRows     *telemetry.Histogram
 	queryLatency  *telemetry.Histogram
+	shards        *telemetry.Gauge
 }
 
 func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
@@ -111,6 +117,7 @@ func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
 		postingMisses: reg.Counter(telemetry.MetricStorePostingMisses),
 		queryRows:     reg.Histogram(telemetry.MetricStoreQueryRows, telemetry.RowBuckets),
 		queryLatency:  reg.Histogram(telemetry.MetricStoreQueryLatency, telemetry.LatencyBuckets),
+		shards:        reg.Gauge(telemetry.MetricStoreShards),
 	}
 }
 
@@ -167,6 +174,7 @@ func (s *Store) Clock() simclock.Clock { return s.clock }
 func (s *Store) SetTelemetry(reg *telemetry.Registry) {
 	s.reg = reg
 	s.tel = newStoreMetrics(reg)
+	s.tel.shards.Set(int64(s.ShardCount()))
 }
 
 // Telemetry returns the attached registry (nil when disabled).
@@ -224,12 +232,17 @@ func (s *Store) Object(id event.ObjID) event.Object {
 func (s *Store) NumObjects() int { return len(s.objects) }
 
 // NumEvents returns the number of stored events.
-func (s *Store) NumEvents() int { return len(s.events) }
+func (s *Store) NumEvents() int {
+	if s.sh != nil {
+		return s.sh.total
+	}
+	return len(s.events)
+}
 
 // TimeRange returns the inclusive [min, max] event-time bounds, or ok=false
 // if the store is empty.
 func (s *Store) TimeRange() (min, max int64, ok bool) {
-	if len(s.events) == 0 {
+	if s.NumEvents() == 0 {
 		return 0, 0, false
 	}
 	return s.minTime, s.maxTime, true
@@ -245,8 +258,8 @@ func (s *Store) AddEvent(t int64, subject, object event.Object, action event.Act
 	if subject.Type != event.ObjProcess {
 		return 0, fmt.Errorf("store: event subject must be a process, got %v", subject.Type)
 	}
-	id := event.EventID(len(s.events) + 1) // IDs start at 1; 0 means "no event"
-	s.events = append(s.events, event.Event{
+	id := event.EventID(s.NumEvents() + 1) // IDs start at 1; 0 means "no event"
+	e := event.Event{
 		ID:      id,
 		Time:    t,
 		Subject: s.Intern(subject),
@@ -254,7 +267,12 @@ func (s *Store) AddEvent(t int64, subject, object event.Object, action event.Act
 		Action:  action,
 		Dir:     dir,
 		Amount:  amount,
-	})
+	}
+	if s.sh != nil {
+		s.shardAdd(e, subject.Host)
+		return id, nil
+	}
+	s.events = append(s.events, e)
 	return id, nil
 }
 
@@ -265,6 +283,10 @@ func (s *Store) addRaw(e event.Event) error {
 	}
 	if int(e.Subject) >= len(s.objects) || int(e.Object) >= len(s.objects) {
 		return fmt.Errorf("store: event %d references unknown object", e.ID)
+	}
+	if s.sh != nil {
+		s.shardAdd(e, s.objects[e.Subject].Host)
+		return nil
 	}
 	s.events = append(s.events, e)
 	return nil
@@ -307,13 +329,16 @@ func (s *Store) View(clk simclock.Clock) (*Store, error) {
 		bySrc:         s.bySrc,
 		idPos:         s.idPos,
 		byID:          s.byID,
+		sh:            s.sh,
+		shardSet:      s.shardSet,
+		shardEpoch:    s.shardEpoch,
 		minTime:       s.minTime,
 		maxTime:       s.maxTime,
 		isView:        true,
 		reg:           s.reg,
 		tel:           s.tel,
 	}
-	v.stats.Events = len(s.events)
+	v.stats.Events = s.NumEvents()
 	v.stats.Objects = len(s.objects)
 	return v, nil
 }
@@ -321,7 +346,7 @@ func (s *Store) View(clk simclock.Clock) (*Store, error) {
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
 	st := Stats{
-		Events:        len(s.events),
+		Events:        s.NumEvents(),
 		Objects:       len(s.objects),
 		Queries:       atomic.LoadInt64(&s.stats.Queries),
 		RowsExamined:  atomic.LoadInt64(&s.stats.RowsExamined),
@@ -373,6 +398,9 @@ func (s *Store) posting(obj event.ObjID, forward bool) (idx []int32, times []int
 // buckets covered. It allocates only when buf lacks capacity, which is what
 // makes the steady-state window loop allocation-free.
 func (s *Store) appendPosting(buf []event.Event, obj event.ObjID, forward bool, from, to int64) ([]event.Event, error) {
+	if s.sh != nil {
+		return s.shardAppendPosting(buf, obj, forward, from, to)
+	}
 	if !s.sealed {
 		return buf, ErrNotSealed
 	}
@@ -394,6 +422,9 @@ func (s *Store) appendPosting(buf []event.Event, obj event.ObjID, forward bool, 
 // CountForward. It does not materialize or charge: it models an index-only
 // estimate, which real planners get almost for free.
 func (s *Store) countPosting(obj event.ObjID, forward bool, from, to int64) (int, error) {
+	if s.sh != nil {
+		return s.shardCountPosting(obj, forward, from, to)
+	}
 	if !s.sealed {
 		return 0, ErrNotSealed
 	}
@@ -450,6 +481,19 @@ func (s *Store) EventByID(id event.EventID) (event.Event, bool) {
 	if !s.sealed {
 		return event.Event{}, false
 	}
+	if sh := s.sh; sh != nil {
+		if sh.idPos != nil {
+			if id < 1 || int(id) > len(sh.idPos) {
+				return event.Event{}, false
+			}
+			return *sh.at(sh.idPos[id-1] - 1), true
+		}
+		ref, ok := sh.byID[id]
+		if !ok {
+			return event.Event{}, false
+		}
+		return *sh.at(ref), true
+	}
 	if s.idPos != nil {
 		if id < 1 || int(id) > len(s.idPos) {
 			return event.Event{}, false
@@ -470,11 +514,16 @@ func (s *Store) Scan(from, to int64, fn func(event.Event) bool) error {
 	if !s.sealed {
 		return ErrNotSealed
 	}
-	lo := sort.Search(len(s.events), func(i int) bool { return s.events[i].Time >= from })
+	n := s.NumEvents()
+	lo := s.searchGlobal(from)
 	rows := int64(0)
-	for i := lo; i < len(s.events) && s.events[i].Time < to; i++ {
+	for i := lo; i < n; i++ {
+		e := s.eventAtGlobal(i)
+		if e.Time >= to {
+			break
+		}
 		rows++
-		if !fn(s.events[i]) {
+		if !fn(e) {
 			break
 		}
 	}
@@ -487,10 +536,9 @@ func (s *Store) Scan(from, to int64, fn func(event.Event) bool) error {
 // Sampling is free (it is an experiment-harness convenience, not a modeled
 // database operation).
 func (s *Store) RandomEvents(n int, rng *rand.Rand) []event.Event {
-	if n >= len(s.events) {
-		out := make([]event.Event, len(s.events))
-		copy(out, s.events)
-		return out
+	total := s.NumEvents()
+	if n >= total {
+		return s.appendAllEvents(make([]event.Event, 0, total))
 	}
 	// Bounded partial Fisher–Yates: reproduce the first n entries of
 	// rng.Perm(len(events)) while allocating O(n) instead of O(len(events)).
@@ -501,7 +549,7 @@ func (s *Store) RandomEvents(n int, rng *rand.Rand) []event.Event {
 	// consuming the identical random stream therefore yields Perm(len)[:n]
 	// bit-for-bit, so experiment event selection does not shift.
 	sel := make([]int, n)
-	for i := 0; i < len(s.events); i++ {
+	for i := 0; i < total; i++ {
 		j := rng.Intn(i + 1)
 		switch {
 		case i < n:
@@ -513,14 +561,14 @@ func (s *Store) RandomEvents(n int, rng *rand.Rand) []event.Event {
 	}
 	out := make([]event.Event, 0, n)
 	for _, i := range sel {
-		out = append(out, s.events[i])
+		out = append(out, s.eventAtGlobal(i))
 	}
 	return out
 }
 
 // EventAt returns the i-th event in time order. It is intended for tests and
 // tooling; it does not charge query cost.
-func (s *Store) EventAt(i int) event.Event { return s.events[i] }
+func (s *Store) EventAt(i int) event.Event { return s.eventAtGlobal(i) }
 
 // Objects returns the full object table. The returned slice is owned by the
 // store and must not be modified.
@@ -528,10 +576,28 @@ func (s *Store) Objects() []event.Object { return s.objects }
 
 // InDegree returns the total number of events flowing into obj over the
 // store's whole history, an explosion-severity signal used by tooling.
-func (s *Store) InDegree(obj event.ObjID) int { return s.byDst.count(obj) }
+func (s *Store) InDegree(obj event.ObjID) int {
+	if s.sh != nil {
+		n := 0
+		for _, p := range s.sh.parts {
+			n += p.byDst.count(obj)
+		}
+		return n
+	}
+	return s.byDst.count(obj)
+}
 
 // OutDegree returns the total number of events flowing out of obj.
-func (s *Store) OutDegree(obj event.ObjID) int { return s.bySrc.count(obj) }
+func (s *Store) OutDegree(obj event.ObjID) int {
+	if s.sh != nil {
+		n := 0
+		for _, p := range s.sh.parts {
+			n += p.bySrc.count(obj)
+		}
+		return n
+	}
+	return s.bySrc.count(obj)
+}
 
 // BucketSeconds returns the time-partition width.
 func (s *Store) BucketSeconds() int64 { return s.bucketSeconds }
@@ -543,7 +609,7 @@ func (s *Store) GlobalStart() int64 { return s.minTime }
 
 // Duration returns the stored history span.
 func (s *Store) Duration() time.Duration {
-	if len(s.events) == 0 {
+	if s.NumEvents() == 0 {
 		return 0
 	}
 	return time.Duration(s.maxTime-s.minTime) * time.Second

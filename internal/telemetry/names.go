@@ -13,6 +13,10 @@ const (
 	MetricStorePostingMisses = "aptrace_store_posting_misses_total"
 	MetricStoreQueryRows     = "aptrace_store_query_rows"
 	MetricStoreQueryLatency  = "aptrace_store_query_latency_seconds"
+	// shards is the store's host×time partition count (gauge, 1 = flat).
+	// The query counters above are whole-store totals regardless of layout:
+	// a scatter-gathered query charges once at the router, never per shard.
+	MetricStoreShards = "aptrace_store_shards"
 
 	// Live store WAL.
 	MetricWALAppends = "aptrace_store_wal_appends_total"

@@ -51,14 +51,26 @@ type Config struct {
 	// Start is the first day of history; the zero value means
 	// 2019-03-01 00:00 UTC (the period the paper's cases fall into).
 	Start time.Time
+	// Shards partitions the store by host × time epoch (store.WithShards).
+	// 0 or 1 keeps the flat single-shard layout. Generation streams events
+	// directly into their shards, so no single slice ever holds the whole
+	// dataset, and Seal runs per shard in parallel.
+	Shards int
+	// SealWorkers fixes each shard's internal Seal worker count
+	// (store.WithSealWorkers); 0 auto-sizes. The shard benchmark pins it
+	// to 1 so shard count is the only parallelism axis.
+	SealWorkers int
 }
 
 // Dataset is a generated enterprise history: a sealed store plus ground
 // truth for every injected attack.
 type Dataset struct {
-	Store   *store.Store
-	Attacks []Attack
-	Config  Config
+	Store *store.Store
+	// SealWall is the wall-clock duration of the dataset's Seal call —
+	// real CPU, never simulated cost. The shard benchmark reads it.
+	SealWall time.Duration
+	Attacks  []Attack
+	Config   Config
 }
 
 // Attack is the ground truth of one injected scenario.
@@ -121,7 +133,14 @@ func Generate(cfg Config, clk storeClock) (*Dataset, error) {
 		cfg.Start = time.Date(2019, 3, 1, 0, 0, 0, 0, time.UTC)
 	}
 
-	st := store.New(clk)
+	var opts []store.Option
+	if cfg.Shards > 1 {
+		opts = append(opts, store.WithShards(cfg.Shards))
+	}
+	if cfg.SealWorkers > 0 {
+		opts = append(opts, store.WithSealWorkers(cfg.SealWorkers))
+	}
+	st := store.New(clk, opts...)
 	g := &generator{
 		cfg:   cfg,
 		st:    st,
@@ -156,9 +175,11 @@ func Generate(cfg Config, clk storeClock) (*Dataset, error) {
 		ds.Attacks = append(ds.Attacks, atk)
 	}
 
+	sealStart := time.Now()
 	if err := st.Seal(); err != nil {
 		return nil, err
 	}
+	ds.SealWall = time.Since(sealStart)
 	return ds, nil
 }
 
