@@ -45,6 +45,7 @@ import (
 	"aptrace/internal/fleet"
 	"aptrace/internal/graph"
 	"aptrace/internal/memo"
+	"aptrace/internal/qprof"
 	"aptrace/internal/refiner"
 	"aptrace/internal/serve"
 	"aptrace/internal/session"
@@ -296,6 +297,29 @@ func WithShardEpoch(seconds int64) StoreOption { return store.WithShardEpoch(sec
 
 // ShardInfo describes one shard's extent (apquery -stats prints these).
 type ShardInfo = store.ShardInfo
+
+// Query-profiler layer: per-query scatter-gather accounting for the
+// sharded store.
+type (
+	// QueryProfiler aggregates per-query scatter-gather samples — fan-out,
+	// per-shard rows and busy nanos, merge time, skew — into a persistent
+	// shard heatmap. Attach one with (*Store).SetQueryProfiler or
+	// WithQueryProfiler; views inherit it. Profiling reads real CPU only:
+	// charged cost, stdout tables, and DOT output are byte-identical with
+	// it on or off. A nil *QueryProfiler is a safe no-op everywhere.
+	QueryProfiler = qprof.Profiler
+	// QueryProfile is a point-in-time profiler snapshot (JSON-shaped):
+	// totals, per-kind aggregates, skew quantiles, per-shard heat, and the
+	// shard×epoch heatmap cells.
+	QueryProfile = qprof.Snapshot
+)
+
+// NewQueryProfiler returns an enabled scatter-gather query profiler.
+func NewQueryProfiler() *QueryProfiler { return qprof.New() }
+
+// WithQueryProfiler attaches a query profiler to a store at open/create
+// time (equivalent to calling SetQueryProfiler after open).
+func WithQueryProfiler(p *QueryProfiler) StoreOption { return store.WithQueryProfiler(p) }
 
 // ServeTelemetry serves the registry's /metrics (Prometheus text) and
 // /debug/telemetry (JSON) endpoints on addr in a background goroutine,

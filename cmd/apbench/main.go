@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	apbench [-exp all|severity|fig4|table1|table2|fig6|timeline|ablation-k|ablation-policy|perf|serve|memo|obs|shard]
+//	apbench [-exp all|severity|fig4|table1|table2|fig6|timeline|ablation-k|ablation-policy|perf|serve|memo|obs|shard|qprof]
 //	        [-hosts 12] [-days 10] [-density 1.5] [-samples 200] [-cap 2h] [-k 8]
 //	        [-parallel 1] [-shards 1] [-json dir] [-metrics addr] [-pprof addr]
 //	        [-timeline trace.json] [-benchtime 3x]
@@ -59,6 +59,10 @@
 //	                   backtrack wall plus critical-path time at 1/2/4/8
 //	                   shards, with per-alert byte-identity enforced across
 //	                   every shard count (BENCH_shard.json with -json)
+//	qprof           -> scatter-gather query profiler: per-alert byte-identity
+//	                   with the profiler on vs off at 1/2/4/8 shards, nil and
+//	                   live observe cost (ns/op), and per-shard load skew
+//	                   quantiles (BENCH_qprof.json with -json)
 //
 // -shards N runs every experiment against an N-shard store (the shard
 // experiment ignores it and sweeps its own configs). Because sharding is
@@ -191,8 +195,9 @@ func main() {
 		"memo":  func() (any, error) { return experiments.RunMemo(env, cfg, os.Stdout) },
 		"obs":   func() (any, error) { return experiments.RunObs(env, cfg, os.Stdout) },
 		"shard": func() (any, error) { return experiments.RunShard(env, cfg, os.Stdout) },
+		"qprof": func() (any, error) { return experiments.RunQprof(env, cfg, os.Stdout) },
 	}
-	order := []string{"severity", "fig4", "table1", "table2", "fig6", "refiner", "explain", "timeline", "ablation-k", "ablation-policy", "perf", "serve", "memo", "obs", "shard"}
+	order := []string{"severity", "fig4", "table1", "table2", "fig6", "refiner", "explain", "timeline", "ablation-k", "ablation-policy", "perf", "serve", "memo", "obs", "shard", "qprof"}
 
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {

@@ -17,6 +17,12 @@
 // The attacks.json file records, for every injected scenario, the alert
 // event, the root-cause object, the ground-truth causal chain, and the BDL
 // script versions an analyst would apply (usable directly with cmd/aptrace).
+//
+// Like the other tools, -metrics serves /metrics (Prometheus, including Go
+// runtime metrics) and /debug/telemetry (JSON) for the process lifetime —
+// brought up before generation, so the parallel seal of a large fleet can be
+// watched live — and -pprof serves net/http/pprof (sharing the -metrics mux
+// when the addresses match).
 package main
 
 import (
@@ -40,12 +46,40 @@ func main() {
 		shards  = flag.Int("shards", 1, "host×time store shards (1 = flat; persisted in the manifest)")
 		attacks = flag.String("attacks", "", "comma-separated attack subset (default: all five)")
 		export  = flag.String("export", "", "also export raw audit records: etw or auditd")
+		metrics = flag.String("metrics", "", "serve /metrics (Prometheus) and /debug/telemetry (JSON) on this address, e.g. :9090")
+		pprofA  = flag.String("pprof", "", "serve net/http/pprof on this address (shares the -metrics mux when the addresses match)")
 	)
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "apgen: -out is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Telemetry comes up before generation so the expensive part — the
+	// parallel seal — is observable live (Go runtime metrics, pprof).
+	var reg *aptrace.Telemetry
+	if *metrics != "" {
+		reg = aptrace.NewTelemetry()
+		aptrace.RegisterRuntimeMetrics(reg)
+		if *pprofA == *metrics {
+			// Mount before ServeTelemetry builds the mux.
+			reg.RegisterPprof()
+		}
+		_, addr, err := aptrace.ServeTelemetry(*metrics, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics and /debug/telemetry on %s\n", addr)
+	}
+	if *pprofA != "" && *pprofA != *metrics {
+		_, addr, err := aptrace.ServePprof(*pprofA)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving /debug/pprof on %s\n", addr)
+	} else if *pprofA != "" {
+		fmt.Fprintf(os.Stderr, "pprof: sharing the -metrics mux at /debug/pprof\n")
 	}
 
 	cfg := aptrace.WorkloadConfig{Seed: *seed, Hosts: *hosts, Days: *days, Density: *density, Shards: *shards}
@@ -56,6 +90,11 @@ func main() {
 	ds, err := aptrace.Generate(cfg, nil)
 	if err != nil {
 		fatal(err)
+	}
+	if reg != nil {
+		// Observe the sealed store too, so the export scan's query counters
+		// show up in /debug/telemetry for the rest of the process lifetime.
+		ds.Store.SetTelemetry(reg)
 	}
 	fmt.Printf("generated %d events, %d objects across %d hosts over %d days\n",
 		ds.Store.NumEvents(), ds.Store.NumObjects(), *hosts, *days)

@@ -20,7 +20,11 @@
 // /debug/telemetry (JSON) for the process lifetime, and -pprof serves
 // net/http/pprof (sharing the -metrics mux when the addresses match). -trace
 // wraps the lookup in a span and dumps the recent span ring to stderr as
-// JSON afterwards.
+// JSON afterwards. -profile attaches a scatter-gather query profiler: the
+// lookup's per-shard breakdown (fanout, rows, busy time, merge time, skew)
+// prints to stderr, and with -metrics the live profile is also served at
+// /debug/shards. The profiler reads real CPU only — stdout is byte-identical
+// with it on or off.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"aptrace"
 	"aptrace/internal/bdl"
@@ -47,6 +52,7 @@ func main() {
 		metrics  = flag.String("metrics", "", "serve /metrics (Prometheus) and /debug/telemetry (JSON) on this address, e.g. :9090")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (shares the -metrics mux when the addresses match)")
 		trace    = flag.Bool("trace", false, "span the lookup and dump the recent span ring to stderr as JSON")
+		profile  = flag.Bool("profile", false, "attach a scatter-gather query profiler and print the per-query breakdown to stderr after the lookup")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -62,6 +68,18 @@ func main() {
 	if *stats || *metrics != "" || *trace {
 		reg = aptrace.NewTelemetry()
 		opts = append(opts, aptrace.WithTelemetry(reg))
+	}
+	// The profiler reads real CPU only: stdout is byte-identical with
+	// -profile on or off, the breakdown goes to stderr.
+	var qp *aptrace.QueryProfiler
+	if *profile {
+		qp = aptrace.NewQueryProfiler()
+		opts = append(opts, aptrace.WithQueryProfiler(qp))
+		if reg != nil {
+			// Live JSON view next to the telemetry endpoints; must be
+			// mounted before ServeTelemetry builds the mux.
+			reg.RegisterDebug("/debug/shards", qp.Handler())
+		}
 	}
 	if *metrics != "" {
 		if *pprofA == *metrics {
@@ -110,12 +128,18 @@ func main() {
 	case *stats:
 		span("query.stats", "", func() { printStats(st) })
 		dumpSpans(reg, *trace)
+		if qp != nil {
+			qp.WriteBreakdown(os.Stderr)
+		}
 		return
 	default:
 		fmt.Fprintln(os.Stderr, "apquery: pick one of -stats, -objects, -events, -around")
 		os.Exit(2)
 	}
 	dumpSpans(reg, *trace)
+	if qp != nil {
+		qp.WriteBreakdown(os.Stderr)
+	}
 	if *stats {
 		fmt.Fprintln(os.Stderr, "\ntelemetry snapshot:")
 		enc := json.NewEncoder(os.Stderr)
@@ -179,10 +203,13 @@ func printStats(st *aptrace.Store) {
 				fmt.Printf("  shard %2d  empty\n", si.Shard)
 				continue
 			}
-			fmt.Printf("  shard %2d  %8d events, %4d hosts, %s .. %s\n",
+			// Queries/rows/busy are runtime heat counters: how hard this
+			// process has hit each shard since the store was opened.
+			fmt.Printf("  shard %2d  %8d events, %4d hosts, %s .. %s  heat: %d queries, %d rows, %s busy\n",
 				si.Shard, si.Events, si.Hosts,
 				event.Event{Time: si.MinTime}.When().Format("2006-01-02 15:04:05"),
-				event.Event{Time: si.MaxTime}.When().Format("2006-01-02 15:04:05"))
+				event.Event{Time: si.MaxTime}.When().Format("2006-01-02 15:04:05"),
+				si.Queries, si.RowsServed, time.Duration(si.BusyNs).Round(time.Microsecond))
 		}
 	}
 	sort.Slice(hots, func(i, j int) bool { return hots[i].deg > hots[j].deg })

@@ -41,6 +41,12 @@
 //	GET  /api/v1/sessions/{id}/timeline  Chrome trace-event JSON
 //	POST /api/v1/sessions/{id}/pause|resume|stop
 //	GET  /api/v1/alerts, GET /healthz
+//	GET  /debug/shards                   shard layout + scatter-gather heat
+//
+// /debug/shards (also mirrored on the -metrics address) reports the live
+// snapshot's shard layout with per-shard heat counters and the daemon-wide
+// scatter-gather query profile: every session query is sampled into a
+// per-shard × epoch heatmap with fanout and skew quantiles.
 package main
 
 import (
@@ -213,6 +219,9 @@ func main() {
 	}
 	fmt.Printf("apserve: listening on http://%s (store %s)\n", bound, *dir)
 	if *metricsA != "" {
+		// Mirror the shard-heat profile on the metrics mux so operators
+		// scraping the side address can read it without touching the API.
+		reg.RegisterDebug("/debug/shards", srv.QueryProfiler().Handler())
 		_, maddr, err := aptrace.ServeTelemetry(*metricsA, reg)
 		if err != nil {
 			log.Fatal(err)

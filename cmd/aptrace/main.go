@@ -26,6 +26,13 @@
 // sharded store, N re-partitions a flat one. Either way every result is
 // byte-identical — sharding only changes real CPU time.
 //
+// -qprof attaches the scatter-gather query profiler: every store query the
+// run issues is sampled (fanout, per-shard rows and busy time, merge time,
+// skew) and the end-of-run per-shard load summary goes to stderr. With
+// -metrics the live profile is served at /debug/shards. The profiler reads
+// real CPU only — stdout (the Table II summary, DOT output, charged costs)
+// is byte-identical with it on or off.
+//
 // -simulate attaches the query cost model to a virtual clock, reporting
 // analysis time in modeled database-latency terms; without it, timings are
 // wall clock (the store is in memory, so they are near zero).
@@ -75,6 +82,7 @@ func main() {
 		timelineF = flag.String("timeline", "", "profile the run(s) into a timeline; write the Chrome trace-event JSON to this path")
 		gap       = flag.Duration("slo", aptrace.DefaultGapTarget, "SLO inter-update gap target for the -timeline watchdog")
 		shards    = flag.Int("shards", 0, "override the store's persisted host×time shard count at open (0 = keep, 1 = flatten)")
+		qprofOn   = flag.Bool("qprof", false, "profile scatter-gather queries; the per-shard load summary goes to stderr at end of run (stdout is byte-identical either way)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -105,6 +113,15 @@ func main() {
 		tl = aptrace.NewTimeline(aptrace.TimelineOptions{GapTarget: *gap, Telemetry: reg})
 		// Live view of the trace, same mux rule as /debug/explain.
 		reg.RegisterDebug("/debug/timeline", tl.Handler())
+	}
+	var qp *aptrace.QueryProfiler
+	if *qprofOn {
+		qp = aptrace.NewQueryProfiler()
+		storeOpts = append(storeOpts, aptrace.WithQueryProfiler(qp))
+		if reg != nil {
+			// Live shard-heat view, same mux rule as /debug/explain.
+			reg.RegisterDebug("/debug/shards", qp.Handler())
+		}
 	}
 	if reg != nil {
 		if *pprofA == *metrics {
@@ -141,8 +158,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "opened store: %d events, %d objects\n", st.NumEvents(), st.NumObjects())
 	}
 
+	// qprofSummary prints the end-of-run per-shard load summary to stderr —
+	// never stdout, which stays byte-identical with -qprof on or off.
+	qprofSummary := func() {
+		if qp != nil {
+			qp.WriteSummary(os.Stderr)
+		}
+	}
 	if *alerts {
 		listAlerts(st)
+		qprofSummary()
 		return
 	}
 	if *inter {
@@ -153,6 +178,7 @@ func main() {
 		if tl != nil {
 			writeTimeline(tl, *timelineF, rec)
 		}
+		qprofSummary()
 		return
 	}
 	if *script == "" {
@@ -180,6 +206,7 @@ func main() {
 	if tl != nil {
 		writeTimeline(tl, *timelineF, rec)
 	}
+	qprofSummary()
 	dumpTelemetry(reg)
 }
 

@@ -240,6 +240,9 @@ func New(st *store.Store, plan *refiner.Plan, opts Options) (*Executor, error) {
 		// window.query trace event. The store (usually a per-run view) is
 		// private to this run, so the observer never crosses runs.
 		st.SetCostObserver(x.tl.ObserveQueryCost)
+		// On a sharded store, also fold each routed query's shard
+		// breakdown (fan-out, per-shard rows) into the same trace event.
+		st.SetScatterObserver(x.tl.ObserveScatter)
 	}
 	x.cond = sync.NewCond(&x.mu)
 	return x, nil

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"aptrace/internal/event"
+	"aptrace/internal/qprof"
+	"aptrace/internal/simclock"
+	"aptrace/internal/store"
+	"aptrace/internal/workload"
+)
+
+// The qprof experiment certifies the scatter-gather profiler's two promises
+// at once: attaching it changes no simulated-cost output (per-alert
+// fingerprints with the profiler off vs on are byte-identical at every
+// shard count), and leaving it detached costs nothing (the nil-profiler
+// observe path is a few nanoseconds). It also records what the profiler is
+// for — per-shard load skew quantiles of the batch-triage workload at 1, 2,
+// 4, and 8 shards.
+
+// QprofConfigResult is one shard count's measurements.
+type QprofConfigResult struct {
+	Shards     int     `json:"shards"`
+	Events     int     `json:"events"`
+	Queries    int64   `json:"queries"`
+	Scattered  int64   `json:"scattered_queries"`
+	Rows       int64   `json:"rows"`
+	MeanFanout float64 `json:"mean_fanout"`
+	SkewP50    float64 `json:"skew_p50"`
+	SkewP90    float64 `json:"skew_p90"`
+	SkewMax    float64 `json:"skew_max"`
+	// Identical records that this config's fingerprints matched with the
+	// profiler off vs on.
+	Identical bool `json:"identical"`
+}
+
+// QprofResult is the structured result behind BENCH_qprof.json.
+type QprofResult struct {
+	Samples    int `json:"samples"`
+	Cores      int `json:"cores"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+
+	Configs []QprofConfigResult `json:"configs"`
+
+	// Observe-path cost: a detached (nil) profiler vs a live one, ns per
+	// emitted sample. The nil figure is the price every deployment pays.
+	NilObserveNsPerOp     float64 `json:"nil_observe_ns_op"`
+	EnabledObserveNsPerOp float64 `json:"enabled_observe_ns_op"`
+
+	// Whole-query cost on a 4-shard store, profiler detached vs attached.
+	QueryNilNsPerOp      float64 `json:"query_nil_ns_op"`
+	QueryProfiledNsPerOp float64 `json:"query_profiled_ns_op"`
+
+	// Identical is the conjunction over all configs.
+	Identical bool `json:"identical"`
+}
+
+// RunQprof sweeps the shard counts, running the batch-triage pass twice per
+// config — profiler detached, then attached — and requiring byte-identical
+// fingerprints, then reports the attached run's skew profile.
+func RunQprof(env *Env, cfg Config, w io.Writer) (*QprofResult, error) {
+	wcfg := env.Dataset.Config
+	res := &QprofResult{
+		Samples:    cfg.Samples,
+		Cores:      runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Identical:  true,
+	}
+
+	header(w, "Qprof: scatter-gather profiler — zero graph effect, observe cost, shard skew")
+	fmt.Fprintf(w, "%d alerts per config, %d cores (GOMAXPROCS %d)\n\n", cfg.Samples, res.Cores, res.GOMAXPROCS)
+	fmt.Fprintf(w, "%-8s %10s %10s %12s %10s %10s %10s %10s\n",
+		"shards", "queries", "scattered", "mean fanout", "skew p50", "skew p90", "skew max", "identical")
+
+	for _, n := range shardConfigs {
+		gcfg := wcfg
+		gcfg.Shards = n
+		gcfg.SealWorkers = 1
+		ds, err := workload.Generate(gcfg, simclock.NewSimulated(time.Time{}))
+		if err != nil {
+			return nil, fmt.Errorf("qprof: generate %d-shard dataset: %w", n, err)
+		}
+		st := ds.Store
+		alerts := st.RandomEvents(cfg.Samples, rand.New(rand.NewSource(cfg.Seed)))
+
+		// Pass 1: profiler detached — the reference fingerprints.
+		off, err := shardPass(st, alerts)
+		if err != nil {
+			return nil, fmt.Errorf("qprof: %d-shard pass (profiler off): %w", n, err)
+		}
+		// Pass 2: profiler attached. Views inherit it, so every query of the
+		// pass is observed.
+		p := qprof.New()
+		st.SetQueryProfiler(p)
+		on, err := shardPass(st, alerts)
+		if err != nil {
+			return nil, fmt.Errorf("qprof: %d-shard pass (profiler on): %w", n, err)
+		}
+		identical := len(off) == len(on)
+		if identical {
+			for i := range off {
+				if off[i] != on[i] {
+					identical = false
+					res.Identical = false
+					return nil, fmt.Errorf("qprof: output diverged with profiler on at %d shards (sample %d):\n  off: %s\n  on:  %s",
+						n, i, off[i], on[i])
+				}
+			}
+		}
+		res.Identical = res.Identical && identical
+
+		snap := p.Snapshot()
+		cr := QprofConfigResult{
+			Shards:     n,
+			Events:     st.NumEvents(),
+			Queries:    snap.Queries,
+			Scattered:  snap.Scattered,
+			Rows:       snap.Rows,
+			MeanFanout: snap.MeanFanout,
+			SkewP50:    snap.SkewP50,
+			SkewP90:    snap.SkewP90,
+			SkewMax:    snap.SkewMax,
+			Identical:  identical,
+		}
+		res.Configs = append(res.Configs, cr)
+		fmt.Fprintf(w, "%-8d %10d %10d %12.2f %10.2f %10.2f %10.2f %10v\n",
+			n, cr.Queries, cr.Scattered, cr.MeanFanout, cr.SkewP50, cr.SkewP90, cr.SkewMax, identical)
+	}
+
+	// Observe-path cost, detached vs live. One representative scattered
+	// sample; the nil path must stay a few ns (it is one atomic load and a
+	// branch at the call sites).
+	smp := qprof.Sample{
+		Kind: qprof.KindBackward, Obj: 7, Epoch: 3, Fanout: 4, Rows: 64, PostingLen: 64,
+		Shards: []qprof.ShardSample{{Shard: 0, Rows: 16}, {Shard: 1, Rows: 16}, {Shard: 2, Rows: 16}, {Shard: 3, Rows: 16}},
+	}
+	nilBench := testing.Benchmark(func(b *testing.B) {
+		var p *qprof.Profiler
+		for i := 0; i < b.N; i++ {
+			p.Observe(smp)
+		}
+	})
+	res.NilObserveNsPerOp = float64(nilBench.T.Nanoseconds()) / float64(nilBench.N)
+	liveBench := testing.Benchmark(func(b *testing.B) {
+		p := qprof.New()
+		p.SetLayout(4, 1000)
+		for i := 0; i < b.N; i++ {
+			p.Observe(smp)
+		}
+	})
+	res.EnabledObserveNsPerOp = float64(liveBench.T.Nanoseconds()) / float64(liveBench.N)
+
+	// Whole-query cost on a 4-shard store, detached vs attached.
+	gcfg := wcfg
+	gcfg.Shards = 4
+	gcfg.SealWorkers = 1
+	ds, err := workload.Generate(gcfg, simclock.NewSimulated(time.Time{}))
+	if err != nil {
+		return nil, fmt.Errorf("qprof: generate bench dataset: %w", err)
+	}
+	bst := ds.Store
+	minT, maxT, _ := bst.TimeRange()
+	queryBench := func(s *store.Store) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.CountBackward(event.ObjID(i%s.NumObjects()), minT, maxT+1)
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	res.QueryNilNsPerOp = queryBench(bst)
+	bst.SetQueryProfiler(qprof.New())
+	res.QueryProfiledNsPerOp = queryBench(bst)
+
+	fmt.Fprintf(w, "\nobserve path: nil %.1f ns/op, live %.1f ns/op\n",
+		res.NilObserveNsPerOp, res.EnabledObserveNsPerOp)
+	fmt.Fprintf(w, "CountBackward on 4 shards: detached %.0f ns/op, attached %.0f ns/op\n",
+		res.QueryNilNsPerOp, res.QueryProfiledNsPerOp)
+	fmt.Fprintf(w, "outputs byte-identical with profiler on vs off at every shard count: %v\n", res.Identical)
+	return res, nil
+}

@@ -111,6 +111,48 @@ func TestWatchdogMemoFloorAndDropRate(t *testing.T) {
 	}
 }
 
+func TestWatchdogShardSkew(t *testing.T) {
+	base := time.Unix(2000, 0)
+	counts := Counts{ShardLoads: make([]int64, 8), LastDetect: base}
+	reg := telemetry.NewRegistry()
+	j := New(Options{})
+	w := NewWatchdog(j, reg, DefaultRules, func() Counts { return counts })
+	w.Tick(base)
+
+	// Mildly uneven window: 300 of 1000 rows on shard 2 → skew 2.4×mean.
+	counts.ShardLoads = []int64{100, 100, 300, 100, 100, 100, 100, 100}
+	counts.LastDetect = base.Add(time.Second)
+	if fired := w.Tick(base.Add(2 * time.Second)); len(fired) != 0 {
+		t.Fatalf("skew 2.4 fired %+v, threshold is 4", fired)
+	}
+
+	// Hot-spot window: all 3000 new rows land on shard 2 → skew 8×mean.
+	counts.ShardLoads = []int64{100, 100, 3300, 100, 100, 100, 100, 100}
+	counts.LastDetect = base.Add(3 * time.Second)
+	fired := w.Tick(base.Add(4 * time.Second))
+	if len(fired) != 1 || fired[0].Stat != StatShardSkew {
+		t.Fatalf("fired = %+v, want one shard_skew violation", fired)
+	}
+	if got := j.Query(Filter{Stage: StageOpsAlert}); len(got) != 1 || got[0].Level != "warn" ||
+		!strings.Contains(got[0].Msg, StatShardSkew) {
+		t.Fatalf("journal = %+v", got)
+	}
+
+	// Below the activity floor the same ratio must stay quiet.
+	counts.ShardLoads = []int64{100, 100, 3400, 100, 100, 100, 100, 100}
+	counts.LastDetect = base.Add(5 * time.Second)
+	if fired := w.Tick(base.Add(6 * time.Second)); len(fired) != 0 {
+		t.Fatalf("sub-minimum skew window fired %+v", fired)
+	}
+
+	// A shard-count change (rebalance) invalidates the window: no fire.
+	counts.ShardLoads = make([]int64, 4)
+	counts.LastDetect = base.Add(7 * time.Second)
+	if fired := w.Tick(base.Add(8 * time.Second)); len(fired) != 0 {
+		t.Fatalf("layout-change window fired %+v", fired)
+	}
+}
+
 func TestWatchdogStartStop(t *testing.T) {
 	counts := Counts{}
 	w := NewWatchdog(nil, nil, nil, func() Counts { return counts })

@@ -1,0 +1,214 @@
+package qprof
+
+import "sort"
+
+// Shard heatmap: per-(shard, epoch) access/row/busy accounting plus each
+// shard's hottest objects by rows walked. Cell and hot-object bookkeeping is
+// deterministic — identical query sequences produce identical accesses and
+// rows regardless of GOMAXPROCS or timing — while busy nanos are real CPU
+// and vary run to run.
+
+const (
+	heatMaxCells = 16384 // (shard, epoch) cells retained; oldest epochs pruned
+	hotCap       = 4096  // per-shard object stats before pruning
+	hotKeep      = 2048  // survivors of a prune, by (rows desc, obj asc)
+	hotTopK      = 8     // hottest objects reported per shard
+)
+
+type heatKey struct {
+	shard int
+	epoch int64
+}
+
+type heatCell struct {
+	accesses int64
+	rows     int64
+	busyNs   int64
+}
+
+type hotStat struct {
+	rows     int64
+	accesses int64
+}
+
+type heatmap struct {
+	cells map[heatKey]*heatCell
+	hot   []map[int64]*hotStat // indexed by shard; grown on demand
+}
+
+func (h *heatmap) init() {
+	h.cells = make(map[heatKey]*heatCell)
+}
+
+// observe folds one sample into the map. Object attribution uses the whole
+// query's per-shard rows under the sample's object — range queries (scan,
+// matches) carry Obj = -1 and skip the hot-object table.
+func (h *heatmap) observe(s *Sample) {
+	if h.cells == nil {
+		h.init()
+	}
+	for _, ss := range s.Shards {
+		k := heatKey{shard: ss.Shard, epoch: s.Epoch}
+		c := h.cells[k]
+		if c == nil {
+			if len(h.cells) >= heatMaxCells {
+				h.pruneCells()
+			}
+			c = &heatCell{}
+			h.cells[k] = c
+		}
+		c.accesses++
+		c.rows += ss.Rows
+		c.busyNs += ss.BusyNs
+		if s.Obj >= 0 && ss.Rows > 0 {
+			h.noteHot(ss.Shard, s.Obj, ss.Rows)
+		}
+	}
+}
+
+func (h *heatmap) noteHot(shard int, obj, rows int64) {
+	for len(h.hot) <= shard {
+		h.hot = append(h.hot, nil)
+	}
+	m := h.hot[shard]
+	if m == nil {
+		m = make(map[int64]*hotStat)
+		h.hot[shard] = m
+	}
+	st := m[obj]
+	if st == nil {
+		if len(m) >= hotCap {
+			h.pruneHot(shard)
+			m = h.hot[shard]
+		}
+		st = &hotStat{}
+		m[obj] = st
+	}
+	st.rows += rows
+	st.accesses++
+}
+
+// pruneCells drops the oldest-epoch cells to make room, keeping the map
+// bounded for long-running daemons. Deterministic: epoch order is total.
+func (h *heatmap) pruneCells() {
+	keys := make([]heatKey, 0, len(h.cells))
+	for k := range h.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].epoch != keys[j].epoch {
+			return keys[i].epoch < keys[j].epoch
+		}
+		return keys[i].shard < keys[j].shard
+	})
+	for _, k := range keys[:len(keys)/2] {
+		delete(h.cells, k)
+	}
+}
+
+// pruneHot keeps a shard's top hotKeep objects by (rows desc, obj asc).
+func (h *heatmap) pruneHot(shard int) {
+	m := h.hot[shard]
+	type entry struct {
+		obj int64
+		st  *hotStat
+	}
+	ents := make([]entry, 0, len(m))
+	for obj, st := range m {
+		ents = append(ents, entry{obj, st})
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		if ents[i].st.rows != ents[j].st.rows {
+			return ents[i].st.rows > ents[j].st.rows
+		}
+		return ents[i].obj < ents[j].obj
+	})
+	kept := make(map[int64]*hotStat, hotKeep)
+	for _, e := range ents[:min(hotKeep, len(ents))] {
+		kept[e.obj] = e.st
+	}
+	h.hot[shard] = kept
+}
+
+// HotObject is one of a shard's hottest objects by rows walked.
+type HotObject struct {
+	Obj      int64 `json:"obj"`
+	Rows     int64 `json:"rows"`
+	Accesses int64 `json:"accesses"`
+}
+
+// HeatCell is one (shard, epoch) cell of the heatmap snapshot.
+type HeatCell struct {
+	Shard    int   `json:"shard"`
+	Epoch    int64 `json:"epoch"`
+	Accesses int64 `json:"accesses"`
+	Rows     int64 `json:"rows"`
+	BusyNs   int64 `json:"busy_ns"`
+}
+
+// ShardHeat is a shard's aggregate heat across all epochs.
+type ShardHeat struct {
+	Shard    int         `json:"shard"`
+	Accesses int64       `json:"accesses"`
+	Rows     int64       `json:"rows"`
+	BusyNs   int64       `json:"busy_ns"`
+	Hottest  []HotObject `json:"hottest,omitempty"`
+}
+
+// snapshot renders the heatmap in deterministic order: cells sorted by
+// (shard, epoch), shard aggregates by shard, hottest objects by
+// (rows desc, obj asc) capped at hotTopK.
+func (h *heatmap) snapshot() (cells []HeatCell, shards []ShardHeat) {
+	if h.cells == nil {
+		return nil, nil
+	}
+	cells = make([]HeatCell, 0, len(h.cells))
+	agg := map[int]*ShardHeat{}
+	for k, c := range h.cells {
+		cells = append(cells, HeatCell{Shard: k.shard, Epoch: k.epoch, Accesses: c.accesses, Rows: c.rows, BusyNs: c.busyNs})
+		sa := agg[k.shard]
+		if sa == nil {
+			sa = &ShardHeat{Shard: k.shard}
+			agg[k.shard] = sa
+		}
+		sa.Accesses += c.accesses
+		sa.Rows += c.rows
+		sa.BusyNs += c.busyNs
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Shard != cells[j].Shard {
+			return cells[i].Shard < cells[j].Shard
+		}
+		return cells[i].Epoch < cells[j].Epoch
+	})
+	shards = make([]ShardHeat, 0, len(agg))
+	for _, sa := range agg {
+		shards = append(shards, *sa)
+	}
+	sort.Slice(shards, func(i, j int) bool { return shards[i].Shard < shards[j].Shard })
+	for i := range shards {
+		shards[i].Hottest = h.hottest(shards[i].Shard)
+	}
+	return cells, shards
+}
+
+func (h *heatmap) hottest(shard int) []HotObject {
+	if shard >= len(h.hot) || h.hot[shard] == nil {
+		return nil
+	}
+	m := h.hot[shard]
+	out := make([]HotObject, 0, len(m))
+	for obj, st := range m {
+		out = append(out, HotObject{Obj: obj, Rows: st.rows, Accesses: st.accesses})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rows != out[j].Rows {
+			return out[i].Rows > out[j].Rows
+		}
+		return out[i].Obj < out[j].Obj
+	})
+	if len(out) > hotTopK {
+		out = out[:hotTopK]
+	}
+	return out
+}

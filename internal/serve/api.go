@@ -50,6 +50,7 @@ type errorResponse struct {
 //	GET  /readyz                         readiness, per-component (200|503)
 //	GET  /ops                            operator summary: SLIs, watchdog, subscribers
 //	GET  /debug/journal                  lifecycle journal query (when enabled)
+//	GET  /debug/shards                   shard layout, heatmap, query profile
 //	GET  /metrics, /debug/*              the telemetry registry's mux
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -74,6 +75,8 @@ func (s *Server) Handler() http.Handler {
 		// More specific than the registry's /debug/ catch-all, so it wins.
 		mux.Handle("GET /debug/journal", s.journal.Handler())
 	}
+	// More specific than /debug/, so it wins over the registry mux.
+	mux.Handle("GET /debug/shards", s.timed("shards", s.handleShards))
 	return mux
 }
 

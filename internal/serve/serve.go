@@ -41,6 +41,7 @@ import (
 	"aptrace/internal/fleet"
 	"aptrace/internal/memo"
 	"aptrace/internal/obs"
+	"aptrace/internal/qprof"
 	"aptrace/internal/simclock"
 	"aptrace/internal/store"
 	"aptrace/internal/telemetry"
@@ -172,6 +173,13 @@ type Server struct {
 
 	memo *memo.Cache // shared session memo cache; nil = disabled
 
+	// qp is the daemon's always-on scatter-gather profiler. It is attached
+	// to every snapshot (and inherited by the session views the manager
+	// builds), so /debug/shards sees detection scans and analyst sessions
+	// alike. Profiling reads real CPU only — charged cost, graphs, and
+	// update streams are byte-identical with it on or off.
+	qp *qprof.Profiler
+
 	journal   *obs.Journal
 	slis      *obs.SLIs
 	watch     *obs.Watchdog
@@ -267,6 +275,7 @@ func New(cfg Config) (*Server, error) {
 		journal:     cfg.Journal,
 		slis:        obs.NewSLIs(cfg.Telemetry),
 		startedAt:   time.Now(),
+		qp:          qprof.New(),
 		telAlerts:   cfg.Telemetry.Counter(telemetry.MetricServeAlerts),
 		telAutoRuns: cfg.Telemetry.Counter(telemetry.MetricServeAutoRuns),
 	}
@@ -295,6 +304,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: initial snapshot: %w", err)
 	}
+	snap.SetQueryProfiler(s.qp)
 	s.mu.Lock()
 	s.snap = snap
 	s.mu.Unlock()
@@ -336,6 +346,9 @@ func (s *Server) Journal() *obs.Journal { return s.journal }
 // Watchdog returns the self-watchdog (always built; ticking only when
 // Config.WatchdogEvery is positive).
 func (s *Server) Watchdog() *obs.Watchdog { return s.watch }
+
+// QueryProfiler returns the daemon's always-on scatter-gather profiler.
+func (s *Server) QueryProfiler() *qprof.Profiler { return s.qp }
 
 // newCorr mints the next correlation ID.
 func (s *Server) newCorr() string {
@@ -385,6 +398,16 @@ func (s *Server) opsCounts() obs.Counts {
 	if ns := s.lastDetect.Load(); ns != 0 {
 		c.LastDetect = time.Unix(0, ns)
 	}
+	// Per-shard cumulative rows served feed the watchdog's shard_skew rule
+	// (flat stores report nil and the rule stays silent).
+	if snap, err := s.Snapshot(); err == nil && snap != nil {
+		if infos := snap.ShardInfos(); len(infos) > 1 {
+			c.ShardLoads = make([]int64, len(infos))
+			for i, si := range infos {
+				c.ShardLoads[i] = si.RowsServed
+			}
+		}
+	}
 	return c
 }
 
@@ -410,6 +433,10 @@ func (s *Server) refreshSnapshot() (*store.Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Re-attach the profiler: a live store reseals into a fresh *Store, and
+	// views inherit the pointer at View() time. Attaching the same profiler
+	// twice is harmless (atomic pointer store).
+	snap.SetQueryProfiler(s.qp)
 	s.mu.Lock()
 	s.snap = snap
 	s.mu.Unlock()

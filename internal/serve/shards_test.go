@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"aptrace/internal/simclock"
+	"aptrace/internal/workload"
+)
+
+// TestDebugShards drives GET /debug/shards end to end on a sharded store:
+// a backtracking session runs against the snapshot (whose view inherits
+// the daemon's always-on profiler), then the endpoint reports the physical
+// shard layout next to the profiler's cumulative query-side view, and the
+// same per-shard loads feed the watchdog's shard_skew stat.
+func TestDebugShards(t *testing.T) {
+	ds, err := workload.Generate(
+		workload.Config{Seed: 9, Hosts: 4, Days: 3, Density: 0.4, Shards: 4},
+		simclock.NewSimulated(time.Time{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Source: StaticSource(ds.Store), ViewClock: simClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := srv.Manager().Submit("analyst", ds.Attacks[0].Scripts[0], nil, false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum := run.Wait(); sum.State != "done" {
+		t.Fatalf("run state = %s (%s)", sum.State, sum.Error)
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body := decodeBody[shardsResponse](t, resp)
+	if body.ShardCount != 4 || len(body.Shards) != 4 {
+		t.Fatalf("shard_count = %d, shards = %d", body.ShardCount, len(body.Shards))
+	}
+	if body.EpochSeconds <= 0 {
+		t.Fatalf("epoch_seconds = %d", body.EpochSeconds)
+	}
+	if body.Profile.ShardCount != 4 || body.Profile.Queries == 0 {
+		t.Fatalf("profile = %+v", body.Profile)
+	}
+	if body.Profile.Rows == 0 || len(body.Profile.Shards) == 0 {
+		t.Fatalf("profile missing shard heat: %+v", body.Profile)
+	}
+
+	// The watchdog's counts snapshot carries the per-shard loads the
+	// shard_skew rule windows over.
+	c := srv.opsCounts()
+	if len(c.ShardLoads) != 4 {
+		t.Fatalf("ShardLoads = %v", c.ShardLoads)
+	}
+	var total int64
+	for _, n := range c.ShardLoads {
+		total += n
+	}
+	if total == 0 {
+		t.Fatalf("ShardLoads all zero after a completed run: %v", c.ShardLoads)
+	}
+}

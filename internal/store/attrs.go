@@ -2,6 +2,7 @@ package store
 
 import (
 	"aptrace/internal/event"
+	"aptrace/internal/qprof"
 )
 
 // Computed object attributes used by BDL heuristics (paper Section IV-C,
@@ -57,6 +58,7 @@ func (s *Store) IsReadOnlyFileRows(obj event.ObjID, from, to int64) (bool, int64
 		}
 	}
 	s.charge(rows, from, to)
+	s.noteFlatQuery(qprof.KindReadOnly, int64(obj), from, to, rows, int64(len(list)))
 	return readOnly, rows, nil
 }
 
@@ -106,6 +108,7 @@ func (s *Store) IsWriteThroughRows(obj event.ObjID, from, to int64) (bool, int64
 		check(s.bySrc, func(e event.Event) event.ObjID { return e.Dst() })
 	}
 	s.charge(rows, from, to)
+	s.noteFlatQuery(qprof.KindWriteThrough, int64(obj), from, to, rows, 0)
 	return seen && through, rows, nil
 }
 
@@ -129,6 +132,7 @@ func (s *Store) FlowAmount(src, dst event.ObjID, from, to int64) (int64, error) 
 		}
 	}
 	s.charge(rows, from, to)
+	s.noteFlatQuery(qprof.KindFlowAmount, int64(dst), from, to, rows, int64(len(list)))
 	return total, nil
 }
 
@@ -176,5 +180,6 @@ func (s *Store) FileTimesRows(obj event.ObjID, from, to int64) (creation, lastMo
 		}
 	}
 	s.charge(rows, from, to)
+	s.noteFlatQuery(qprof.KindFileTimes, int64(obj), from, to, rows, int64(len(list)+len(src)))
 	return creation, lastMod, lastAccess, rows, nil
 }

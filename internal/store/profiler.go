@@ -1,0 +1,128 @@
+package store
+
+import (
+	"math/bits"
+
+	"aptrace/internal/qprof"
+)
+
+// Query-profiler hooks. Every emission lives behind one atomic pointer load
+// plus a nil check, so a store without a profiler pays ≈ns per query — the
+// same contract as the explain and timeline observers. Emission happens
+// after charge() and reads only real CPU and already-computed row counts:
+// profiling on or off never changes charged cost, Stats, or query results.
+
+// shardEpochSecs resolves the host×time routing epoch width without the
+// lazy write epochSeconds performs — safe on stores already serving
+// concurrent queries. Zero for a flat store.
+func (s *Store) shardEpochSecs() int64 {
+	if s.sh == nil {
+		return 0
+	}
+	if s.shardEpoch > 0 {
+		return s.shardEpoch
+	}
+	return s.bucketSeconds * segmentBuckets
+}
+
+// qprofEpoch returns the routing epoch index of t for heatmap bucketing.
+func (s *Store) qprofEpoch(t int64) int64 {
+	if s.sh == nil {
+		return 0
+	}
+	return floorDiv(t, s.shardEpochSecs())
+}
+
+// postingKind maps a posting-walk direction to its profiler kind.
+func postingKind(forward, count bool) qprof.Kind {
+	switch {
+	case count && forward:
+		return qprof.KindCountForward
+	case count:
+		return qprof.KindCountBackward
+	case forward:
+		return qprof.KindForward
+	default:
+		return qprof.KindBackward
+	}
+}
+
+// noteFlatQuery emits a fan-out-1 sample for a flat-store query, so profiles
+// of flat and sharded runs stay comparable.
+func (s *Store) noteFlatQuery(kind qprof.Kind, obj, from, to, rows, postingLen int64) {
+	qp := s.qp.Load()
+	if qp == nil {
+		return
+	}
+	qp.Observe(qprof.Sample{
+		Kind: kind, Obj: obj, From: from, To: to,
+		Fanout: 1, Rows: rows, PostingLen: postingLen,
+		Shards: []qprof.ShardSample{{Shard: 0, Rows: rows}},
+	})
+}
+
+// shardSnap captures per-run (shard, rows, busy) before a merge consumes the
+// run cursors. durs, when non-nil, holds scatter-measured busy nanos indexed
+// like runs; nil means the probe ran inline and untimed.
+func shardSnap(runs []shardRun, durs []int64) []qprof.ShardSample {
+	snap := make([]qprof.ShardSample, len(runs))
+	for i := range runs {
+		snap[i] = qprof.ShardSample{Shard: int(runs[i].sid), Rows: int64(runs[i].hi - runs[i].lo)}
+		if durs != nil {
+			snap[i].BusyNs = durs[i]
+		}
+	}
+	return snap
+}
+
+// distinctShards counts the shards a sample's runs touch (FileTimes and
+// write-through walk two endpoint indexes, so the same shard may run twice).
+func distinctShards(ss []qprof.ShardSample) int {
+	var mask uint64 // MaxShards = 64 makes a word-sized set exact
+	for _, s := range ss {
+		mask |= 1 << uint(s.Shard)
+	}
+	return bits.OnesCount64(mask)
+}
+
+// emitShardSample finishes a routed-query sample (fan-out, busy and savable
+// totals) and hands it to the scatter observer and profiler. Either may be
+// nil.
+func (s *Store) emitShardSample(qp *qprof.Profiler, obs ScatterObserver, smp qprof.Sample) {
+	var busy, max int64
+	for _, ss := range smp.Shards {
+		busy += ss.BusyNs
+		if ss.BusyNs > max {
+			max = ss.BusyNs
+		}
+	}
+	if busy > 0 {
+		smp.BusyNs = busy
+		smp.SavableNs = busy - max
+	}
+	if smp.Fanout == 0 {
+		smp.Fanout = distinctShards(smp.Shards)
+	}
+	if obs != nil {
+		shardRows := make([]int64, s.sh.n)
+		for _, ss := range smp.Shards {
+			shardRows[ss.Shard] += ss.Rows
+		}
+		obs(smp.Fanout, shardRows)
+	}
+	qp.Observe(smp)
+}
+
+// noteShardQuery emits the sample for a routed query whose runs are still
+// intact (counts and attribute walks; the posting merge snapshots earlier).
+func (s *Store) noteShardQuery(kind qprof.Kind, obj, from, to int64, runs []shardRun, totalLen int, rows int64, durs []int64) {
+	qp, obs := s.qp.Load(), s.scatterObs
+	if qp == nil && obs == nil {
+		return
+	}
+	s.emitShardSample(qp, obs, qprof.Sample{
+		Kind: kind, Obj: obj, From: from, To: to, Epoch: s.qprofEpoch(from),
+		Rows: rows, PostingLen: int64(totalLen),
+		Shards: shardSnap(runs, durs),
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"aptrace/internal/event"
+	"aptrace/internal/qprof"
 )
 
 // Shard router: horizontal partitioning of the sealed store by host × time
@@ -90,9 +91,12 @@ type shardPart struct {
 
 	minTime, maxTime int64
 
-	// Per-shard routing observability (real CPU only).
+	// Per-shard routing observability (real CPU only). busyNs accumulates
+	// the scatter-measured time this shard's tasks ran; inline sub-cutoff
+	// probes are untimed and contribute nothing.
 	queries atomic.Int64
 	rows    atomic.Int64
+	busyNs  atomic.Int64
 }
 
 // WithShards partitions the store into n independent shards by host × time
@@ -273,6 +277,10 @@ func (s *Store) sealSharded(workers int) {
 		s.maxTime = sh.at(sh.dir[sh.total-1]).Time
 	}
 	sh.sealWall = time.Since(start)
+	s.tel.sealWall.Set(int64(sh.sealWall))
+	s.tel.sealSavable.Set(sh.sealSavableNs)
+	// A profiler attached before sealing learns the final layout now.
+	s.qp.Load().SetLayout(sh.n, s.shardEpochSecs())
 }
 
 // seal sorts one shard's events into (time, arrival) order and builds its
@@ -423,18 +431,25 @@ scan:
 // near zero; on a single core it is the measured critical-path projection
 // the shard benchmark reports. Results must not depend on execution order:
 // every task owns its slot.
-func (sh *sharded) scatter(totalRows int, tasks []func()) {
+//
+// The returned slice holds each task's busy nanos when the scatter was
+// timed, nil for inline sub-cutoff probes — the query profiler and the
+// per-shard busy counters attribute from it; timing never affects charged
+// cost.
+func (s *Store) scatter(totalRows int, tasks []func()) []int64 {
+	sh := s.sh
 	switch {
 	case len(tasks) == 0:
-		return
+		return nil
 	case len(tasks) == 1 || totalRows < shardScatterCutoff:
 		for _, t := range tasks {
 			t()
 		}
-		return
+		return nil
 	}
 	sh.scatters.Add(1)
-	durs := make([]time.Duration, len(tasks))
+	s.tel.scatters.Inc()
+	durs := make([]int64, len(tasks))
 	if runtime.GOMAXPROCS(0) > 1 {
 		var wg sync.WaitGroup
 		for i, t := range tasks {
@@ -443,74 +458,99 @@ func (sh *sharded) scatter(totalRows int, tasks []func()) {
 				defer wg.Done()
 				t0 := time.Now()
 				t()
-				durs[i] = time.Since(t0)
+				durs[i] = int64(time.Since(t0))
 			}(i, t)
 		}
 		wg.Wait()
-		var busy time.Duration
+		var busy int64
 		for _, d := range durs {
 			busy += d
 		}
-		sh.scatterBusyNs.Add(int64(busy))
-		return
+		sh.scatterBusyNs.Add(busy)
+		s.noteScatterTel(durs, busy, 0)
+		return durs
 	}
-	var busy, max time.Duration
+	var busy, max int64
 	for i, t := range tasks {
 		t0 := time.Now()
 		t()
-		durs[i] = time.Since(t0)
+		durs[i] = int64(time.Since(t0))
 		busy += durs[i]
 		if durs[i] > max {
 			max = durs[i]
 		}
 	}
-	sh.scatterBusyNs.Add(int64(busy))
-	sh.scatterSaveNs.Add(int64(busy - max))
+	sh.scatterBusyNs.Add(busy)
+	sh.scatterSaveNs.Add(busy - max)
+	s.noteScatterTel(durs, busy, busy-max)
+	return durs
 }
 
 // scatterRuns is the attribute-walk fast path of scatter: one shared work
 // function indexed by run, no per-run closures. Small probes run inline and
 // untimed; big ones fan out across cores, or — single-core — run serially
-// with the same busy/savable accounting as scatter.
-func (sh *sharded) scatterRuns(totalRows, nruns int, work func(ri int)) {
+// with the same busy/savable accounting as scatter. The returned per-run
+// busy nanos follow the scatter contract above.
+func (s *Store) scatterRuns(totalRows, nruns int, work func(ri int)) []int64 {
+	sh := s.sh
 	if nruns == 0 {
-		return
+		return nil
 	}
 	if nruns == 1 || totalRows < shardScatterCutoff {
 		for ri := 0; ri < nruns; ri++ {
 			work(ri)
 		}
-		return
+		return nil
 	}
 	sh.scatters.Add(1)
+	s.tel.scatters.Inc()
+	durs := make([]int64, nruns)
 	if runtime.GOMAXPROCS(0) > 1 {
 		var wg sync.WaitGroup
-		var busy atomic.Int64
 		for ri := 0; ri < nruns; ri++ {
 			wg.Add(1)
 			go func(ri int) {
 				defer wg.Done()
 				t0 := time.Now()
 				work(ri)
-				busy.Add(int64(time.Since(t0)))
+				durs[ri] = int64(time.Since(t0))
 			}(ri)
 		}
 		wg.Wait()
-		sh.scatterBusyNs.Add(busy.Load())
-		return
+		var busy int64
+		for _, d := range durs {
+			busy += d
+		}
+		sh.scatterBusyNs.Add(busy)
+		s.noteScatterTel(durs, busy, 0)
+		return durs
 	}
-	var busy, max time.Duration
+	var busy, max int64
 	for ri := 0; ri < nruns; ri++ {
 		t0 := time.Now()
 		work(ri)
-		d := time.Since(t0)
-		busy += d
-		if d > max {
-			max = d
+		durs[ri] = int64(time.Since(t0))
+		busy += durs[ri]
+		if durs[ri] > max {
+			max = durs[ri]
 		}
 	}
-	sh.scatterBusyNs.Add(int64(busy))
-	sh.scatterSaveNs.Add(int64(busy - max))
+	sh.scatterBusyNs.Add(busy)
+	sh.scatterSaveNs.Add(busy - max)
+	s.noteScatterTel(durs, busy, busy-max)
+	return durs
+}
+
+// noteScatterTel publishes one timed scatter's busy/savable accounting and
+// per-task busy distribution to the always-on telemetry registry.
+func (s *Store) noteScatterTel(durs []int64, busy, savable int64) {
+	s.tel.scatterBusy.Add(busy)
+	s.tel.scatterSavable.Add(savable)
+	if s.tel.shardBusy != nil {
+		for _, d := range durs {
+			s.tel.shardBusy.Observe(float64(d))
+		}
+	}
 }
 
 // --- Query routing ------------------------------------------------------
@@ -524,6 +564,7 @@ func (sh *sharded) scatterRuns(totalRows, nruns int, work func(ri int)) {
 // overhead).
 type shardRun struct {
 	part   *shardPart
+	sid    int32 // shard index, for profiler attribution
 	idx    []int32
 	times  []int64
 	lo, hi int
@@ -551,7 +592,7 @@ func (s *Store) collectRuns(obj event.ObjID, forward bool, from, to int64) (runs
 func (s *Store) collectRunsInto(dst []shardRun, obj event.ObjID, forward bool, from, to int64) (runs []shardRun, totalLen, rows int) {
 	sh := s.sh
 	runs = dst
-	for _, p := range sh.parts {
+	for si, p := range sh.parts {
 		pl := p.byDst
 		if forward {
 			pl = p.bySrc
@@ -566,7 +607,7 @@ func (s *Store) collectRunsInto(dst []shardRun, obj event.ObjID, forward bool, f
 		if lo == hi {
 			continue
 		}
-		runs = append(runs, shardRun{part: p, idx: idx, times: times, lo: lo, hi: hi})
+		runs = append(runs, shardRun{part: p, sid: int32(si), idx: idx, times: times, lo: lo, hi: hi})
 		rows += hi - lo
 	}
 	return runs, totalLen, rows
@@ -579,6 +620,9 @@ func (s *Store) notePosting(runs []shardRun, totalLen, rows int) {
 		s.tel.postingHits.Inc()
 	} else {
 		s.tel.postingMisses.Inc()
+	}
+	if s.tel.scatterFanout != nil {
+		s.tel.scatterFanout.Observe(float64(len(runs)))
 	}
 	for i := range runs {
 		runs[i].part.queries.Add(1)
@@ -599,6 +643,17 @@ func (s *Store) shardAppendPosting(buf []event.Event, obj event.ObjID, forward b
 	}
 	runs, totalLen, rows := s.collectRuns(obj, forward, from, to)
 	s.notePosting(runs, totalLen, rows)
+	// Snapshot per-shard rows before the merge consumes the run cursors;
+	// time the k-way merge only when a profiler is listening.
+	qp, obs := s.qp.Load(), s.scatterObs
+	var snap []qprof.ShardSample
+	if qp != nil || obs != nil {
+		snap = shardSnap(runs, nil)
+	}
+	var mergeStart time.Time
+	if qp != nil && len(runs) > 1 {
+		mergeStart = time.Now()
+	}
 	if need := len(buf) + rows; need > cap(buf) {
 		grown := make([]event.Event, len(buf), need)
 		copy(grown, buf)
@@ -631,7 +686,18 @@ func (s *Store) shardAppendPosting(buf []event.Event, obj event.ObjID, forward b
 			r.lo++
 		}
 	}
+	var mergeNs int64
+	if !mergeStart.IsZero() {
+		mergeNs = int64(time.Since(mergeStart))
+	}
 	s.charge(int64(rows), from, to)
+	if snap != nil {
+		s.emitShardSample(qp, obs, qprof.Sample{
+			Kind: postingKind(forward, false), Obj: int64(obj), From: from, To: to,
+			Epoch: s.qprofEpoch(from), Rows: int64(rows), PostingLen: int64(totalLen),
+			MergeNs: mergeNs, Shards: snap,
+		})
+	}
 	return buf, nil
 }
 
@@ -645,6 +711,7 @@ func (s *Store) shardCountPosting(obj event.ObjID, forward bool, from, to int64)
 	}
 	runs, totalLen, rows := s.collectRuns(obj, forward, from, to)
 	s.notePosting(runs, totalLen, rows)
+	s.noteShardQuery(postingKind(forward, true), int64(obj), from, to, runs, totalLen, int64(rows), nil)
 	return rows, nil
 }
 
@@ -723,6 +790,7 @@ func (s *Store) CollectMatches(from, to int64, newPred func() func(event.Event) 
 			}
 		}
 		s.charge(rows, from, to)
+		s.noteFlatQuery(qprof.KindMatches, -1, from, to, rows, 0)
 		return out, perr
 	}
 
@@ -736,9 +804,11 @@ func (s *Store) CollectMatches(from, to int64, newPred func() func(event.Event) 
 		errSeq uint32
 	}
 	var tasks []func()
+	var sids []int32
+	var parts []*shardPart
 	results := make([]partMatch, 0, sh.n)
 	total := 0
-	for _, p := range sh.parts {
+	for si, p := range sh.parts {
 		if len(p.events) == 0 || p.maxTime < from || p.minTime >= to {
 			continue
 		}
@@ -752,6 +822,8 @@ func (s *Store) CollectMatches(from, to int64, newPred func() func(event.Event) 
 		results = append(results, partMatch{})
 		res := &results[len(results)-1]
 		part := p
+		sids = append(sids, int32(si))
+		parts = append(parts, p)
 		tasks = append(tasks, func() {
 			pred := newPred()
 			for i := lo; i < hi; i++ {
@@ -770,7 +842,15 @@ func (s *Store) CollectMatches(from, to int64, newPred func() func(event.Event) 
 			}
 		})
 	}
-	sh.scatter(total, tasks)
+	durs := s.scatter(total, tasks)
+	if durs != nil {
+		for i, d := range durs {
+			parts[i].busyNs.Add(d)
+		}
+	}
+	if s.tel.scatterFanout != nil {
+		s.tel.scatterFanout.Observe(float64(len(tasks)))
+	}
 
 	var rows int64
 	var perr error
@@ -785,11 +865,33 @@ func (s *Store) CollectMatches(from, to int64, newPred func() func(event.Event) 
 		}
 	}
 	s.charge(rows, from, to)
+	qp, obs := s.qp.Load(), s.scatterObs
+	emit := func(mergeNs int64) {
+		if qp == nil && obs == nil {
+			return
+		}
+		snap := make([]qprof.ShardSample, len(results))
+		for i := range results {
+			snap[i] = qprof.ShardSample{Shard: int(sids[i]), Rows: results[i].rows}
+			if durs != nil {
+				snap[i].BusyNs = durs[i]
+			}
+		}
+		s.emitShardSample(qp, obs, qprof.Sample{
+			Kind: qprof.KindMatches, Obj: -1, From: from, To: to,
+			Epoch: s.qprofEpoch(from), Rows: rows, MergeNs: mergeNs, Shards: snap,
+		})
+	}
 	if perr != nil {
+		emit(0)
 		return nil, perr
 	}
 
 	// k-way merge of the per-shard match lists by (time, seq).
+	var mergeStart time.Time
+	if qp != nil && len(results) > 1 {
+		mergeStart = time.Now()
+	}
 	n := 0
 	for i := range results {
 		n += len(results[i].events)
@@ -812,6 +914,11 @@ func (s *Store) CollectMatches(from, to int64, newPred func() func(event.Event) 
 		out = append(out, results[best].events[cur[best]])
 		cur[best]++
 	}
+	var mergeNs int64
+	if !mergeStart.IsZero() {
+		mergeNs = int64(time.Since(mergeStart))
+	}
+	emit(mergeNs)
 	return out, nil
 }
 
@@ -835,8 +942,8 @@ func (s *Store) shardIsReadOnlyFileRows(obj event.ObjID, from, to int64) (bool, 
 	if s.objects[obj].Type != event.ObjFile {
 		return false, NoCharge, nil
 	}
-	runs, _, total := s.collectRuns(obj, false, from, to)
-	s.sh.scatterRuns(total, len(runs), func(ri int) {
+	runs, totalLen, total := s.collectRuns(obj, false, from, to)
+	durs := s.scatterRuns(total, len(runs), func(ri int) {
 		// Hoist slice headers out of the loop: writes through r would
 		// otherwise force a reload of r.part/r.idx every iteration.
 		r := &runs[ri]
@@ -860,7 +967,8 @@ func (s *Store) shardIsReadOnlyFileRows(obj event.ObjID, from, to int64) (bool, 
 		}
 	}
 	s.charge(rows, from, to)
-	s.noteAttr(runs)
+	s.noteAttr(runs, durs)
+	s.noteShardQuery(qprof.KindReadOnly, int64(obj), from, to, runs, totalLen, rows, durs)
 	return readOnly, rows, nil
 }
 
@@ -874,13 +982,16 @@ func (s *Store) shardIsWriteThroughRows(obj event.ObjID, from, to int64) (bool, 
 	var rows int64
 	seen := false
 	through := true
+	qp, obs := s.qp.Load(), s.scatterObs
+	var snap []qprof.ShardSample
+	var sampleLen int64
 	// phase replicates the flat check() over one endpoint index: walk every
 	// shard's window, find the global-first disqualifier (a non-load event
 	// whose counterpart is not a process), and charge the prefix up to and
 	// including it — or the full range when none exists.
 	phase := func(forward bool, counterpartOf func(event.Event) event.ObjID) {
-		runs, _, total := s.collectRuns(obj, forward, from, to)
-		s.sh.scatterRuns(total, len(runs), func(ri int) {
+		runs, totalLen, total := s.collectRuns(obj, forward, from, to)
+		durs := s.scatterRuns(total, len(runs), func(ri int) {
 			r := &runs[ri]
 			events, idx, objects := r.part.events, r.idx, s.objects
 			nonLoad := false
@@ -914,13 +1025,23 @@ func (s *Store) shardIsWriteThroughRows(obj event.ObjID, from, to int64) (bool, 
 				}
 			}
 		}
-		s.noteAttr(runs)
+		s.noteAttr(runs, durs)
+		if qp != nil || obs != nil {
+			snap = append(snap, shardSnap(runs, durs)...)
+			sampleLen += int64(totalLen)
+		}
 	}
 	phase(false, func(e event.Event) event.ObjID { return e.Src() })
 	if through {
 		phase(true, func(e event.Event) event.ObjID { return e.Dst() })
 	}
 	s.charge(rows, from, to)
+	if qp != nil || obs != nil {
+		s.emitShardSample(qp, obs, qprof.Sample{
+			Kind: qprof.KindWriteThrough, Obj: int64(obj), From: from, To: to,
+			Epoch: s.qprofEpoch(from), Rows: rows, PostingLen: sampleLen, Shards: snap,
+		})
+	}
 	return seen && through, rows, nil
 }
 
@@ -928,8 +1049,8 @@ func (s *Store) shardFlowAmount(src, dst event.ObjID, from, to int64) (int64, er
 	if !s.sealed {
 		return 0, ErrNotSealed
 	}
-	runs, _, total := s.collectRuns(dst, false, from, to)
-	s.sh.scatterRuns(total, len(runs), func(ri int) {
+	runs, totalLen, total := s.collectRuns(dst, false, from, to)
+	durs := s.scatterRuns(total, len(runs), func(ri int) {
 		r := &runs[ri]
 		events, idx := r.part.events, r.idx
 		var sum int64
@@ -945,7 +1066,8 @@ func (s *Store) shardFlowAmount(src, dst event.ObjID, from, to int64) (int64, er
 		totalAmt += runs[i].sum
 	}
 	s.charge(int64(total), from, to)
-	s.noteAttr(runs)
+	s.noteAttr(runs, durs)
+	s.noteShardQuery(qprof.KindFlowAmount, int64(dst), from, to, runs, totalLen, int64(total), durs)
 	return totalAmt, nil
 }
 
@@ -955,13 +1077,13 @@ func (s *Store) shardFileTimesRows(obj event.ObjID, from, to int64) (creation, l
 	}
 	// Both endpoint walks share one runs slice (src-index runs flagged), so
 	// the whole query costs one slice and one closure regardless of fan-out.
-	runs, _, dstTotal := s.collectRuns(obj, false, from, to)
+	runs, dstLen, dstTotal := s.collectRuns(obj, false, from, to)
 	nDst := len(runs)
-	runs, _, srcTotal := s.collectRunsInto(runs, obj, true, from, to)
+	runs, srcLen, srcTotal := s.collectRunsInto(runs, obj, true, from, to)
 	for ri := nDst; ri < len(runs); ri++ {
 		runs[ri].src = true
 	}
-	s.sh.scatterRuns(dstTotal+srcTotal, len(runs), func(ri int) {
+	durs := s.scatterRuns(dstTotal+srcTotal, len(runs), func(ri int) {
 		// Accumulate into locals and write back once: storing through r
 		// inside the loop would alias r.part/r.idx and force the slice
 		// headers to be reloaded on every row.
@@ -1009,7 +1131,8 @@ func (s *Store) shardFileTimesRows(obj event.ObjID, from, to int64) (creation, l
 	}
 	rows = int64(dstTotal + srcTotal)
 	s.charge(rows, from, to)
-	s.noteAttr(runs)
+	s.noteAttr(runs, durs)
+	s.noteShardQuery(qprof.KindFileTimes, int64(obj), from, to, runs, dstLen+srcLen, rows, durs)
 	return creation, lastMod, lastAccess, rows, nil
 }
 
@@ -1037,10 +1160,18 @@ func minHit(runs []shardRun) (int, bool) {
 }
 
 // noteAttr updates per-shard routing counters for an attribute scatter.
-func (s *Store) noteAttr(runs []shardRun) {
+// durs, when non-nil, carries the scatter's per-run busy nanos (indexed like
+// runs) into the per-shard busy counters.
+func (s *Store) noteAttr(runs []shardRun, durs []int64) {
+	if s.tel.scatterFanout != nil {
+		s.tel.scatterFanout.Observe(float64(len(runs)))
+	}
 	for i := range runs {
 		runs[i].part.queries.Add(1)
 		runs[i].part.rows.Add(int64(runs[i].hi - runs[i].lo))
+		if durs != nil {
+			runs[i].part.busyNs.Add(durs[i])
+		}
 	}
 }
 
@@ -1057,6 +1188,7 @@ type ShardInfo struct {
 	MaxTime    int64         `json:"max_time"`
 	Queries    int64         `json:"queries"`
 	RowsServed int64         `json:"rows_served"`
+	BusyNs     int64         `json:"busy_ns"`
 	SealWall   time.Duration `json:"seal_wall_ns"`
 }
 
@@ -1093,6 +1225,7 @@ func (s *Store) ShardInfos() []ShardInfo {
 			MaxTime:    p.maxTime,
 			Queries:    p.queries.Load(),
 			RowsServed: p.rows.Load(),
+			BusyNs:     p.busyNs.Load(),
 		}
 		if s.sh.sealDurs != nil {
 			infos[i].SealWall = s.sh.sealDurs[i]

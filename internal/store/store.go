@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"aptrace/internal/event"
+	"aptrace/internal/qprof"
 	"aptrace/internal/simclock"
 	"aptrace/internal/telemetry"
 )
@@ -93,6 +94,18 @@ type Store struct {
 	// costObs, if set, observes every charged query (timeline cost
 	// attribution). Per store/view, never inherited by View.
 	costObs CostObserver
+
+	// scatterObs, if set, observes the shard fan-out and per-shard row split
+	// of every routed query (timeline shard breakdown). Like costObs it is
+	// per store/view and never inherited by View.
+	scatterObs ScatterObserver
+
+	// qp is the attached query profiler. Unlike the observers above it is
+	// SHARED by views — batch triage and fleet runs aggregate into one shard
+	// heatmap — and is an atomic pointer so a serving daemon can attach it to
+	// refreshed snapshots while queries run. A nil profiler costs one atomic
+	// load per query.
+	qp atomic.Pointer[qprof.Profiler]
 }
 
 // storeMetrics holds the store's pre-resolved telemetry instruments. All
@@ -106,6 +119,17 @@ type storeMetrics struct {
 	queryRows     *telemetry.Histogram
 	queryLatency  *telemetry.Histogram
 	shards        *telemetry.Gauge
+
+	// Shard-router real-CPU observability (never charged cost): timed
+	// scatters, their busy/savable nanos, the per-task busy distribution,
+	// per-query shard fan-out, and the sharded seal's wall/savable nanos.
+	scatters       *telemetry.Counter
+	scatterBusy    *telemetry.Counter
+	scatterSavable *telemetry.Counter
+	shardBusy      *telemetry.Histogram
+	scatterFanout  *telemetry.Histogram
+	sealWall       *telemetry.Gauge
+	sealSavable    *telemetry.Gauge
 }
 
 func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
@@ -118,6 +142,14 @@ func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
 		queryRows:     reg.Histogram(telemetry.MetricStoreQueryRows, telemetry.RowBuckets),
 		queryLatency:  reg.Histogram(telemetry.MetricStoreQueryLatency, telemetry.LatencyBuckets),
 		shards:        reg.Gauge(telemetry.MetricStoreShards),
+
+		scatters:       reg.Counter(telemetry.MetricStoreScatters),
+		scatterBusy:    reg.Counter(telemetry.MetricStoreScatterBusyNs),
+		scatterSavable: reg.Counter(telemetry.MetricStoreScatterSavableNs),
+		shardBusy:      reg.Histogram(telemetry.MetricStoreShardBusyNs, telemetry.ShardBusyBuckets),
+		scatterFanout:  reg.Histogram(telemetry.MetricStoreScatterFanout, telemetry.FanoutBuckets),
+		sealWall:       reg.Gauge(telemetry.MetricStoreSealWallNs),
+		sealSavable:    reg.Gauge(telemetry.MetricStoreSealSavableNs),
 	}
 }
 
@@ -175,6 +207,12 @@ func (s *Store) SetTelemetry(reg *telemetry.Registry) {
 	s.reg = reg
 	s.tel = newStoreMetrics(reg)
 	s.tel.shards.Set(int64(s.ShardCount()))
+	// A store sealed before telemetry was attached (Open seals during load)
+	// still publishes its seal accounting.
+	if s.sh != nil && s.sealed {
+		s.tel.sealWall.Set(int64(s.sh.sealWall))
+		s.tel.sealSavable.Set(s.sh.sealSavableNs)
+	}
 }
 
 // Telemetry returns the attached registry (nil when disabled).
@@ -192,6 +230,39 @@ type CostObserver func(rows, buckets int64, cost time.Duration)
 // view, so parallel fleets never share one.
 func (s *Store) SetCostObserver(fn CostObserver) {
 	s.costObs = fn
+}
+
+// ScatterObserver receives, per routed query on a sharded store, the shard
+// fan-out and the per-shard row split (indexed by shard, summing to the rows
+// the query charged). The timeline uses it to carry a shard breakdown on
+// query events. Rows are deterministic — never timing — so traces stay
+// byte-comparable across runs. Flat stores never call it.
+type ScatterObserver func(fanout int, shardRows []int64)
+
+// SetScatterObserver attaches (or detaches, with nil) a per-query scatter
+// observer. Like SetCostObserver it is per store/view, never inherited by
+// View, and must be attached before the run starts.
+func (s *Store) SetScatterObserver(fn ScatterObserver) {
+	s.scatterObs = fn
+}
+
+// SetQueryProfiler attaches (or detaches, with nil) a scatter-gather query
+// profiler. Unlike the cost observer the profiler is shared by existing and
+// future views — a fleet aggregates one shard heatmap — and attachment is
+// atomic, so a daemon may attach to a store already serving queries.
+// Profiling observes real CPU only: charged cost, Stats, and query results
+// are byte-identical with the profiler attached or nil.
+func (s *Store) SetQueryProfiler(p *qprof.Profiler) {
+	p.SetLayout(s.ShardCount(), s.shardEpochSecs())
+	s.qp.Store(p)
+}
+
+// QueryProfiler returns the attached profiler (nil when disabled).
+func (s *Store) QueryProfiler() *qprof.Profiler { return s.qp.Load() }
+
+// WithQueryProfiler attaches a query profiler at construction time.
+func WithQueryProfiler(p *qprof.Profiler) Option {
+	return func(st *Store) { st.SetQueryProfiler(p) }
 }
 
 // CostModel returns the query cost model in effect.
@@ -340,6 +411,7 @@ func (s *Store) View(clk simclock.Clock) (*Store, error) {
 	}
 	v.stats.Events = s.NumEvents()
 	v.stats.Objects = len(s.objects)
+	v.qp.Store(s.qp.Load())
 	return v, nil
 }
 
@@ -415,6 +487,7 @@ func (s *Store) appendPosting(buf []event.Event, obj event.ObjID, forward bool, 
 		buf = append(buf, s.events[q])
 	}
 	s.charge(int64(hi-lo), from, to)
+	s.noteFlatQuery(postingKind(forward, false), int64(obj), from, to, int64(hi-lo), int64(len(idx)))
 	return buf, nil
 }
 
@@ -430,6 +503,7 @@ func (s *Store) countPosting(obj event.ObjID, forward bool, from, to int64) (int
 	}
 	_, times := s.posting(obj, forward)
 	lo, hi := postingRange(times, from, to)
+	s.noteFlatQuery(postingKind(forward, true), int64(obj), from, to, int64(hi-lo), int64(len(times)))
 	return hi - lo, nil
 }
 
@@ -517,17 +591,45 @@ func (s *Store) Scan(from, to int64, fn func(event.Event) bool) error {
 	n := s.NumEvents()
 	lo := s.searchGlobal(from)
 	rows := int64(0)
+	// With a profiler attached, attribute scanned rows to the shard each
+	// event lives in (the directory packs shard<<32|pos); real CPU only.
+	qp := s.qp.Load()
+	var perShard []int64
+	if qp != nil && s.sh != nil {
+		perShard = make([]int64, s.sh.n)
+	}
 	for i := lo; i < n; i++ {
 		e := s.eventAtGlobal(i)
 		if e.Time >= to {
 			break
 		}
 		rows++
+		if perShard != nil {
+			perShard[s.sh.dir[i]>>32]++
+		}
 		if !fn(e) {
 			break
 		}
 	}
 	s.charge(rows, from, to)
+	if qp != nil {
+		smp := qprof.Sample{
+			Kind: qprof.KindScan, Obj: -1, From: from, To: to,
+			Epoch: s.qprofEpoch(from), Rows: rows,
+		}
+		if perShard == nil {
+			smp.Fanout = 1
+			smp.Shards = []qprof.ShardSample{{Shard: 0, Rows: rows}}
+		} else {
+			for sid, r := range perShard {
+				if r > 0 {
+					smp.Shards = append(smp.Shards, qprof.ShardSample{Shard: sid, Rows: r})
+				}
+			}
+			smp.Fanout = len(smp.Shards)
+		}
+		qp.Observe(smp)
+	}
 	return nil
 }
 

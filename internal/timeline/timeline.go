@@ -109,6 +109,8 @@ type Event struct {
 	Rows      int
 	Buckets   int64         // posting buckets walked (KindQuery/KindStall)
 	Cost      time.Duration // store-charged query cost (KindQuery/KindStall)
+	Fanout    int           // max shard fan-out of the claimed store queries (KindQuery; 0 = flat)
+	ShardRows []int64       // per-shard row split of the claimed queries (KindQuery, sharded store only)
 	Alert     event.EventID // the run's alert event (KindRun)
 	Detail    string
 	HasWindow bool
@@ -279,6 +281,12 @@ type Recorder struct {
 	pendingBuckets int64
 	pendingCost    time.Duration
 
+	// pendingFanout/pendingShardRows accumulate the shard breakdown
+	// reported by ObserveScatter (sharded stores only): the widest fan-out
+	// and the element-wise per-shard row sum since the last Query() claim.
+	pendingFanout    int
+	pendingShardRows []int64
+
 	heavy     Event // heaviest query since the last update (stall offender)
 	haveHeavy bool
 
@@ -444,9 +452,11 @@ func (r *Recorder) Query(start, end time.Time, obj event.ObjID, begin, finish in
 	ev := Event{
 		Kind: KindQuery, Start: start, Dur: end.Sub(start),
 		Obj: obj, Begin: begin, Finish: finish, Rows: rows,
-		Buckets: r.pendingBuckets, Cost: r.pendingCost, HasWindow: true,
+		Buckets: r.pendingBuckets, Cost: r.pendingCost,
+		Fanout: r.pendingFanout, ShardRows: r.pendingShardRows, HasWindow: true,
 	}
 	r.pendingRows, r.pendingBuckets, r.pendingCost = 0, 0, 0
+	r.pendingFanout, r.pendingShardRows = 0, nil
 	if !r.haveHeavy || ev.Cost > r.heavy.Cost ||
 		(ev.Cost == r.heavy.Cost && ev.Rows > r.heavy.Rows) {
 		r.heavy, r.haveHeavy = ev, true
@@ -467,6 +477,31 @@ func (r *Recorder) ObserveQueryCost(rows, buckets int64, cost time.Duration) {
 	r.pendingRows += rows
 	r.pendingBuckets += buckets
 	r.pendingCost += cost
+	r.mu.Unlock()
+}
+
+// ObserveScatter accumulates the shard breakdown of routed store queries
+// (widest fan-out, element-wise per-shard row sum) until the next Query()
+// claims it. Its signature matches store.ScatterObserver so a recorder can
+// be attached directly via Store.SetScatterObserver. Values are
+// deterministic row counts, never timing, so traces stay comparable across
+// runs.
+func (r *Recorder) ObserveScatter(fanout int, shardRows []int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if fanout > r.pendingFanout {
+		r.pendingFanout = fanout
+	}
+	if len(shardRows) > len(r.pendingShardRows) {
+		grown := make([]int64, len(shardRows))
+		copy(grown, r.pendingShardRows)
+		r.pendingShardRows = grown
+	}
+	for i, n := range shardRows {
+		r.pendingShardRows[i] += n
+	}
 	r.mu.Unlock()
 }
 
